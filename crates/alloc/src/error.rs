@@ -1,0 +1,47 @@
+//! Allocator errors.
+
+/// Errors from physical-memory allocators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// No block of the requested order (or larger) is free.
+    OutOfMemory {
+        /// The order that was requested.
+        order: u32,
+    },
+    /// A free was attempted on a block that is not currently allocated
+    /// (double free or wild pointer).
+    NotAllocated,
+    /// The request exceeds the allocator's maximum supported order.
+    OrderTooLarge {
+        /// The order that was requested.
+        order: u32,
+    },
+}
+
+impl core::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AllocError::OutOfMemory { order } => {
+                write!(f, "out of memory for order-{order} allocation")
+            }
+            AllocError::NotAllocated => f.write_str("block is not currently allocated"),
+            AllocError::OrderTooLarge { order } => {
+                write!(f, "order {order} exceeds the allocator maximum")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(AllocError::OutOfMemory { order: 3 }.to_string().contains("order-3"));
+        assert!(AllocError::NotAllocated.to_string().contains("not currently"));
+        assert!(AllocError::OrderTooLarge { order: 20 }.to_string().contains("20"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Physical-memory allocation substrates for the ASAP reproduction.
+//!
+//! The paper's mechanism hinges on *where* page-table pages land in physical
+//! memory:
+//!
+//! * Baseline Linux scatters PT pages via the buddy allocator, leaving "a
+//!   complete lack of correspondence between the order of virtual pages
+//!   within a VMA and the physical pages containing PT nodes" (§3.3).
+//!   [`BuddyAllocator`] is a faithful binary-buddy implementation (orders
+//!   0..=10, split and coalesce, lowest-address-first like Linux), and
+//!   [`ScatterAllocator`] reproduces the *statistical* layout the paper
+//!   measured (Table 2's contiguous-region counts) and itself adopted for
+//!   its host-side methodology ("mimicking the Linux buddy allocator's
+//!   behavior by randomly scattering the PT pages", §4).
+//! * ASAP requires each prefetched PT level of a VMA to live in one
+//!   contiguous, virtually-sorted region. [`ContiguousReservation`] models
+//!   that reservation, including §3.7.2's "holes": when a region cannot be
+//!   extended, individual nodes are placed out-of-line and simply lose
+//!   acceleration — never correctness.
+//!
+//! # Examples
+//!
+//! ```
+//! use asap_alloc::{BuddyAllocator, FrameAllocator};
+//! use asap_types::PhysFrameNum;
+//!
+//! let mut buddy = BuddyAllocator::new(PhysFrameNum::new(0), 1 << 20);
+//! let a = buddy.alloc(0).unwrap();
+//! let b = buddy.alloc(0).unwrap();
+//! assert_ne!(a, b);
+//! buddy.free(a, 0);
+//! buddy.free(b, 0);
+//! assert_eq!(buddy.free_frames(), 1 << 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buddy;
+mod error;
+mod frame_alloc;
+mod region;
+mod scatter;
+
+pub use buddy::{BuddyAllocator, MAX_ORDER};
+pub use error::AllocError;
+pub use frame_alloc::{BumpFrameAllocator, FrameAllocator};
+pub use region::{ContiguousReservation, RegionExtendOutcome};
+pub use scatter::{ScatterAllocator, ScatterConfig};

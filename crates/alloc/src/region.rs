@@ -1,0 +1,196 @@
+//! Contiguous physical reservations for ASAP page-table levels.
+//!
+//! The paper's OS extension (§3.3) reserves, per VMA and per prefetched PT
+//! level, a contiguous physical region whose pages are kept in virtual-sort
+//! order. §3.7.2 covers growth: extensions happen asynchronously next to the
+//! region's end, and when the adjacent memory cannot be cleared (e.g. pinned
+//! pages) the OS places individual PT pages *out of line* — a "hole" in the
+//! reserved region. Walks through holes are correct but see no acceleration.
+
+use asap_types::PhysFrameNum;
+use std::collections::HashMap;
+
+/// Result of attempting to extend a reservation (§3.7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionExtendOutcome {
+    /// The adjacent physical memory was free (or freeable in background);
+    /// the region simply grew.
+    Extended,
+    /// The adjacent memory was occupied and unfreeable; subsequent node
+    /// indices beyond the old length become holes served out-of-line.
+    HolesCreated,
+}
+
+/// One reserved, contiguous, virtually-sorted region of page-table pages.
+///
+/// Node index *i* (the i-th table page at this level within the VMA, in
+/// virtual order) normally lives at `base + i`; indices registered as holes
+/// live wherever the fallback allocator put them.
+///
+/// # Examples
+///
+/// ```
+/// use asap_alloc::ContiguousReservation;
+/// use asap_types::PhysFrameNum;
+///
+/// let mut r = ContiguousReservation::new(PhysFrameNum::new(0x1000), 16);
+/// assert_eq!(r.frame_for_index(3), Some(PhysFrameNum::new(0x1003)));
+/// assert!(r.is_prefetchable(3));
+///
+/// r.punch_hole(5, PhysFrameNum::new(0x9999));
+/// assert_eq!(r.frame_for_index(5), Some(PhysFrameNum::new(0x9999)));
+/// assert!(!r.is_prefetchable(5)); // correct walk, no acceleration
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContiguousReservation {
+    base: PhysFrameNum,
+    len: u64,
+    holes: HashMap<u64, PhysFrameNum>,
+}
+
+impl ContiguousReservation {
+    /// Reserves `len` frames starting at `base`.
+    #[must_use]
+    pub fn new(base: PhysFrameNum, len: u64) -> Self {
+        Self {
+            base,
+            len,
+            holes: HashMap::new(),
+        }
+    }
+
+    /// The region's first frame — the `PL{1,2}_base` loaded into the range
+    /// registers (Fig. 6).
+    #[must_use]
+    pub fn base(&self) -> PhysFrameNum {
+        self.base
+    }
+
+    /// Current length in frames.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the reservation is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of out-of-line nodes.
+    #[must_use]
+    pub fn hole_count(&self) -> usize {
+        self.holes.len()
+    }
+
+    /// The physical frame holding node index `index`, or `None` if the index
+    /// is beyond the reservation.
+    #[must_use]
+    pub fn frame_for_index(&self, index: u64) -> Option<PhysFrameNum> {
+        if let Some(&f) = self.holes.get(&index) {
+            return Some(f);
+        }
+        (index < self.len).then(|| self.base.add(index))
+    }
+
+    /// Whether a *prefetch* to node index `index` would hit the real node:
+    /// true only for in-line (non-hole) indices. This is the condition under
+    /// which the paper's base-plus-offset arithmetic points at the right
+    /// physical address.
+    #[must_use]
+    pub fn is_prefetchable(&self, index: u64) -> bool {
+        index < self.len && !self.holes.contains_key(&index)
+    }
+
+    /// Grows the reservation to `new_len` frames contiguously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_len < len` — reservations never shrink in this model
+    /// (VMAs grow in a pre-determined direction, §3.7.2).
+    pub fn extend(&mut self, new_len: u64) {
+        assert!(new_len >= self.len, "reservations do not shrink");
+        self.len = new_len;
+    }
+
+    /// Registers node `index` as living out-of-line at `frame` (§3.7.2).
+    ///
+    /// Holes may be punched inside the current length (pinned page in the
+    /// middle of an extension area) or beyond it (extension failed
+    /// entirely); in the latter case the logical length grows to cover the
+    /// index so that later in-line indices remain addressable.
+    pub fn punch_hole(&mut self, index: u64, frame: PhysFrameNum) {
+        if index >= self.len {
+            self.len = index + 1;
+        }
+        self.holes.insert(index, frame);
+    }
+
+    /// Fraction of indices that are prefetchable (diagnostic for reports).
+    #[must_use]
+    pub fn prefetchable_fraction(&self) -> f64 {
+        if self.len == 0 {
+            return 1.0;
+        }
+        1.0 - self.holes.len() as f64 / self.len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_line_indices_resolve() {
+        let r = ContiguousReservation::new(PhysFrameNum::new(100), 4);
+        assert_eq!(r.frame_for_index(0), Some(PhysFrameNum::new(100)));
+        assert_eq!(r.frame_for_index(3), Some(PhysFrameNum::new(103)));
+        assert_eq!(r.frame_for_index(4), None);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn extend_grows_in_line() {
+        let mut r = ContiguousReservation::new(PhysFrameNum::new(100), 2);
+        r.extend(6);
+        assert_eq!(r.frame_for_index(5), Some(PhysFrameNum::new(105)));
+        assert!(r.is_prefetchable(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "do not shrink")]
+    fn shrink_rejected() {
+        let mut r = ContiguousReservation::new(PhysFrameNum::new(0), 5);
+        r.extend(3);
+    }
+
+    #[test]
+    fn holes_resolve_but_are_not_prefetchable() {
+        let mut r = ContiguousReservation::new(PhysFrameNum::new(100), 8);
+        r.punch_hole(2, PhysFrameNum::new(7777));
+        assert_eq!(r.frame_for_index(2), Some(PhysFrameNum::new(7777)));
+        assert!(!r.is_prefetchable(2));
+        assert!(r.is_prefetchable(1));
+        assert_eq!(r.hole_count(), 1);
+        assert!((r.prefetchable_fraction() - 7.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hole_beyond_length_extends_logical_length() {
+        let mut r = ContiguousReservation::new(PhysFrameNum::new(100), 2);
+        r.punch_hole(5, PhysFrameNum::new(9000));
+        assert_eq!(r.len(), 6);
+        assert_eq!(r.frame_for_index(5), Some(PhysFrameNum::new(9000)));
+        // Indices 2..5 are now in-line addressable (region logically grew).
+        assert_eq!(r.frame_for_index(3), Some(PhysFrameNum::new(103)));
+    }
+
+    #[test]
+    fn empty_reservation() {
+        let r = ContiguousReservation::new(PhysFrameNum::new(0), 0);
+        assert!(r.is_empty());
+        assert_eq!(r.frame_for_index(0), None);
+        assert_eq!(r.prefetchable_fraction(), 1.0);
+    }
+}

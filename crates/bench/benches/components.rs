@@ -1,0 +1,114 @@
+//! Component microbenchmarks: the hot structures of the simulator.
+
+use asap_alloc::{BuddyAllocator, FrameAllocator, ScatterAllocator, ScatterConfig};
+use asap_cache::{CacheHierarchy, HierarchyConfig};
+use asap_os::feistel_permute;
+use asap_pt::{BumpNodeAllocator, PageTable, PteFlags, SimPhysMem, Walker};
+use asap_tlb::{PageWalkCaches, PwcConfig, Tlb, TlbConfig, TlbEntry};
+use asap_types::{Asid, CacheLineAddr, PageSize, PagingMode, PhysFrameNum, VirtAddr, VirtPageNum};
+use asap_workloads::{AccessStream, UniformStream};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn cache_hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/cache");
+    let mut hier = CacheHierarchy::new(HierarchyConfig::broadwell_like());
+    let mut i = 0u64;
+    g.bench_function("hierarchy_access", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37_79b9);
+            hier.access(CacheLineAddr::new(i % (1 << 20)))
+        })
+    });
+    g.finish();
+}
+
+fn tlb_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/tlb");
+    let mut tlb = Tlb::new(TlbConfig::l2_stlb(), 0);
+    for i in 0..1536u64 {
+        tlb.insert(Asid(0), VirtPageNum::new(i), TlbEntry::new(PhysFrameNum::new(i), PageSize::Size4K));
+    }
+    let mut i = 0u64;
+    g.bench_function("l2_stlb_lookup", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(7);
+            tlb.lookup(Asid(0), VirtPageNum::new(i % 2048))
+        })
+    });
+    let mut pwc = PageWalkCaches::new(PwcConfig::split_default(), 0);
+    pwc.fill(Asid(0), VirtAddr::new(0x1000).unwrap(), asap_types::PtLevel::Pl2, PhysFrameNum::new(1));
+    g.bench_function("pwc_lookup", |b| {
+        b.iter(|| pwc.lookup(Asid(0), VirtAddr::new(black_box(0x1000)).unwrap()))
+    });
+    g.finish();
+}
+
+fn page_walk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/walk");
+    let mut mem = SimPhysMem::new();
+    let mut alloc = BumpNodeAllocator::new(PhysFrameNum::new(0x1000));
+    let mut pt = PageTable::new(PagingMode::FourLevel, &mut mem, &mut alloc);
+    for i in 0..4096u64 {
+        pt.map(&mut mem, &mut alloc, VirtAddr::new(i << 12).unwrap(),
+               PhysFrameNum::new(i + 10), PageSize::Size4K, PteFlags::user_data())
+            .unwrap();
+    }
+    let mut i = 0u64;
+    g.bench_function("software_walk", |b| {
+        b.iter(|| {
+            i = (i + 97) % 4096;
+            Walker::walk(&mem, &pt, VirtAddr::new(i << 12).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn allocators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/alloc");
+    g.bench_function("buddy_alloc_free", |b| {
+        let mut buddy = BuddyAllocator::new(PhysFrameNum::new(0), 1 << 16);
+        b.iter(|| {
+            let f = buddy.alloc(0).unwrap();
+            buddy.free(f, 0);
+        })
+    });
+    g.bench_function("scatter_alloc", |b| {
+        let mut sc = ScatterAllocator::new(ScatterConfig {
+            mean_run_len: 8.0,
+            phys_frames: 1 << 24,
+            seed: 1,
+        });
+        b.iter(|| sc.alloc_frame().unwrap())
+    });
+    g.bench_function("feistel_permute", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = (x + 1) & ((1 << 28) - 1);
+            feistel_permute(x, 0xfeed, 28)
+        })
+    });
+    g.finish();
+}
+
+fn workload_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/workloads");
+    let ranges = asap_workloads::WorkloadSpec::mcf();
+    let p = ranges.build_process(Asid(1), asap_os::AsapOsConfig::disabled(), 3);
+    let mut stream = ranges.build_stream(&p, 3);
+    g.bench_function("pointer_chase_next", |b| b.iter(|| stream.next_va()));
+    let r = asap_workloads::WorkloadSpec::mc80();
+    let p2 = r.build_process(Asid(2), asap_os::AsapOsConfig::disabled(), 3);
+    let mut uniform = UniformStream::new(r.dataset_ranges(&p2), 1.0, 4, 9);
+    g.bench_function("uniform_next", |b| b.iter(|| uniform.next_va()));
+    g.finish();
+}
+
+criterion_group!(
+    components,
+    cache_hierarchy,
+    tlb_lookup,
+    page_walk,
+    allocators,
+    workload_gen
+);
+criterion_main!(components);

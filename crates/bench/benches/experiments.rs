@@ -1,0 +1,202 @@
+//! Criterion benches, one group per paper table/figure: each measures the
+//! simulation kernel that regenerates the experiment, at reduced scale
+//! (the binaries in `src/bin` produce the full tables).
+
+use asap_core::{AsapHwConfig, NestedAsapConfig};
+use asap_sim::{run_native, run_virt, NativeRunSpec, SimConfig, VirtRunSpec};
+use asap_types::ByteSize;
+use asap_workloads::WorkloadSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_sim() -> SimConfig {
+    SimConfig {
+        warmup_accesses: 2_000,
+        measure_accesses: 6_000,
+        seed: 42,
+    }
+}
+
+fn small(w: WorkloadSpec) -> WorkloadSpec {
+    WorkloadSpec {
+        footprint: ByteSize::mib(64 * w.big_vmas as u64),
+        ..w
+    }
+}
+
+fn table1_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("native_mc80_baseline", |b| {
+        b.iter(|| run_native(&NativeRunSpec::baseline(small(WorkloadSpec::mc80())).with_sim(bench_sim())))
+    });
+    g.bench_function("virt_mc80_baseline", |b| {
+        b.iter(|| run_virt(&VirtRunSpec::baseline(small(WorkloadSpec::mc80())).with_sim(bench_sim())))
+    });
+    g.finish();
+}
+
+fn fig2_fig3_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_fig3");
+    g.sample_size(10);
+    for w in [WorkloadSpec::mcf(), WorkloadSpec::redis()] {
+        g.bench_function(format!("native_{}", w.name), |b| {
+            let w = small(w.clone());
+            b.iter(|| run_native(&NativeRunSpec::baseline(w.clone()).with_sim(bench_sim())))
+        });
+    }
+    g.finish();
+}
+
+fn fig8_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for (name, asap) in [
+        ("baseline", AsapHwConfig::off()),
+        ("p1", AsapHwConfig::p1()),
+        ("p1_p2", AsapHwConfig::p1_p2()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_native(
+                    &NativeRunSpec::baseline(small(WorkloadSpec::mc80()))
+                        .with_asap(asap.clone())
+                        .with_sim(bench_sim()),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig9_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("served_matrix_mcf", |b| {
+        b.iter(|| {
+            let r = run_native(&NativeRunSpec::baseline(small(WorkloadSpec::mcf())).with_sim(bench_sim()));
+            r.served.fractions(asap_types::PtLevel::Pl1)
+        })
+    });
+    g.finish();
+}
+
+fn fig10_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    for (name, asap) in [
+        ("baseline", NestedAsapConfig::off()),
+        ("p1g", NestedAsapConfig::p1g()),
+        ("all", NestedAsapConfig::all()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_virt(
+                    &VirtRunSpec::baseline(small(WorkloadSpec::mc80()))
+                        .with_asap(asap.clone())
+                        .with_sim(bench_sim()),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn table6_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(10);
+    g.bench_function("perfect_tlb", |b| {
+        b.iter(|| {
+            run_native(
+                &NativeRunSpec::baseline(small(WorkloadSpec::mcf()))
+                    .perfect_tlb()
+                    .with_sim(bench_sim()),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn fig11_table7_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_table7");
+    g.sample_size(10);
+    g.bench_function("clustered_tlb", |b| {
+        b.iter(|| {
+            run_native(
+                &NativeRunSpec::baseline(small(WorkloadSpec::mcf()))
+                    .with_clustered_tlb()
+                    .with_sim(bench_sim()),
+            )
+        })
+    });
+    g.bench_function("clustered_plus_asap", |b| {
+        b.iter(|| {
+            run_native(
+                &NativeRunSpec::baseline(small(WorkloadSpec::mcf()))
+                    .with_clustered_tlb()
+                    .with_asap(AsapHwConfig::p1_p2())
+                    .with_sim(bench_sim()),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn fig12_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("host_2m_baseline", |b| {
+        b.iter(|| {
+            run_virt(
+                &VirtRunSpec::baseline(small(WorkloadSpec::mc80()))
+                    .host_2m_pages()
+                    .with_sim(bench_sim()),
+            )
+        })
+    });
+    g.bench_function("host_2m_asap", |b| {
+        b.iter(|| {
+            run_virt(
+                &VirtRunSpec::baseline(small(WorkloadSpec::mc80()))
+                    .host_2m_pages()
+                    .with_asap(NestedAsapConfig::host_2m())
+                    .with_sim(bench_sim()),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn table2_kernel(c: &mut Criterion) {
+    use asap_os::AsapOsConfig;
+    use asap_types::Asid;
+    use asap_workloads::AccessStream;
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("census", |b| {
+        b.iter(|| {
+            let w = small(WorkloadSpec::mc80());
+            let mut p = w.build_process(Asid(1), AsapOsConfig::disabled(), 7);
+            let mut s = w.build_stream(&p, 9);
+            for _ in 0..4000 {
+                let va = s.next_va();
+                let _ = p.touch(va);
+            }
+            p.census().contiguity_total()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    experiments,
+    table1_kernel,
+    fig2_fig3_kernel,
+    table2_kernel,
+    fig8_kernel,
+    fig9_kernel,
+    fig10_kernel,
+    table6_kernel,
+    fig11_table7_kernel,
+    fig12_kernel,
+);
+criterion_main!(experiments);

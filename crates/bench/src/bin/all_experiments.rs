@@ -1,0 +1,29 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Output is markdown; redirect it into a file to snapshot a full
+//! reproduction run (EXPERIMENTS.md embeds one such snapshot).
+
+fn main() {
+    let start = std::time::Instant::now();
+    println!("# ASAP reproduction: all experiments\n");
+    println!("{}", asap_bench::table1().render());
+    println!("{}", asap_bench::fig2().render());
+    println!("{}", asap_bench::fig3().render());
+    println!("{}", asap_bench::table2().render());
+    let (a, b) = asap_bench::fig8();
+    println!("{}", a.render());
+    println!("{}", b.render());
+    println!("{}", asap_bench::fig9().render());
+    let (a, b) = asap_bench::fig10();
+    println!("{}", a.render());
+    println!("{}", b.render());
+    println!("{}", asap_bench::table6().render());
+    let (fig11, table7) = asap_bench::fig11_table7();
+    println!("{}", table7.render());
+    println!("{}", fig11.render());
+    println!("{}", asap_bench::fig12().render());
+    println!("{}", asap_bench::ablation_pwc().render());
+    println!("{}", asap_bench::ablation_scatter().render());
+    println!("{}", asap_bench::ablation_5level().render());
+    eprintln!("total wall time: {:?}", start.elapsed());
+}

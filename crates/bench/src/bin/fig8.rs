@@ -1,0 +1,7 @@
+//! Regenerates one experiment of the paper's evaluation; see DESIGN.md.
+
+fn main() {
+    let (a, b) = asap_bench::fig8();
+    println!("{}", a.render());
+    println!("{}", b.render());
+}

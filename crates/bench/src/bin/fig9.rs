@@ -1,0 +1,5 @@
+//! Regenerates one experiment of the paper's evaluation; see DESIGN.md.
+
+fn main() {
+    println!("{}", asap_bench::fig9().render());
+}

@@ -1,0 +1,660 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§5) from the simulator.
+//!
+//! Each `pub fn` corresponds to one table/figure and returns rendered
+//! [`Table`]s; the `src/bin/*` binaries are thin wrappers. Run everything
+//! with:
+//!
+//! ```text
+//! cargo run --release -p asap-bench --bin all_experiments
+//! ```
+//!
+//! Set `ASAP_QUICK=1` for a fast smoke pass (smaller measurement windows).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use asap_core::{AsapHwConfig, NestedAsapConfig};
+use asap_sim::{
+    fmt_cycles, fmt_pct, fmt_ratio, parallel_map, run_native, run_virt, NativeRunSpec, RunResult,
+    SimConfig, Table, VirtRunSpec,
+};
+use asap_tlb::PwcConfig;
+use asap_types::{ByteSize, PtLevel};
+use asap_workloads::WorkloadSpec;
+
+/// The shared window configuration: honours `ASAP_QUICK=1` for smoke runs.
+#[must_use]
+pub fn sim_config() -> SimConfig {
+    if std::env::var("ASAP_QUICK").is_ok_and(|v| v == "1") {
+        SimConfig {
+            warmup_accesses: 5_000,
+            measure_accesses: 20_000,
+            seed: 42,
+        }
+    } else {
+        SimConfig::default()
+    }
+}
+
+/// Table 1: memcached walk-latency growth under dataset scaling, SMT
+/// colocation and virtualization, normalized to native mc80 in isolation.
+#[must_use]
+pub fn table1() -> Table {
+    let sim = sim_config();
+    enum Spec {
+        N(NativeRunSpec),
+        V(VirtRunSpec),
+    }
+    let specs = vec![
+        ("native mc80 (reference)", Spec::N(NativeRunSpec::baseline(WorkloadSpec::mc80()).with_sim(sim))),
+        ("5x larger dataset (mc400)", Spec::N(NativeRunSpec::baseline(WorkloadSpec::mc400()).with_sim(sim))),
+        ("SMT colocation", Spec::N(NativeRunSpec::baseline(WorkloadSpec::mc80()).colocated().with_sim(sim))),
+        ("Virtualization", Spec::V(VirtRunSpec::baseline(WorkloadSpec::mc80()).with_sim(sim))),
+        ("Virtualization + SMT colocation", Spec::V(VirtRunSpec::baseline(WorkloadSpec::mc80()).colocated().with_sim(sim))),
+    ];
+    let results = parallel_map(specs, |(name, spec)| {
+        let r = match spec {
+            Spec::N(s) => run_native(&s),
+            Spec::V(s) => run_virt(&s),
+        };
+        (name, r)
+    });
+    let reference = results[0].1.avg_walk_latency();
+    let mut t = Table::new(
+        "Table 1: memcached page-walk latency growth (normalized to native mc80 isolation)",
+        vec!["scenario", "avg walk latency (cycles)", "vs reference", "paper"],
+    );
+    let paper = ["1.0x", "1.2x", "2.7x", "5.3x", "12.0x"];
+    for ((name, r), paper_ratio) in results.iter().zip(paper) {
+        t.row(vec![
+            (*name).into(),
+            fmt_cycles(r.avg_walk_latency()),
+            fmt_ratio(r.avg_walk_latency() / reference),
+            paper_ratio.into(),
+        ]);
+    }
+    t
+}
+
+/// Fig. 2: fraction of execution time spent in page walks, four scenarios.
+#[must_use]
+pub fn fig2() -> Table {
+    let sim = sim_config();
+    let suite = WorkloadSpec::paper_suite_no_mc400();
+    let mut t = Table::new(
+        "Figure 2: fraction of execution time spent in page walks",
+        vec!["workload", "native", "native+coloc", "virtualized", "virt+coloc"],
+    );
+    let rows = parallel_map(suite, |w| {
+        let native = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
+        let ncol = run_native(&NativeRunSpec::baseline(w.clone()).colocated().with_sim(sim));
+        let virt = run_virt(&VirtRunSpec::baseline(w.clone()).with_sim(sim));
+        let vcol = run_virt(&VirtRunSpec::baseline(w.clone()).colocated().with_sim(sim));
+        (w.name, [native, ncol, virt, vcol])
+    });
+    let mut sums = [0.0f64; 4];
+    for (name, rs) in &rows {
+        t.row(vec![
+            (*name).into(),
+            fmt_pct(rs[0].walk_fraction()),
+            fmt_pct(rs[1].walk_fraction()),
+            fmt_pct(rs[2].walk_fraction()),
+            fmt_pct(rs[3].walk_fraction()),
+        ]);
+        for (s, r) in sums.iter_mut().zip(rs.iter()) {
+            *s += r.walk_fraction();
+        }
+    }
+    let n = rows.len() as f64;
+    t.row(vec![
+        "Average".into(),
+        fmt_pct(sums[0] / n),
+        fmt_pct(sums[1] / n),
+        fmt_pct(sums[2] / n),
+        fmt_pct(sums[3] / n),
+    ]);
+    t
+}
+
+/// Fig. 3: average page-walk latency across the four scenarios.
+#[must_use]
+pub fn fig3() -> Table {
+    let sim = sim_config();
+    let suite = WorkloadSpec::paper_suite();
+    let mut t = Table::new(
+        "Figure 3: average page-walk latency (cycles)",
+        vec!["workload", "native", "native+coloc", "virtualized", "virt+coloc"],
+    );
+    let rows = parallel_map(suite, |w| {
+        let native = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
+        let ncol = run_native(&NativeRunSpec::baseline(w.clone()).colocated().with_sim(sim));
+        let virt = run_virt(&VirtRunSpec::baseline(w.clone()).with_sim(sim));
+        let vcol = run_virt(&VirtRunSpec::baseline(w.clone()).colocated().with_sim(sim));
+        (w.name, [native, ncol, virt, vcol])
+    });
+    let mut sums = [0.0f64; 4];
+    for (name, rs) in &rows {
+        t.row(vec![
+            (*name).into(),
+            fmt_cycles(rs[0].avg_walk_latency()),
+            fmt_cycles(rs[1].avg_walk_latency()),
+            fmt_cycles(rs[2].avg_walk_latency()),
+            fmt_cycles(rs[3].avg_walk_latency()),
+        ]);
+        for (s, r) in sums.iter_mut().zip(rs.iter()) {
+            *s += r.avg_walk_latency();
+        }
+    }
+    let n = rows.len() as f64;
+    t.row(vec![
+        "Average".into(),
+        fmt_cycles(sums[0] / n),
+        fmt_cycles(sums[1] / n),
+        fmt_cycles(sums[2] / n),
+        fmt_cycles(sums[3] / n),
+    ]);
+    t
+}
+
+/// Table 2: VMA counts, PT page counts and physical contiguity.
+#[must_use]
+pub fn table2() -> Table {
+    use asap_os::AsapOsConfig;
+    use asap_types::Asid;
+    use asap_workloads::AccessStream;
+    let mut t = Table::new(
+        "Table 2: VMAs, PT pages and contiguous physical regions",
+        vec![
+            "workload",
+            "total VMAs",
+            "VMAs for 99%",
+            "contig regions (touched)",
+            "PT pages (touched)",
+            "PT pages (full dataset)",
+            "mean run (frames)",
+        ],
+    );
+    let rows = parallel_map(WorkloadSpec::paper_suite(), |w| {
+        let mut p = w.build_process(Asid(1), AsapOsConfig::disabled(), 7);
+        let mut stream = w.build_stream(&p, 9);
+        // Touch enough of the dataset that the PT's statistical layout is
+        // representative.
+        for _ in 0..150_000 {
+            let va = stream.next_va();
+            let _ = p.touch(va);
+        }
+        let census = p.census();
+        let contig = census.contiguity_total();
+        // Analytic full-dataset PT size: one PL1 page per 2 MiB, one PL2
+        // per 1 GiB, one PL3 per 512 GiB, plus the root.
+        let bytes = w.footprint.bytes();
+        let analytic = bytes.div_ceil(2 << 20)
+            + bytes.div_ceil(1 << 30)
+            + bytes.div_ceil(1 << 39)
+            + 1;
+        (
+            w.name,
+            p.vmas().len(),
+            p.vmas().vmas_covering(0.99),
+            contig.regions,
+            census.total_pages(),
+            analytic,
+            contig.mean_run(),
+        )
+    });
+    for (name, vmas, cover, regions, touched, analytic, run) in rows {
+        t.row(vec![
+            name.into(),
+            vmas.to_string(),
+            cover.to_string(),
+            regions.to_string(),
+            touched.to_string(),
+            analytic.to_string(),
+            format!("{run:.1}"),
+        ]);
+    }
+    t
+}
+
+fn fig8_scenario(colocated: bool) -> Table {
+    let sim = sim_config();
+    let title = if colocated {
+        "Figure 8b: native walk latency under SMT colocation (cycles)"
+    } else {
+        "Figure 8a: native walk latency in isolation (cycles)"
+    };
+    let mut t = Table::new(
+        title,
+        vec!["workload", "Baseline", "P1", "P1+P2", "P1 red.", "P1+P2 red."],
+    );
+    let rows = parallel_map(WorkloadSpec::paper_suite(), |w| {
+        let mk = |asap: AsapHwConfig| {
+            let mut s = NativeRunSpec::baseline(w.clone()).with_asap(asap).with_sim(sim);
+            if colocated {
+                s = s.colocated();
+            }
+            run_native(&s)
+        };
+        (
+            w.name,
+            [mk(AsapHwConfig::off()), mk(AsapHwConfig::p1()), mk(AsapHwConfig::p1_p2())],
+        )
+    });
+    let mut acc = [0.0f64; 3];
+    for (name, [base, p1, p12]) in &rows {
+        t.row(vec![
+            (*name).into(),
+            fmt_cycles(base.avg_walk_latency()),
+            fmt_cycles(p1.avg_walk_latency()),
+            fmt_cycles(p12.avg_walk_latency()),
+            fmt_pct(p1.reduction_vs(base)),
+            fmt_pct(p12.reduction_vs(base)),
+        ]);
+        acc[0] += base.avg_walk_latency();
+        acc[1] += p1.avg_walk_latency();
+        acc[2] += p12.avg_walk_latency();
+    }
+    let n = rows.len() as f64;
+    t.row(vec![
+        "Average".into(),
+        fmt_cycles(acc[0] / n),
+        fmt_cycles(acc[1] / n),
+        fmt_cycles(acc[2] / n),
+        fmt_pct(1.0 - acc[1] / acc[0]),
+        fmt_pct(1.0 - acc[2] / acc[0]),
+    ]);
+    t
+}
+
+/// Fig. 8: native walk latency, Baseline vs P1 vs P1+P2 (isolation and
+/// colocation).
+#[must_use]
+pub fn fig8() -> (Table, Table) {
+    (fig8_scenario(false), fig8_scenario(true))
+}
+
+/// Fig. 9: fraction of walk requests served per hierarchy level, per PT
+/// level, for mcf and redis (isolation and colocation).
+#[must_use]
+pub fn fig9() -> Table {
+    let sim = sim_config();
+    let mut t = Table::new(
+        "Figure 9: walk requests served by each level (baseline, native)",
+        vec!["workload", "scenario", "PT level", "PWC", "L1", "L2", "LLC", "Mem"],
+    );
+    let specs: Vec<(WorkloadSpec, bool)> = vec![
+        (WorkloadSpec::mcf(), false),
+        (WorkloadSpec::redis(), false),
+        (WorkloadSpec::mcf(), true),
+        (WorkloadSpec::redis(), true),
+    ];
+    let rows = parallel_map(specs, |(w, coloc)| {
+        let mut s = NativeRunSpec::baseline(w.clone()).with_sim(sim);
+        if coloc {
+            s = s.colocated();
+        }
+        (w.name, coloc, run_native(&s))
+    });
+    for (name, coloc, r) in rows {
+        for level in [PtLevel::Pl4, PtLevel::Pl3, PtLevel::Pl2, PtLevel::Pl1] {
+            let f = r.served.fractions(level);
+            t.row(vec![
+                name.into(),
+                if coloc { "coloc" } else { "isolation" }.into(),
+                level.to_string(),
+                fmt_pct(f[0]),
+                fmt_pct(f[1]),
+                fmt_pct(f[2]),
+                fmt_pct(f[3]),
+                fmt_pct(f[4]),
+            ]);
+        }
+    }
+    t
+}
+
+fn fig10_scenario(colocated: bool) -> Table {
+    let sim = sim_config();
+    let title = if colocated {
+        "Figure 10b: virtualized walk latency under SMT colocation (cycles)"
+    } else {
+        "Figure 10a: virtualized walk latency in isolation (cycles)"
+    };
+    let configs: [(&str, NestedAsapConfig); 5] = [
+        ("Baseline", NestedAsapConfig::off()),
+        ("P1g", NestedAsapConfig::p1g()),
+        ("P1g+P2g", NestedAsapConfig::p1g_p2g()),
+        ("P1g+P1h", NestedAsapConfig::p1g_p1h()),
+        ("All", NestedAsapConfig::all()),
+    ];
+    let mut t = Table::new(
+        title,
+        vec!["workload", "Baseline", "P1g", "P1g+P2g", "P1g+P1h", "All", "All red."],
+    );
+    let rows = parallel_map(WorkloadSpec::paper_suite(), |w| {
+        let results: Vec<RunResult> = configs
+            .iter()
+            .map(|(_, asap)| {
+                let mut s = VirtRunSpec::baseline(w.clone()).with_asap(asap.clone()).with_sim(sim);
+                if colocated {
+                    s = s.colocated();
+                }
+                run_virt(&s)
+            })
+            .collect();
+        (w.name, results)
+    });
+    let mut acc = [0.0f64; 5];
+    for (name, rs) in &rows {
+        let mut cells = vec![(*name).to_string()];
+        for (i, r) in rs.iter().enumerate() {
+            cells.push(fmt_cycles(r.avg_walk_latency()));
+            acc[i] += r.avg_walk_latency();
+        }
+        cells.push(fmt_pct(rs[4].reduction_vs(&rs[0])));
+        t.row(cells);
+    }
+    let n = rows.len() as f64;
+    let mut cells = vec!["Average".to_string()];
+    for a in acc {
+        cells.push(fmt_cycles(a / n));
+    }
+    cells.push(fmt_pct(1.0 - acc[4] / acc[0]));
+    t.row(cells);
+    t
+}
+
+/// Fig. 10: virtualized walk latency across per-dimension ASAP configs.
+#[must_use]
+pub fn fig10() -> (Table, Table) {
+    (fig10_scenario(false), fig10_scenario(true))
+}
+
+/// Table 6: conservative performance projection — critical-path walk
+/// fraction × ASAP's walk-latency reduction (virtualized, isolation).
+#[must_use]
+pub fn table6() -> Table {
+    let sim = sim_config();
+    let workloads: Vec<WorkloadSpec> = WorkloadSpec::paper_suite()
+        .into_iter()
+        .filter(|w| !w.name.starts_with("mc"))
+        .collect();
+    let mut t = Table::new(
+        "Table 6: conservative projection of ASAP's performance improvement",
+        vec![
+            "workload",
+            "walk cycles on critical path",
+            "ASAP walk-latency reduction (virt)",
+            "estimated speedup",
+        ],
+    );
+    let rows = parallel_map(workloads, |w| {
+        let normal = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
+        let perfect = run_native(&NativeRunSpec::baseline(w.clone()).perfect_tlb().with_sim(sim));
+        let fraction = 1.0 - perfect.cycles as f64 / normal.cycles as f64;
+        let vbase = run_virt(&VirtRunSpec::baseline(w.clone()).with_sim(sim));
+        let vasap = run_virt(
+            &VirtRunSpec::baseline(w.clone())
+                .with_asap(NestedAsapConfig::all())
+                .with_sim(sim),
+        );
+        let reduction = vasap.reduction_vs(&vbase);
+        (w.name, fraction, reduction)
+    });
+    let mut est_sum = 0.0;
+    for (name, fraction, reduction) in &rows {
+        let est = fraction * reduction;
+        est_sum += est;
+        t.row(vec![
+            (*name).into(),
+            fmt_pct(*fraction),
+            fmt_pct(*reduction),
+            fmt_pct(est),
+        ]);
+    }
+    t.row(vec![
+        "Average".into(),
+        String::new(),
+        String::new(),
+        fmt_pct(est_sum / rows.len() as f64),
+    ]);
+    t
+}
+
+/// Fig. 11 + Table 7: clustered TLB vs ASAP vs both (native isolation).
+#[must_use]
+pub fn fig11_table7() -> (Table, Table) {
+    let sim = sim_config();
+    let rows = parallel_map(WorkloadSpec::paper_suite(), |w| {
+        let base = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
+        let clustered = run_native(&NativeRunSpec::baseline(w.clone()).with_clustered_tlb().with_sim(sim));
+        let asap = run_native(
+            &NativeRunSpec::baseline(w.clone())
+                .with_asap(AsapHwConfig::p1_p2())
+                .with_sim(sim),
+        );
+        let both = run_native(
+            &NativeRunSpec::baseline(w.clone())
+                .with_asap(AsapHwConfig::p1_p2())
+                .with_clustered_tlb()
+                .with_sim(sim),
+        );
+        (w.name, base, clustered, asap, both)
+    });
+    let mut t7 = Table::new(
+        "Table 7: TLB MPKI reduction with the clustered TLB",
+        vec!["workload", "baseline MPKI", "clustered MPKI", "reduction", "paper"],
+    );
+    let paper7 = ["58%", "48%", "10%", "16%", "4%", "9%", "12%"];
+    let mut t11 = Table::new(
+        "Figure 11: reduction in page-walk cycles (native isolation)",
+        vec!["workload", "Clustered TLB", "ASAP", "Clustered + ASAP"],
+    );
+    let mut acc = [0.0f64; 3];
+    for ((name, base, clustered, asap, both), paper) in rows.iter().zip(paper7) {
+        // Clustered-TLB hits eliminate walks; MPKI here counts *walks
+        // performed* per kilo-instruction so the coalescing effect shows.
+        let base_mpki = base.walks.count() as f64 * 1000.0 / base.instructions as f64;
+        let cl_mpki = clustered.walks.count() as f64 * 1000.0 / clustered.instructions as f64;
+        t7.row(vec![
+            (*name).into(),
+            format!("{base_mpki:.2}"),
+            format!("{cl_mpki:.2}"),
+            fmt_pct(1.0 - cl_mpki / base_mpki),
+            paper.into(),
+        ]);
+        let reductions = [
+            clustered.walk_cycles_reduction_vs(base),
+            asap.walk_cycles_reduction_vs(base),
+            both.walk_cycles_reduction_vs(base),
+        ];
+        for (a, r) in acc.iter_mut().zip(reductions.iter()) {
+            *a += r;
+        }
+        t11.row(vec![
+            (*name).into(),
+            fmt_pct(reductions[0]),
+            fmt_pct(reductions[1]),
+            fmt_pct(reductions[2]),
+        ]);
+    }
+    let n = rows.len() as f64;
+    t11.row(vec![
+        "Average".into(),
+        fmt_pct(acc[0] / n),
+        fmt_pct(acc[1] / n),
+        fmt_pct(acc[2] / n),
+    ]);
+    (t11, t7)
+}
+
+/// Fig. 12: virtualization with 2 MiB host pages — baseline vs ASAP
+/// (P1g+P2g+P2h), isolation and colocation.
+#[must_use]
+pub fn fig12() -> Table {
+    let sim = sim_config();
+    let mut t = Table::new(
+        "Figure 12: virtualized walk latency with 2 MiB host pages (cycles)",
+        vec![
+            "workload",
+            "Baseline",
+            "ASAP",
+            "Baseline+coloc",
+            "ASAP+coloc",
+            "red. iso",
+            "red. coloc",
+        ],
+    );
+    let rows = parallel_map(WorkloadSpec::paper_suite(), |w| {
+        let mk = |asap: bool, coloc: bool| {
+            let mut s = VirtRunSpec::baseline(w.clone()).host_2m_pages().with_sim(sim);
+            if asap {
+                s = s.with_asap(NestedAsapConfig::host_2m());
+            }
+            if coloc {
+                s = s.colocated();
+            }
+            run_virt(&s)
+        };
+        (
+            w.name,
+            [mk(false, false), mk(true, false), mk(false, true), mk(true, true)],
+        )
+    });
+    let mut acc = [0.0f64; 4];
+    for (name, rs) in &rows {
+        t.row(vec![
+            (*name).into(),
+            fmt_cycles(rs[0].avg_walk_latency()),
+            fmt_cycles(rs[1].avg_walk_latency()),
+            fmt_cycles(rs[2].avg_walk_latency()),
+            fmt_cycles(rs[3].avg_walk_latency()),
+            fmt_pct(rs[1].reduction_vs(&rs[0])),
+            fmt_pct(rs[3].reduction_vs(&rs[2])),
+        ]);
+        for (a, r) in acc.iter_mut().zip(rs.iter()) {
+            *a += r.avg_walk_latency();
+        }
+    }
+    let n = rows.len() as f64;
+    t.row(vec![
+        "Average".into(),
+        fmt_cycles(acc[0] / n),
+        fmt_cycles(acc[1] / n),
+        fmt_cycles(acc[2] / n),
+        fmt_cycles(acc[3] / n),
+        fmt_pct(1.0 - acc[1] / acc[0]),
+        fmt_pct(1.0 - acc[3] / acc[2]),
+    ]);
+    t
+}
+
+/// §5.1.1 ablation: doubling PWC capacity barely moves walk latency.
+#[must_use]
+pub fn ablation_pwc() -> Table {
+    let sim = sim_config();
+    let mut t = Table::new(
+        "Ablation (§5.1.1): PWC capacity doubling (native isolation)",
+        vec!["workload", "default PWC", "doubled PWC", "reduction"],
+    );
+    let rows = parallel_map(WorkloadSpec::paper_suite(), |w| {
+        let base = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
+        let doubled = run_native(
+            &NativeRunSpec::baseline(w.clone())
+                .with_pwc(PwcConfig::split_doubled())
+                .with_sim(sim),
+        );
+        (w.name, base, doubled)
+    });
+    let (mut b, mut d) = (0.0f64, 0.0f64);
+    for (name, base, doubled) in &rows {
+        t.row(vec![
+            (*name).into(),
+            fmt_cycles(base.avg_walk_latency()),
+            fmt_cycles(doubled.avg_walk_latency()),
+            fmt_pct(doubled.reduction_vs(base)),
+        ]);
+        b += base.avg_walk_latency();
+        d += doubled.avg_walk_latency();
+    }
+    t.row(vec![
+        "Average".into(),
+        fmt_cycles(b / rows.len() as f64),
+        fmt_cycles(d / rows.len() as f64),
+        fmt_pct(1.0 - d / b),
+    ]);
+    t
+}
+
+/// Ablation: baseline walk latency vs PT-page scatter (mean run length).
+#[must_use]
+pub fn ablation_scatter() -> Table {
+    let sim = sim_config();
+    let mut t = Table::new(
+        "Ablation: baseline sensitivity to PT physical layout (mc80, native isolation)",
+        vec!["PT scatter mean run (frames)", "avg walk latency (cycles)"],
+    );
+    let runs = parallel_map(vec![1.0f64, 4.0, 23.2, 256.0], |run| {
+        let r = run_native(
+            &NativeRunSpec::baseline(WorkloadSpec::mc80())
+                .with_pt_scatter_run(run)
+                .with_sim(sim),
+        );
+        (run, r)
+    });
+    for (run, r) in runs {
+        t.row(vec![format!("{run:.1}"), fmt_cycles(r.avg_walk_latency())]);
+    }
+    t
+}
+
+/// §3.5 extension: five-level paging, with and without ASAP.
+#[must_use]
+pub fn ablation_5level() -> Table {
+    let sim = sim_config();
+    let mut t = Table::new(
+        "Extension (§3.5): five-level page table (mc400, native isolation)",
+        vec!["config", "avg walk latency (cycles)", "vs 4-level baseline"],
+    );
+    let specs = vec![
+        ("4-level baseline", NativeRunSpec::baseline(WorkloadSpec::mc400()).with_sim(sim)),
+        ("5-level baseline", NativeRunSpec::baseline(WorkloadSpec::mc400()).five_level().with_sim(sim)),
+        (
+            "5-level + ASAP P1+P2",
+            NativeRunSpec::baseline(WorkloadSpec::mc400())
+                .five_level()
+                .with_asap(AsapHwConfig::p1_p2())
+                .with_sim(sim),
+        ),
+    ];
+    let results = parallel_map(specs, |(name, s)| (name, run_native(&s)));
+    let base = results[0].1.avg_walk_latency();
+    for (name, r) in results {
+        t.row(vec![
+            name.into(),
+            fmt_cycles(r.avg_walk_latency()),
+            fmt_ratio(r.avg_walk_latency() / base),
+        ]);
+    }
+    t
+}
+
+/// A small subset of workloads for quick experiment smoke tests.
+#[must_use]
+pub fn smoke_workload() -> WorkloadSpec {
+    WorkloadSpec {
+        footprint: ByteSize::mib(256),
+        ..WorkloadSpec::mc80()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sim_config_honours_quick_env() {
+        // Not setting the env: default windows.
+        let c = super::sim_config();
+        assert!(c.measure_accesses >= 20_000);
+    }
+}

@@ -1,0 +1,345 @@
+//! A generic set-associative container.
+//!
+//! This is the common structural core of every tagged hardware structure in
+//! the simulator: data caches, L1/L2 TLBs, page-walk caches and the clustered
+//! TLB all wrap [`SetAssoc`] with their own tag and payload types.
+
+use crate::replacement::{policy_rng, SetPolicy};
+use crate::ReplacementKind;
+use rand::rngs::SmallRng;
+
+/// An entry evicted by an insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction<K, V> {
+    /// The evicted tag.
+    pub key: K,
+    /// The evicted payload.
+    pub value: V,
+}
+
+#[derive(Debug, Clone)]
+struct Way<K, V> {
+    key: K,
+    value: V,
+}
+
+#[derive(Debug, Clone)]
+struct Set<K, V> {
+    ways: Vec<Option<Way<K, V>>>,
+    policy: SetPolicy,
+}
+
+/// A set-associative array mapping tags `K` to payloads `V`.
+///
+/// The caller chooses the set for each operation (different structures index
+/// with different address bits), while `SetAssoc` owns way management,
+/// replacement and eviction.
+///
+/// # Examples
+///
+/// ```
+/// use asap_cache::{ReplacementKind, SetAssoc};
+///
+/// let mut tlb: SetAssoc<u64, &str> = SetAssoc::new(2, 2, ReplacementKind::Lru, 0);
+/// tlb.insert(0, 100, "a");
+/// tlb.insert(0, 200, "b");
+/// assert_eq!(tlb.lookup(0, &100), Some(&"a"));
+/// // Set 0 is full and 200 is now LRU; inserting evicts it.
+/// let evicted = tlb.insert(0, 300, "c").unwrap();
+/// assert_eq!(evicted.key, 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssoc<K, V> {
+    sets: Vec<Set<K, V>>,
+    ways: usize,
+    clock: u64,
+    rng: SmallRng,
+}
+
+impl<K: Eq + Copy, V> SetAssoc<K, V> {
+    /// Creates a structure with `num_sets` sets of `ways` ways each.
+    ///
+    /// `seed` makes the random replacement policy (if selected)
+    /// deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` or `ways` is zero, or if tree-PLRU is requested
+    /// with non-power-of-two `ways`.
+    #[must_use]
+    pub fn new(num_sets: usize, ways: usize, policy: ReplacementKind, seed: u64) -> Self {
+        assert!(num_sets > 0, "need at least one set");
+        assert!(ways > 0, "need at least one way");
+        let sets = (0..num_sets)
+            .map(|_| Set {
+                ways: (0..ways).map(|_| None).collect(),
+                policy: SetPolicy::new(policy, ways),
+            })
+            .collect();
+        Self {
+            sets,
+            ways,
+            clock: 0,
+            rng: policy_rng(seed),
+        }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Looks up `key` in `set`, updating recency on a hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn lookup(&mut self, set: usize, key: &K) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        let s = &mut self.sets[set];
+        for (w, slot) in s.ways.iter().enumerate() {
+            if let Some(way) = slot {
+                if way.key == *key {
+                    s.policy.touch(w, clock);
+                    return s.ways[w].as_ref().map(|way| &way.value);
+                }
+            }
+        }
+        None
+    }
+
+    /// Looks up `key` in `set` returning a mutable payload, updating recency.
+    pub fn lookup_mut(&mut self, set: usize, key: &K) -> Option<&mut V> {
+        self.clock += 1;
+        let clock = self.clock;
+        let s = &mut self.sets[set];
+        for (w, slot) in s.ways.iter().enumerate() {
+            if let Some(way) = slot {
+                if way.key == *key {
+                    s.policy.touch(w, clock);
+                    return s.ways[w].as_mut().map(|way| &mut way.value);
+                }
+            }
+        }
+        None
+    }
+
+    /// Checks for `key` in `set` without updating replacement state.
+    #[must_use]
+    pub fn probe(&self, set: usize, key: &K) -> Option<&V> {
+        self.sets[set]
+            .ways
+            .iter()
+            .flatten()
+            .find(|way| way.key == *key)
+            .map(|way| &way.value)
+    }
+
+    /// Inserts `key -> value` into `set`, returning any eviction.
+    ///
+    /// If `key` is already present its payload is replaced (no eviction is
+    /// reported) and its recency refreshed.
+    pub fn insert(&mut self, set: usize, key: K, value: V) -> Option<Eviction<K, V>> {
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.ways;
+        let s = &mut self.sets[set];
+        // Hit: replace in place.
+        for (w, slot) in s.ways.iter_mut().enumerate() {
+            if let Some(way) = slot {
+                if way.key == key {
+                    way.value = value;
+                    s.policy.touch(w, clock);
+                    return None;
+                }
+            }
+        }
+        // Free way.
+        for (w, slot) in s.ways.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(Way { key, value });
+                s.policy.touch(w, clock);
+                return None;
+            }
+        }
+        // Evict.
+        let victim = s.policy.victim(ways, &mut self.rng);
+        let old = s.ways[victim]
+            .replace(Way { key, value })
+            .expect("victim way occupied in a full set");
+        s.policy.touch(victim, clock);
+        Some(Eviction {
+            key: old.key,
+            value: old.value,
+        })
+    }
+
+    /// Removes `key` from `set`, returning its payload if present.
+    pub fn invalidate(&mut self, set: usize, key: &K) -> Option<V> {
+        let s = &mut self.sets[set];
+        for slot in s.ways.iter_mut() {
+            if slot.as_ref().is_some_and(|way| way.key == *key) {
+                return slot.take().map(|way| way.value);
+            }
+        }
+        None
+    }
+
+    /// Clears every entry.
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            for slot in &mut s.ways {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Number of valid entries across all sets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.ways.iter().flatten().count())
+            .sum()
+    }
+
+    /// Whether the structure holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over `(set, key, value)` for all valid entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &K, &V)> {
+        self.sets.iter().enumerate().flat_map(|(i, s)| {
+            s.ways
+                .iter()
+                .flatten()
+                .map(move |way| (i, &way.key, &way.value))
+        })
+    }
+
+    /// Removes all entries failing `keep`, returning how many were dropped.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K, &V) -> bool) -> usize {
+        let mut dropped = 0;
+        for s in &mut self.sets {
+            for slot in &mut s.ways {
+                if let Some(way) = slot {
+                    if !keep(&way.key, &way.value) {
+                        *slot = None;
+                        dropped += 1;
+                    }
+                }
+            }
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssoc<u64, u64> {
+        SetAssoc::new(4, 2, ReplacementKind::Lru, 42)
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut c = small();
+        assert!(c.is_empty());
+        assert_eq!(c.insert(1, 10, 100), None);
+        assert_eq!(c.lookup(1, &10), Some(&100));
+        assert_eq!(c.lookup(1, &11), None);
+        assert_eq!(c.lookup(0, &10), None, "keys are per-set");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_on_full_set() {
+        let mut c = small();
+        c.insert(2, 1, 1);
+        c.insert(2, 2, 2);
+        c.lookup(2, &1); // make key 2 the LRU
+        let ev = c.insert(2, 3, 3).expect("must evict");
+        assert_eq!(ev.key, 2);
+        assert_eq!(ev.value, 2);
+        assert!(c.probe(2, &1).is_some());
+        assert!(c.probe(2, &3).is_some());
+    }
+
+    #[test]
+    fn reinsert_same_key_updates_value_without_eviction() {
+        let mut c = small();
+        c.insert(0, 7, 70);
+        c.insert(0, 8, 80);
+        assert_eq!(c.insert(0, 7, 71), None);
+        assert_eq!(c.probe(0, &7), Some(&71));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = small();
+        c.insert(0, 1, 1);
+        c.insert(0, 2, 2);
+        // Probing key 1 must NOT refresh it...
+        assert_eq!(c.probe(0, &1), Some(&1));
+        // ...so it is still the LRU victim.
+        let ev = c.insert(0, 3, 3).unwrap();
+        assert_eq!(ev.key, 1);
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut c = small();
+        c.insert(0, 1, 10);
+        c.insert(1, 2, 20);
+        assert_eq!(c.invalidate(0, &1), Some(10));
+        assert_eq!(c.invalidate(0, &1), None);
+        assert_eq!(c.len(), 1);
+        c.flush();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lookup_mut_mutates() {
+        let mut c = small();
+        c.insert(3, 9, 90);
+        *c.lookup_mut(3, &9).unwrap() += 1;
+        assert_eq!(c.probe(3, &9), Some(&91));
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut c = small();
+        for k in 0..8u64 {
+            c.insert((k % 4) as usize, k, k);
+        }
+        let dropped = c.retain(|k, _| k % 2 == 0);
+        assert_eq!(dropped + c.len(), 8);
+        assert!(c.iter().all(|(_, k, _)| k % 2 == 0));
+    }
+
+    #[test]
+    fn capacity_accessors() {
+        let c = small();
+        assert_eq!(c.num_sets(), 4);
+        assert_eq!(c.ways(), 2);
+        assert_eq!(c.capacity(), 8);
+    }
+}

@@ -1,0 +1,182 @@
+//! Replacement policies for set-associative structures.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The replacement policy used by a set-associative structure.
+///
+/// LRU is the paper's implicit default for caches and TLBs; tree-PLRU and
+/// random are provided for the replacement-policy ablation documented in
+/// DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementKind {
+    /// True least-recently-used via per-way recency stamps.
+    #[default]
+    Lru,
+    /// Tree pseudo-LRU (requires power-of-two associativity).
+    TreePlru,
+    /// Uniform random victim selection (deterministically seeded).
+    Random,
+}
+
+impl core::fmt::Display for ReplacementKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ReplacementKind::Lru => f.write_str("LRU"),
+            ReplacementKind::TreePlru => f.write_str("tree-PLRU"),
+            ReplacementKind::Random => f.write_str("random"),
+        }
+    }
+}
+
+/// Per-set replacement state; one instance per set.
+#[derive(Debug, Clone)]
+pub(crate) enum SetPolicy {
+    Lru { stamps: Vec<u64> },
+    TreePlru { bits: u64, ways: usize },
+    Random,
+}
+
+impl SetPolicy {
+    pub(crate) fn new(kind: ReplacementKind, ways: usize) -> Self {
+        match kind {
+            ReplacementKind::Lru => SetPolicy::Lru {
+                stamps: vec![0; ways],
+            },
+            ReplacementKind::TreePlru => {
+                assert!(
+                    ways.is_power_of_two(),
+                    "tree-PLRU requires power-of-two associativity, got {ways}"
+                );
+                SetPolicy::TreePlru { bits: 0, ways }
+            }
+            ReplacementKind::Random => SetPolicy::Random,
+        }
+    }
+
+    /// Records a use of `way` at logical time `stamp`.
+    pub(crate) fn touch(&mut self, way: usize, stamp: u64) {
+        match self {
+            SetPolicy::Lru { stamps } => stamps[way] = stamp,
+            SetPolicy::TreePlru { bits, ways } => {
+                // Walk from the root, flipping each internal node away from
+                // the touched way.
+                let mut node = 1usize;
+                let levels = ways.trailing_zeros();
+                for level in (0..levels).rev() {
+                    let bit = (way >> level) & 1;
+                    if bit == 0 {
+                        *bits |= 1 << node; // point away: towards right
+                    } else {
+                        *bits &= !(1 << node); // point towards left
+                    }
+                    node = node * 2 + bit;
+                }
+            }
+            SetPolicy::Random => {}
+        }
+    }
+
+    /// Chooses a victim way among `ways` candidates.
+    pub(crate) fn victim(&self, ways: usize, rng: &mut SmallRng) -> usize {
+        match self {
+            SetPolicy::Lru { stamps } => stamps
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| **s)
+                .map(|(w, _)| w)
+                .expect("non-empty set"),
+            SetPolicy::TreePlru { bits, ways } => {
+                let mut node = 1usize;
+                let levels = ways.trailing_zeros();
+                let mut way = 0usize;
+                for _ in 0..levels {
+                    let dir = ((bits >> node) & 1) as usize;
+                    way = way * 2 + dir;
+                    node = node * 2 + dir;
+                }
+                way
+            }
+            SetPolicy::Random => rng.gen_range(0..ways),
+        }
+    }
+}
+
+/// A deterministic RNG for replacement decisions; seeded per structure so
+/// simulations are exactly reproducible.
+pub(crate) fn policy_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_picks_least_recent() {
+        let mut p = SetPolicy::new(ReplacementKind::Lru, 4);
+        let mut rng = policy_rng(0);
+        for (way, t) in [(0, 10), (1, 5), (2, 20), (3, 15)] {
+            p.touch(way, t);
+        }
+        assert_eq!(p.victim(4, &mut rng), 1);
+        p.touch(1, 30);
+        assert_eq!(p.victim(4, &mut rng), 0);
+    }
+
+    #[test]
+    fn tree_plru_avoids_recent() {
+        let mut p = SetPolicy::new(ReplacementKind::TreePlru, 4);
+        let mut rng = policy_rng(0);
+        // After touching way 0, the victim must not be way 0.
+        p.touch(0, 1);
+        assert_ne!(p.victim(4, &mut rng), 0);
+        // Touch everything; victim is still a valid way.
+        for w in 0..4 {
+            p.touch(w, 2);
+        }
+        assert!(p.victim(4, &mut rng) < 4);
+    }
+
+    #[test]
+    fn tree_plru_cycles_through_all_ways() {
+        // Repeatedly touching the current victim must visit every way.
+        let mut p = SetPolicy::new(ReplacementKind::TreePlru, 8);
+        let mut rng = policy_rng(0);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..8 {
+            let v = p.victim(8, &mut rng);
+            seen.insert(v);
+            p.touch(v, t);
+        }
+        assert_eq!(seen.len(), 8, "PLRU failed to cycle: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn tree_plru_rejects_non_power_of_two() {
+        let _ = SetPolicy::new(ReplacementKind::TreePlru, 6);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let p = SetPolicy::new(ReplacementKind::Random, 8);
+        let seq1: Vec<_> = {
+            let mut rng = policy_rng(7);
+            (0..16).map(|_| p.victim(8, &mut rng)).collect()
+        };
+        let seq2: Vec<_> = {
+            let mut rng = policy_rng(7);
+            (0..16).map(|_| p.victim(8, &mut rng)).collect()
+        };
+        assert_eq!(seq1, seq2);
+        assert!(seq1.iter().all(|w| *w < 8));
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ReplacementKind::Lru.to_string(), "LRU");
+        assert_eq!(ReplacementKind::TreePlru.to_string(), "tree-PLRU");
+        assert_eq!(ReplacementKind::Random.to_string(), "random");
+    }
+}

@@ -1,0 +1,71 @@
+//! Cache statistics counters.
+
+/// Hit/miss/fill counters for a single cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand lookups that hit.
+    pub hits: u64,
+    /// Demand lookups that missed.
+    pub misses: u64,
+    /// Lines installed.
+    pub fills: u64,
+    /// Lines evicted by fills.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    pub(crate) fn record(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    /// Total demand lookups.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in [0, 1]; zero when no accesses were made.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// Statistics for the whole hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Per-level stats: L1, L2, L3.
+    pub levels: [CacheStats; 3],
+    /// Accesses ultimately served by DRAM.
+    pub memory_accesses: u64,
+    /// Prefetch fills requested.
+    pub prefetch_fills: u64,
+    /// Prefetches dropped for lack of a free MSHR (§3.4: best-effort).
+    pub prefetches_dropped: u64,
+    /// Demand accesses that merged with an in-flight prefetch MSHR.
+    pub mshr_merges: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        s.record(true);
+        s.record(true);
+        s.record(false);
+        assert_eq!(s.accesses(), 3);
+        assert!((s.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

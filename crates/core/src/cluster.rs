@@ -1,0 +1,35 @@
+//! Source of PTE-cluster contents for the clustered TLB fill.
+
+use asap_types::{PhysFrameNum, VirtAddr};
+
+/// Supplies the 8 translations of the aligned PTE cluster containing a
+/// virtual address — the contents of the PTE cache line the walker just
+/// fetched, which the clustered TLB's fill logic inspects (§5.4.1).
+pub trait ClusterSource {
+    /// Translations of the aligned 8-page cluster containing `va`
+    /// (`None` for unmapped neighbours).
+    fn cluster_frames(&self, va: VirtAddr) -> [Option<PhysFrameNum>; 8];
+}
+
+impl ClusterSource for asap_os::Process {
+    fn cluster_frames(&self, va: VirtAddr) -> [Option<PhysFrameNum>; 8] {
+        self.cluster_translations(va)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_os::{Process, ProcessConfig, VmaKind};
+    use asap_types::{Asid, ByteSize};
+
+    #[test]
+    fn process_implements_cluster_source() {
+        let mut p = Process::new(ProcessConfig::new(Asid(1)).with_heap(ByteSize::mib(1)));
+        let heap = p.vma_of_kind(VmaKind::Heap).unwrap().start();
+        p.touch(heap).unwrap();
+        let source: &dyn ClusterSource = &p;
+        let cluster = source.cluster_frames(heap);
+        assert!(cluster[0].is_some());
+    }
+}

@@ -1,0 +1,152 @@
+//! The architecturally-exposed range-register file (Fig. 6).
+
+use asap_os::VmaDescriptor;
+
+/// The per-hardware-thread file of VMA descriptors.
+///
+/// Each TLB miss is checked against every register in parallel; a hit
+/// yields the descriptor whose base addresses feed the prefetch
+/// computation. The OS loads the file on context switches (§3.4).
+///
+/// # Examples
+///
+/// ```
+/// use asap_core::RangeRegisterFile;
+/// use asap_os::VmaDescriptor;
+/// use asap_types::{PhysAddr, VirtAddr};
+///
+/// let mut regs = RangeRegisterFile::new(16);
+/// regs.load_context(&[VmaDescriptor {
+///     start: VirtAddr::new(0x1000).unwrap(),
+///     end: VirtAddr::new(0x9000).unwrap(),
+///     pl1_base: Some(PhysAddr::new(0x100_000)),
+///     pl2_base: None,
+/// }]);
+/// assert!(regs.lookup(VirtAddr::new(0x4000).unwrap()).is_some());
+/// assert!(regs.lookup(VirtAddr::new(0x9000).unwrap()).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RangeRegisterFile {
+    registers: Vec<VmaDescriptor>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl RangeRegisterFile {
+    /// Creates an empty file with `capacity` registers.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            registers: Vec::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Loads descriptors on a context switch, truncating to capacity
+    /// (the OS is expected to order them by importance, §3.4).
+    pub fn load_context(&mut self, descriptors: &[VmaDescriptor]) {
+        self.registers.clear();
+        self.registers
+            .extend(descriptors.iter().take(self.capacity).copied());
+    }
+
+    /// Matches `va` against all registers (hardware does this in parallel;
+    /// VMAs never overlap, so at most one matches).
+    pub fn lookup(&mut self, va: asap_types::VirtAddr) -> Option<&VmaDescriptor> {
+        let hit = self.registers.iter().find(|d| d.covers(va));
+        if hit.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Number of loaded registers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Whether no descriptors are loaded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.registers.is_empty()
+    }
+
+    /// Register capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookup hits (TLB misses inside a tracked VMA).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses (TLB misses outside every tracked VMA — walks ASAP
+    /// cannot accelerate).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Resets hit/miss counters (post-warmup).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_types::{PhysAddr, VirtAddr};
+
+    fn desc(start: u64, end: u64) -> VmaDescriptor {
+        VmaDescriptor {
+            start: VirtAddr::new(start).unwrap(),
+            end: VirtAddr::new(end).unwrap(),
+            pl1_base: Some(PhysAddr::new(0x1000_0000)),
+            pl2_base: None,
+        }
+    }
+
+    #[test]
+    fn capacity_truncation() {
+        let mut regs = RangeRegisterFile::new(2);
+        regs.load_context(&[
+            desc(0x1000, 0x2000),
+            desc(0x3000, 0x4000),
+            desc(0x5000, 0x6000),
+        ]);
+        assert_eq!(regs.len(), 2);
+        assert!(regs.lookup(VirtAddr::new(0x1000).unwrap()).is_some());
+        assert!(regs.lookup(VirtAddr::new(0x5000).unwrap()).is_none());
+    }
+
+    #[test]
+    fn reload_replaces() {
+        let mut regs = RangeRegisterFile::new(4);
+        regs.load_context(&[desc(0x1000, 0x2000)]);
+        regs.load_context(&[desc(0x8000, 0x9000)]);
+        assert!(regs.lookup(VirtAddr::new(0x1000).unwrap()).is_none());
+        assert!(regs.lookup(VirtAddr::new(0x8000).unwrap()).is_some());
+    }
+
+    #[test]
+    fn stats_count() {
+        let mut regs = RangeRegisterFile::new(4);
+        regs.load_context(&[desc(0x1000, 0x2000)]);
+        let _ = regs.lookup(VirtAddr::new(0x1500).unwrap());
+        let _ = regs.lookup(VirtAddr::new(0x9999).unwrap());
+        assert_eq!((regs.hits(), regs.misses()), (1, 1));
+        regs.reset_stats();
+        assert_eq!((regs.hits(), regs.misses()), (0, 0));
+    }
+}

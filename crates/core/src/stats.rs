@@ -1,0 +1,283 @@
+//! Walk statistics: latency distributions and the Fig. 9 served-by matrix.
+
+use asap_cache::ServedBy;
+use asap_types::PtLevel;
+
+/// Where one page-walk request was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServedSource {
+    /// The request was elided by a page-walk-cache hit.
+    Pwc,
+    /// Served by the given cache-hierarchy level.
+    Cache(ServedBy),
+    /// Merged with an in-flight ASAP prefetch sourced from the given level
+    /// (latency partially hidden).
+    Merged(ServedBy),
+}
+
+impl ServedSource {
+    /// Report column index: PWC, L1, L2, LLC, Mem.
+    #[must_use]
+    pub fn column(self) -> usize {
+        match self {
+            ServedSource::Pwc => 0,
+            ServedSource::Cache(l) | ServedSource::Merged(l) => match l {
+                ServedBy::L1 => 1,
+                ServedBy::L2 => 2,
+                ServedBy::L3 => 3,
+                ServedBy::Memory => 4,
+            },
+        }
+    }
+
+    /// Column headers matching [`ServedSource::column`].
+    pub const COLUMNS: [&'static str; 5] = ["PWC", "L1", "L2", "LLC", "Mem"];
+}
+
+impl core::fmt::Display for ServedSource {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServedSource::Pwc => f.write_str("PWC"),
+            ServedSource::Cache(l) => write!(f, "{l}"),
+            ServedSource::Merged(l) => write!(f, "{l}*"),
+        }
+    }
+}
+
+/// Counts of walk requests per (PT level, serving source) — the data behind
+/// the paper's Figure 9.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServedByMatrix {
+    /// `counts[level_depth - 1][column]`.
+    counts: [[u64; 5]; 5],
+}
+
+impl ServedByMatrix {
+    /// Creates an empty matrix.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request.
+    pub fn record(&mut self, level: PtLevel, source: ServedSource) {
+        self.counts[(level.depth() - 1) as usize][source.column()] += 1;
+    }
+
+    /// Raw count for (level, column).
+    #[must_use]
+    pub fn count(&self, level: PtLevel, column: usize) -> u64 {
+        self.counts[(level.depth() - 1) as usize][column]
+    }
+
+    /// Total requests recorded for `level`.
+    #[must_use]
+    pub fn total(&self, level: PtLevel) -> u64 {
+        self.counts[(level.depth() - 1) as usize].iter().sum()
+    }
+
+    /// The per-column fractions for `level` (each row of Fig. 9).
+    #[must_use]
+    pub fn fractions(&self, level: PtLevel) -> [f64; 5] {
+        let total = self.total(level);
+        if total == 0 {
+            return [0.0; 5];
+        }
+        let row = self.counts[(level.depth() - 1) as usize];
+        core::array::from_fn(|i| row[i] as f64 / total as f64)
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (row, orow) in self.counts.iter_mut().zip(other.counts.iter()) {
+            for (c, oc) in row.iter_mut().zip(orow.iter()) {
+                *c += oc;
+            }
+        }
+    }
+}
+
+/// Aggregate walk-latency statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WalkLatencyStats {
+    count: u64,
+    total_cycles: u64,
+    min: u64,
+    max: u64,
+    /// Power-of-two latency histogram: bucket i counts walks with
+    /// latency in `[2^i, 2^(i+1))`.
+    buckets: [u64; 16],
+}
+
+impl WalkLatencyStats {
+    /// Creates empty statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            min: u64::MAX,
+            ..Self::default()
+        }
+    }
+
+    /// Records one walk.
+    pub fn record(&mut self, latency: u64) {
+        self.count += 1;
+        self.total_cycles += latency;
+        self.min = self.min.min(latency);
+        self.max = self.max.max(latency);
+        let bucket = (64 - latency.max(1).leading_zeros() - 1).min(15) as usize;
+        self.buckets[bucket] += 1;
+    }
+
+    /// Number of walks recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total walk cycles (the Fig. 11 numerator).
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Mean walk latency in cycles (the Fig. 3/8/10/12 metric).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.count as f64
+        }
+    }
+
+    /// Minimum observed latency (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observed latency.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate latency percentile from the power-of-two histogram
+    /// (upper bucket bound; good enough for reporting tails).
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count as f64 * p.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return 1 << (i + 1);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another set of statistics.
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.total_cycles += other.total_cycles;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += ob;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_fractions() {
+        let mut m = ServedByMatrix::new();
+        m.record(PtLevel::Pl1, ServedSource::Cache(ServedBy::Memory));
+        m.record(PtLevel::Pl1, ServedSource::Cache(ServedBy::L1));
+        m.record(PtLevel::Pl1, ServedSource::Merged(ServedBy::Memory));
+        m.record(PtLevel::Pl4, ServedSource::Pwc);
+        let f1 = m.fractions(PtLevel::Pl1);
+        assert!((f1[1] - 1.0 / 3.0).abs() < 1e-12); // L1
+        assert!((f1[4] - 2.0 / 3.0).abs() < 1e-12); // Mem (incl. merged)
+        assert_eq!(m.fractions(PtLevel::Pl4)[0], 1.0);
+        assert_eq!(m.fractions(PtLevel::Pl3), [0.0; 5]);
+        assert_eq!(m.total(PtLevel::Pl1), 3);
+    }
+
+    #[test]
+    fn matrix_merge() {
+        let mut a = ServedByMatrix::new();
+        a.record(PtLevel::Pl2, ServedSource::Pwc);
+        let mut b = ServedByMatrix::new();
+        b.record(PtLevel::Pl2, ServedSource::Pwc);
+        b.record(PtLevel::Pl2, ServedSource::Cache(ServedBy::L2));
+        a.merge(&b);
+        assert_eq!(a.total(PtLevel::Pl2), 3);
+        assert_eq!(a.count(PtLevel::Pl2, 0), 2);
+    }
+
+    #[test]
+    fn latency_stats_basics() {
+        let mut s = WalkLatencyStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0);
+        for l in [10u64, 20, 30] {
+            s.record(l);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.total_cycles(), 60);
+        assert!((s.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(s.min(), 10);
+        assert_eq!(s.max(), 30);
+    }
+
+    #[test]
+    fn latency_percentiles_monotone() {
+        let mut s = WalkLatencyStats::new();
+        for l in 1..=1000u64 {
+            s.record(l);
+        }
+        let p50 = s.percentile(0.5);
+        let p99 = s.percentile(0.99);
+        assert!(p50 <= p99);
+        assert!(p99 >= 512);
+    }
+
+    #[test]
+    fn latency_merge() {
+        let mut a = WalkLatencyStats::new();
+        a.record(5);
+        let mut b = WalkLatencyStats::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 100);
+        // Merging an empty never corrupts min.
+        a.merge(&WalkLatencyStats::new());
+        assert_eq!(a.min(), 5);
+    }
+
+    #[test]
+    fn source_columns() {
+        assert_eq!(ServedSource::Pwc.column(), 0);
+        assert_eq!(ServedSource::Cache(ServedBy::L1).column(), 1);
+        assert_eq!(ServedSource::Merged(ServedBy::Memory).column(), 4);
+        assert_eq!(ServedSource::Merged(ServedBy::Memory).to_string(), "Mem*");
+    }
+}

@@ -1,0 +1,266 @@
+//! Deterministic, collision-free placement of data pages.
+//!
+//! Data pages never need backing storage in the simulator, but their
+//! *physical frame numbers* matter twice: they drive cache-set contention,
+//! and their VPN→PFN contiguity is what the clustered TLB (§5.4.1) exploits.
+//! Rather than replaying an allocator, [`DataPageLayout`] computes a frame
+//! for every virtual page as a pure function:
+//!
+//! * the VPN space is split into aligned 8-page *cluster groups* (the
+//!   clustered TLB's coalescing unit);
+//! * a per-group hash decides — with the configured probability — whether
+//!   the group is **clusterable** (its 8 pages land on 8 consecutive
+//!   frames) or **scattered** (each page lands independently);
+//! * positions come from [Feistel permutations](feistel_permute), so the
+//!   mapping is bijective: no two virtual pages ever share a frame, with no
+//!   bookkeeping and no host memory.
+//!
+//! The clusterable probability is the per-workload contiguity knob
+//! calibrated against Table 7 (e.g. mcf's allocator happens to produce lots
+//! of contiguity, memcached-400GB's almost none).
+
+use crate::PhysMap;
+use asap_types::{PhysFrameNum, VirtPageNum};
+
+/// Number of Feistel rounds (4 is the classic minimum for good mixing).
+const ROUNDS: u32 = 4;
+
+/// A keyed Feistel permutation over `bits`-wide integers (`bits` even,
+/// ≤ 62). Bijective for every key: the round function is arbitrary, the
+/// network structure guarantees invertibility.
+///
+/// # Examples
+///
+/// ```
+/// use asap_os::feistel_permute;
+/// // Distinct inputs map to distinct outputs within the domain.
+/// let a = feistel_permute(1, 0xfeed, 28);
+/// let b = feistel_permute(2, 0xfeed, 28);
+/// assert_ne!(a, b);
+/// assert!(a < (1 << 28) && b < (1 << 28));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bits` is odd, zero, or greater than 62, or if `x` is outside
+/// the domain.
+#[must_use]
+pub fn feistel_permute(x: u64, key: u64, bits: u32) -> u64 {
+    assert!(bits > 0 && bits <= 62 && bits % 2 == 0, "bad domain width");
+    assert!(x >> bits == 0, "input outside domain");
+    let half = bits / 2;
+    let mask = (1u64 << half) - 1;
+    let mut left = x >> half;
+    let mut right = x & mask;
+    for round in 0..ROUNDS {
+        // splitmix64-style round function keyed by (key, round).
+        let mut f = right
+            .wrapping_add(key)
+            .wrapping_add(u64::from(round).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        f = (f ^ (f >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        f = (f ^ (f >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        f ^= f >> 31;
+        let new_right = (left ^ f) & mask;
+        left = right;
+        right = new_right;
+    }
+    (left << half) | right
+}
+
+/// Pure-function placement of data pages for one process.
+#[derive(Debug, Clone, Copy)]
+pub struct DataPageLayout {
+    phys: PhysMap,
+    /// Probability (0..=1) that an aligned 8-page group is clusterable.
+    cluster_fraction: f64,
+    key: u64,
+}
+
+/// Cluster-group domain width (groups live in a 2^28 superset domain so the
+/// permuted slot, shifted by the 8-page cluster, fits the 2^31-frame window).
+const GROUP_BITS: u32 = 28;
+/// Scattered-page domain width; also bounds the supported page index space:
+/// 2^30 pages = 4 TiB of dataset per process.
+const PAGE_BITS: u32 = 30;
+
+impl DataPageLayout {
+    /// Creates a layout drawing frames from `phys`' data windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(phys: PhysMap, cluster_fraction: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cluster_fraction),
+            "cluster fraction must be a probability"
+        );
+        Self {
+            phys,
+            cluster_fraction,
+            key: seed,
+        }
+    }
+
+    /// The configured clusterable fraction.
+    #[must_use]
+    pub fn cluster_fraction(&self) -> f64 {
+        self.cluster_fraction
+    }
+
+    fn group_is_clustered(&self, group: u64) -> bool {
+        // A keyed hash in [0,1) compared against the fraction.
+        let h = feistel_permute(group & ((1 << GROUP_BITS) - 1), self.key ^ 0xC1u64, GROUP_BITS);
+        (h as f64) / ((1u64 << GROUP_BITS) as f64) < self.cluster_fraction
+    }
+
+    /// The physical frame for data-page index `vpn`.
+    ///
+    /// The index is process-relative (the OS assigns each VMA a dense,
+    /// 8-aligned index window), keeping the domain compact. Deterministic
+    /// and injective over the supported domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index exceeds the 2^30-page (4 TiB) domain.
+    #[must_use]
+    pub fn frame_for(&self, vpn: VirtPageNum) -> PhysFrameNum {
+        let raw = vpn.raw();
+        assert!(
+            raw < (1 << PAGE_BITS),
+            "page index {raw:#x} outside the data-layout domain"
+        );
+        let group = raw >> 3;
+        let sub = raw & 7;
+        if self.group_is_clustered(group) {
+            let slot = feistel_permute(group, self.key, GROUP_BITS);
+            self.phys.data_clustered_base().add((slot << 3) | sub)
+        } else {
+            let slot = feistel_permute(raw, self.key ^ 0x5C, PAGE_BITS);
+            self.phys.data_scattered_base().add(slot)
+        }
+    }
+
+    /// The frames of the whole aligned 8-page group containing `vpn`,
+    /// `None` for pages the caller knows are unmapped. This mirrors what a
+    /// walker sees in one PTE cache line and feeds the clustered TLB fill.
+    #[must_use]
+    pub fn cluster_frames(&self, vpn: VirtPageNum) -> [PhysFrameNum; 8] {
+        let base = vpn.raw() & !7;
+        core::array::from_fn(|i| self.frame_for(VirtPageNum::new(base + i as u64)))
+    }
+
+    /// Measured fraction of groups that are clusterable over the first `n`
+    /// groups (diagnostic; converges on `cluster_fraction`).
+    #[must_use]
+    pub fn measured_cluster_fraction(&self, n: u64) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let hits = (0..n).filter(|&g| self.group_is_clustered(g)).count();
+        hits as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_types::Asid;
+    use std::collections::HashSet;
+
+    #[test]
+    fn feistel_is_bijective_on_small_domain() {
+        let mut seen = HashSet::new();
+        for x in 0..(1u64 << 12) {
+            let y = feistel_permute(x, 0xabcd, 12);
+            assert!(y < 1 << 12);
+            assert!(seen.insert(y), "collision at {x}");
+        }
+        assert_eq!(seen.len(), 1 << 12);
+    }
+
+    #[test]
+    fn feistel_key_changes_mapping() {
+        let a: Vec<u64> = (0..64).map(|x| feistel_permute(x, 1, 16)).collect();
+        let b: Vec<u64> = (0..64).map(|x| feistel_permute(x, 2, 16)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad domain")]
+    fn feistel_rejects_odd_width() {
+        let _ = feistel_permute(0, 0, 13);
+    }
+
+    #[test]
+    fn frames_are_unique_across_modes() {
+        let layout = DataPageLayout::new(PhysMap::new(Asid(2)), 0.5, 42);
+        let mut seen = HashSet::new();
+        for vpn in 0..20_000u64 {
+            let f = layout.frame_for(VirtPageNum::new(vpn)).raw();
+            assert!(seen.insert(f), "frame collision for vpn {vpn}");
+        }
+    }
+
+    #[test]
+    fn clustered_groups_are_physically_consecutive() {
+        let layout = DataPageLayout::new(PhysMap::new(Asid(0)), 1.0, 7);
+        for group in 0..100u64 {
+            let frames = layout.cluster_frames(VirtPageNum::new(group * 8));
+            for (i, f) in frames.iter().enumerate() {
+                assert_eq!(f.raw(), frames[0].raw() + i as u64, "group {group}");
+            }
+        }
+    }
+
+    #[test]
+    fn scattered_groups_are_not_consecutive() {
+        let layout = DataPageLayout::new(PhysMap::new(Asid(0)), 0.0, 7);
+        let mut consecutive = 0;
+        for group in 0..200u64 {
+            let frames = layout.cluster_frames(VirtPageNum::new(group * 8));
+            if (1..8).all(|i| frames[i].raw() == frames[0].raw() + i as u64) {
+                consecutive += 1;
+            }
+        }
+        assert_eq!(consecutive, 0, "no group should be consecutive at p=0");
+    }
+
+    #[test]
+    fn measured_fraction_tracks_config() {
+        for p in [0.0f64, 0.25, 0.6, 1.0] {
+            let layout = DataPageLayout::new(PhysMap::new(Asid(1)), p, 99);
+            let measured = layout.measured_cluster_fraction(20_000);
+            assert!(
+                (measured - p).abs() < 0.02,
+                "p={p}, measured={measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = DataPageLayout::new(PhysMap::new(Asid(1)), 0.5, 11);
+        let b = DataPageLayout::new(PhysMap::new(Asid(1)), 0.5, 11);
+        let c = DataPageLayout::new(PhysMap::new(Asid(1)), 0.5, 12);
+        let vpn = VirtPageNum::new(777);
+        assert_eq!(a.frame_for(vpn), b.frame_for(vpn));
+        assert_ne!(a.frame_for(vpn), c.frame_for(vpn));
+    }
+
+    #[test]
+    fn frames_stay_inside_windows() {
+        let layout = DataPageLayout::new(PhysMap::new(Asid(3)), 0.5, 5);
+        let m = PhysMap::new(Asid(3));
+        for vpn in (0..100_000u64).step_by(97) {
+            let f = layout.frame_for(VirtPageNum::new(vpn)).raw();
+            let in_clustered = (m.data_clustered_base().raw()
+                ..m.data_clustered_base().raw() + PhysMap::DATA_WINDOW_FRAMES)
+                .contains(&f);
+            let in_scattered = (m.data_scattered_base().raw()
+                ..m.data_scattered_base().raw() + PhysMap::DATA_WINDOW_FRAMES)
+                .contains(&f);
+            assert!(in_clustered || in_scattered);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! ASAP VMA descriptors — the OS-managed architectural state (Fig. 6).
+
+use asap_types::{PhysAddr, VirtAddr};
+
+/// One VMA descriptor as exposed to the hardware range registers: the VMA's
+/// bounds plus the base physical address of the contiguous region holding
+/// each prefetchable PT level.
+///
+/// Descriptors are "part of the architectural state of the hardware thread
+/// and are managed by the OS in the presence of ... context switch or
+/// interrupt handling" (§3.4); `asap-core`'s range-register file stores and
+/// matches them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmaDescriptor {
+    /// First virtual address covered.
+    pub start: VirtAddr,
+    /// One past the last virtual address covered.
+    pub end: VirtAddr,
+    /// Base of the contiguous PL1 region, when PL1 prefetching is enabled
+    /// for this VMA.
+    pub pl1_base: Option<PhysAddr>,
+    /// Base of the contiguous PL2 region, when PL2 prefetching is enabled.
+    pub pl2_base: Option<PhysAddr>,
+}
+
+impl VmaDescriptor {
+    /// Whether `va` falls inside the descriptor's range.
+    #[must_use]
+    pub fn covers(&self, va: VirtAddr) -> bool {
+        self.start <= va && va < self.end
+    }
+
+    /// Bytes covered.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.end.raw() - self.start.raw()
+    }
+
+    /// Whether the range is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl core::fmt::Display for VmaDescriptor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "desc[{}..{}, pl1={}, pl2={}]",
+            self.start,
+            self.end,
+            self.pl1_base.map_or("-".to_string(), |p| p.to_string()),
+            self.pl2_base.map_or("-".to_string(), |p| p.to_string()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_and_len() {
+        let d = VmaDescriptor {
+            start: VirtAddr::new(0x1000).unwrap(),
+            end: VirtAddr::new(0x3000).unwrap(),
+            pl1_base: Some(PhysAddr::new(0x10_0000)),
+            pl2_base: None,
+        };
+        assert!(d.covers(VirtAddr::new(0x1000).unwrap()));
+        assert!(d.covers(VirtAddr::new(0x2fff).unwrap()));
+        assert!(!d.covers(VirtAddr::new(0x3000).unwrap()));
+        assert_eq!(d.len(), 0x2000);
+        assert!(!d.is_empty());
+        assert!(d.to_string().contains("pl2=-"));
+    }
+}

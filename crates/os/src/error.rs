@@ -1,0 +1,59 @@
+//! OS-model errors.
+
+use asap_types::VirtAddr;
+
+/// Errors from address-space and paging operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OsError {
+    /// The requested range overlaps an existing VMA.
+    Overlap,
+    /// A range bound is not page-aligned.
+    Misaligned,
+    /// The range is empty or would shrink.
+    EmptyRange,
+    /// No VMA with the given id.
+    UnknownVma,
+    /// The address lies outside every VMA (a true segmentation fault).
+    Segfault(VirtAddr),
+    /// Physical memory was exhausted.
+    OutOfMemory,
+}
+
+impl core::fmt::Display for OsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OsError::Overlap => f.write_str("range overlaps an existing VMA"),
+            OsError::Misaligned => f.write_str("range is not page-aligned"),
+            OsError::EmptyRange => f.write_str("range is empty or shrinking"),
+            OsError::UnknownVma => f.write_str("no such VMA"),
+            OsError::Segfault(va) => write!(f, "access to unmapped address {va}"),
+            OsError::OutOfMemory => f.write_str("physical memory exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for OsError {}
+
+impl From<asap_alloc::AllocError> for OsError {
+    fn from(_: asap_alloc::AllocError) -> Self {
+        OsError::OutOfMemory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(OsError::Overlap.to_string().contains("overlaps"));
+        let va = VirtAddr::new(0x1234000).unwrap();
+        assert!(OsError::Segfault(va).to_string().contains("unmapped"));
+    }
+
+    #[test]
+    fn alloc_error_converts() {
+        let e: OsError = asap_alloc::AllocError::OutOfMemory { order: 0 }.into();
+        assert_eq!(e, OsError::OutOfMemory);
+    }
+}

@@ -1,0 +1,203 @@
+//! Linux-like process address-space layout.
+
+use crate::{OsError, VmaId, VmaKind, VmaTree};
+use asap_types::{ByteSize, VirtAddr, PAGE_SIZE};
+
+/// One requested VMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmaSpec {
+    /// The VMA's role (decides its placement in the address space).
+    pub kind: VmaKind,
+    /// Requested size (rounded up to a page).
+    pub size: ByteSize,
+}
+
+impl VmaSpec {
+    /// Creates a spec.
+    #[must_use]
+    pub fn new(kind: VmaKind, size: ByteSize) -> Self {
+        Self { kind, size }
+    }
+}
+
+/// Builds a process' VMA tree with a Linux-x86-64-like layout:
+/// text low, heap in the middle of the canonical lower half, `mmap` regions
+/// descending from below the library area, libraries high, stack at the top.
+///
+/// # Examples
+///
+/// ```
+/// use asap_os::{ProcessLayout, VmaKind, VmaTree};
+/// use asap_types::ByteSize;
+///
+/// let layout = ProcessLayout::server_like(ByteSize::gib(1), &[ByteSize::mib(256)]);
+/// let mut tree = VmaTree::new();
+/// layout.build(&mut tree).unwrap();
+/// assert!(tree.iter().any(|v| v.kind() == VmaKind::Heap));
+/// assert!(tree.len() >= 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProcessLayout {
+    specs: Vec<VmaSpec>,
+}
+
+/// Address-space anchors (canonical lower-half, 4-level friendly).
+impl ProcessLayout {
+    /// Base of program text.
+    pub const TEXT_BASE: u64 = 0x0000_0000_0040_0000;
+    /// Base of the heap.
+    pub const HEAP_BASE: u64 = 0x0000_5600_0000_0000;
+    /// Top of the descending mmap area.
+    pub const MMAP_TOP: u64 = 0x0000_7e00_0000_0000;
+    /// Base of the library area.
+    pub const LIB_BASE: u64 = 0x0000_7f00_0000_0000;
+    /// Top of the stack.
+    pub const STACK_TOP: u64 = 0x0000_7ffd_0000_0000;
+
+    /// An empty layout.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a VMA request.
+    pub fn push(&mut self, spec: VmaSpec) -> &mut Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// The canonical server-process shape the paper's Table 2 reflects: one
+    /// text segment, a handful of libraries, a stack, a large heap, and zero
+    /// or more large mmap'd dataset regions.
+    #[must_use]
+    pub fn server_like(heap: ByteSize, mmaps: &[ByteSize]) -> Self {
+        let mut l = Self::new();
+        l.push(VmaSpec::new(VmaKind::Text, ByteSize::mib(2)));
+        for _ in 0..6 {
+            l.push(VmaSpec::new(VmaKind::Library, ByteSize::mib(2)));
+        }
+        l.push(VmaSpec::new(VmaKind::Stack, ByteSize::mib(8)));
+        l.push(VmaSpec::new(VmaKind::Heap, heap));
+        for &m in mmaps {
+            l.push(VmaSpec::new(VmaKind::Mmap, m));
+        }
+        l
+    }
+
+    /// The requested specs.
+    #[must_use]
+    pub fn specs(&self) -> &[VmaSpec] {
+        &self.specs
+    }
+
+    /// Materializes the layout into `tree`, returning the created ids in
+    /// spec order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OsError`] from VMA insertion (e.g. if the requested
+    /// regions are so large they collide).
+    pub fn build(&self, tree: &mut VmaTree) -> Result<Vec<VmaId>, OsError> {
+        let mut ids = Vec::with_capacity(self.specs.len());
+        let mut text_cursor = Self::TEXT_BASE;
+        let mut lib_cursor = Self::LIB_BASE;
+        let mut heap_cursor = Self::HEAP_BASE;
+        let mut mmap_cursor = Self::MMAP_TOP;
+        let mut stack_cursor = Self::STACK_TOP;
+        for spec in &self.specs {
+            let size = round_up(spec.size.bytes().max(PAGE_SIZE), PAGE_SIZE);
+            let (start, end) = match spec.kind {
+                VmaKind::Text => {
+                    let s = text_cursor;
+                    text_cursor += size + PAGE_SIZE; // guard page
+                    (s, s + size)
+                }
+                VmaKind::Library => {
+                    let s = lib_cursor;
+                    lib_cursor += size + PAGE_SIZE;
+                    (s, s + size)
+                }
+                VmaKind::Heap => {
+                    let s = heap_cursor;
+                    heap_cursor += size + PAGE_SIZE;
+                    (s, s + size)
+                }
+                VmaKind::Mmap => {
+                    mmap_cursor -= size + PAGE_SIZE;
+                    (mmap_cursor, mmap_cursor + size)
+                }
+                VmaKind::Stack => {
+                    stack_cursor -= size + PAGE_SIZE;
+                    (stack_cursor, stack_cursor + size)
+                }
+            };
+            let id = tree.insert(
+                VirtAddr::new(start).map_err(|_| OsError::Misaligned)?,
+                VirtAddr::new(end).map_err(|_| OsError::Misaligned)?,
+                spec.kind,
+            )?;
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+}
+
+fn round_up(x: u64, align: u64) -> u64 {
+    (x + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_layout_builds() {
+        let layout = ProcessLayout::server_like(ByteSize::gib(4), &[ByteSize::gib(1)]);
+        let mut tree = VmaTree::new();
+        let ids = layout.build(&mut tree).unwrap();
+        assert_eq!(ids.len(), layout.specs().len());
+        assert_eq!(tree.len(), ids.len());
+        // Heap dominates the footprint: one VMA covers 75%.
+        assert_eq!(tree.vmas_covering(0.75), 1);
+        // Table 2 shape: a *few* VMAs cover 99%.
+        assert!(tree.vmas_covering(0.99) <= 2);
+    }
+
+    #[test]
+    fn kinds_land_in_their_areas() {
+        let layout = ProcessLayout::server_like(ByteSize::mib(64), &[ByteSize::mib(32)]);
+        let mut tree = VmaTree::new();
+        layout.build(&mut tree).unwrap();
+        for vma in tree.iter() {
+            let s = vma.start().raw();
+            match vma.kind() {
+                VmaKind::Text => assert!(s >= ProcessLayout::TEXT_BASE && s < ProcessLayout::HEAP_BASE),
+                VmaKind::Heap => assert!(s >= ProcessLayout::HEAP_BASE && s < ProcessLayout::MMAP_TOP),
+                VmaKind::Mmap => assert!(s < ProcessLayout::MMAP_TOP && s >= ProcessLayout::HEAP_BASE),
+                VmaKind::Library => assert!(s >= ProcessLayout::LIB_BASE),
+                VmaKind::Stack => assert!(s < ProcessLayout::STACK_TOP && s >= ProcessLayout::LIB_BASE),
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_mmaps_descend_without_overlap() {
+        let layout = ProcessLayout::server_like(
+            ByteSize::mib(1),
+            &[ByteSize::gib(2), ByteSize::gib(2), ByteSize::gib(2)],
+        );
+        let mut tree = VmaTree::new();
+        layout.build(&mut tree).unwrap(); // insert() would error on overlap
+        let mmaps: Vec<_> = tree.iter().filter(|v| v.kind() == VmaKind::Mmap).collect();
+        assert_eq!(mmaps.len(), 3);
+    }
+
+    #[test]
+    fn sizes_round_up_to_pages() {
+        let mut layout = ProcessLayout::new();
+        layout.push(VmaSpec::new(VmaKind::Heap, ByteSize(100)));
+        let mut tree = VmaTree::new();
+        layout.build(&mut tree).unwrap();
+        assert_eq!(tree.iter().next().unwrap().len(), PAGE_SIZE);
+    }
+}

@@ -1,0 +1,60 @@
+//! The operating-system model for the ASAP reproduction.
+//!
+//! ASAP's software half is an OS policy (paper §3.3): reserve, per VMA and
+//! per prefetched page-table level, a contiguous physical region, and keep
+//! the PT pages inside it sorted by the virtual addresses they map. This
+//! crate implements that policy next to a faithful baseline:
+//!
+//! * [`Vma`]/[`VmaTree`] — non-overlapping virtual ranges with the coverage
+//!   statistics of Table 2 (total VMAs, VMAs covering 99% of footprint);
+//! * [`ProcessLayout`] — a Linux-like address-space layout (text, libraries,
+//!   heap, mmap area, stack);
+//! * [`DataPageLayout`] — deterministic, collision-free placement of *data*
+//!   pages via Feistel permutations, with a tunable clusterable fraction
+//!   (the physical-contiguity knob behind the clustered-TLB comparison,
+//!   §5.4.1/Table 7);
+//! * [`PtPlacement`] — the node-placement policies: `Scattered` reproduces
+//!   buddy-allocator dispersion (Table 2's region counts), `AsapReserved`
+//!   implements the paper's contiguous sorted regions with §3.7.2 hole
+//!   handling on failed extensions;
+//! * [`Process`] — demand paging tying it all together, and the
+//!   [`VmaDescriptor`]s the OS exposes to the hardware range registers
+//!   (Fig. 6).
+//!
+//! # Examples
+//!
+//! ```
+//! use asap_os::{AsapOsConfig, Process, ProcessConfig, VmaKind};
+//! use asap_types::{Asid, ByteSize};
+//!
+//! let mut process = Process::new(ProcessConfig::new(Asid(1))
+//!     .with_heap(ByteSize::mib(64))
+//!     .with_asap(AsapOsConfig::pl1_and_pl2()));
+//! let heap = process.vma_of_kind(VmaKind::Heap).unwrap();
+//! let va = heap.start();
+//! process.touch(va).unwrap();                  // demand fault
+//! assert!(process.translate(va).is_some());    // now mapped
+//! let descs = process.vma_descriptors();
+//! assert!(!descs.is_empty());                  // range registers loaded
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod data_layout;
+mod descriptor;
+mod error;
+mod layout;
+mod phys_map;
+mod placement;
+mod process;
+mod vma;
+
+pub use data_layout::{feistel_permute, DataPageLayout};
+pub use descriptor::VmaDescriptor;
+pub use error::OsError;
+pub use layout::{ProcessLayout, VmaSpec};
+pub use phys_map::PhysMap;
+pub use placement::{AsapOsConfig, PtPlacement, ReservationSet};
+pub use process::{Process, ProcessConfig, TouchOutcome};
+pub use vma::{Vma, VmaId, VmaKind, VmaTree};

@@ -1,0 +1,222 @@
+//! The simulator's physical address map.
+//!
+//! Real machines interleave page-table pages, data pages and kernel memory
+//! throughout physical memory. Set-associative caches, however, only see the
+//! low line-address bits, so *absolute* placement is irrelevant to the
+//! simulation — only the contiguity structure **within** each class of
+//! allocation matters (scattered vs. contiguous PT pages is the entire
+//! ASAP effect). This module therefore carves the physical space into
+//! disjoint per-class windows, which makes collisions impossible by
+//! construction and keeps every placement decision deterministic. DESIGN.md
+//! documents this as a simulator substitution.
+//!
+//! Two flavours exist:
+//!
+//! * [`PhysMap::new`] — the **sparse host** map: per-ASID windows spread
+//!   over the full 2^40-frame space, used by natively-running processes;
+//! * [`PhysMap::compact_guest`] — the **compact guest** map: one tenant,
+//!   windows packed low so that every guest-physical address stays well
+//!   below the 2^48-byte span a 4-level nested page table can translate.
+
+use asap_types::{Asid, PhysFrameNum};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    SparseHost,
+    CompactGuest,
+}
+
+/// Disjoint physical windows for one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhysMap {
+    asid: Asid,
+    mode: Mode,
+}
+
+impl PhysMap {
+    /// Maximum ASIDs supported by the sparse-host window arithmetic.
+    pub const MAX_ASIDS: u16 = 64;
+
+    /// Frames available for scattered page-table pages, per process.
+    pub const PT_WINDOW_FRAMES: u64 = 1 << 22; // 16 GiB of PT space
+
+    /// Frames reserved for ASAP contiguous PT regions, per process.
+    pub const RESERVATION_WINDOW_FRAMES: u64 = 1 << 26;
+
+    /// Width of each data window in frames: a 28-bit cluster-group
+    /// permutation shifted by the 8-page cluster (2^31 frames = 8 TiB of
+    /// address space per process — ample for a 400 GB dataset).
+    pub const DATA_WINDOW_FRAMES: u64 = 1 << 31;
+
+    /// Creates the sparse host map for `asid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asid` exceeds [`PhysMap::MAX_ASIDS`].
+    #[must_use]
+    pub fn new(asid: Asid) -> Self {
+        assert!(
+            asid.0 < Self::MAX_ASIDS,
+            "asid {} exceeds the physical map's window budget",
+            asid.0
+        );
+        Self {
+            asid,
+            mode: Mode::SparseHost,
+        }
+    }
+
+    /// Creates the compact guest map (single tenant per guest-physical
+    /// space): every window fits below 2^33 frames ≈ 2^45 bytes, leaving a
+    /// 4-level nested page table plenty of headroom.
+    #[must_use]
+    pub fn compact_guest(asid: Asid) -> Self {
+        Self {
+            asid,
+            mode: Mode::CompactGuest,
+        }
+    }
+
+    /// Whether this is the compact guest flavour.
+    #[must_use]
+    pub fn is_compact(&self) -> bool {
+        self.mode == Mode::CompactGuest
+    }
+
+    /// Largest frame number any window of this map can produce (exclusive).
+    #[must_use]
+    pub fn span_end(&self) -> PhysFrameNum {
+        match self.mode {
+            Mode::SparseHost => PhysFrameNum::new(1 << 40),
+            Mode::CompactGuest => PhysFrameNum::new((1 << 32) + (1 << 30)),
+        }
+    }
+
+    /// Base of the window for scattered (baseline) page-table pages.
+    #[must_use]
+    pub fn pt_scatter_base(&self) -> PhysFrameNum {
+        match self.mode {
+            Mode::SparseHost => {
+                PhysFrameNum::new((1 << 30) + u64::from(self.asid.0) * (1 << 23))
+            }
+            Mode::CompactGuest => PhysFrameNum::new(1 << 22),
+        }
+    }
+
+    /// Base of the window for ASAP contiguous PT reservations.
+    #[must_use]
+    pub fn reservation_base(&self) -> PhysFrameNum {
+        match self.mode {
+            Mode::SparseHost => {
+                PhysFrameNum::new((1 << 34) + u64::from(self.asid.0) * (1 << 26))
+            }
+            Mode::CompactGuest => PhysFrameNum::new(1 << 23),
+        }
+    }
+
+    /// Base of the window for clusterable data pages.
+    #[must_use]
+    pub fn data_clustered_base(&self) -> PhysFrameNum {
+        match self.mode {
+            Mode::SparseHost => PhysFrameNum::new(
+                (1 << 38) + u64::from(self.asid.0) * Self::DATA_WINDOW_FRAMES,
+            ),
+            Mode::CompactGuest => PhysFrameNum::new(1 << 27),
+        }
+    }
+
+    /// Base of the window for non-clusterable (scattered) data pages.
+    #[must_use]
+    pub fn data_scattered_base(&self) -> PhysFrameNum {
+        match self.mode {
+            Mode::SparseHost => PhysFrameNum::new(
+                (1 << 39) + u64::from(self.asid.0) * Self::DATA_WINDOW_FRAMES,
+            ),
+            Mode::CompactGuest => PhysFrameNum::new(1 << 32),
+        }
+    }
+
+    /// Base of the window used by the SMT co-runner's random traffic
+    /// (always host-physical).
+    #[must_use]
+    pub fn corunner_base() -> PhysFrameNum {
+        PhysFrameNum::new(3 << 38)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse_windows() -> Vec<(u64, u64, String)> {
+        let mut windows: Vec<(u64, u64, String)> = Vec::new();
+        for a in [0u16, 1, 7, 63] {
+            let m = PhysMap::new(Asid(a));
+            windows.push((m.pt_scatter_base().raw(), PhysMap::PT_WINDOW_FRAMES,
+                          format!("pt/{a}")));
+            windows.push((m.reservation_base().raw(),
+                          PhysMap::RESERVATION_WINDOW_FRAMES, format!("res/{a}")));
+            windows.push((m.data_clustered_base().raw(), PhysMap::DATA_WINDOW_FRAMES,
+                          format!("datc/{a}")));
+            windows.push((m.data_scattered_base().raw(), PhysMap::DATA_WINDOW_FRAMES,
+                          format!("dats/{a}")));
+        }
+        windows.push((PhysMap::corunner_base().raw(), PhysMap::DATA_WINDOW_FRAMES,
+                      "corunner".into()));
+        windows
+    }
+
+    fn compact_windows() -> Vec<(u64, u64, String)> {
+        let m = PhysMap::compact_guest(Asid(0));
+        vec![
+            (m.pt_scatter_base().raw(), PhysMap::PT_WINDOW_FRAMES, "pt".into()),
+            (m.reservation_base().raw(), PhysMap::RESERVATION_WINDOW_FRAMES, "res".into()),
+            (m.data_clustered_base().raw(), PhysMap::DATA_WINDOW_FRAMES, "datc".into()),
+            (m.data_scattered_base().raw(), 1 << 30, "dats".into()),
+        ]
+    }
+
+    fn assert_disjoint(windows: &[(u64, u64, String)]) {
+        for (i, (b1, s1, n1)) in windows.iter().enumerate() {
+            for (b2, s2, n2) in windows.iter().skip(i + 1) {
+                let disjoint = b1 + s1 <= *b2 || b2 + s2 <= *b1;
+                assert!(disjoint, "windows {n1} and {n2} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_windows_are_disjoint() {
+        assert_disjoint(&sparse_windows());
+    }
+
+    #[test]
+    fn compact_windows_are_disjoint() {
+        assert_disjoint(&compact_windows());
+    }
+
+    #[test]
+    fn sparse_frames_fit_pte_field() {
+        for (base, span, name) in sparse_windows() {
+            assert!(base + span <= 1 << 40, "window {name} exceeds PFN field");
+        }
+    }
+
+    #[test]
+    fn compact_frames_fit_four_level_ept() {
+        // Guest-physical addresses (frames << 12) must be canonical for a
+        // 4-level nested table: frame < 2^36.
+        let m = PhysMap::compact_guest(Asid(0));
+        assert!(m.span_end().raw() < 1 << 36);
+        for (base, span, name) in compact_windows() {
+            assert!(base + span <= m.span_end().raw(),
+                    "window {name} exceeds the compact span");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window budget")]
+    fn oversized_asid_rejected() {
+        let _ = PhysMap::new(Asid(PhysMap::MAX_ASIDS));
+    }
+}

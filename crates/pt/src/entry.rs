@@ -1,0 +1,319 @@
+//! Page-table entries with architectural bit layout.
+
+use asap_types::{PhysFrameNum, PAGE_SHIFT};
+
+/// Flag bits of an x86-64 page-table entry.
+///
+/// The layout follows the architecture: bit 0 present, bit 1 writable,
+/// bit 2 user, bit 5 accessed, bit 6 dirty, bit 7 page-size (for non-leaf
+/// levels), bit 63 no-execute.
+///
+/// # Examples
+///
+/// ```
+/// use asap_pt::PteFlags;
+/// let f = PteFlags::user_data();
+/// assert!(f.present() && f.writable() && f.user() && f.no_execute());
+/// assert!(!f.page_size());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PteFlags(u64);
+
+impl PteFlags {
+    /// Present bit (bit 0).
+    pub const PRESENT: u64 = 1 << 0;
+    /// Read/write bit (bit 1).
+    pub const WRITABLE: u64 = 1 << 1;
+    /// User/supervisor bit (bit 2).
+    pub const USER: u64 = 1 << 2;
+    /// Accessed bit (bit 5).
+    pub const ACCESSED: u64 = 1 << 5;
+    /// Dirty bit (bit 6).
+    pub const DIRTY: u64 = 1 << 6;
+    /// Page-size bit (bit 7): set on a PL2/PL3 entry that maps a large page.
+    pub const PAGE_SIZE: u64 = 1 << 7;
+    /// No-execute bit (bit 63).
+    pub const NO_EXECUTE: u64 = 1 << 63;
+
+    const ALL: u64 = Self::PRESENT
+        | Self::WRITABLE
+        | Self::USER
+        | Self::ACCESSED
+        | Self::DIRTY
+        | Self::PAGE_SIZE
+        | Self::NO_EXECUTE;
+
+    /// An empty flag set (entry not present).
+    #[must_use]
+    pub const fn empty() -> Self {
+        Self(0)
+    }
+
+    /// Flags from raw bits; non-flag bits are masked off.
+    #[must_use]
+    pub const fn from_bits(bits: u64) -> Self {
+        Self(bits & Self::ALL)
+    }
+
+    /// Typical flags for a user data page: present, writable, user, NX.
+    #[must_use]
+    pub const fn user_data() -> Self {
+        Self(Self::PRESENT | Self::WRITABLE | Self::USER | Self::NO_EXECUTE)
+    }
+
+    /// Typical flags for an intermediate page-table node: present, writable,
+    /// user (permissions are intersected down the walk on x86).
+    #[must_use]
+    pub const fn intermediate() -> Self {
+        Self(Self::PRESENT | Self::WRITABLE | Self::USER)
+    }
+
+    /// Raw bits.
+    #[must_use]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Returns these flags with `bit` set.
+    #[must_use]
+    pub const fn with(self, bit: u64) -> Self {
+        Self((self.0 | bit) & Self::ALL)
+    }
+
+    /// Returns these flags with `bit` cleared.
+    #[must_use]
+    pub const fn without(self, bit: u64) -> Self {
+        Self(self.0 & !bit)
+    }
+
+    /// Present bit value.
+    #[must_use]
+    pub const fn present(self) -> bool {
+        self.0 & Self::PRESENT != 0
+    }
+
+    /// Writable bit value.
+    #[must_use]
+    pub const fn writable(self) -> bool {
+        self.0 & Self::WRITABLE != 0
+    }
+
+    /// User-accessible bit value.
+    #[must_use]
+    pub const fn user(self) -> bool {
+        self.0 & Self::USER != 0
+    }
+
+    /// Accessed bit value.
+    #[must_use]
+    pub const fn accessed(self) -> bool {
+        self.0 & Self::ACCESSED != 0
+    }
+
+    /// Dirty bit value.
+    #[must_use]
+    pub const fn dirty(self) -> bool {
+        self.0 & Self::DIRTY != 0
+    }
+
+    /// Page-size bit value (large-page leaf at PL2/PL3).
+    #[must_use]
+    pub const fn page_size(self) -> bool {
+        self.0 & Self::PAGE_SIZE != 0
+    }
+
+    /// No-execute bit value.
+    #[must_use]
+    pub const fn no_execute(self) -> bool {
+        self.0 & Self::NO_EXECUTE != 0
+    }
+}
+
+impl core::fmt::Display for PteFlags {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let mut s = String::with_capacity(7);
+        s.push(if self.present() { 'P' } else { '-' });
+        s.push(if self.writable() { 'W' } else { '-' });
+        s.push(if self.user() { 'U' } else { '-' });
+        s.push(if self.accessed() { 'A' } else { '-' });
+        s.push(if self.dirty() { 'D' } else { '-' });
+        s.push(if self.page_size() { 'S' } else { '-' });
+        s.push(if self.no_execute() { 'X' } else { '-' });
+        f.write_str(&s)
+    }
+}
+
+/// A 64-bit page-table entry: flags plus a 40-bit frame number in bits 12–51.
+///
+/// A zero raw value is a not-present entry, exactly as on hardware — this is
+/// what makes lazily-populated (sparse) page-table frames behave correctly.
+///
+/// # Examples
+///
+/// ```
+/// use asap_pt::{Pte, PteFlags};
+/// use asap_types::PhysFrameNum;
+///
+/// let pte = Pte::new(PhysFrameNum::new(0x1234), PteFlags::user_data());
+/// assert!(pte.is_present());
+/// assert_eq!(pte.frame(), PhysFrameNum::new(0x1234));
+/// assert_eq!(Pte::not_present().raw(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pte(u64);
+
+impl Pte {
+    /// Mask of the physical-frame-number field (bits 12..52).
+    pub const ADDR_MASK: u64 = 0x000f_ffff_ffff_f000;
+
+    /// Builds an entry pointing at `frame` with `flags`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` does not fit in the 40-bit PFN field.
+    #[must_use]
+    pub fn new(frame: PhysFrameNum, flags: PteFlags) -> Self {
+        let addr = frame.raw() << PAGE_SHIFT;
+        assert_eq!(addr & !Self::ADDR_MASK, 0, "frame number out of range");
+        Self(addr | flags.bits())
+    }
+
+    /// The canonical not-present entry (raw zero).
+    #[must_use]
+    pub const fn not_present() -> Self {
+        Self(0)
+    }
+
+    /// Reinterprets a raw 64-bit value as an entry.
+    #[must_use]
+    pub const fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw 64-bit value.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The frame number in the address field.
+    #[must_use]
+    pub const fn frame(self) -> PhysFrameNum {
+        PhysFrameNum::new((self.0 & Self::ADDR_MASK) >> PAGE_SHIFT)
+    }
+
+    /// The entry's flag bits.
+    #[must_use]
+    pub const fn flags(self) -> PteFlags {
+        PteFlags::from_bits(self.0)
+    }
+
+    /// Whether the present bit is set.
+    #[must_use]
+    pub const fn is_present(self) -> bool {
+        self.flags().present()
+    }
+
+    /// Whether this is a large-page leaf (present with the PS bit).
+    #[must_use]
+    pub const fn is_large_leaf(self) -> bool {
+        self.is_present() && self.flags().page_size()
+    }
+
+    /// Returns the entry with the accessed bit set (walkers set A bits).
+    #[must_use]
+    pub const fn with_accessed(self) -> Self {
+        Self(self.0 | PteFlags::ACCESSED)
+    }
+
+    /// Returns the entry with the dirty bit set.
+    #[must_use]
+    pub const fn with_dirty(self) -> Self {
+        Self(self.0 | PteFlags::DIRTY)
+    }
+}
+
+impl core::fmt::Display for Pte {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if !self.is_present() {
+            return write!(f, "pte:<not-present>");
+        }
+        write!(f, "pte:{}@{}", self.frame(), self.flags())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_not_present() {
+        assert!(!Pte::not_present().is_present());
+        assert!(!Pte::from_raw(0).is_present());
+    }
+
+    #[test]
+    fn frame_and_flags_roundtrip() {
+        let frame = PhysFrameNum::new(0xdead_b);
+        let flags = PteFlags::user_data().with(PteFlags::ACCESSED);
+        let pte = Pte::new(frame, flags);
+        assert_eq!(pte.frame(), frame);
+        assert_eq!(pte.flags(), flags);
+    }
+
+    #[test]
+    fn flag_bits_do_not_leak_into_address() {
+        let pte = Pte::new(PhysFrameNum::new(1), PteFlags::from_bits(u64::MAX));
+        assert_eq!(pte.frame(), PhysFrameNum::new(1));
+    }
+
+    #[test]
+    fn large_leaf_detection() {
+        let base = Pte::new(PhysFrameNum::new(0x200), PteFlags::intermediate());
+        assert!(!base.is_large_leaf());
+        let large = Pte::new(
+            PhysFrameNum::new(0x200),
+            PteFlags::user_data().with(PteFlags::PAGE_SIZE),
+        );
+        assert!(large.is_large_leaf());
+        // PS bit without P bit is not a leaf.
+        let stale = Pte::new(
+            PhysFrameNum::new(0x200),
+            PteFlags::from_bits(PteFlags::PAGE_SIZE),
+        );
+        assert!(!stale.is_large_leaf());
+    }
+
+    #[test]
+    fn accessed_dirty_updates() {
+        let pte = Pte::new(PhysFrameNum::new(3), PteFlags::user_data());
+        assert!(!pte.flags().accessed());
+        let pte = pte.with_accessed().with_dirty();
+        assert!(pte.flags().accessed());
+        assert!(pte.flags().dirty());
+        assert_eq!(pte.frame(), PhysFrameNum::new(3), "address untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_frame_rejected() {
+        let _ = Pte::new(PhysFrameNum::new(1 << 40), PteFlags::user_data());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Pte::not_present().to_string(), "pte:<not-present>");
+        let pte = Pte::new(PhysFrameNum::new(0x42), PteFlags::user_data());
+        assert_eq!(pte.to_string(), "pte:pfn:0x42@PWU---X");
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(PteFlags::empty().to_string(), "-------");
+        assert_eq!(PteFlags::user_data().to_string(), "PWU---X");
+        assert_eq!(
+            PteFlags::intermediate().with(PteFlags::ACCESSED).to_string(),
+            "PWUA---"
+        );
+    }
+}

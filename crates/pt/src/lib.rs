@@ -1,0 +1,60 @@
+//! A bit-accurate x86-64 radix-tree page table for the ASAP reproduction.
+//!
+//! The paper (§2.1, Fig. 1) builds on the standard Linux/x86 four-level page
+//! table; its §3.5 extension anticipates five-level tables. This crate
+//! implements that substrate faithfully:
+//!
+//! * [`Pte`] — 64-bit page-table entries with the architectural flag bits
+//!   (present, writable, user, accessed, dirty, page-size, no-execute);
+//! * [`PtFrame`] / [`SimPhysMem`] — sparse simulated physical memory holding
+//!   page-table pages only (data pages need no backing store: the simulator
+//!   cares about *addresses*, not contents);
+//! * [`PageTable`] — map/unmap/translate with 4 KiB, 2 MiB and 1 GiB pages,
+//!   under both [`PagingMode`]s, with page-table-node placement delegated to
+//!   a [`PtNodeAllocator`] (the hook through which the OS crate implements
+//!   the paper's contiguous, sorted ASAP regions — or the scattered buddy
+//!   baseline);
+//! * [`Walker`] — a software model of the hardware page-walker state machine
+//!   that records the physical address of every node it visits, which is
+//!   exactly the input the walk-timing model needs;
+//! * [`PtCensus`] — per-level page counts, footprints and physical
+//!   contiguous-region counts (the paper's Table 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use asap_pt::{BumpNodeAllocator, PageTable, PteFlags, SimPhysMem};
+//! use asap_types::{PageSize, PagingMode, PhysFrameNum, VirtAddr};
+//!
+//! let mut mem = SimPhysMem::new();
+//! let mut alloc = BumpNodeAllocator::new(PhysFrameNum::new(0x100));
+//! let mut pt = PageTable::new(PagingMode::FourLevel, &mut mem, &mut alloc);
+//!
+//! let va = VirtAddr::new(0x7000_0000_0000).unwrap();
+//! pt.map(&mut mem, &mut alloc, va, PhysFrameNum::new(0x42), PageSize::Size4K,
+//!        PteFlags::user_data()).unwrap();
+//!
+//! let t = pt.translate(&mem, va).unwrap();
+//! assert_eq!(t.frame, PhysFrameNum::new(0x42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod census;
+mod entry;
+mod error;
+mod frame;
+mod phys_mem;
+mod table;
+mod walker;
+
+pub use census::{ContigStats, PtCensus};
+pub use entry::{Pte, PteFlags};
+pub use error::PtError;
+pub use frame::PtFrame;
+pub use phys_mem::SimPhysMem;
+pub use table::{BumpNodeAllocator, PageTable, PtNodeAllocator, Translation};
+pub use walker::{WalkOutcome, WalkStep, WalkTrace, Walker};
+
+pub use asap_types::PagingMode;

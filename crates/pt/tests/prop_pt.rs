@@ -1,0 +1,123 @@
+//! Property tests: page-table map/translate/walk invariants.
+
+use asap_pt::{BumpNodeAllocator, PageTable, PtCensus, PteFlags, SimPhysMem, Walker};
+use asap_types::{PageSize, PagingMode, PhysFrameNum, PtLevel, VirtAddr};
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+fn arb_vpn48() -> impl Strategy<Value = u64> {
+    0u64..(1 << 36) // page numbers within 48-bit VAs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every mapped page translates back to exactly the frame it was mapped
+    /// to, and unmapped neighbours stay unmapped.
+    #[test]
+    fn map_translate_roundtrip(vpns in btree_set(arb_vpn48(), 1..40)) {
+        let mut mem = SimPhysMem::new();
+        let mut alloc = BumpNodeAllocator::new(PhysFrameNum::new(0x100_0000));
+        let mut pt = PageTable::new(PagingMode::FourLevel, &mut mem, &mut alloc);
+        for (i, &vpn) in vpns.iter().enumerate() {
+            let va = VirtAddr::new(vpn << 12).unwrap();
+            pt.map(&mut mem, &mut alloc, va, PhysFrameNum::new(i as u64 + 1),
+                   PageSize::Size4K, PteFlags::user_data()).unwrap();
+        }
+        for (i, &vpn) in vpns.iter().enumerate() {
+            let va = VirtAddr::new(vpn << 12).unwrap();
+            let t = pt.translate(&mem, va).unwrap();
+            prop_assert_eq!(t.frame, PhysFrameNum::new(i as u64 + 1));
+            // A neighbour page not in the set must not translate.
+            let neighbour = vpn ^ 1;
+            if !vpns.contains(&neighbour) {
+                let nva = VirtAddr::new(neighbour << 12).unwrap();
+                prop_assert!(pt.translate(&mem, nva).is_none());
+            }
+        }
+    }
+
+    /// The walker and `translate` always agree, and successful walks visit
+    /// levels in strictly descending order ending at PL1.
+    #[test]
+    fn walker_agrees_with_translate(vpns in btree_set(arb_vpn48(), 1..30),
+                                    probe in arb_vpn48()) {
+        let mut mem = SimPhysMem::new();
+        let mut alloc = BumpNodeAllocator::new(PhysFrameNum::new(0x100_0000));
+        let mut pt = PageTable::new(PagingMode::FourLevel, &mut mem, &mut alloc);
+        for &vpn in &vpns {
+            let va = VirtAddr::new(vpn << 12).unwrap();
+            pt.map(&mut mem, &mut alloc, va, PhysFrameNum::new(vpn & 0xffff_ffff),
+                   PageSize::Size4K, PteFlags::user_data()).unwrap();
+        }
+        for vpn in vpns.iter().copied().chain([probe]) {
+            let va = VirtAddr::new(vpn << 12).unwrap();
+            let trace = Walker::walk(&mem, &pt, va);
+            prop_assert_eq!(trace.translation(), pt.translate(&mem, va));
+            let depths: Vec<u32> = trace.steps.iter().map(|s| s.level.depth()).collect();
+            for pair in depths.windows(2) {
+                prop_assert_eq!(pair[1], pair[0] - 1, "levels strictly descend");
+            }
+            prop_assert_eq!(depths[0], 4, "walk starts at the root");
+            if !trace.is_fault() {
+                prop_assert_eq!(*depths.last().unwrap(), 1);
+            }
+        }
+    }
+
+    /// The census' per-level entry counts equal the number of distinct
+    /// VA-prefixes at that level, and PL1 entries equal mapped pages.
+    #[test]
+    fn census_counts_match_prefixes(vpns in btree_set(arb_vpn48(), 1..50)) {
+        let mut mem = SimPhysMem::new();
+        let mut alloc = BumpNodeAllocator::new(PhysFrameNum::new(0x100_0000));
+        let mut pt = PageTable::new(PagingMode::FourLevel, &mut mem, &mut alloc);
+        for &vpn in &vpns {
+            let va = VirtAddr::new(vpn << 12).unwrap();
+            pt.map(&mut mem, &mut alloc, va, PhysFrameNum::new(1),
+                   PageSize::Size4K, PteFlags::user_data()).unwrap();
+        }
+        let census = PtCensus::collect(&mem, &pt);
+        prop_assert_eq!(census.entries_at(PtLevel::Pl1), vpns.len() as u64);
+        for level in [PtLevel::Pl1, PtLevel::Pl2, PtLevel::Pl3] {
+            // Distinct table pages at `level` = distinct VA prefixes above it.
+            let distinct_tables = vpns
+                .iter()
+                .map(|vpn| (vpn << 12) >> level.table_coverage().trailing_zeros())
+                .collect::<std::collections::BTreeSet<_>>()
+                .len() as u64;
+            prop_assert_eq!(census.pages_at(level), distinct_tables,
+                            "table pages at {}", level);
+        }
+        // Page counts shrink (weakly) toward the root.
+        prop_assert!(census.pages_at(PtLevel::Pl2) <= census.pages_at(PtLevel::Pl1));
+        prop_assert!(census.pages_at(PtLevel::Pl3) <= census.pages_at(PtLevel::Pl2));
+        prop_assert_eq!(census.pages_at(PtLevel::Pl4), 1);
+    }
+
+    /// Unmapping restores non-translation and is idempotent per page.
+    #[test]
+    fn unmap_removes_translation(vpns in btree_set(arb_vpn48(), 2..20)) {
+        let mut mem = SimPhysMem::new();
+        let mut alloc = BumpNodeAllocator::new(PhysFrameNum::new(0x100_0000));
+        let mut pt = PageTable::new(PagingMode::FourLevel, &mut mem, &mut alloc);
+        let all: Vec<u64> = vpns.iter().copied().collect();
+        for &vpn in &all {
+            let va = VirtAddr::new(vpn << 12).unwrap();
+            pt.map(&mut mem, &mut alloc, va, PhysFrameNum::new(9),
+                   PageSize::Size4K, PteFlags::user_data()).unwrap();
+        }
+        // Unmap the first half; second half must survive.
+        let (gone, kept) = all.split_at(all.len() / 2);
+        for &vpn in gone {
+            let va = VirtAddr::new(vpn << 12).unwrap();
+            pt.unmap(&mut mem, va).unwrap();
+            prop_assert!(pt.translate(&mem, va).is_none());
+            prop_assert!(pt.unmap(&mut mem, va).is_err());
+        }
+        for &vpn in kept {
+            let va = VirtAddr::new(vpn << 12).unwrap();
+            prop_assert!(pt.translate(&mem, va).is_some());
+        }
+    }
+}

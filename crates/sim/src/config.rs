@@ -1,0 +1,306 @@
+//! Run specifications.
+
+use asap_core::{AsapHwConfig, NestedAsapConfig};
+use asap_tlb::PwcConfig;
+use asap_types::{PageSize, PagingMode};
+use asap_workloads::WorkloadSpec;
+
+/// Window sizes and seeding for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Accesses before statistics reset (cache/TLB warmup).
+    pub warmup_accesses: u64,
+    /// Accesses measured after warmup.
+    pub measure_accesses: u64,
+    /// Deterministic seed for the whole run.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            warmup_accesses: 40_000,
+            measure_accesses: 160_000,
+            seed: 42,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A tiny configuration for unit tests and doc examples.
+    #[must_use]
+    pub fn smoke_test() -> Self {
+        Self {
+            warmup_accesses: 1_000,
+            measure_accesses: 4_000,
+            seed: 42,
+        }
+    }
+
+    /// Overrides the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One native-execution run (a bar of Figs. 3/8/11 or a row of the tables).
+#[derive(Debug, Clone)]
+pub struct NativeRunSpec {
+    /// The workload preset.
+    pub workload: WorkloadSpec,
+    /// Whether the SMT co-runner is active (§4 colocation).
+    pub colocated: bool,
+    /// Hardware prefetch levels; the OS reserves matching sorted regions.
+    pub asap: AsapHwConfig,
+    /// Enable the clustered TLB (§5.4.1).
+    pub clustered_tlb: bool,
+    /// Run with translation disabled entirely — the Table 6 methodology
+    /// (execution time "in the absence of TLB misses").
+    pub perfect_tlb: bool,
+    /// Page-walk-cache geometry (ablation knob, §5.1.1).
+    pub pwc: PwcConfig,
+    /// Paging depth (5-level exercises the §3.5 extension).
+    pub paging_mode: PagingMode,
+    /// Overrides the workload's PT scatter run length (ablation), if set.
+    pub pt_scatter_run_override: Option<f64>,
+    /// Window configuration.
+    pub sim: SimConfig,
+}
+
+impl NativeRunSpec {
+    /// The baseline configuration for `workload`: no ASAP, no clustering,
+    /// default PWCs, isolation.
+    #[must_use]
+    pub fn baseline(workload: WorkloadSpec) -> Self {
+        Self {
+            workload,
+            colocated: false,
+            asap: AsapHwConfig::off(),
+            clustered_tlb: false,
+            perfect_tlb: false,
+            pwc: PwcConfig::split_default(),
+            paging_mode: PagingMode::FourLevel,
+            pt_scatter_run_override: None,
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// Enables ASAP at the given levels (hardware + OS sides together).
+    #[must_use]
+    pub fn with_asap(mut self, asap: AsapHwConfig) -> Self {
+        self.asap = asap;
+        self
+    }
+
+    /// Adds the SMT co-runner.
+    #[must_use]
+    pub fn colocated(mut self) -> Self {
+        self.colocated = true;
+        self
+    }
+
+    /// Enables the clustered TLB.
+    #[must_use]
+    pub fn with_clustered_tlb(mut self) -> Self {
+        self.clustered_tlb = true;
+        self
+    }
+
+    /// Switches to perfect-TLB mode (Table 6).
+    #[must_use]
+    pub fn perfect_tlb(mut self) -> Self {
+        self.perfect_tlb = true;
+        self
+    }
+
+    /// Swaps the PWC geometry.
+    #[must_use]
+    pub fn with_pwc(mut self, pwc: PwcConfig) -> Self {
+        self.pwc = pwc;
+        self
+    }
+
+    /// Uses five-level paging (§3.5 extension).
+    #[must_use]
+    pub fn five_level(mut self) -> Self {
+        self.paging_mode = PagingMode::FiveLevel;
+        self
+    }
+
+    /// Overrides the PT scatter run length.
+    #[must_use]
+    pub fn with_pt_scatter_run(mut self, run: f64) -> Self {
+        self.pt_scatter_run_override = Some(run);
+        self
+    }
+
+    /// Sets the window configuration.
+    #[must_use]
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// A short label for reports ("Baseline", "P1", "P1+P2", ...).
+    #[must_use]
+    pub fn label(&self) -> String {
+        use asap_types::PtLevel;
+        let mut parts = Vec::new();
+        if self.asap.is_enabled() {
+            let mut levels: Vec<&str> = Vec::new();
+            if self.asap.levels.contains(&PtLevel::Pl1) {
+                levels.push("P1");
+            }
+            if self.asap.levels.contains(&PtLevel::Pl2) {
+                levels.push("P2");
+            }
+            parts.push(levels.join("+"));
+        } else {
+            parts.push("Baseline".into());
+        }
+        if self.clustered_tlb {
+            parts.push("ClusteredTLB".into());
+        }
+        if self.colocated {
+            parts.push("coloc".into());
+        }
+        parts.join(" ")
+    }
+}
+
+/// One virtualized-execution run (a bar of Figs. 10/12).
+#[derive(Debug, Clone)]
+pub struct VirtRunSpec {
+    /// The workload preset (runs inside the guest).
+    pub workload: WorkloadSpec,
+    /// Whether the SMT co-runner is active.
+    pub colocated: bool,
+    /// Per-dimension prefetch levels; guest OS and hypervisor reserve
+    /// matching regions.
+    pub asap: NestedAsapConfig,
+    /// Host page size backing guest memory (2 MiB for Fig. 12).
+    pub host_page_size: PageSize,
+    /// Window configuration.
+    pub sim: SimConfig,
+}
+
+impl VirtRunSpec {
+    /// The virtualized baseline: no ASAP anywhere, 4 KiB host pages.
+    #[must_use]
+    pub fn baseline(workload: WorkloadSpec) -> Self {
+        Self {
+            workload,
+            colocated: false,
+            asap: NestedAsapConfig::off(),
+            host_page_size: PageSize::Size4K,
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// Sets the per-dimension ASAP levels.
+    #[must_use]
+    pub fn with_asap(mut self, asap: NestedAsapConfig) -> Self {
+        self.asap = asap;
+        self
+    }
+
+    /// Adds the SMT co-runner.
+    #[must_use]
+    pub fn colocated(mut self) -> Self {
+        self.colocated = true;
+        self
+    }
+
+    /// Uses 2 MiB host pages (Fig. 12).
+    #[must_use]
+    pub fn host_2m_pages(mut self) -> Self {
+        self.host_page_size = PageSize::Size2M;
+        self
+    }
+
+    /// Sets the window configuration.
+    #[must_use]
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// A short label for reports ("Baseline", "P1g", "P1g+P1h+P2g+P2h"...).
+    #[must_use]
+    pub fn label(&self) -> String {
+        use asap_types::PtLevel;
+        let mut parts = Vec::new();
+        if self.asap.is_enabled() {
+            let mut bits = Vec::new();
+            if self.asap.guest.contains(&PtLevel::Pl1) {
+                bits.push("P1g");
+            }
+            if self.asap.host.contains(&PtLevel::Pl1) {
+                bits.push("P1h");
+            }
+            if self.asap.guest.contains(&PtLevel::Pl2) {
+                bits.push("P2g");
+            }
+            if self.asap.host.contains(&PtLevel::Pl2) {
+                bits.push("P2h");
+            }
+            parts.push(bits.join("+"));
+        } else {
+            parts.push("Baseline".into());
+        }
+        if self.host_page_size == PageSize::Size2M {
+            parts.push("host2M".into());
+        }
+        if self.colocated {
+            parts.push("coloc".into());
+        }
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_labels() {
+        let w = WorkloadSpec::mcf;
+        assert_eq!(NativeRunSpec::baseline(w()).label(), "Baseline");
+        assert_eq!(
+            NativeRunSpec::baseline(w()).with_asap(AsapHwConfig::p1()).label(),
+            "P1"
+        );
+        assert_eq!(
+            NativeRunSpec::baseline(w())
+                .with_asap(AsapHwConfig::p1_p2())
+                .colocated()
+                .label(),
+            "P1+P2 coloc"
+        );
+        assert_eq!(
+            NativeRunSpec::baseline(w()).with_clustered_tlb().label(),
+            "Baseline ClusteredTLB"
+        );
+    }
+
+    #[test]
+    fn virt_labels() {
+        let w = WorkloadSpec::redis;
+        assert_eq!(VirtRunSpec::baseline(w()).label(), "Baseline");
+        assert_eq!(
+            VirtRunSpec::baseline(w())
+                .with_asap(NestedAsapConfig::all())
+                .label(),
+            "P1g+P1h+P2g+P2h"
+        );
+        assert_eq!(
+            VirtRunSpec::baseline(w())
+                .with_asap(NestedAsapConfig::host_2m())
+                .host_2m_pages()
+                .label(),
+            "P1g+P2g+P2h host2M"
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! The execution-time model.
+//!
+//! The paper measures Fig. 2's "fraction of execution time spent in page
+//! walks" with hardware counters on a real Xeon. We substitute a simple
+//! in-order accounting (documented in DESIGN.md): each application memory
+//! access carries a fixed amount of non-memory work, plus its data-access
+//! latency, plus whatever the translation cost (0 on an L1 TLB hit, the
+//! full walk latency on a miss). Fractions of a consistent accounting are
+//! comparable across scenarios even though absolute IPC is not modelled.
+
+/// Non-memory work charged per application memory access (ALU work of the
+/// surrounding instructions).
+pub const CPU_WORK_CYCLES_PER_ACCESS: u64 = 3;
+
+/// Instructions retired per memory access (~25% loads/stores, the classic
+/// rule of thumb) — the MPKI denominator.
+pub const INSTRUCTIONS_PER_ACCESS: u64 = 4;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn constants_are_sane() {
+        assert!(super::CPU_WORK_CYCLES_PER_ACCESS > 0);
+        assert!(super::INSTRUCTIONS_PER_ACCESS >= 1);
+    }
+}

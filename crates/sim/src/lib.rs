@@ -1,0 +1,45 @@
+//! The simulation driver for the ASAP reproduction.
+//!
+//! Assembles a full machine — workload process (or VM), MMU (or nested
+//! MMU), optional SMT co-runner — runs a warmup window followed by a
+//! measurement window, and collects the statistics every paper table and
+//! figure is built from:
+//!
+//! * [`run_native`] — native execution (Figs. 3/8/9/11, Tables 1/2/6/7);
+//! * [`run_virt`] — virtualized execution (Figs. 3/10/12, Table 1);
+//! * [`parallel_map`] — deterministic fan-out of independent runs across
+//!   host threads;
+//! * [`Table`] — the ASCII/markdown renderer used by every experiment
+//!   binary.
+//!
+//! # Examples
+//!
+//! ```
+//! use asap_sim::{NativeRunSpec, SimConfig};
+//! use asap_workloads::WorkloadSpec;
+//!
+//! let spec = NativeRunSpec::baseline(WorkloadSpec::mcf())
+//!     .with_sim(SimConfig::smoke_test());
+//! let result = asap_sim::run_native(&spec);
+//! assert!(result.walks.count() > 0);
+//! assert!(result.walks.mean() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod cycles;
+mod native;
+mod parallel;
+mod report;
+mod result;
+mod virt;
+
+pub use config::{NativeRunSpec, SimConfig, VirtRunSpec};
+pub use cycles::{CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
+pub use native::run_native;
+pub use parallel::parallel_map;
+pub use report::{fmt_cycles, fmt_pct, fmt_ratio, Table};
+pub use result::RunResult;
+pub use virt::run_virt;

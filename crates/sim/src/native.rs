@@ -1,0 +1,218 @@
+//! The native-execution driver.
+
+use crate::{NativeRunSpec, RunResult, CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
+use asap_core::{Mmu, MmuConfig, TranslationPath};
+use asap_os::AsapOsConfig;
+use asap_types::Asid;
+use asap_workloads::{AccessStream, CoRunner, WorkloadSpec};
+
+/// Derives the OS-side ASAP configuration from the hardware levels: the OS
+/// reserves sorted regions exactly for the levels hardware will prefetch.
+fn os_asap(spec: &NativeRunSpec) -> AsapOsConfig {
+    if spec.asap.is_enabled() {
+        AsapOsConfig {
+            levels: spec.asap.levels.clone(),
+            max_descriptors: 16,
+            extension_failure_rate: 0.0,
+        }
+    } else {
+        AsapOsConfig::disabled()
+    }
+}
+
+fn effective_workload(spec: &NativeRunSpec) -> WorkloadSpec {
+    let mut w = spec.workload.clone();
+    if let Some(run) = spec.pt_scatter_run_override {
+        w.pt_scatter_run = run;
+    }
+    w
+}
+
+/// Runs one native configuration and returns its measurements.
+///
+/// The driver loop models an in-order core: each application reference is
+/// (1) demand-paged by the OS if new, (2) translated by the MMU (TLBs →
+/// clustered TLB → walk with ASAP prefetches), (3) performed as a data
+/// access through the cache hierarchy, with fixed non-memory work in
+/// between; the colocated co-runner injects one random line per reference
+/// (§4). Statistics reset after warmup.
+///
+/// # Panics
+///
+/// Panics if the workload generates an address outside its VMAs (a
+/// generator bug caught loudly rather than silently skipped).
+#[must_use]
+pub fn run_native(spec: &NativeRunSpec) -> RunResult {
+    let workload = effective_workload(spec);
+    let seed = spec.sim.seed;
+    let mut process = workload.build_process(Asid(1), os_asap(spec), seed);
+    // Exercise the paging-mode knob through the process config when the
+    // 5-level ablation is requested.
+    if spec.paging_mode == asap_types::PagingMode::FiveLevel {
+        process = asap_os::Process::new(
+            workload
+                .process_config(Asid(1), os_asap(spec), seed)
+                .with_paging_mode(asap_types::PagingMode::FiveLevel),
+        );
+    }
+    let mut stream = workload.build_stream(&process, seed ^ 0x11);
+    let mut mmu_config = MmuConfig::default()
+        .with_asap(spec.asap.clone())
+        .with_pwc(spec.pwc.clone())
+        .with_seed(seed);
+    if spec.clustered_tlb {
+        mmu_config = mmu_config.with_clustered_tlb();
+    }
+    let mut mmu = Mmu::new(mmu_config);
+    mmu.load_context(process.vma_descriptors());
+    let mut corunner = spec
+        .colocated
+        .then(|| CoRunner::memory_intensive(seed ^ 0xC0));
+
+    let total = spec.sim.warmup_accesses + spec.sim.measure_accesses;
+    let mut window_start_cycle = 0u64;
+    let mut walk_cycles = 0u64;
+    let mut prefetches_issued = 0u64;
+    let mut prefetches_dropped = 0u64;
+    for i in 0..total {
+        if i == spec.sim.warmup_accesses {
+            mmu.reset_stats();
+            walk_cycles = 0;
+            prefetches_issued = 0;
+            prefetches_dropped = 0;
+            window_start_cycle = mmu.now();
+        }
+        let va = stream.next_va();
+        // OS demand paging happens off the measured path (a faulting access
+        // costs microseconds of OS work either way; the paper's walk-latency
+        // metric covers successful walks).
+        process
+            .touch(va)
+            .expect("workload streams stay inside their VMAs");
+        let pa = if spec.perfect_tlb {
+            // Table 6 methodology: translation is free ("no page walks").
+            process
+                .translate(va)
+                .map(|t| t.phys_addr(va))
+                .expect("touched page translates")
+        } else {
+            let outcome = mmu.translate(
+                process.mem(),
+                process.page_table(),
+                process.asid(),
+                va,
+                spec.clustered_tlb.then_some(&process as &dyn asap_core::ClusterSource),
+            );
+            if outcome.path == TranslationPath::Walk {
+                walk_cycles += outcome.latency;
+                if let Some(walk) = &outcome.walk {
+                    prefetches_issued += u64::from(walk.prefetches_issued);
+                    prefetches_dropped += u64::from(walk.prefetches_dropped);
+                }
+            }
+            outcome.phys.expect("touched page translates")
+        };
+        let _ = mmu.data_access(pa);
+        mmu.advance(CPU_WORK_CYCLES_PER_ACCESS);
+        if let Some(co) = corunner.as_mut() {
+            for line in co.next_lines() {
+                mmu.corunner_access(line);
+            }
+        }
+    }
+
+    let l2 = *mmu.l2_tlb_stats();
+    RunResult {
+        workload: spec.workload.name,
+        label: spec.label(),
+        walks: mmu.walk_stats().clone(),
+        served: *mmu.served_matrix(),
+        host_served: None,
+        l2_tlb_misses: l2.misses,
+        l2_tlb_accesses: l2.accesses(),
+        instructions: spec.sim.measure_accesses * INSTRUCTIONS_PER_ACCESS,
+        cycles: mmu.now() - window_start_cycle,
+        walk_cycles,
+        prefetches_issued,
+        prefetches_dropped,
+        faults: mmu.walk_faults(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+    use asap_core::AsapHwConfig;
+    use asap_types::ByteSize;
+
+    /// A small workload so tests run in milliseconds.
+    fn small() -> WorkloadSpec {
+        WorkloadSpec {
+            footprint: ByteSize::mib(256),
+            ..WorkloadSpec::mc80()
+        }
+    }
+
+    #[test]
+    fn baseline_run_produces_walks() {
+        let spec = NativeRunSpec::baseline(small()).with_sim(SimConfig::smoke_test());
+        let r = run_native(&spec);
+        assert!(r.walks.count() > 100, "uniform random must miss TLBs");
+        assert!(r.avg_walk_latency() > 0.0);
+        assert_eq!(r.faults, 0);
+        assert!(r.cycles > 0);
+        assert!(r.walk_fraction() > 0.0 && r.walk_fraction() < 1.0);
+    }
+
+    #[test]
+    fn asap_reduces_walk_latency() {
+        let sim = SimConfig::smoke_test();
+        let base = run_native(&NativeRunSpec::baseline(small()).with_sim(sim));
+        let p12 = run_native(
+            &NativeRunSpec::baseline(small())
+                .with_asap(AsapHwConfig::p1_p2())
+                .with_sim(sim),
+        );
+        assert!(p12.prefetches_issued > 0);
+        assert!(
+            p12.avg_walk_latency() < base.avg_walk_latency(),
+            "ASAP {} !< baseline {}",
+            p12.avg_walk_latency(),
+            base.avg_walk_latency()
+        );
+    }
+
+    #[test]
+    fn colocation_increases_walk_latency() {
+        let sim = SimConfig::smoke_test();
+        let iso = run_native(&NativeRunSpec::baseline(small()).with_sim(sim));
+        let coloc = run_native(&NativeRunSpec::baseline(small()).colocated().with_sim(sim));
+        assert!(
+            coloc.avg_walk_latency() > iso.avg_walk_latency(),
+            "coloc {} !> iso {}",
+            coloc.avg_walk_latency(),
+            iso.avg_walk_latency()
+        );
+    }
+
+    #[test]
+    fn perfect_tlb_run_has_no_walks() {
+        let spec = NativeRunSpec::baseline(small())
+            .perfect_tlb()
+            .with_sim(SimConfig::smoke_test());
+        let r = run_native(&spec);
+        assert_eq!(r.walks.count(), 0);
+        assert_eq!(r.walk_cycles, 0);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let spec = NativeRunSpec::baseline(small()).with_sim(SimConfig::smoke_test());
+        let a = run_native(&spec);
+        let b = run_native(&spec);
+        assert_eq!(a.walks, b.walks);
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

@@ -1,0 +1,83 @@
+//! Deterministic parallel fan-out of independent runs.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item on a pool of host threads, preserving input
+/// order in the output. Each run is internally deterministic (seeded), so
+/// the parallel result is identical to the sequential one.
+///
+/// # Examples
+///
+/// ```
+/// let squares = asap_sim::parallel_map(vec![1, 2, 3, 4], |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the experiment harness prefers failing loudly
+/// over reporting partial tables).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().take().expect("each slot taken once");
+                let r = f(item);
+                *results[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect::<Vec<_>>(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn matches_sequential_for_stateful_work() {
+        let seq: Vec<u64> = (0..16u64).map(|x| x.wrapping_mul(x) ^ 7).collect();
+        let par = parallel_map((0..16u64).collect(), |x| x.wrapping_mul(x) ^ 7);
+        assert_eq!(seq, par);
+    }
+}

@@ -1,0 +1,139 @@
+//! ASCII/markdown table rendering for the experiment binaries.
+
+/// A simple table renderer producing GitHub-flavoured markdown that is also
+/// readable as plain text.
+///
+/// # Examples
+///
+/// ```
+/// use asap_sim::Table;
+/// let mut t = Table::new("Demo", vec!["workload", "latency"]);
+/// t.row(vec!["mcf".into(), "44.0".into()]);
+/// let s = t.render();
+/// assert!(s.contains("| mcf"));
+/// assert!(s.contains("## Demo"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: Vec<&str>) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as markdown with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let body = cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join(" | ");
+            format!("| {body} |\n")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&fmt_row(&sep, &widths));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Formats a cycle count with one decimal.
+#[must_use]
+pub fn fmt_cycles(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a fraction as a percentage.
+#[must_use]
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a ratio ("2.7x").
+#[must_use]
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("T", vec!["a", "long-header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let s = t.render();
+        assert!(s.contains("## T"));
+        assert!(s.contains("| a      | long-header |"));
+        assert!(s.contains("| xxxxxx | 1           |"));
+        assert!(s.contains("| ------ | ----------- |"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("T", vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_cycles(44.04), "44.0");
+        assert_eq!(fmt_pct(0.253), "25.3%");
+        assert_eq!(fmt_ratio(2.71), "2.7x");
+    }
+}

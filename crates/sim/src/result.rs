@@ -1,0 +1,122 @@
+//! Results of one run.
+
+use asap_core::{ServedByMatrix, WalkLatencyStats};
+
+/// Everything a paper table/figure needs from one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The workload's name ("mcf", "mc80", ...).
+    pub workload: &'static str,
+    /// The configuration label ("Baseline", "P1+P2 coloc", ...).
+    pub label: String,
+    /// Walk-latency statistics over the measurement window.
+    pub walks: WalkLatencyStats,
+    /// Per-level serving sources (Fig. 9). For virtualized runs this is the
+    /// guest dimension.
+    pub served: ServedByMatrix,
+    /// Host-dimension serving sources (virtualized runs only).
+    pub host_served: Option<ServedByMatrix>,
+    /// L2 S-TLB misses in the window.
+    pub l2_tlb_misses: u64,
+    /// L2 S-TLB accesses in the window.
+    pub l2_tlb_accesses: u64,
+    /// Instructions retired (the MPKI denominator).
+    pub instructions: u64,
+    /// Total cycles in the window.
+    pub cycles: u64,
+    /// Cycles spent in page walks.
+    pub walk_cycles: u64,
+    /// ASAP prefetches issued.
+    pub prefetches_issued: u64,
+    /// ASAP prefetches dropped (MSHRs full).
+    pub prefetches_dropped: u64,
+    /// Walks that ended in page faults (should be 0: the driver pre-touches
+    /// pages).
+    pub faults: u64,
+}
+
+impl RunResult {
+    /// Mean page-walk latency in cycles — the headline metric.
+    #[must_use]
+    pub fn avg_walk_latency(&self) -> f64 {
+        self.walks.mean()
+    }
+
+    /// L2-TLB misses per kilo-instruction (Table 7 metric).
+    #[must_use]
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l2_tlb_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of execution cycles spent in walks (Fig. 2 metric).
+    #[must_use]
+    pub fn walk_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.walk_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Relative walk-latency reduction versus a baseline run
+    /// (`1 - this/base`), the paper's headline percentage.
+    #[must_use]
+    pub fn reduction_vs(&self, baseline: &RunResult) -> f64 {
+        let base = baseline.avg_walk_latency();
+        if base == 0.0 {
+            0.0
+        } else {
+            1.0 - self.avg_walk_latency() / base
+        }
+    }
+
+    /// Relative reduction in *total walk cycles* versus a baseline
+    /// (Fig. 11's metric, which also credits eliminated walks).
+    #[must_use]
+    pub fn walk_cycles_reduction_vs(&self, baseline: &RunResult) -> f64 {
+        if baseline.walk_cycles == 0 {
+            0.0
+        } else {
+            1.0 - self.walk_cycles as f64 / baseline.walk_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(walk_cycles: u64, cycles: u64) -> RunResult {
+        let mut walks = WalkLatencyStats::new();
+        walks.record(walk_cycles);
+        RunResult {
+            workload: "test",
+            label: "x".into(),
+            walks,
+            served: ServedByMatrix::new(),
+            host_served: None,
+            l2_tlb_misses: 10,
+            l2_tlb_accesses: 100,
+            instructions: 1000,
+            cycles,
+            walk_cycles,
+            prefetches_issued: 0,
+            prefetches_dropped: 0,
+            faults: 0,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let base = result(200, 1000);
+        let asap = result(100, 900);
+        assert!((base.mpki() - 10.0).abs() < 1e-12);
+        assert!((base.walk_fraction() - 0.2).abs() < 1e-12);
+        assert!((asap.reduction_vs(&base) - 0.5).abs() < 1e-12);
+        assert!((asap.walk_cycles_reduction_vs(&base) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,171 @@
+//! The virtualized-execution driver.
+
+use crate::{RunResult, VirtRunSpec, CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
+use asap_core::{NestedMmu, NestedMmuConfig, NestedPath};
+use asap_os::AsapOsConfig;
+use asap_types::{Asid, PageSize};
+use asap_virt::{EptConfig, VirtualMachine};
+use asap_workloads::{AccessStream, CoRunner};
+
+
+/// Runs one virtualized configuration and returns its measurements.
+///
+/// The guest process runs the workload; every TLB miss triggers the full 2D
+/// walk of Fig. 7 with the configured per-dimension prefetching. The guest
+/// OS reserves sorted regions for the guest prefetch levels (negotiated
+/// with the hypervisor via the §3.6 vmcall protocol), and the hypervisor
+/// keeps the host PT levels sorted for the host prefetch levels.
+#[must_use]
+pub fn run_virt(spec: &VirtRunSpec) -> RunResult {
+    let seed = spec.sim.seed;
+    let guest_asap = if spec.asap.guest.is_empty() {
+        AsapOsConfig::disabled()
+    } else {
+        AsapOsConfig {
+            levels: spec.asap.guest.clone(),
+            max_descriptors: 16,
+            extension_failure_rate: 0.0,
+        }
+    };
+    let mut ept_config = EptConfig {
+        host_levels: spec.asap.host.clone(),
+        host_page_size: spec.host_page_size,
+        scatter_run: spec.workload.pt_scatter_run,
+        seed: seed ^ 0xE9,
+    };
+    if spec.host_page_size == PageSize::Size2M {
+        // With 2 MiB host pages the host PT has no PL1 level to reserve.
+        ept_config.host_levels.retain(|l| *l != asap_types::PtLevel::Pl1);
+    }
+    let guest_config = spec
+        .workload
+        .process_config(Asid(1), guest_asap, seed)
+        .with_compact_phys();
+    let mut vm = VirtualMachine::new(guest_config, ept_config);
+    let mut stream = spec.workload.build_stream(vm.guest(), seed ^ 0x11);
+    let mut mmu = NestedMmu::new(NestedMmuConfig::default().with_asap(spec.asap.clone()).with_seed(seed));
+    mmu.load_context(&vm);
+    let mut corunner = spec
+        .colocated
+        .then(|| CoRunner::memory_intensive(seed ^ 0xC0));
+
+    let total = spec.sim.warmup_accesses + spec.sim.measure_accesses;
+    let mut window_start_cycle = 0u64;
+    let mut walk_cycles = 0u64;
+    let mut prefetches_issued = 0u64;
+    let mut prefetches_dropped = 0u64;
+    for i in 0..total {
+        if i == spec.sim.warmup_accesses {
+            mmu.reset_stats();
+            walk_cycles = 0;
+            prefetches_issued = 0;
+            prefetches_dropped = 0;
+            window_start_cycle = mmu.now();
+        }
+        let va = stream.next_va();
+        vm.touch(va).expect("workload streams stay inside their VMAs");
+        let outcome = mmu.translate(&mut vm, va);
+        if outcome.path == NestedPath::Walk {
+            walk_cycles += outcome.latency;
+            if let Some(walk) = &outcome.walk {
+                prefetches_issued += u64::from(walk.prefetches_issued);
+                prefetches_dropped += u64::from(walk.prefetches_dropped);
+            }
+        }
+        let hpa = outcome.hpa.expect("touched page translates");
+        let _ = mmu.data_access(hpa);
+        mmu.advance(CPU_WORK_CYCLES_PER_ACCESS);
+        if let Some(co) = corunner.as_mut() {
+            for line in co.next_lines() {
+                mmu.corunner_access(line);
+            }
+        }
+    }
+
+    let l2 = *mmu.l2_tlb_stats();
+    RunResult {
+        workload: spec.workload.name,
+        label: spec.label(),
+        walks: mmu.walk_stats().clone(),
+        served: *mmu.guest_served_matrix(),
+        host_served: Some(*mmu.host_served_matrix()),
+        l2_tlb_misses: l2.misses,
+        l2_tlb_accesses: l2.accesses(),
+        instructions: spec.sim.measure_accesses * INSTRUCTIONS_PER_ACCESS,
+        cycles: mmu.now() - window_start_cycle,
+        walk_cycles,
+        prefetches_issued,
+        prefetches_dropped,
+        faults: mmu.walk_faults(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_native, NativeRunSpec, SimConfig};
+    use asap_core::NestedAsapConfig;
+    use asap_types::ByteSize;
+    use asap_workloads::WorkloadSpec;
+
+    fn small() -> WorkloadSpec {
+        WorkloadSpec {
+            footprint: ByteSize::mib(256),
+            ..WorkloadSpec::mc80()
+        }
+    }
+
+    #[test]
+    fn virtualization_multiplies_walk_latency() {
+        let sim = SimConfig::smoke_test();
+        let native = run_native(&NativeRunSpec::baseline(small()).with_sim(sim));
+        let virt = run_virt(&VirtRunSpec::baseline(small()).with_sim(sim));
+        // Table 1 / Fig. 3 shape: virt baseline is several times native.
+        let ratio = virt.avg_walk_latency() / native.avg_walk_latency();
+        assert!(
+            ratio > 2.5,
+            "virt/native walk-latency ratio {ratio:.2} too low"
+        );
+        assert_eq!(virt.faults, 0);
+    }
+
+    #[test]
+    fn full_asap_beats_guest_only() {
+        let sim = SimConfig::smoke_test();
+        let base = run_virt(&VirtRunSpec::baseline(small()).with_sim(sim));
+        let p1g = run_virt(
+            &VirtRunSpec::baseline(small())
+                .with_asap(NestedAsapConfig::p1g())
+                .with_sim(sim),
+        );
+        let all = run_virt(
+            &VirtRunSpec::baseline(small())
+                .with_asap(NestedAsapConfig::all())
+                .with_sim(sim),
+        );
+        assert!(p1g.avg_walk_latency() < base.avg_walk_latency());
+        assert!(
+            all.avg_walk_latency() < p1g.avg_walk_latency(),
+            "all {} !< p1g {}",
+            all.avg_walk_latency(),
+            p1g.avg_walk_latency()
+        );
+        assert!(all.prefetches_issued > p1g.prefetches_issued);
+    }
+
+    #[test]
+    fn host_2m_pages_shorten_baseline_walks() {
+        let sim = SimConfig::smoke_test();
+        let b4k = run_virt(&VirtRunSpec::baseline(small()).with_sim(sim));
+        let b2m = run_virt(&VirtRunSpec::baseline(small()).host_2m_pages().with_sim(sim));
+        assert!(b2m.avg_walk_latency() < b4k.avg_walk_latency());
+    }
+
+    #[test]
+    fn virt_runs_are_deterministic() {
+        let spec = VirtRunSpec::baseline(small()).with_sim(SimConfig::smoke_test());
+        let a = run_virt(&spec);
+        let b = run_virt(&spec);
+        assert_eq!(a.walks, b.walks);
+    }
+}

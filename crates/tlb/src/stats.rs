@@ -1,0 +1,62 @@
+//! TLB statistics.
+
+/// Hit/miss/fill counters for one TLB structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries installed.
+    pub fills: u64,
+    /// Entries evicted by fills.
+    pub evictions: u64,
+}
+
+impl TlbStats {
+    /// Total lookups.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in [0, 1]; zero with no accesses.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Misses per kilo-instruction given an instruction count.
+    #[must_use]
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_mpki() {
+        let s = TlbStats {
+            hits: 900,
+            misses: 100,
+            fills: 100,
+            evictions: 36,
+        };
+        assert_eq!(s.accesses(), 1000);
+        assert!((s.miss_ratio() - 0.1).abs() < 1e-12);
+        assert!((s.mpki(10_000) - 10.0).abs() < 1e-12);
+        assert_eq!(TlbStats::default().miss_ratio(), 0.0);
+        assert_eq!(TlbStats::default().mpki(0), 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Virtual and physical address newtypes.
+
+use crate::{AddrError, CACHE_LINE_SHIFT, PAGE_SHIFT, VA_BITS_5LEVEL};
+
+/// A virtual address in a simulated process address space.
+///
+/// Virtual addresses are validated to be *canonical* for 5-level paging
+/// (i.e. they fit in 57 bits; user addresses in this simulator always have
+/// bit 56 clear, so sign-extension concerns do not arise). Addresses valid
+/// under 4-level paging are a subset of these.
+///
+/// # Examples
+///
+/// ```
+/// use asap_types::VirtAddr;
+/// let va = VirtAddr::new(0x7000_1234).unwrap();
+/// assert_eq!(va.page_offset(), 0x234);
+/// assert_eq!(va.page_number().raw(), 0x7000_1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address, validating canonicality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddrError::NonCanonical`] if any bit at or above position 57
+    /// is set.
+    pub fn new(raw: u64) -> Result<Self, AddrError> {
+        if raw >> VA_BITS_5LEVEL != 0 {
+            Err(AddrError::NonCanonical(raw))
+        } else {
+            Ok(Self(raw))
+        }
+    }
+
+    /// Creates a virtual address without canonicality validation.
+    ///
+    /// Useful for constants known to be in range; out-of-range bits would be
+    /// caught later by index extraction in debug builds.
+    #[must_use]
+    pub const fn new_unchecked(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw 64-bit value.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Offset of this address within its 4 KiB page.
+    #[must_use]
+    pub const fn page_offset(self) -> u64 {
+        self.0 & ((1 << PAGE_SHIFT) - 1)
+    }
+
+    /// The virtual page number containing this address.
+    #[must_use]
+    pub const fn page_number(self) -> super::VirtPageNum {
+        super::VirtPageNum::new(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Rounds down to the containing page boundary.
+    #[must_use]
+    pub const fn page_base(self) -> Self {
+        Self(self.0 & !((1 << PAGE_SHIFT) - 1))
+    }
+
+    /// Byte offset of this address relative to `base`.
+    ///
+    /// This is the `offset` operand of the paper's base-plus-offset prefetch
+    /// computation (Fig. 6): the triggering virtual address minus the start
+    /// of its VMA.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `self < base`.
+    #[must_use]
+    pub fn offset_from(self, base: Self) -> u64 {
+        debug_assert!(self.0 >= base.0, "offset_from underflow");
+        self.0 - base.0
+    }
+
+    /// Checked addition of a byte delta.
+    #[must_use]
+    pub fn checked_add(self, delta: u64) -> Option<Self> {
+        let raw = self.0.checked_add(delta)?;
+        Self::new(raw).ok()
+    }
+
+    /// Whether the address is aligned to `align` bytes (power of two).
+    #[must_use]
+    pub fn is_aligned(self, align: u64) -> bool {
+        debug_assert!(align.is_power_of_two());
+        self.0 & (align - 1) == 0
+    }
+}
+
+impl core::fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "v:{:#014x}", self.0)
+    }
+}
+
+impl core::fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<VirtAddr> for u64 {
+    fn from(v: VirtAddr) -> u64 {
+        v.0
+    }
+}
+
+/// A physical (machine) address.
+///
+/// In the virtualized configurations of the simulator, *guest-physical*
+/// addresses are also carried as `PhysAddr` but are only meaningful inside
+/// the guest dimension; the nested walker converts them to host-physical
+/// addresses before they reach the cache hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use asap_types::PhysAddr;
+/// let pa = PhysAddr::new(0x1_0000_0040);
+/// assert_eq!(pa.cache_line().raw(), 0x1_0000_0040 >> 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from its raw value.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw 64-bit value.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The physical frame number containing this address.
+    #[must_use]
+    pub const fn frame_number(self) -> super::PhysFrameNum {
+        super::PhysFrameNum::new(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Offset of this address within its 4 KiB frame.
+    #[must_use]
+    pub const fn frame_offset(self) -> u64 {
+        self.0 & ((1 << PAGE_SHIFT) - 1)
+    }
+
+    /// The 64-byte cache line containing this address.
+    #[must_use]
+    pub const fn cache_line(self) -> super::CacheLineAddr {
+        super::CacheLineAddr::new(self.0 >> CACHE_LINE_SHIFT)
+    }
+
+    /// Adds a byte delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow in debug builds.
+    #[must_use]
+    pub const fn add(self, delta: u64) -> Self {
+        Self(self.0 + delta)
+    }
+
+    /// Whether the address is aligned to `align` bytes (power of two).
+    #[must_use]
+    pub fn is_aligned(self, align: u64) -> bool {
+        debug_assert!(align.is_power_of_two());
+        self.0 & (align - 1) == 0
+    }
+}
+
+impl core::fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "p:{:#014x}", self.0)
+    }
+}
+
+impl core::fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<PhysAddr> for u64 {
+    fn from(p: PhysAddr) -> u64 {
+        p.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virt_addr_validation() {
+        assert!(VirtAddr::new(0).is_ok());
+        assert!(VirtAddr::new((1 << 57) - 1).is_ok());
+        assert!(matches!(
+            VirtAddr::new(1 << 57),
+            Err(AddrError::NonCanonical(_))
+        ));
+    }
+
+    #[test]
+    fn page_decomposition() {
+        let va = VirtAddr::new(0xdead_beef).unwrap();
+        assert_eq!(va.page_offset(), 0xeef);
+        assert_eq!(va.page_base().raw(), 0xdead_b000);
+        assert_eq!(
+            va.page_number().base_addr().raw() + va.page_offset(),
+            va.raw()
+        );
+    }
+
+    #[test]
+    fn offset_from_base() {
+        let base = VirtAddr::new(0x10_0000).unwrap();
+        let va = VirtAddr::new(0x10_4242).unwrap();
+        assert_eq!(va.offset_from(base), 0x4242);
+    }
+
+    #[test]
+    fn phys_cache_line() {
+        let pa = PhysAddr::new(0x1000 + 64 * 3 + 17);
+        assert_eq!(pa.cache_line().raw(), (0x1000 + 64 * 3) / 64);
+        assert_eq!(pa.frame_number().raw(), 1);
+        assert_eq!(pa.frame_offset(), 64 * 3 + 17);
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(PhysAddr::new(0x2000).is_aligned(0x1000));
+        assert!(!PhysAddr::new(0x2040).is_aligned(0x1000));
+        assert!(VirtAddr::new(0x40).unwrap().is_aligned(64));
+    }
+
+    #[test]
+    fn checked_add_rejects_non_canonical() {
+        let va = VirtAddr::new((1 << 57) - 4).unwrap();
+        assert!(va.checked_add(8).is_none());
+        assert_eq!(va.checked_add(3).unwrap().raw(), (1 << 57) - 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VirtAddr::new(0x1000).unwrap().to_string(), "v:0x000000001000");
+        assert_eq!(PhysAddr::new(0x1000).to_string(), "p:0x000000001000");
+        assert_eq!(format!("{:x}", PhysAddr::new(0xff)), "ff");
+    }
+}

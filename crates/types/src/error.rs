@@ -1,0 +1,37 @@
+//! Address validation errors.
+
+/// Errors produced when constructing validated address types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrError {
+    /// The raw value has bits set above the canonical virtual-address width.
+    NonCanonical(u64),
+}
+
+impl core::fmt::Display for AddrError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AddrError::NonCanonical(raw) => {
+                write!(f, "non-canonical virtual address {raw:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AddrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = AddrError::NonCanonical(1 << 60);
+        assert_eq!(e.to_string(), "non-canonical virtual address 0x1000000000000000");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<AddrError>();
+    }
+}

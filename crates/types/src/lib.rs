@@ -1,0 +1,92 @@
+//! Foundation types for the ASAP (Prefetched Address Translation) reproduction.
+//!
+//! This crate defines the address arithmetic shared by every other crate in
+//! the workspace: virtual and physical addresses, page and frame numbers,
+//! page-table levels with their virtual-address index extraction (for both
+//! the classic 4-level x86-64 format and the 5-level extension the paper
+//! anticipates in §3.5), page sizes, and cache-line addressing.
+//!
+//! All quantities are newtypes over `u64` so that a virtual address can never
+//! be confused with a physical one — the exact bug class a page-table
+//! simulator must rule out statically.
+//!
+//! # Examples
+//!
+//! ```
+//! use asap_types::{VirtAddr, PtLevel, PagingMode};
+//!
+//! let va = VirtAddr::new(0x7f12_3456_7000).unwrap();
+//! // Index of the PL1 (leaf) entry covering this address:
+//! assert_eq!(PtLevel::Pl1.index_of(va), (0x7f12_3456_7000u64 >> 12) & 0x1ff);
+//! assert_eq!(PagingMode::FourLevel.levels().count(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod error;
+mod level;
+mod line;
+mod page;
+mod size;
+
+pub use addr::{PhysAddr, VirtAddr};
+pub use error::AddrError;
+pub use level::{PagingMode, PtLevel};
+pub use line::CacheLineAddr;
+pub use page::{PhysFrameNum, VirtPageNum};
+pub use size::{ByteSize, PageSize};
+
+/// Base-2 logarithm of the base page size (4 KiB pages).
+pub const PAGE_SHIFT: u32 = 12;
+/// Base page size in bytes (4 KiB).
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+/// Number of page-table entries per 4 KiB table page (512 on x86-64).
+pub const ENTRIES_PER_TABLE: u64 = 512;
+/// Bits of virtual address consumed by one radix-tree level (log2 of 512).
+pub const INDEX_BITS: u32 = 9;
+/// Size of one page-table entry in bytes.
+pub const PTE_SIZE: u64 = 8;
+/// Base-2 logarithm of the cache-line size (64-byte lines).
+pub const CACHE_LINE_SHIFT: u32 = 6;
+/// Cache-line size in bytes.
+pub const CACHE_LINE_SIZE: u64 = 1 << CACHE_LINE_SHIFT;
+/// Number of virtual-address bits in 4-level paging.
+pub const VA_BITS_4LEVEL: u32 = 48;
+/// Number of virtual-address bits in 5-level paging.
+pub const VA_BITS_5LEVEL: u32 = 57;
+
+/// An address-space identifier (one per simulated process or guest).
+///
+/// TLB and page-walk-cache entries are tagged with the `Asid` so that context
+/// switches do not require flushes, mirroring PCID on real x86-64 hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Asid(pub u16);
+
+impl core::fmt::Display for Asid {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "asid{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(PAGE_SIZE, 4096);
+        assert_eq!(ENTRIES_PER_TABLE * PTE_SIZE, PAGE_SIZE);
+        assert_eq!(1u64 << INDEX_BITS, ENTRIES_PER_TABLE);
+        assert_eq!(CACHE_LINE_SIZE, 64);
+        // 4-level paging: 12 offset bits + 4 * 9 index bits = 48.
+        assert_eq!(PAGE_SHIFT + 4 * INDEX_BITS, VA_BITS_4LEVEL);
+        assert_eq!(PAGE_SHIFT + 5 * INDEX_BITS, VA_BITS_5LEVEL);
+    }
+
+    #[test]
+    fn asid_display() {
+        assert_eq!(Asid(3).to_string(), "asid3");
+    }
+}

@@ -1,0 +1,77 @@
+//! Cache-line addressing.
+
+use crate::{PhysAddr, CACHE_LINE_SHIFT};
+
+/// The index of a 64-byte cache line in physical memory.
+///
+/// Both the data caches and the page-walk timing model operate on cache
+/// lines: a page-table node access and an ASAP prefetch to the same PTE
+/// target the same `CacheLineAddr`, which is what makes the prefetch useful.
+///
+/// # Examples
+///
+/// ```
+/// use asap_types::{CacheLineAddr, PhysAddr};
+/// let line = CacheLineAddr::containing(PhysAddr::new(0x1040));
+/// assert_eq!(line.raw(), 0x41);
+/// assert_eq!(line.base_addr(), PhysAddr::new(0x1040));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct CacheLineAddr(u64);
+
+impl CacheLineAddr {
+    /// Creates a line address from its raw line number.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The line containing a physical address.
+    #[must_use]
+    pub const fn containing(pa: PhysAddr) -> Self {
+        pa.cache_line()
+    }
+
+    /// The raw line number.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first physical address of the line.
+    #[must_use]
+    pub const fn base_addr(self) -> PhysAddr {
+        PhysAddr::new(self.0 << CACHE_LINE_SHIFT)
+    }
+}
+
+impl core::fmt::Display for CacheLineAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_roundtrip() {
+        for raw in [0u64, 1, 63, 64, 0x4141] {
+            let line = CacheLineAddr::new(raw);
+            assert_eq!(CacheLineAddr::containing(line.base_addr()), line);
+        }
+    }
+
+    #[test]
+    fn adjacent_ptes_share_lines() {
+        // Eight 8-byte PTEs fit in one 64-byte line: PTE k and PTE k+7 within
+        // an aligned group map to the same line, PTE k+8 to the next.
+        let table = PhysAddr::new(0x20_0000);
+        let l0 = CacheLineAddr::containing(table);
+        let l7 = CacheLineAddr::containing(table.add(7 * 8));
+        let l8 = CacheLineAddr::containing(table.add(8 * 8));
+        assert_eq!(l0, l7);
+        assert_eq!(l8.raw(), l0.raw() + 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Virtual page numbers and physical frame numbers.
+
+use crate::{PhysAddr, VirtAddr, PAGE_SHIFT};
+
+/// A virtual page number (virtual address divided by 4 KiB).
+///
+/// # Examples
+///
+/// ```
+/// use asap_types::{VirtAddr, VirtPageNum};
+/// let vpn = VirtPageNum::new(0x1234);
+/// assert_eq!(vpn.base_addr(), VirtAddr::new(0x1234 << 12).unwrap());
+/// assert_eq!(VirtPageNum::containing(VirtAddr::new(0x1234fff).unwrap()).raw(), 0x1234);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VirtPageNum(u64);
+
+impl VirtPageNum {
+    /// Creates a virtual page number from its raw value.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The page number containing a virtual address.
+    #[must_use]
+    pub const fn containing(va: VirtAddr) -> Self {
+        va.page_number()
+    }
+
+    /// The raw page number.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first virtual address of this page.
+    #[must_use]
+    pub const fn base_addr(self) -> VirtAddr {
+        VirtAddr::new_unchecked(self.0 << PAGE_SHIFT)
+    }
+
+    /// The page number `delta` pages after this one.
+    #[must_use]
+    pub const fn add(self, delta: u64) -> Self {
+        Self(self.0 + delta)
+    }
+
+    /// Number of pages from `base` (inclusive) to `self` (exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `self < base`.
+    #[must_use]
+    pub fn index_from(self, base: Self) -> u64 {
+        debug_assert!(self.0 >= base.0);
+        self.0 - base.0
+    }
+}
+
+impl core::fmt::Display for VirtPageNum {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "vpn:{:#x}", self.0)
+    }
+}
+
+/// A physical frame number (physical address divided by 4 KiB).
+///
+/// # Examples
+///
+/// ```
+/// use asap_types::{PhysAddr, PhysFrameNum};
+/// let pfn = PhysFrameNum::new(7);
+/// assert_eq!(pfn.base_addr(), PhysAddr::new(7 << 12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PhysFrameNum(u64);
+
+impl PhysFrameNum {
+    /// Creates a physical frame number from its raw value.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The frame number containing a physical address.
+    #[must_use]
+    pub const fn containing(pa: PhysAddr) -> Self {
+        pa.frame_number()
+    }
+
+    /// The raw frame number.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first physical address of this frame.
+    #[must_use]
+    pub const fn base_addr(self) -> PhysAddr {
+        PhysAddr::new(self.0 << PAGE_SHIFT)
+    }
+
+    /// The frame number `delta` frames after this one.
+    #[must_use]
+    pub const fn add(self, delta: u64) -> Self {
+        Self(self.0 + delta)
+    }
+}
+
+impl core::fmt::Display for PhysFrameNum {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpn_roundtrip() {
+        for raw in [0u64, 1, 0xffff, 1 << 30] {
+            let vpn = VirtPageNum::new(raw);
+            assert_eq!(VirtPageNum::containing(vpn.base_addr()), vpn);
+        }
+    }
+
+    #[test]
+    fn pfn_roundtrip() {
+        for raw in [0u64, 5, 0xabcd, 1 << 35] {
+            let pfn = PhysFrameNum::new(raw);
+            assert_eq!(PhysFrameNum::containing(pfn.base_addr()), pfn);
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let vpn = VirtPageNum::new(100);
+        assert_eq!(vpn.add(5).raw(), 105);
+        assert_eq!(vpn.add(5).index_from(vpn), 5);
+        assert_eq!(PhysFrameNum::new(8).add(8).raw(), 16);
+    }
+
+    #[test]
+    fn ordering_matches_raw() {
+        assert!(VirtPageNum::new(1) < VirtPageNum::new(2));
+        assert!(PhysFrameNum::new(9) > PhysFrameNum::new(3));
+    }
+}

@@ -1,0 +1,187 @@
+//! Page sizes and human-readable byte formatting.
+
+use crate::PtLevel;
+
+/// Supported translation granularities.
+///
+/// Large pages terminate the page walk one (`Size2M`) or two (`Size1G`)
+/// levels above the PL1 leaf (paper §3.5): a 2 MiB page is described by a
+/// single PL2 entry, a 1 GiB page by a single PL3 entry.
+///
+/// # Examples
+///
+/// ```
+/// use asap_types::{PageSize, PtLevel};
+/// assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
+/// assert_eq!(PageSize::Size2M.leaf_level(), PtLevel::Pl2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum PageSize {
+    /// Base 4 KiB pages.
+    #[default]
+    Size4K,
+    /// 2 MiB large pages (PTE at PL2).
+    Size2M,
+    /// 1 GiB large pages (PTE at PL3).
+    Size1G,
+}
+
+impl PageSize {
+    /// The page size in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        1 << self.shift()
+    }
+
+    /// log2 of the page size.
+    #[must_use]
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size2M => 21,
+            PageSize::Size1G => 30,
+        }
+    }
+
+    /// The page-table level whose entry maps a page of this size.
+    #[must_use]
+    pub const fn leaf_level(self) -> PtLevel {
+        match self {
+            PageSize::Size4K => PtLevel::Pl1,
+            PageSize::Size2M => PtLevel::Pl2,
+            PageSize::Size1G => PtLevel::Pl3,
+        }
+    }
+
+    /// The page size mapped by a leaf entry at `level`, if any.
+    #[must_use]
+    pub const fn from_leaf_level(level: PtLevel) -> Option<Self> {
+        match level {
+            PtLevel::Pl1 => Some(PageSize::Size4K),
+            PtLevel::Pl2 => Some(PageSize::Size2M),
+            PtLevel::Pl3 => Some(PageSize::Size1G),
+            _ => None,
+        }
+    }
+
+    /// Number of base (4 KiB) pages this size replaces.
+    #[must_use]
+    pub const fn base_pages(self) -> u64 {
+        self.bytes() >> PageSize::Size4K.shift()
+    }
+}
+
+impl core::fmt::Display for PageSize {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PageSize::Size4K => f.write_str("4KiB"),
+            PageSize::Size2M => f.write_str("2MiB"),
+            PageSize::Size1G => f.write_str("1GiB"),
+        }
+    }
+}
+
+/// A byte count with human-readable `Display` (used by reports and the PT
+/// census that reproduces the paper's footprint arithmetic: "for a 100GB
+/// dataset, the footprint of the PT levels is 8B, 800B, 400KB and 200MB").
+///
+/// # Examples
+///
+/// ```
+/// use asap_types::ByteSize;
+/// assert_eq!(ByteSize(200 * 1024 * 1024).to_string(), "200.0MiB");
+/// assert_eq!(ByteSize(8).to_string(), "8B");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// Constructs from a GiB count.
+    #[must_use]
+    pub const fn gib(n: u64) -> Self {
+        Self(n << 30)
+    }
+
+    /// Constructs from a MiB count.
+    #[must_use]
+    pub const fn mib(n: u64) -> Self {
+        Self(n << 20)
+    }
+
+    /// Constructs from a KiB count.
+    #[must_use]
+    pub const fn kib(n: u64) -> Self {
+        Self(n << 10)
+    }
+
+    /// The raw byte count.
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        const UNITS: [(&str, u64); 4] = [
+            ("TiB", 1 << 40),
+            ("GiB", 1 << 30),
+            ("MiB", 1 << 20),
+            ("KiB", 1 << 10),
+        ];
+        for (name, scale) in UNITS {
+            if self.0 >= scale {
+                return write!(f, "{:.1}{}", self.0 as f64 / scale as f64, name);
+            }
+        }
+        write!(f, "{}B", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(PageSize::Size4K.bytes(), 4096);
+        assert_eq!(PageSize::Size2M.bytes(), 1 << 21);
+        assert_eq!(PageSize::Size1G.bytes(), 1 << 30);
+        assert_eq!(PageSize::Size2M.base_pages(), 512);
+        assert_eq!(PageSize::Size1G.base_pages(), 512 * 512);
+    }
+
+    #[test]
+    fn leaf_levels() {
+        assert_eq!(PageSize::Size4K.leaf_level(), PtLevel::Pl1);
+        assert_eq!(PageSize::Size2M.leaf_level(), PtLevel::Pl2);
+        assert_eq!(PageSize::Size1G.leaf_level(), PtLevel::Pl3);
+        for size in [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G] {
+            assert_eq!(PageSize::from_leaf_level(size.leaf_level()), Some(size));
+        }
+        assert_eq!(PageSize::from_leaf_level(PtLevel::Pl4), None);
+    }
+
+    #[test]
+    fn level_coverage_matches_page_size() {
+        // One PL2 entry covers exactly one 2MiB page, etc.
+        assert_eq!(PtLevel::Pl2.entry_coverage(), PageSize::Size2M.bytes());
+        assert_eq!(PtLevel::Pl3.entry_coverage(), PageSize::Size1G.bytes());
+    }
+
+    #[test]
+    fn byte_size_display() {
+        assert_eq!(ByteSize(0).to_string(), "0B");
+        assert_eq!(ByteSize(800).to_string(), "800B");
+        assert_eq!(ByteSize::kib(400).to_string(), "400.0KiB");
+        assert_eq!(ByteSize::gib(100).to_string(), "100.0GiB");
+        assert_eq!(ByteSize(1 << 40).to_string(), "1.0TiB");
+    }
+
+    #[test]
+    fn byte_size_constructors() {
+        assert_eq!(ByteSize::gib(1).bytes(), 1 << 30);
+        assert_eq!(ByteSize::mib(1).bytes(), 1 << 20);
+        assert_eq!(ByteSize::kib(1).bytes(), 1 << 10);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for address arithmetic invariants.
+
+use asap_types::{
+    CacheLineAddr, PagingMode, PhysAddr, PhysFrameNum, PtLevel, VirtAddr, VirtPageNum,
+    ENTRIES_PER_TABLE, PAGE_SIZE,
+};
+use proptest::prelude::*;
+
+fn arb_va() -> impl Strategy<Value = VirtAddr> {
+    (0u64..(1 << 57)).prop_map(|raw| VirtAddr::new(raw).expect("canonical by range"))
+}
+
+fn arb_va48() -> impl Strategy<Value = VirtAddr> {
+    (0u64..(1 << 48)).prop_map(|raw| VirtAddr::new(raw).expect("canonical by range"))
+}
+
+proptest! {
+    #[test]
+    fn va_decompose_recompose(va in arb_va()) {
+        let back = va.page_number().base_addr().raw() + va.page_offset();
+        prop_assert_eq!(back, va.raw());
+    }
+
+    #[test]
+    fn pa_decompose_recompose(raw in 0u64..(1 << 52)) {
+        let pa = PhysAddr::new(raw);
+        let back = pa.frame_number().base_addr().raw() + pa.frame_offset();
+        prop_assert_eq!(back, raw);
+    }
+
+    #[test]
+    fn indices_recompose_va48(va in arb_va48()) {
+        let rebuilt = (PtLevel::Pl4.index_of(va) << PtLevel::Pl4.index_shift())
+            | (PtLevel::Pl3.index_of(va) << PtLevel::Pl3.index_shift())
+            | (PtLevel::Pl2.index_of(va) << PtLevel::Pl2.index_shift())
+            | (PtLevel::Pl1.index_of(va) << PtLevel::Pl1.index_shift())
+            | va.page_offset();
+        prop_assert_eq!(rebuilt, va.raw());
+    }
+
+    #[test]
+    fn indices_recompose_va57(va in arb_va()) {
+        let rebuilt = PagingMode::FiveLevel
+            .levels()
+            .map(|l| l.index_of(va) << l.index_shift())
+            .fold(va.page_offset(), |acc, part| acc | part);
+        prop_assert_eq!(rebuilt, va.raw());
+    }
+
+    #[test]
+    fn index_always_in_table_range(va in arb_va(), depth in 1u32..=5) {
+        let level = PtLevel::from_depth(depth).unwrap();
+        prop_assert!(level.index_of(va) < ENTRIES_PER_TABLE);
+    }
+
+    #[test]
+    fn sorted_vas_have_sorted_node_indices(a in arb_va48(), b in arb_va48()) {
+        // The paper's key invariant (§1, footnote 1): if virtual page X comes
+        // before virtual page Y, the radix-tree *entry index* for X at any
+        // level (global, i.e. offset from VA zero) is <= that of Y. This is
+        // what makes base-plus-offset indexing sound once the OS sorts the
+        // PT pages physically.
+        let (lo, hi) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        for level in PagingMode::FourLevel.levels() {
+            let lo_global = lo.raw() >> level.index_shift();
+            let hi_global = hi.raw() >> level.index_shift();
+            prop_assert!(lo_global <= hi_global);
+        }
+    }
+
+    #[test]
+    fn line_covers_exactly_64_bytes(raw in 0u64..(1 << 52)) {
+        let pa = PhysAddr::new(raw);
+        let line = CacheLineAddr::containing(pa);
+        prop_assert!(pa.raw() >= line.base_addr().raw());
+        prop_assert!(pa.raw() < line.base_addr().raw() + 64);
+    }
+
+    #[test]
+    fn vpn_pfn_arithmetic(vpn_raw in 0u64..(1 << 40), delta in 0u64..1024) {
+        let vpn = VirtPageNum::new(vpn_raw);
+        prop_assert_eq!(vpn.add(delta).index_from(vpn), delta);
+        let pfn = PhysFrameNum::new(vpn_raw);
+        prop_assert_eq!(pfn.add(delta).base_addr().raw(),
+                        pfn.base_addr().raw() + delta * PAGE_SIZE);
+    }
+
+    #[test]
+    fn entry_coverage_is_consistent(depth in 1u32..=5) {
+        let level = PtLevel::from_depth(depth).unwrap();
+        prop_assert_eq!(level.table_coverage(), level.entry_coverage() * ENTRIES_PER_TABLE);
+        if let Some(child) = level.child() {
+            prop_assert_eq!(level.entry_coverage(), child.table_coverage());
+        }
+    }
+}

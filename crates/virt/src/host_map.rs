@@ -1,0 +1,72 @@
+//! Host-physical windows used by the hypervisor.
+//!
+//! The guest's compact physical space (see `asap_os::PhysMap::compact_guest`)
+//! occupies host frames `[0, 2^33)` under the identity data backing; the
+//! hypervisor's own page-table frames live above it.
+
+use asap_types::PhysFrameNum;
+
+/// Host-side window anchors for nested-page-table frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HostPtMap;
+
+impl HostPtMap {
+    /// End (exclusive) of the identity-backed guest region.
+    pub const GUEST_IDENTITY_END: u64 = 1 << 33;
+
+    /// Frames for scattered host-PT nodes.
+    pub const SCATTER_WINDOW_FRAMES: u64 = 1 << 22;
+
+    /// Frames for the reserved, sorted host PL1 region (one per 2 MiB of
+    /// guest-physical space).
+    pub const RES_PL1_WINDOW_FRAMES: u64 = 1 << 24;
+
+    /// Frames for the reserved, sorted host PL2 region.
+    pub const RES_PL2_WINDOW_FRAMES: u64 = 1 << 16;
+
+    /// Base of the scattered host-PT window.
+    #[must_use]
+    pub fn scatter_base() -> PhysFrameNum {
+        PhysFrameNum::new(1 << 33)
+    }
+
+    /// Base of the reserved host PL1 region.
+    #[must_use]
+    pub fn res_pl1_base() -> PhysFrameNum {
+        PhysFrameNum::new(1 << 34)
+    }
+
+    /// Base of the reserved host PL2 region.
+    #[must_use]
+    pub fn res_pl2_base() -> PhysFrameNum {
+        PhysFrameNum::new((1 << 34) + (1 << 25))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_windows_disjoint_and_above_guest() {
+        let windows = [
+            (HostPtMap::scatter_base().raw(), HostPtMap::SCATTER_WINDOW_FRAMES),
+            (HostPtMap::res_pl1_base().raw(), HostPtMap::RES_PL1_WINDOW_FRAMES),
+            (HostPtMap::res_pl2_base().raw(), HostPtMap::RES_PL2_WINDOW_FRAMES),
+        ];
+        for (base, span) in windows {
+            assert!(base >= HostPtMap::GUEST_IDENTITY_END);
+            assert!(base + span < 1 << 40, "fits the PFN field");
+        }
+        for (i, (b1, s1)) in windows.iter().enumerate() {
+            for (b2, s2) in windows.iter().skip(i + 1) {
+                assert!(b1 + s1 <= *b2 || b2 + s2 <= *b1, "windows overlap");
+            }
+        }
+        // Also disjoint from the co-runner window.
+        let co = asap_os::PhysMap::corunner_base().raw();
+        for (base, span) in windows {
+            assert!(base + span <= co);
+        }
+    }
+}

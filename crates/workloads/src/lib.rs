@@ -1,0 +1,52 @@
+//! Synthetic workload generators for the ASAP reproduction.
+//!
+//! The paper evaluates seven applications (Table 3): `mcf` (SPEC'06),
+//! `canneal` (PARSEC), `bfs`/`pagerank` (60 GB Twitter-like graphs on
+//! Galois), `memcached` with 80 GB and 400 GB datasets, and `redis` (50 GB
+//! YCSB). Their traces are unavailable, so this crate generates address
+//! streams with the properties that matter to translation behaviour —
+//! footprint, VMA shape (Table 2), temporal locality (the L2 TLB miss
+//! ratios of §4), PT-page scatter (Table 2's contiguous-region counts) and
+//! data-page contiguity (Table 7) — as first-class, documented parameters:
+//!
+//! * [`UniformStream`] — uniform random pages (memcached's random GETs);
+//! * [`ZipfStream`] — Zipfian item popularity (redis under YCSB);
+//! * [`PointerChaseStream`] — hot-set + cold pointer chasing (mcf,
+//!   canneal);
+//! * [`GraphStream`] — power-law graph traversal in BFS or PageRank mode;
+//! * [`CoRunner`] — the §4 SMT co-runner ("one request to a random address
+//!   for each memory access by the application thread").
+//!
+//! [`WorkloadSpec::paper_suite`] returns all seven calibrated presets.
+//!
+//! # Examples
+//!
+//! ```
+//! use asap_os::AsapOsConfig;
+//! use asap_workloads::{AccessStream, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::mcf();
+//! let process = spec.build_process(asap_types::Asid(1), AsapOsConfig::disabled(), 7);
+//! let mut stream = spec.build_stream(&process, 7);
+//! let va = stream.next_va();
+//! assert!(process.vmas().find(va).is_some(), "streams stay inside the VMAs");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corunner;
+mod graph;
+mod pointer_chase;
+mod spec;
+mod stream;
+mod uniform;
+mod zipf;
+
+pub use corunner::CoRunner;
+pub use graph::{GraphMode, GraphStream};
+pub use pointer_chase::PointerChaseStream;
+pub use spec::{PatternKind, WorkloadSpec};
+pub use stream::{AccessStream, BoxedStream};
+pub use uniform::UniformStream;
+pub use zipf::{Zipf, ZipfStream};

@@ -1,0 +1,141 @@
+//! Pointer-chasing with a hot working set — mcf and canneal.
+
+use crate::stream::Ranges;
+use crate::AccessStream;
+use asap_types::VirtAddr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A pointer-chase model: with probability `reuse`, the next reference
+/// re-visits a recently-used page (geometrically distributed stack
+/// distance); otherwise it jumps to a uniformly random page. This
+/// reproduces the moderate temporal locality that lets mcf's upper PT
+/// levels live in the PWCs (Fig. 9a) while its PL1 entries still miss.
+#[derive(Debug, Clone)]
+pub struct PointerChaseStream {
+    ranges: Ranges,
+    reuse: f64,
+    /// Recently used page indices (bounded LRU-ish stack).
+    recent: Vec<u64>,
+    capacity: usize,
+    /// Mean sequential-scan length in pages after a cold jump (array
+    /// traversals between pointer dereferences; 0 disables scanning).
+    scan_mean: u64,
+    scan_page: u64,
+    scan_left: u64,
+    rng: SmallRng,
+}
+
+impl PointerChaseStream {
+    /// Creates a stream with the given reuse probability, hot-stack
+    /// capacity (in pages) and mean cold-scan length (in pages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reuse` is outside `[0, 1)` or `capacity` is zero.
+    #[must_use]
+    pub fn new(ranges: Ranges, reuse: f64, capacity: usize, scan_mean: u64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&reuse), "reuse must be in [0, 1)");
+        assert!(capacity > 0, "hot stack cannot be empty");
+        Self {
+            ranges,
+            reuse,
+            recent: Vec::with_capacity(capacity),
+            capacity,
+            scan_mean,
+            scan_page: 0,
+            scan_left: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    fn push_recent(&mut self, page: u64) {
+        if self.recent.len() == self.capacity {
+            self.recent.remove(0);
+        }
+        self.recent.push(page);
+    }
+}
+
+impl AccessStream for PointerChaseStream {
+    fn next_va(&mut self) -> VirtAddr {
+        let page = if self.scan_left > 0 {
+            // Continue the cold sequential scan.
+            self.scan_left -= 1;
+            self.scan_page = (self.scan_page + 1) % self.ranges.total_pages();
+            self.scan_page
+        } else if !self.recent.is_empty() && self.rng.gen::<f64>() < self.reuse {
+            if self.rng.gen::<f64>() < 0.5 {
+                // Geometric preference for the most recent entries.
+                let mut idx = self.recent.len() - 1;
+                while idx > 0 && self.rng.gen::<f64>() < 0.5 {
+                    idx -= 1;
+                }
+                self.recent[idx]
+            } else {
+                // Log-uniform age over the whole stack: a smooth
+                // reuse-distance spectrum (see uniform.rs).
+                let len = self.recent.len();
+                let age = ((len as f64).powf(self.rng.gen::<f64>()) as usize).min(len - 1);
+                self.recent[len - 1 - age]
+            }
+        } else {
+            // Cold jump, optionally starting a sequential scan.
+            let p = self.rng.gen_range(0..self.ranges.total_pages());
+            if self.scan_mean > 0 {
+                self.scan_left = self.rng.gen_range(1..=2 * self.scan_mean - 1) - 1;
+                self.scan_page = p;
+            }
+            p
+        };
+        self.push_recent(page);
+        let offset = self.rng.gen_range(0..64u64) * 64;
+        VirtAddr::new_unchecked(self.ranges.page(page).raw() + offset)
+    }
+
+    fn name(&self) -> &'static str {
+        "pointer-chase"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn ranges() -> Ranges {
+        Ranges::new(vec![(0x200000, 4096 * 4096)])
+    }
+
+    #[test]
+    fn high_reuse_touches_few_pages() {
+        let mut hot = PointerChaseStream::new(ranges(), 0.95, 64, 0, 1);
+        let mut cold = PointerChaseStream::new(ranges(), 0.05, 64, 0, 1);
+        let hot_pages: HashSet<u64> = (0..5000).map(|_| hot.next_va().raw() >> 12).collect();
+        let cold_pages: HashSet<u64> = (0..5000).map(|_| cold.next_va().raw() >> 12).collect();
+        assert!(
+            hot_pages.len() * 2 < cold_pages.len(),
+            "hot {} vs cold {}",
+            hot_pages.len(),
+            cold_pages.len()
+        );
+    }
+
+    #[test]
+    fn stays_in_range() {
+        let mut s = PointerChaseStream::new(ranges(), 0.5, 32, 4, 2);
+        for _ in 0..1000 {
+            let va = s.next_va().raw();
+            assert!((0x200000..0x200000 + 4096 * 4096).contains(&va));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mk = || {
+            let mut s = PointerChaseStream::new(ranges(), 0.7, 16, 4, 9);
+            (0..100).map(|_| s.next_va().raw()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,353 @@
+//! Calibrated presets for the paper's seven workloads (Tables 2, 3, 7).
+
+use crate::stream::Ranges;
+use crate::{BoxedStream, GraphMode, GraphStream, PointerChaseStream, UniformStream, ZipfStream};
+use asap_os::{AsapOsConfig, Process, ProcessConfig, ProcessLayout, VmaKind, VmaSpec};
+use asap_types::{Asid, ByteSize};
+
+/// The reference pattern a workload generates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PatternKind {
+    /// Uniform random pages (memcached).
+    Uniform {
+        /// Fraction of the dataset actually touched.
+        hot_fraction: f64,
+        /// Mean sequential run in pages (multi-page values).
+        seq_run: u64,
+    },
+    /// Zipfian popularity (redis/YCSB).
+    Zipfian {
+        /// Skew exponent (YCSB ≈ 0.99).
+        s: f64,
+    },
+    /// Hot-set pointer chasing (mcf, canneal).
+    PointerChase {
+        /// Probability of revisiting a recent page.
+        reuse: f64,
+        /// Hot-stack capacity in pages.
+        capacity: usize,
+        /// Mean sequential scan after a cold jump, in pages.
+        scan_mean: u64,
+    },
+    /// Implicit power-law graph traversal (bfs, pagerank).
+    Graph(GraphMode),
+}
+
+/// One workload: footprint, VMA shape and locality knobs, all traceable to
+/// a paper table (see DESIGN.md's calibration section).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Workload name as in the paper's figures.
+    pub name: &'static str,
+    /// Dataset footprint (Table 3).
+    pub footprint: ByteSize,
+    /// Number of large VMAs holding the dataset (Table 2, "VMAs for 99%
+    /// footprint coverage").
+    pub big_vmas: usize,
+    /// Number of library mappings, chosen so text + libs + stack + big VMAs
+    /// equals Table 2's "Total VMAs".
+    pub libs: usize,
+    /// The access pattern.
+    pub pattern: PatternKind,
+    /// Mean physical run length of scattered PT pages (Table 2: PT pages /
+    /// contiguous regions).
+    pub pt_scatter_run: f64,
+    /// Fraction of 8-page groups that are physically clusterable,
+    /// calibrated against Table 7's clustered-TLB MPKI reductions.
+    pub data_cluster_fraction: f64,
+}
+
+impl WorkloadSpec {
+    /// SPEC'06 `mcf` (ref input): ~1.7 GB, pointer chasing with a sizeable
+    /// hot set. Table 2 row: 16 VMAs, 1 for 99%, 626 regions / 3189 pages.
+    #[must_use]
+    pub fn mcf() -> Self {
+        Self {
+            name: "mcf",
+            footprint: ByteSize::mib(1700),
+            big_vmas: 1,
+            libs: 13,
+            pattern: PatternKind::PointerChase {
+                reuse: 0.88,
+                capacity: 768,
+                scan_mean: 16,
+            },
+            pt_scatter_run: 5.1,
+            data_cluster_fraction: 0.75,
+        }
+    }
+
+    /// PARSEC `canneal` (native input): ~0.9 GB, random pointer chasing.
+    /// Table 2: 18 VMAs, 4 for 99%, 487 regions / 2842 pages.
+    #[must_use]
+    pub fn canneal() -> Self {
+        Self {
+            name: "canneal",
+            footprint: ByteSize::mib(900),
+            big_vmas: 4,
+            libs: 12,
+            pattern: PatternKind::PointerChase {
+                reuse: 0.82,
+                capacity: 384,
+                scan_mean: 6,
+            },
+            pt_scatter_run: 5.8,
+            data_cluster_fraction: 0.62,
+        }
+    }
+
+    /// Breadth-first search, 60 GB Twitter-like graph.
+    /// Table 2: 14 VMAs, 1 for 99%, 4285 regions / 66015 pages.
+    #[must_use]
+    pub fn bfs() -> Self {
+        Self {
+            name: "bfs",
+            footprint: ByteSize::gib(60),
+            big_vmas: 1,
+            libs: 11,
+            pattern: PatternKind::Graph(GraphMode::Bfs),
+            pt_scatter_run: 15.4,
+            data_cluster_fraction: 0.13,
+        }
+    }
+
+    /// PageRank, 60 GB Twitter-like graph.
+    /// Table 2: 18 VMAs, 1 for 99%, 2076 regions / 38504 pages.
+    #[must_use]
+    pub fn pagerank() -> Self {
+        Self {
+            name: "pagerank",
+            footprint: ByteSize::gib(60),
+            big_vmas: 1,
+            libs: 15,
+            pattern: PatternKind::Graph(GraphMode::PageRank),
+            pt_scatter_run: 18.5,
+            data_cluster_fraction: 0.21,
+        }
+    }
+
+    /// Memcached with an 80 GB dataset, uniform GETs.
+    /// Table 2: 26 VMAs, 6 for 99%, 1976 regions / 45878 pages.
+    #[must_use]
+    pub fn mc80() -> Self {
+        Self {
+            name: "mc80",
+            footprint: ByteSize::gib(80),
+            big_vmas: 6,
+            libs: 18,
+            pattern: PatternKind::Uniform { hot_fraction: 1.0, seq_run: 4 },
+            pt_scatter_run: 23.2,
+            data_cluster_fraction: 0.05,
+        }
+    }
+
+    /// Memcached with a 400 GB dataset.
+    /// Table 2: 33 VMAs, 13 for 99%, 5376 regions / 213097 pages.
+    #[must_use]
+    pub fn mc400() -> Self {
+        Self {
+            name: "mc400",
+            footprint: ByteSize::gib(400),
+            big_vmas: 13,
+            libs: 18,
+            pattern: PatternKind::Uniform { hot_fraction: 1.0, seq_run: 4 },
+            pt_scatter_run: 39.6,
+            data_cluster_fraction: 0.11,
+        }
+    }
+
+    /// Redis with a 50 GB YCSB dataset, zipfian GETs.
+    /// Table 2: 7 VMAs, 1 for 99%, 3555 regions / 44171 pages.
+    #[must_use]
+    pub fn redis() -> Self {
+        Self {
+            name: "redis",
+            footprint: ByteSize::gib(50),
+            big_vmas: 1,
+            libs: 4,
+            pattern: PatternKind::Zipfian { s: 0.99 },
+            pt_scatter_run: 12.4,
+            data_cluster_fraction: 0.15,
+        }
+    }
+
+    /// All seven workloads in the paper's figure order.
+    #[must_use]
+    pub fn paper_suite() -> Vec<Self> {
+        vec![
+            Self::mcf(),
+            Self::canneal(),
+            Self::bfs(),
+            Self::pagerank(),
+            Self::mc80(),
+            Self::mc400(),
+            Self::redis(),
+        ]
+    }
+
+    /// The suite used by figures that exclude `mc400` (e.g. Fig. 2).
+    #[must_use]
+    pub fn paper_suite_no_mc400() -> Vec<Self> {
+        Self::paper_suite()
+            .into_iter()
+            .filter(|w| w.name != "mc400")
+            .collect()
+    }
+
+    /// Looks up a preset by its paper name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        Self::paper_suite().into_iter().find(|w| w.name == name)
+    }
+
+    /// The process layout this workload implies: text, `libs` libraries, a
+    /// stack, and the dataset split evenly across `big_vmas` regions (the
+    /// first as heap, the rest as mmaps — the shapes Table 2 reports).
+    #[must_use]
+    pub fn layout(&self) -> ProcessLayout {
+        let share = self.footprint.bytes() / self.big_vmas as u64;
+        let mut layout = ProcessLayout::new();
+        layout.push(VmaSpec::new(VmaKind::Text, ByteSize::mib(2)));
+        for _ in 0..self.libs {
+            layout.push(VmaSpec::new(VmaKind::Library, ByteSize::mib(2)));
+        }
+        layout.push(VmaSpec::new(VmaKind::Stack, ByteSize::mib(8)));
+        layout.push(VmaSpec::new(VmaKind::Heap, ByteSize(share)));
+        for _ in 1..self.big_vmas {
+            layout.push(VmaSpec::new(VmaKind::Mmap, ByteSize(share)));
+        }
+        layout
+    }
+
+    /// Builds the process configuration for this workload.
+    #[must_use]
+    pub fn process_config(&self, asid: Asid, asap: AsapOsConfig, seed: u64) -> ProcessConfig {
+        ProcessConfig::new(asid)
+            .with_layout(self.layout())
+            .with_asap(asap)
+            .with_pt_scatter_run(self.pt_scatter_run)
+            .with_data_cluster_fraction(self.data_cluster_fraction)
+            .with_seed(seed)
+    }
+
+    /// Builds the process directly (native execution).
+    #[must_use]
+    pub fn build_process(&self, asid: Asid, asap: AsapOsConfig, seed: u64) -> Process {
+        Process::new(self.process_config(asid, asap, seed))
+    }
+
+    /// The dataset ranges of a built process (its big VMAs).
+    #[must_use]
+    pub fn dataset_ranges(&self, process: &Process) -> Ranges {
+        let spans: Vec<(u64, u64)> = process
+            .vmas()
+            .iter()
+            .filter(|v| matches!(v.kind(), VmaKind::Heap | VmaKind::Mmap))
+            .map(|v| (v.start().raw(), v.len()))
+            .collect();
+        Ranges::new(spans)
+    }
+
+    /// Builds this workload's access stream over a built process.
+    #[must_use]
+    pub fn build_stream(&self, process: &Process, seed: u64) -> BoxedStream {
+        let ranges = self.dataset_ranges(process);
+        match self.pattern {
+            PatternKind::Uniform { hot_fraction, seq_run } => {
+                Box::new(UniformStream::new(ranges, hot_fraction, seq_run, seed))
+            }
+            PatternKind::Zipfian { s } => Box::new(ZipfStream::new(ranges, s, seed)),
+            PatternKind::PointerChase { reuse, capacity, scan_mean } => {
+                Box::new(PointerChaseStream::new(ranges, reuse, capacity, scan_mean, seed))
+            }
+            PatternKind::Graph(mode) => Box::new(GraphStream::new(ranges, mode, seed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessStream;
+
+    #[test]
+    fn suite_has_seven_workloads() {
+        let suite = WorkloadSpec::paper_suite();
+        assert_eq!(suite.len(), 7);
+        let names: Vec<&str> = suite.iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            ["mcf", "canneal", "bfs", "pagerank", "mc80", "mc400", "redis"]
+        );
+        assert_eq!(WorkloadSpec::paper_suite_no_mc400().len(), 6);
+        assert!(WorkloadSpec::by_name("redis").is_some());
+        assert!(WorkloadSpec::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn vma_counts_match_table2() {
+        // Total VMAs = text + libs + stack + big VMAs.
+        let expect = [
+            ("mcf", 16),
+            ("canneal", 18),
+            ("bfs", 14),
+            ("pagerank", 18),
+            ("mc80", 26),
+            ("mc400", 33),
+            ("redis", 7),
+        ];
+        for (name, total) in expect {
+            let w = WorkloadSpec::by_name(name).unwrap();
+            assert_eq!(
+                2 + w.libs + w.big_vmas,
+                total,
+                "{name}: total VMA count vs Table 2"
+            );
+        }
+    }
+
+    #[test]
+    fn built_process_matches_table2_shape() {
+        let w = WorkloadSpec::mc80();
+        let p = w.build_process(Asid(1), AsapOsConfig::disabled(), 3);
+        assert_eq!(p.vmas().len(), 26);
+        // 99% coverage needs ~the big VMAs (size ties can round off one).
+        let cover = p.vmas().vmas_covering(0.99);
+        assert!((5..=7).contains(&cover), "coverage = {cover}");
+        // Footprint within 1% of 80 GiB.
+        let footprint = p.vmas().footprint().bytes() as f64;
+        assert!((footprint / ByteSize::gib(80).bytes() as f64 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn streams_stay_inside_dataset_vmas() {
+        for w in WorkloadSpec::paper_suite() {
+            // Shrink footprints so the test is fast but shapes hold.
+            let small = WorkloadSpec {
+                footprint: ByteSize::mib(64 * w.big_vmas as u64),
+                ..w.clone()
+            };
+            let p = small.build_process(Asid(1), AsapOsConfig::disabled(), 5);
+            let mut stream = small.build_stream(&p, 5);
+            for _ in 0..500 {
+                let va = stream.next_va();
+                let vma = p.vmas().find(va).unwrap_or_else(|| {
+                    panic!("{}: {va} outside every VMA", small.name)
+                });
+                assert!(
+                    matches!(vma.kind(), VmaKind::Heap | VmaKind::Mmap),
+                    "{}: stream escaped the dataset",
+                    small.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_runs_match_table2_ratios() {
+        // pages/regions from Table 2, sanity-checking the preset constants.
+        assert!((WorkloadSpec::mc80().pt_scatter_run - 45878.0 / 1976.0).abs() < 0.1);
+        assert!((WorkloadSpec::mc400().pt_scatter_run - 213097.0 / 5376.0).abs() < 0.1);
+        assert!((WorkloadSpec::redis().pt_scatter_run - 44171.0 / 3555.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Uniform random access — memcached's GET traffic.
+
+use crate::stream::Ranges;
+use crate::AccessStream;
+use asap_types::VirtAddr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniformly random page accesses over the workload's data ranges, the
+/// worst case for every translation cache — the paper's memcached model
+/// ("irregular access patterns ... poor spatio-temporal locality", §2.2).
+///
+/// A `hot_fraction` < 1 restricts the stream to a leading fraction of the
+/// dataset, which is how smaller *touched* working sets are modelled
+/// without changing the reserved footprint.
+#[derive(Debug, Clone)]
+pub struct UniformStream {
+    ranges: Ranges,
+    hot_pages: u64,
+    /// Mean sequential run length in pages (key-value items span pages; a
+    /// GET reads them back-to-back). Adjacent pages share a PTE cache
+    /// line, which is what gives real walks their L1-D hits (Fig. 9).
+    seq_run: u64,
+    run_page: u64,
+    run_left: u64,
+    /// Recently-accessed run starts: popular keys repeat at medium reuse
+    /// distances — beyond TLB reach, but with PTE lines still cached when
+    /// running in isolation. This is precisely the traffic SMT colocation
+    /// hurts (paper §2.2).
+    revisit_buf: Vec<u64>,
+    revisit_pos: usize,
+    rng: SmallRng,
+}
+
+/// Probability that a new run revisits a recently-used region.
+const REVISIT_PROB: f64 = 0.6;
+/// Revisit window in run starts (larger than the L2 S-TLB's 1536-page
+/// reach so distant revisits still walk).
+const REVISIT_WINDOW: usize = 65536;
+
+impl UniformStream {
+    /// Creates a stream over `ranges`, touching the first `hot_fraction`
+    /// of its pages, with sequential runs of mean `seq_run` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hot_fraction` is not in `(0, 1]` or `seq_run` is zero.
+    #[must_use]
+    pub fn new(ranges: Ranges, hot_fraction: f64, seq_run: u64, seed: u64) -> Self {
+        assert!(
+            hot_fraction > 0.0 && hot_fraction <= 1.0,
+            "hot fraction must be in (0, 1]"
+        );
+        assert!(seq_run > 0, "sequential runs have at least one page");
+        let hot_pages = ((ranges.total_pages() as f64 * hot_fraction) as u64).max(1);
+        Self {
+            ranges,
+            hot_pages,
+            seq_run,
+            run_page: 0,
+            run_left: 0,
+            revisit_buf: Vec::with_capacity(REVISIT_WINDOW),
+            revisit_pos: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Pages the stream can touch.
+    #[must_use]
+    pub fn hot_pages(&self) -> u64 {
+        self.hot_pages
+    }
+}
+
+impl AccessStream for UniformStream {
+    fn next_va(&mut self) -> VirtAddr {
+        let page = if self.run_left > 0 {
+            self.run_left -= 1;
+            self.run_page = (self.run_page + 1) % self.hot_pages;
+            self.run_page
+        } else {
+            let p = if !self.revisit_buf.is_empty() && self.rng.gen::<f64>() < REVISIT_PROB {
+                // Log-uniform revisit age: a smooth reuse-distance spectrum
+                // spanning the L1/L2/LLC retention boundaries, like real
+                // key-popularity traffic.
+                let len = self.revisit_buf.len();
+                let age = ((len as f64).powf(self.rng.gen::<f64>()) as usize).min(len - 1);
+                let newest = (self.revisit_pos + len - 1) % len;
+                self.revisit_buf[(newest + len - age) % len]
+            } else {
+                self.rng.gen_range(0..self.hot_pages)
+            };
+            if self.revisit_buf.len() < REVISIT_WINDOW {
+                self.revisit_buf.push(p);
+                self.revisit_pos = self.revisit_buf.len() % REVISIT_WINDOW;
+            } else {
+                self.revisit_buf[self.revisit_pos] = p;
+                self.revisit_pos = (self.revisit_pos + 1) % REVISIT_WINDOW;
+            }
+            // Uniform in [1, 2*mean - 1] has mean `seq_run`.
+            self.run_left = self.rng.gen_range(1..=2 * self.seq_run - 1) - 1;
+            self.run_page = p;
+            p
+        };
+        let offset = self.rng.gen_range(0..64u64) * 64; // a random line
+        VirtAddr::new_unchecked(self.ranges.page(page).raw() + offset)
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranges() -> Ranges {
+        Ranges::new(vec![(0x100000, 64 * 4096)])
+    }
+
+    #[test]
+    fn stays_in_range() {
+        let mut s = UniformStream::new(ranges(), 1.0, 1, 1);
+        for _ in 0..1000 {
+            let va = s.next_va().raw();
+            assert!((0x100000..0x100000 + 64 * 4096).contains(&va));
+        }
+    }
+
+    #[test]
+    fn hot_fraction_limits_pages() {
+        let mut s = UniformStream::new(ranges(), 0.25, 1, 1);
+        assert_eq!(s.hot_pages(), 16);
+        for _ in 0..1000 {
+            let va = s.next_va().raw();
+            assert!(va < 0x100000 + 16 * 4096);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut s = UniformStream::new(ranges(), 1.0, 1, 9);
+            (0..50).map(|_| s.next_va().raw()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = UniformStream::new(ranges(), 1.0, 1, 9);
+            (0..50).map(|_| s.next_va().raw()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seq_runs_produce_adjacent_pages() {
+        let mut s = UniformStream::new(ranges(), 1.0, 8, 5);
+        let pages: Vec<u64> = (0..2000).map(|_| s.next_va().raw() >> 12).collect();
+        let adjacent = pages.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        // Mean run 8 => ~7/8 of transitions are sequential.
+        assert!(adjacent * 10 > pages.len() * 6, "adjacent = {adjacent}");
+    }
+
+    #[test]
+    fn touches_many_distinct_pages() {
+        let mut s = UniformStream::new(ranges(), 1.0, 1, 3);
+        let pages: std::collections::HashSet<u64> =
+            (0..2000).map(|_| s.next_va().raw() >> 12).collect();
+        assert!(pages.len() > 50, "uniform stream must spread: {}", pages.len());
+    }
+}

@@ -1,0 +1,204 @@
+//! Zipfian access — redis under YCSB.
+
+use crate::stream::Ranges;
+use crate::AccessStream;
+use asap_types::VirtAddr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf(s) sampler over `1..=n` using rejection-inversion (Hörmann &
+/// Derflinger), which needs O(1) memory — crucial because the paper's redis
+/// dataset has ~12 million pages, far too many for a CDF table.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+    dens: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `1..=n` with exponent `s` (s ≠ 1 handled via
+    /// the generalized harmonic integral; s=1 works through the log form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s < 0`.
+    #[must_use]
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "empty domain");
+        assert!(s >= 0.0, "negative exponent");
+        let h = |x: f64| -> f64 {
+            if (s - 1.0).abs() < 1e-9 {
+                x.ln()
+            } else {
+                (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+            }
+        };
+        let h_x1 = h(1.5) - 1.0;
+        let h_n = h(n as f64 + 0.5);
+        Self {
+            n,
+            s,
+            h_x1,
+            h_n,
+            dens: 1.0 / (h(n as f64 + 0.5) - h(1.5) + 1.0),
+        }
+    }
+
+    fn h_inv(&self, x: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-9 {
+            x.exp()
+        } else {
+            (1.0 + x * (1.0 - self.s)).powf(1.0 / (1.0 - self.s))
+        }
+    }
+
+    /// Draws one rank in `1..=n` (rank 1 is the most popular).
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let _ = self.dens;
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = self.h_inv(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            // Acceptance test (standard rejection-inversion condition).
+            let h_k = if (self.s - 1.0).abs() < 1e-9 {
+                (k + 0.5).ln() - (k - 0.5).ln()
+            } else {
+                ((k + 0.5).powf(1.0 - self.s) - (k - 0.5).powf(1.0 - self.s)) / (1.0 - self.s)
+            };
+            if h_k >= k.powf(-self.s) * rng.gen::<f64>() {
+                return k as u64;
+            }
+        }
+    }
+
+    /// Domain size.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Zipfian page accesses: popularity rank is scrambled across the dataset
+/// so hot pages are scattered in the virtual space (hash-distributed keys,
+/// as in a real key-value store).
+#[derive(Debug, Clone)]
+pub struct ZipfStream {
+    ranges: Ranges,
+    zipf: Zipf,
+    rng: SmallRng,
+    scramble_key: u64,
+}
+
+impl ZipfStream {
+    /// Creates a stream with exponent `s` (YCSB uses ≈ 0.99).
+    #[must_use]
+    pub fn new(ranges: Ranges, s: f64, seed: u64) -> Self {
+        let pages = ranges.total_pages();
+        Self {
+            ranges,
+            zipf: Zipf::new(pages, s),
+            rng: SmallRng::seed_from_u64(seed),
+            scramble_key: seed ^ 0x5CA4,
+        }
+    }
+}
+
+impl AccessStream for ZipfStream {
+    fn next_va(&mut self) -> VirtAddr {
+        let rank = self.zipf.sample(&mut self.rng) - 1;
+        // Scramble rank -> page index so hot pages are spread out.
+        let pages = self.ranges.total_pages();
+        let mut x = rank.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ self.scramble_key;
+        x ^= x >> 29;
+        let page = x % pages;
+        let offset = (rank.wrapping_mul(31)) % 64 * 64;
+        VirtAddr::new_unchecked(self.ranges.page(page).raw() + offset)
+    }
+
+    fn name(&self) -> &'static str {
+        "zipfian"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn zipf_respects_domain() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(z.sample(&mut rng)).or_default() += 1;
+        }
+        let top = counts.get(&1).copied().unwrap_or(0);
+        let mid = counts.get(&500).copied().unwrap_or(0);
+        assert!(top > 20 * mid.max(1), "rank 1 ({top}) must dominate rank 500 ({mid})");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u64; 11];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for k in 1..=10 {
+            let f = counts[k] as f64 / 20_000.0;
+            assert!((f - 0.1).abs() < 0.02, "rank {k}: {f}");
+        }
+    }
+
+    #[test]
+    fn large_domain_is_cheap() {
+        // 12.5M pages (redis, 50 GB): must construct instantly.
+        let z = Zipf::new(12_500_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let _ = z.sample(&mut rng);
+        }
+    }
+
+    #[test]
+    fn stream_stays_in_ranges() {
+        let ranges = Ranges::new(vec![(0x40_0000, 128 * 4096)]);
+        let mut s = ZipfStream::new(ranges, 0.99, 5);
+        for _ in 0..1000 {
+            let va = s.next_va().raw();
+            assert!((0x40_0000..0x40_0000 + 128 * 4096).contains(&va));
+        }
+    }
+
+    #[test]
+    fn stream_concentrates_on_few_pages() {
+        let ranges = Ranges::new(vec![(0x40_0000, 4096 * 4096)]);
+        let mut s = ZipfStream::new(ranges, 0.99, 6);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(s.next_va().raw() >> 12).or_default() += 1;
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = freqs.iter().take(10).sum();
+        assert!(
+            top10 as f64 / 20_000.0 > 0.25,
+            "top-10 pages should absorb >25% of a zipfian stream"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Graph analytics: where ASAP earns its keep.
+//!
+//! Runs the bfs and pagerank workloads (60 GB Twitter-like graphs) through
+//! the native and virtualized machines and prints the walk-latency picture
+//! plus the Fig. 9-style serving breakdown for the leaf level.
+//!
+//! Run with: `cargo run --release --example graph_analytics`
+
+use asap::core::{AsapHwConfig, NestedAsapConfig};
+use asap::sim::{run_native, run_virt, NativeRunSpec, SimConfig, Table, VirtRunSpec};
+use asap::types::PtLevel;
+use asap::workloads::WorkloadSpec;
+
+fn main() {
+    let sim = SimConfig::default();
+    let mut table = Table::new(
+        "graph analytics: average page-walk latency (cycles)",
+        vec!["workload", "native base", "native ASAP", "virt base", "virt ASAP"],
+    );
+    for w in [WorkloadSpec::bfs(), WorkloadSpec::pagerank()] {
+        let nb = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
+        let na = run_native(
+            &NativeRunSpec::baseline(w.clone())
+                .with_asap(AsapHwConfig::p1_p2())
+                .with_sim(sim),
+        );
+        let vb = run_virt(&VirtRunSpec::baseline(w.clone()).with_sim(sim));
+        let va = run_virt(
+            &VirtRunSpec::baseline(w.clone())
+                .with_asap(NestedAsapConfig::all())
+                .with_sim(sim),
+        );
+        table.row(vec![
+            w.name.into(),
+            format!("{:.1}", nb.avg_walk_latency()),
+            format!("{:.1} (-{:.0}%)", na.avg_walk_latency(), na.reduction_vs(&nb) * 100.0),
+            format!("{:.1}", vb.avg_walk_latency()),
+            format!("{:.1} (-{:.0}%)", va.avg_walk_latency(), va.reduction_vs(&vb) * 100.0),
+        ]);
+        // Fig. 9-style leaf-level breakdown for the native baseline.
+        let f = nb.served.fractions(PtLevel::Pl1);
+        println!(
+            "{}: PL1 requests served by PWC {:.0}% | L1 {:.0}% | L2 {:.0}% | LLC {:.0}% | Mem {:.0}%",
+            w.name,
+            f[0] * 100.0,
+            f[1] * 100.0,
+            f[2] * 100.0,
+            f[3] * 100.0,
+            f[4] * 100.0
+        );
+    }
+    println!("\n{}", table.render());
+    println!(
+        "Pointer-chasing graph traversals defeat the TLB; their PL1 entries\n\
+         regularly come from LLC or memory, which is exactly the latency the\n\
+         ASAP prefetches overlap."
+    );
+}

@@ -1,0 +1,79 @@
+//! Virtualized key-value store: the 24-access 2D walk and per-dimension ASAP.
+//!
+//! Boots a VM running the redis workload, shows one full nested walk
+//! (Fig. 7), then sweeps the paper's Fig. 10 prefetch configurations.
+//!
+//! Run with: `cargo run --release --example virtualized_kv`
+
+use asap::core::NestedAsapConfig;
+use asap::os::{AsapOsConfig, VmaKind};
+use asap::sim::{run_virt, SimConfig, Table, VirtRunSpec};
+use asap::types::Asid;
+use asap::virt::{Dim, EptConfig, VirtualMachine};
+use asap::workloads::WorkloadSpec;
+
+fn main() {
+    // Part 1: anatomy of one 2D walk.
+    let redis = WorkloadSpec::redis();
+    let mut vm = VirtualMachine::new(
+        redis
+            .process_config(Asid(1), AsapOsConfig::pl1_and_pl2(), 7)
+            .with_compact_phys(),
+        EptConfig::default().host_pl1_and_pl2(),
+    );
+    let va = vm.guest().vma_of_kind(VmaKind::Heap).unwrap().start();
+    vm.touch(va).unwrap();
+    let trace = vm.nested_walk(va);
+    println!("one 2D walk for {va}: {} accesses", trace.steps.len());
+    for (i, step) in trace.steps.iter().enumerate() {
+        let dim = match step.dim {
+            Dim::Guest => "guest",
+            Dim::Host => "host ",
+        };
+        let for_level = step
+            .for_guest_level
+            .map_or("data".to_string(), |l| format!("g{l}"));
+        println!(
+            "  {:2}. [{dim}] {} (serving {for_level}) line {:#x}",
+            i + 1,
+            step.level,
+            step.host_entry_addr.cache_line().raw(),
+        );
+    }
+
+    // Part 2: the Fig. 10 sweep for redis.
+    let sim = SimConfig::default();
+    let configs = [
+        ("Baseline", NestedAsapConfig::off()),
+        ("P1g", NestedAsapConfig::p1g()),
+        ("P1g+P2g", NestedAsapConfig::p1g_p2g()),
+        ("P1g+P1h", NestedAsapConfig::p1g_p1h()),
+        ("All four", NestedAsapConfig::all()),
+    ];
+    let mut table = Table::new(
+        "redis, virtualized: average 2D-walk latency",
+        vec!["config", "cycles", "reduction"],
+    );
+    let mut base = 0.0;
+    for (name, asap) in configs {
+        let r = run_virt(
+            &VirtRunSpec::baseline(redis.clone())
+                .with_asap(asap)
+                .with_sim(sim),
+        );
+        if name == "Baseline" {
+            base = r.avg_walk_latency();
+        }
+        table.row(vec![
+            name.into(),
+            format!("{:.1}", r.avg_walk_latency()),
+            format!("{:.0}%", (1.0 - r.avg_walk_latency() / base) * 100.0),
+        ]);
+    }
+    println!("\n{}", table.render());
+    println!(
+        "Guest-only prefetching helps modestly — the walk spends most of its\n\
+         time in the host dimension (paper §5.2); prefetching both dimensions\n\
+         unlocks the full gain."
+    );
+}

@@ -1,0 +1,156 @@
+//! Cross-crate integration tests: the full machine, end to end.
+
+use asap::core::{AsapHwConfig, Mmu, MmuConfig, NestedAsapConfig, TranslationPath};
+use asap::os::{AsapOsConfig, Process, ProcessConfig, VmaKind};
+use asap::sim::{run_native, run_virt, NativeRunSpec, SimConfig, VirtRunSpec};
+use asap::types::{Asid, ByteSize, VirtAddr};
+use asap::workloads::WorkloadSpec;
+
+fn small(w: WorkloadSpec) -> WorkloadSpec {
+    WorkloadSpec {
+        footprint: ByteSize::mib(64 * w.big_vmas as u64),
+        ..w
+    }
+}
+
+/// Every workload preset drives the full native machine without faults and
+/// produces plausible walk latencies.
+#[test]
+fn all_workloads_run_natively() {
+    for w in WorkloadSpec::paper_suite() {
+        let r = run_native(&NativeRunSpec::baseline(small(w)).with_sim(SimConfig::smoke_test()));
+        assert_eq!(r.faults, 0, "{}", r.workload);
+        assert!(r.walks.count() > 0, "{} never walked", r.workload);
+        let avg = r.avg_walk_latency();
+        assert!(
+            (2.0..800.0).contains(&avg),
+            "{}: implausible avg walk latency {avg}",
+            r.workload
+        );
+    }
+}
+
+/// Every workload preset also runs virtualized, and the 2D walk costs more
+/// than the native walk (the Fig. 3 shape).
+#[test]
+fn all_workloads_run_virtualized() {
+    for w in WorkloadSpec::paper_suite() {
+        let native =
+            run_native(&NativeRunSpec::baseline(small(w.clone())).with_sim(SimConfig::smoke_test()));
+        let virt =
+            run_virt(&VirtRunSpec::baseline(small(w)).with_sim(SimConfig::smoke_test()));
+        assert_eq!(virt.faults, 0, "{}", virt.workload);
+        assert!(
+            virt.avg_walk_latency() > native.avg_walk_latency(),
+            "{}: virt {} !> native {}",
+            virt.workload,
+            virt.avg_walk_latency(),
+            native.avg_walk_latency()
+        );
+    }
+}
+
+/// The paper's central ordering holds on the full machine:
+/// P1+P2 <= P1 <= baseline (within noise), with real reductions on the
+/// TLB-hostile workloads.
+#[test]
+fn asap_orderings_hold() {
+    let sim = SimConfig::smoke_test();
+    let w = small(WorkloadSpec::mc80());
+    let base = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
+    let p1 = run_native(
+        &NativeRunSpec::baseline(w.clone())
+            .with_asap(AsapHwConfig::p1())
+            .with_sim(sim),
+    );
+    let p12 = run_native(
+        &NativeRunSpec::baseline(w)
+            .with_asap(AsapHwConfig::p1_p2())
+            .with_sim(sim),
+    );
+    assert!(p1.avg_walk_latency() < base.avg_walk_latency());
+    assert!(p12.avg_walk_latency() <= p1.avg_walk_latency() * 1.02);
+}
+
+/// Under virtualization, adding the host dimension beats guest-only
+/// prefetching (the Fig. 10 ordering).
+#[test]
+fn nested_asap_ordering_holds() {
+    let sim = SimConfig::smoke_test();
+    let w = small(WorkloadSpec::mc80());
+    let base = run_virt(&VirtRunSpec::baseline(w.clone()).with_sim(sim));
+    let p1g = run_virt(
+        &VirtRunSpec::baseline(w.clone())
+            .with_asap(NestedAsapConfig::p1g())
+            .with_sim(sim),
+    );
+    let p1g_p1h = run_virt(
+        &VirtRunSpec::baseline(w.clone())
+            .with_asap(NestedAsapConfig::p1g_p1h())
+            .with_sim(sim),
+    );
+    let all = run_virt(
+        &VirtRunSpec::baseline(w)
+            .with_asap(NestedAsapConfig::all())
+            .with_sim(sim),
+    );
+    assert!(p1g.avg_walk_latency() < base.avg_walk_latency());
+    assert!(p1g_p1h.avg_walk_latency() < p1g.avg_walk_latency());
+    assert!(all.avg_walk_latency() <= p1g_p1h.avg_walk_latency() * 1.02);
+}
+
+/// ASAP is architecturally invisible: translations through an ASAP MMU are
+/// bit-identical to the baseline for a mixed bag of addresses, including
+/// after VMA growth creates out-of-line PT "holes" (§3.7.2).
+#[test]
+fn asap_is_architecturally_invisible_even_with_holes() {
+    let mut asap_cfg = AsapOsConfig::pl1_and_pl2();
+    asap_cfg.extension_failure_rate = 1.0; // every extension fails
+    let mut p = Process::new(
+        ProcessConfig::new(Asid(1))
+            .with_heap(ByteSize::mib(8))
+            .with_asap(asap_cfg)
+            .with_seed(5),
+    );
+    let heap = *p.vma_of_kind(VmaKind::Heap).unwrap();
+    let grown_end = VirtAddr::new(heap.start().raw() + (256 << 20)).unwrap();
+    p.grow_heap(grown_end).unwrap();
+    // Touch pages straddling the original region and the grown (hole) area.
+    let vas: Vec<VirtAddr> = (0..64u64)
+        .map(|i| VirtAddr::new(heap.start().raw() + i * (3 << 20)).unwrap())
+        .collect();
+    for va in &vas {
+        p.touch(*va).unwrap();
+    }
+    assert!(p.hole_count() > 0, "the scenario must actually create holes");
+
+    let mut baseline = Mmu::new(MmuConfig::default());
+    let mut asap = Mmu::new(MmuConfig::default().with_asap(AsapHwConfig::p1_p2()));
+    asap.load_context(p.vma_descriptors());
+    for va in &vas {
+        let b = baseline.translate(p.mem(), p.page_table(), p.asid(), *va, None);
+        let a = asap.translate(p.mem(), p.page_table(), p.asid(), *va, None);
+        assert_eq!(b.phys, a.phys, "{va}: ASAP changed a translation");
+        assert!(a.phys.is_some());
+    }
+}
+
+/// The TLB path works across the facade: second access to the same page is
+/// a TLB hit with zero translation latency.
+#[test]
+fn facade_quickstart_flow() {
+    let mut p = Process::new(
+        ProcessConfig::new(Asid(3))
+            .with_heap(ByteSize::mib(16))
+            .with_asap(AsapOsConfig::pl1_only()),
+    );
+    let va = p.vma_of_kind(VmaKind::Heap).unwrap().start();
+    p.touch(va).unwrap();
+    let mut mmu = Mmu::new(MmuConfig::default().with_asap(AsapHwConfig::p1()));
+    mmu.load_context(p.vma_descriptors());
+    let first = mmu.translate(p.mem(), p.page_table(), p.asid(), va, None);
+    assert_eq!(first.path, TranslationPath::Walk);
+    let second = mmu.translate(p.mem(), p.page_table(), p.asid(), va, None);
+    assert_eq!(second.path, TranslationPath::TlbL1);
+    assert_eq!(second.latency, 0);
+}

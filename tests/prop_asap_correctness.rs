@@ -1,0 +1,109 @@
+//! Property tests for the paper's central correctness claims, end to end.
+
+use asap::core::prefetch_target;
+use asap::os::{AsapOsConfig, Process, ProcessConfig, VmaKind};
+use asap::types::{Asid, ByteSize, PtLevel, VirtAddr};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For ANY set of touched pages in an ASAP process, the hardware's
+    /// base-plus-offset prefetch target equals the physical address the
+    /// walker reads at PL1 and PL2 — the invariant that makes prefetches
+    /// useful (when it holds) and merely useless (never harmful) otherwise.
+    #[test]
+    fn prefetch_targets_match_walker(
+        offsets in proptest::collection::btree_set(0u64..32_768, 1..32),
+        seed in 0u64..1000,
+    ) {
+        let mut p = Process::new(
+            ProcessConfig::new(Asid(1))
+                .with_heap(ByteSize::mib(256))
+                .with_asap(AsapOsConfig::pl1_and_pl2())
+                .with_seed(seed),
+        );
+        let heap = *p.vma_of_kind(VmaKind::Heap).unwrap();
+        let vas: Vec<VirtAddr> = offsets
+            .iter()
+            .map(|o| VirtAddr::new(heap.start().raw() + o * 4096).unwrap())
+            .collect();
+        for va in &vas {
+            p.touch(*va).unwrap();
+        }
+        let desc = p
+            .vma_descriptors()
+            .iter()
+            .find(|d| d.covers(heap.start()))
+            .copied()
+            .expect("heap descriptor");
+        for va in &vas {
+            let trace = p.walk(*va);
+            prop_assert!(!trace.is_fault());
+            for level in [PtLevel::Pl1, PtLevel::Pl2] {
+                let step = trace.step_at(level).expect("walk visits the level");
+                let target = prefetch_target(&desc, level, *va).expect("level reserved");
+                prop_assert_eq!(target, step.entry_addr,
+                    "{} prefetch target must equal the walker's read", level);
+            }
+        }
+    }
+
+    /// Demand paging + translation is consistent for ANY access pattern:
+    /// every touched page translates, distinct pages get distinct frames,
+    /// and untouched neighbours stay unmapped.
+    #[test]
+    fn demand_paging_is_consistent(
+        offsets in proptest::collection::btree_set(0u64..16_384, 1..48),
+        seed in 0u64..1000,
+    ) {
+        let mut p = Process::new(
+            ProcessConfig::new(Asid(2))
+                .with_heap(ByteSize::mib(128))
+                .with_seed(seed),
+        );
+        let heap = *p.vma_of_kind(VmaKind::Heap).unwrap();
+        let mut frames = std::collections::HashSet::new();
+        for o in &offsets {
+            let va = VirtAddr::new(heap.start().raw() + o * 4096).unwrap();
+            p.touch(va).unwrap();
+            let t = p.translate(va).expect("touched page translates");
+            prop_assert!(frames.insert(t.frame.raw()), "duplicate frame");
+            let neighbour_off = o + 20_000; // beyond the touched range
+            let nva = VirtAddr::new(heap.start().raw() + neighbour_off * 4096).unwrap();
+            if heap.contains(nva) && !offsets.contains(&neighbour_off) {
+                prop_assert!(p.translate(nva).is_none());
+            }
+        }
+    }
+
+    /// ASAP-enabled and baseline processes with identical seeds produce
+    /// identical *data* placement — the OS extension only moves page-table
+    /// pages, never application data (§3.3, Fig. 5).
+    #[test]
+    fn asap_moves_only_page_table_pages(
+        offsets in proptest::collection::btree_set(0u64..8_192, 1..24),
+        seed in 0u64..1000,
+    ) {
+        let build = |asap: AsapOsConfig| {
+            let mut p = Process::new(
+                ProcessConfig::new(Asid(1))
+                    .with_heap(ByteSize::mib(64))
+                    .with_asap(asap)
+                    .with_seed(seed),
+            );
+            let heap = *p.vma_of_kind(VmaKind::Heap).unwrap();
+            offsets
+                .iter()
+                .map(|o| {
+                    let va = VirtAddr::new(heap.start().raw() + o * 4096).unwrap();
+                    p.touch(va).unwrap();
+                    p.translate(va).unwrap().frame
+                })
+                .collect::<Vec<_>>()
+        };
+        let baseline = build(AsapOsConfig::disabled());
+        let asap = build(AsapOsConfig::pl1_and_pl2());
+        prop_assert_eq!(baseline, asap, "data frames must be identical");
+    }
+}
