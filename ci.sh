@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI for the ASAP reproduction. Run from the repo root:
+#
+#   ./ci.sh              # full pass: fmt, clippy, release build, tests
+#   ASAP_QUICK=1 ./ci.sh # same gates, reduced simulation windows
+#
+# The last two steps are the repository's tier-1 verification command
+# (`cargo build --release && cargo test -q`); the script adds the style
+# and lint gates in front so a green ./ci.sh implies a clean PR.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --release
+run cargo test -q
+run cargo doc --no-deps --quiet
+
+echo
+echo "ci.sh: all gates passed"

@@ -181,7 +181,9 @@ impl BuddyAllocator {
     /// The largest order that currently has a free block, if any.
     #[must_use]
     pub fn largest_free_order(&self) -> Option<u32> {
-        (0..=MAX_ORDER).rev().find(|&o| !self.free_lists[o as usize].is_empty())
+        (0..=MAX_ORDER)
+            .rev()
+            .find(|&o| !self.free_lists[o as usize].is_empty())
     }
 }
 
@@ -280,7 +282,9 @@ mod tests {
         let mut b = BuddyAllocator::new(PhysFrameNum::new(0), 64);
         assert_eq!(
             b.alloc(MAX_ORDER + 1),
-            Err(AllocError::OrderTooLarge { order: MAX_ORDER + 1 })
+            Err(AllocError::OrderTooLarge {
+                order: MAX_ORDER + 1
+            })
         );
     }
 

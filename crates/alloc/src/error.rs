@@ -40,8 +40,14 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(AllocError::OutOfMemory { order: 3 }.to_string().contains("order-3"));
-        assert!(AllocError::NotAllocated.to_string().contains("not currently"));
-        assert!(AllocError::OrderTooLarge { order: 20 }.to_string().contains("20"));
+        assert!(AllocError::OutOfMemory { order: 3 }
+            .to_string()
+            .contains("order-3"));
+        assert!(AllocError::NotAllocated
+            .to_string()
+            .contains("not currently"));
+        assert!(AllocError::OrderTooLarge { order: 20 }
+            .to_string()
+            .contains("20"));
     }
 }

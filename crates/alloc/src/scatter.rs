@@ -171,26 +171,6 @@ mod tests {
     use super::*;
     use asap_pt_test_util::contiguity;
 
-    // Minimal local contiguity helper to avoid a dev-dependency cycle with
-    // asap-pt's census (which lives downstream of this crate).
-    mod asap_pt_test_util {
-        pub fn contiguity(frames: &[u64]) -> (usize, f64) {
-            let mut sorted = frames.to_vec();
-            sorted.sort_unstable();
-            sorted.dedup();
-            if sorted.is_empty() {
-                return (0, 0.0);
-            }
-            let mut regions = 1;
-            for pair in sorted.windows(2) {
-                if pair[1] != pair[0] + 1 {
-                    regions += 1;
-                }
-            }
-            (regions, sorted.len() as f64 / regions as f64)
-        }
-    }
-
     fn draw(config: ScatterConfig, n: usize) -> Vec<u64> {
         let mut a = ScatterAllocator::new(config);
         (0..n).map(|_| a.alloc_frame().unwrap().raw()).collect()
@@ -199,7 +179,11 @@ mod tests {
     #[test]
     fn frames_are_unique() {
         let frames = draw(
-            ScatterConfig { mean_run_len: 4.0, phys_frames: 1 << 22, seed: 3 },
+            ScatterConfig {
+                mean_run_len: 4.0,
+                phys_frames: 1 << 22,
+                seed: 3,
+            },
             10_000,
         );
         let set: HashSet<_> = frames.iter().collect();
@@ -210,7 +194,11 @@ mod tests {
     fn mean_run_length_tracks_config() {
         for target in [1.0f64, 8.0, 23.0, 40.0] {
             let frames = draw(
-                ScatterConfig { mean_run_len: target, phys_frames: 1 << 26, seed: 9 },
+                ScatterConfig {
+                    mean_run_len: target,
+                    phys_frames: 1 << 26,
+                    seed: 9,
+                },
                 20_000,
             );
             let (_, mean) = contiguity(&frames);
@@ -225,7 +213,11 @@ mod tests {
     #[test]
     fn random_mode_is_fully_scattered() {
         let frames = draw(
-            ScatterConfig { mean_run_len: 1.0, phys_frames: 1 << 26, seed: 11 },
+            ScatterConfig {
+                mean_run_len: 1.0,
+                phys_frames: 1 << 26,
+                seed: 11,
+            },
             5_000,
         );
         let (regions, mean) = contiguity(&frames);
@@ -236,7 +228,11 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let c = ScatterConfig { mean_run_len: 6.0, phys_frames: 1 << 20, seed: 77 };
+        let c = ScatterConfig {
+            mean_run_len: 6.0,
+            phys_frames: 1 << 20,
+            seed: 77,
+        };
         assert_eq!(draw(c, 1000), draw(c, 1000));
         let c2 = ScatterConfig { seed: 78, ..c };
         assert_ne!(draw(c, 1000), draw(c2, 1000));
@@ -263,6 +259,9 @@ mod tests {
         let c = ScatterConfig::from_table2(45878, 1976, 1 << 25, 0);
         assert!((c.mean_run_len - 23.2).abs() < 0.1);
         // Degenerate rows fall back sanely.
-        assert_eq!(ScatterConfig::from_table2(10, 0, 1 << 20, 0).mean_run_len, 1.0);
+        assert_eq!(
+            ScatterConfig::from_table2(10, 0, 1 << 20, 0).mean_run_len,
+            1.0
+        );
     }
 }

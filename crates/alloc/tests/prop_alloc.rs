@@ -1,7 +1,9 @@
 //! Property tests: buddy-allocator and scatter invariants.
 
-use asap_alloc::{BuddyAllocator, ContiguousReservation, FrameAllocator, ScatterAllocator,
-                 ScatterConfig, MAX_ORDER};
+use asap_alloc::{
+    BuddyAllocator, ContiguousReservation, FrameAllocator, ScatterAllocator, ScatterConfig,
+    MAX_ORDER,
+};
 use asap_types::PhysFrameNum;
 use proptest::prelude::*;
 use std::collections::HashSet;

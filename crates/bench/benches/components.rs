@@ -26,7 +26,11 @@ fn tlb_lookup(c: &mut Criterion) {
     let mut g = c.benchmark_group("components/tlb");
     let mut tlb = Tlb::new(TlbConfig::l2_stlb(), 0);
     for i in 0..1536u64 {
-        tlb.insert(Asid(0), VirtPageNum::new(i), TlbEntry::new(PhysFrameNum::new(i), PageSize::Size4K));
+        tlb.insert(
+            Asid(0),
+            VirtPageNum::new(i),
+            TlbEntry::new(PhysFrameNum::new(i), PageSize::Size4K),
+        );
     }
     let mut i = 0u64;
     g.bench_function("l2_stlb_lookup", |b| {
@@ -36,7 +40,12 @@ fn tlb_lookup(c: &mut Criterion) {
         })
     });
     let mut pwc = PageWalkCaches::new(PwcConfig::split_default(), 0);
-    pwc.fill(Asid(0), VirtAddr::new(0x1000).unwrap(), asap_types::PtLevel::Pl2, PhysFrameNum::new(1));
+    pwc.fill(
+        Asid(0),
+        VirtAddr::new(0x1000).unwrap(),
+        asap_types::PtLevel::Pl2,
+        PhysFrameNum::new(1),
+    );
     g.bench_function("pwc_lookup", |b| {
         b.iter(|| pwc.lookup(Asid(0), VirtAddr::new(black_box(0x1000)).unwrap()))
     });
@@ -49,9 +58,15 @@ fn page_walk(c: &mut Criterion) {
     let mut alloc = BumpNodeAllocator::new(PhysFrameNum::new(0x1000));
     let mut pt = PageTable::new(PagingMode::FourLevel, &mut mem, &mut alloc);
     for i in 0..4096u64 {
-        pt.map(&mut mem, &mut alloc, VirtAddr::new(i << 12).unwrap(),
-               PhysFrameNum::new(i + 10), PageSize::Size4K, PteFlags::user_data())
-            .unwrap();
+        pt.map(
+            &mut mem,
+            &mut alloc,
+            VirtAddr::new(i << 12).unwrap(),
+            PhysFrameNum::new(i + 10),
+            PageSize::Size4K,
+            PteFlags::user_data(),
+        )
+        .unwrap();
     }
     let mut i = 0u64;
     g.bench_function("software_walk", |b| {

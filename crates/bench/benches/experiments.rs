@@ -27,10 +27,14 @@ fn table1_kernel(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1");
     g.sample_size(10);
     g.bench_function("native_mc80_baseline", |b| {
-        b.iter(|| run_native(&NativeRunSpec::baseline(small(WorkloadSpec::mc80())).with_sim(bench_sim())))
+        b.iter(|| {
+            run_native(&NativeRunSpec::baseline(small(WorkloadSpec::mc80())).with_sim(bench_sim()))
+        })
     });
     g.bench_function("virt_mc80_baseline", |b| {
-        b.iter(|| run_virt(&VirtRunSpec::baseline(small(WorkloadSpec::mc80())).with_sim(bench_sim())))
+        b.iter(|| {
+            run_virt(&VirtRunSpec::baseline(small(WorkloadSpec::mc80())).with_sim(bench_sim()))
+        })
     });
     g.finish();
 }
@@ -73,7 +77,9 @@ fn fig9_kernel(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("served_matrix_mcf", |b| {
         b.iter(|| {
-            let r = run_native(&NativeRunSpec::baseline(small(WorkloadSpec::mcf())).with_sim(bench_sim()));
+            let r = run_native(
+                &NativeRunSpec::baseline(small(WorkloadSpec::mcf())).with_sim(bench_sim()),
+            );
             r.served.fractions(asap_types::PtLevel::Pl1)
         })
     });

@@ -47,11 +47,34 @@ pub fn table1() -> Table {
         V(VirtRunSpec),
     }
     let specs = vec![
-        ("native mc80 (reference)", Spec::N(NativeRunSpec::baseline(WorkloadSpec::mc80()).with_sim(sim))),
-        ("5x larger dataset (mc400)", Spec::N(NativeRunSpec::baseline(WorkloadSpec::mc400()).with_sim(sim))),
-        ("SMT colocation", Spec::N(NativeRunSpec::baseline(WorkloadSpec::mc80()).colocated().with_sim(sim))),
-        ("Virtualization", Spec::V(VirtRunSpec::baseline(WorkloadSpec::mc80()).with_sim(sim))),
-        ("Virtualization + SMT colocation", Spec::V(VirtRunSpec::baseline(WorkloadSpec::mc80()).colocated().with_sim(sim))),
+        (
+            "native mc80 (reference)",
+            Spec::N(NativeRunSpec::baseline(WorkloadSpec::mc80()).with_sim(sim)),
+        ),
+        (
+            "5x larger dataset (mc400)",
+            Spec::N(NativeRunSpec::baseline(WorkloadSpec::mc400()).with_sim(sim)),
+        ),
+        (
+            "SMT colocation",
+            Spec::N(
+                NativeRunSpec::baseline(WorkloadSpec::mc80())
+                    .colocated()
+                    .with_sim(sim),
+            ),
+        ),
+        (
+            "Virtualization",
+            Spec::V(VirtRunSpec::baseline(WorkloadSpec::mc80()).with_sim(sim)),
+        ),
+        (
+            "Virtualization + SMT colocation",
+            Spec::V(
+                VirtRunSpec::baseline(WorkloadSpec::mc80())
+                    .colocated()
+                    .with_sim(sim),
+            ),
+        ),
     ];
     let results = parallel_map(specs, |(name, spec)| {
         let r = match spec {
@@ -63,7 +86,12 @@ pub fn table1() -> Table {
     let reference = results[0].1.avg_walk_latency();
     let mut t = Table::new(
         "Table 1: memcached page-walk latency growth (normalized to native mc80 isolation)",
-        vec!["scenario", "avg walk latency (cycles)", "vs reference", "paper"],
+        vec![
+            "scenario",
+            "avg walk latency (cycles)",
+            "vs reference",
+            "paper",
+        ],
     );
     let paper = ["1.0x", "1.2x", "2.7x", "5.3x", "12.0x"];
     for ((name, r), paper_ratio) in results.iter().zip(paper) {
@@ -84,7 +112,13 @@ pub fn fig2() -> Table {
     let suite = WorkloadSpec::paper_suite_no_mc400();
     let mut t = Table::new(
         "Figure 2: fraction of execution time spent in page walks",
-        vec!["workload", "native", "native+coloc", "virtualized", "virt+coloc"],
+        vec![
+            "workload",
+            "native",
+            "native+coloc",
+            "virtualized",
+            "virt+coloc",
+        ],
     );
     let rows = parallel_map(suite, |w| {
         let native = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
@@ -124,7 +158,13 @@ pub fn fig3() -> Table {
     let suite = WorkloadSpec::paper_suite();
     let mut t = Table::new(
         "Figure 3: average page-walk latency (cycles)",
-        vec!["workload", "native", "native+coloc", "virtualized", "virt+coloc"],
+        vec![
+            "workload",
+            "native",
+            "native+coloc",
+            "virtualized",
+            "virt+coloc",
+        ],
     );
     let rows = parallel_map(suite, |w| {
         let native = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
@@ -189,10 +229,8 @@ pub fn table2() -> Table {
         // Analytic full-dataset PT size: one PL1 page per 2 MiB, one PL2
         // per 1 GiB, one PL3 per 512 GiB, plus the root.
         let bytes = w.footprint.bytes();
-        let analytic = bytes.div_ceil(2 << 20)
-            + bytes.div_ceil(1 << 30)
-            + bytes.div_ceil(1 << 39)
-            + 1;
+        let analytic =
+            bytes.div_ceil(2 << 20) + bytes.div_ceil(1 << 30) + bytes.div_ceil(1 << 39) + 1;
         (
             w.name,
             p.vmas().len(),
@@ -226,11 +264,20 @@ fn fig8_scenario(colocated: bool) -> Table {
     };
     let mut t = Table::new(
         title,
-        vec!["workload", "Baseline", "P1", "P1+P2", "P1 red.", "P1+P2 red."],
+        vec![
+            "workload",
+            "Baseline",
+            "P1",
+            "P1+P2",
+            "P1 red.",
+            "P1+P2 red.",
+        ],
     );
     let rows = parallel_map(WorkloadSpec::paper_suite(), |w| {
         let mk = |asap: AsapHwConfig| {
-            let mut s = NativeRunSpec::baseline(w.clone()).with_asap(asap).with_sim(sim);
+            let mut s = NativeRunSpec::baseline(w.clone())
+                .with_asap(asap)
+                .with_sim(sim);
             if colocated {
                 s = s.colocated();
             }
@@ -238,7 +285,11 @@ fn fig8_scenario(colocated: bool) -> Table {
         };
         (
             w.name,
-            [mk(AsapHwConfig::off()), mk(AsapHwConfig::p1()), mk(AsapHwConfig::p1_p2())],
+            [
+                mk(AsapHwConfig::off()),
+                mk(AsapHwConfig::p1()),
+                mk(AsapHwConfig::p1_p2()),
+            ],
         )
     });
     let mut acc = [0.0f64; 3];
@@ -281,7 +332,9 @@ pub fn fig9() -> Table {
     let sim = sim_config();
     let mut t = Table::new(
         "Figure 9: walk requests served by each level (baseline, native)",
-        vec!["workload", "scenario", "PT level", "PWC", "L1", "L2", "LLC", "Mem"],
+        vec![
+            "workload", "scenario", "PT level", "PWC", "L1", "L2", "LLC", "Mem",
+        ],
     );
     let specs: Vec<(WorkloadSpec, bool)> = vec![
         (WorkloadSpec::mcf(), false),
@@ -330,13 +383,17 @@ fn fig10_scenario(colocated: bool) -> Table {
     ];
     let mut t = Table::new(
         title,
-        vec!["workload", "Baseline", "P1g", "P1g+P2g", "P1g+P1h", "All", "All red."],
+        vec![
+            "workload", "Baseline", "P1g", "P1g+P2g", "P1g+P1h", "All", "All red.",
+        ],
     );
     let rows = parallel_map(WorkloadSpec::paper_suite(), |w| {
         let results: Vec<RunResult> = configs
             .iter()
             .map(|(_, asap)| {
-                let mut s = VirtRunSpec::baseline(w.clone()).with_asap(asap.clone()).with_sim(sim);
+                let mut s = VirtRunSpec::baseline(w.clone())
+                    .with_asap(asap.clone())
+                    .with_sim(sim);
                 if colocated {
                     s = s.colocated();
                 }
@@ -391,7 +448,11 @@ pub fn table6() -> Table {
     );
     let rows = parallel_map(workloads, |w| {
         let normal = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
-        let perfect = run_native(&NativeRunSpec::baseline(w.clone()).perfect_tlb().with_sim(sim));
+        let perfect = run_native(
+            &NativeRunSpec::baseline(w.clone())
+                .perfect_tlb()
+                .with_sim(sim),
+        );
         let fraction = 1.0 - perfect.cycles as f64 / normal.cycles as f64;
         let vbase = run_virt(&VirtRunSpec::baseline(w.clone()).with_sim(sim));
         let vasap = run_virt(
@@ -428,7 +489,11 @@ pub fn fig11_table7() -> (Table, Table) {
     let sim = sim_config();
     let rows = parallel_map(WorkloadSpec::paper_suite(), |w| {
         let base = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
-        let clustered = run_native(&NativeRunSpec::baseline(w.clone()).with_clustered_tlb().with_sim(sim));
+        let clustered = run_native(
+            &NativeRunSpec::baseline(w.clone())
+                .with_clustered_tlb()
+                .with_sim(sim),
+        );
         let asap = run_native(
             &NativeRunSpec::baseline(w.clone())
                 .with_asap(AsapHwConfig::p1_p2())
@@ -444,7 +509,13 @@ pub fn fig11_table7() -> (Table, Table) {
     });
     let mut t7 = Table::new(
         "Table 7: TLB MPKI reduction with the clustered TLB",
-        vec!["workload", "baseline MPKI", "clustered MPKI", "reduction", "paper"],
+        vec![
+            "workload",
+            "baseline MPKI",
+            "clustered MPKI",
+            "reduction",
+            "paper",
+        ],
     );
     let paper7 = ["58%", "48%", "10%", "16%", "4%", "9%", "12%"];
     let mut t11 = Table::new(
@@ -508,7 +579,9 @@ pub fn fig12() -> Table {
     );
     let rows = parallel_map(WorkloadSpec::paper_suite(), |w| {
         let mk = |asap: bool, coloc: bool| {
-            let mut s = VirtRunSpec::baseline(w.clone()).host_2m_pages().with_sim(sim);
+            let mut s = VirtRunSpec::baseline(w.clone())
+                .host_2m_pages()
+                .with_sim(sim);
             if asap {
                 s = s.with_asap(NestedAsapConfig::host_2m());
             }
@@ -519,7 +592,12 @@ pub fn fig12() -> Table {
         };
         (
             w.name,
-            [mk(false, false), mk(true, false), mk(false, true), mk(true, true)],
+            [
+                mk(false, false),
+                mk(true, false),
+                mk(false, true),
+                mk(true, true),
+            ],
         )
     });
     let mut acc = [0.0f64; 4];
@@ -618,8 +696,16 @@ pub fn ablation_5level() -> Table {
         vec!["config", "avg walk latency (cycles)", "vs 4-level baseline"],
     );
     let specs = vec![
-        ("4-level baseline", NativeRunSpec::baseline(WorkloadSpec::mc400()).with_sim(sim)),
-        ("5-level baseline", NativeRunSpec::baseline(WorkloadSpec::mc400()).five_level().with_sim(sim)),
+        (
+            "4-level baseline",
+            NativeRunSpec::baseline(WorkloadSpec::mc400()).with_sim(sim),
+        ),
+        (
+            "5-level baseline",
+            NativeRunSpec::baseline(WorkloadSpec::mc400())
+                .five_level()
+                .with_sim(sim),
+        ),
         (
             "5-level + ASAP P1+P2",
             NativeRunSpec::baseline(WorkloadSpec::mc400())

@@ -63,10 +63,12 @@ impl Cache {
     pub fn fill(&mut self, line: CacheLineAddr) -> Option<CacheLineAddr> {
         let set = self.set_of(line);
         self.stats.fills += 1;
-        self.array.insert(set, line, ()).map(|Eviction { key, .. }| {
-            self.stats.evictions += 1;
-            key
-        })
+        self.array
+            .insert(set, line, ())
+            .map(|Eviction { key, .. }| {
+                self.stats.evictions += 1;
+                key
+            })
     }
 
     /// Removes a line if present.

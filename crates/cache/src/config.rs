@@ -44,8 +44,15 @@ impl CacheConfig {
             "{name}: capacity must be a multiple of the line size"
         );
         let num_sets = (lines as usize) / ways;
-        assert_eq!(num_sets * ways, lines as usize, "{name}: capacity/ways mismatch");
-        assert!(num_sets.is_power_of_two(), "{name}: set count must be a power of two");
+        assert_eq!(
+            num_sets * ways,
+            lines as usize,
+            "{name}: capacity/ways mismatch"
+        );
+        assert!(
+            num_sets.is_power_of_two(),
+            "{name}: set count must be a power of two"
+        );
         Self {
             name,
             num_sets,
@@ -165,8 +172,8 @@ mod tests {
 
     #[test]
     fn replacement_override() {
-        let c = CacheConfig::from_capacity("x", 4096, 4, 1)
-            .with_replacement(ReplacementKind::Random);
+        let c =
+            CacheConfig::from_capacity("x", 4096, 4, 1).with_replacement(ReplacementKind::Random);
         assert_eq!(c.replacement, ReplacementKind::Random);
     }
 }

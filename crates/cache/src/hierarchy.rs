@@ -151,10 +151,7 @@ impl CacheHierarchy {
         // Determine where the line would come from, then move it into L1
         // (and the outer levels) with an MSHR covering the flight time.
         let (latency, served_by) = self.probe_source(line);
-        match self
-            .mshrs
-            .allocate(line, now, now + latency, served_by)
-        {
+        match self.mshrs.allocate(line, now, now + latency, served_by) {
             MshrOutcome::Issued { completion } | MshrOutcome::Merged { completion } => {
                 self.fill_all(line);
                 self.stats.prefetch_fills += 1;

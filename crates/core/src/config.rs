@@ -254,7 +254,10 @@ mod tests {
     fn presets_match_paper_configs() {
         assert!(!AsapHwConfig::off().is_enabled());
         assert_eq!(AsapHwConfig::p1().levels, vec![PtLevel::Pl1]);
-        assert_eq!(AsapHwConfig::p1_p2().levels, vec![PtLevel::Pl1, PtLevel::Pl2]);
+        assert_eq!(
+            AsapHwConfig::p1_p2().levels,
+            vec![PtLevel::Pl1, PtLevel::Pl2]
+        );
         let all = NestedAsapConfig::all();
         assert_eq!(all.guest.len(), 2);
         assert_eq!(all.host.len(), 2);

@@ -6,7 +6,9 @@ use crate::{
 };
 use asap_cache::{CacheHierarchy, HierarchyStats};
 use asap_pt::{PageTable, SimPhysMem, Walker};
-use asap_tlb::{ClusteredTlb, PageWalkCaches, TlbEntry, TlbHierarchy, TlbLevel, TlbLookup, TlbStats};
+use asap_tlb::{
+    ClusteredTlb, PageWalkCaches, TlbEntry, TlbHierarchy, TlbLevel, TlbLookup, TlbStats,
+};
 use asap_types::{Asid, CacheLineAddr, PageSize, PhysAddr, PtLevel, VirtAddr};
 
 /// Cycles charged for a translation that hits the L2 S-TLB (the L1 hit is
@@ -227,7 +229,8 @@ impl Mmu {
         }
         let fault = trace.is_fault();
         if let Some(tr) = trace.translation() {
-            self.tlbs.fill(asid, vpn_of(va), TlbEntry::new(tr.frame, tr.size));
+            self.tlbs
+                .fill(asid, vpn_of(va), TlbEntry::new(tr.frame, tr.size));
             if tr.size == PageSize::Size4K {
                 if let (Some(ct), Some(source)) = (&mut self.clustered, cluster) {
                     ct.fill_cluster(asid, vpn_of(va), &source.cluster_frames(va));
@@ -438,8 +441,10 @@ mod tests {
             .sources
             .iter()
             .filter(|(l, _)| matches!(l, PtLevel::Pl1 | PtLevel::Pl2))
-            .all(|(_, s)| matches!(s, ServedSource::Cache(asap_cache::ServedBy::L1)
-                                      | ServedSource::Merged(_))));
+            .all(|(_, s)| matches!(
+                s,
+                ServedSource::Cache(asap_cache::ServedBy::L1) | ServedSource::Merged(_)
+            )));
     }
 
     #[test]
@@ -466,7 +471,11 @@ mod tests {
         );
         // The exposed latency is roughly ONE memory access, the paper's
         // "single access to the memory hierarchy" claim.
-        assert!(walk.latency <= 2 + 191 + 2 * 4 + 8, "latency {}", walk.latency);
+        assert!(
+            walk.latency <= 2 + 191 + 2 * 4 + 8,
+            "latency {}",
+            walk.latency
+        );
     }
 
     #[test]
@@ -522,7 +531,10 @@ mod tests {
         // there). It must yield the correct frame.
         let second = mmu.translate(p.mem(), p.page_table(), p.asid(), vas[5], Some(&p));
         assert_eq!(second.path, TranslationPath::ClusteredTlb);
-        assert_eq!(second.phys, p.translate(vas[5]).map(|t| t.phys_addr(vas[5])));
+        assert_eq!(
+            second.phys,
+            p.translate(vas[5]).map(|t| t.phys_addr(vas[5]))
+        );
         assert_eq!(mmu.walk_stats().count(), 1);
     }
 

@@ -384,7 +384,11 @@ mod tests {
         // Up to 24 accesses (Fig. 7); the host PWC warms up *within* the
         // walk (the gPT node pages share upper host-PT levels), eliding a
         // few of the later host steps even on a cold machine.
-        assert!((15..=24).contains(&walk.accesses), "accesses = {}", walk.accesses);
+        assert!(
+            (15..=24).contains(&walk.accesses),
+            "accesses = {}",
+            walk.accesses
+        );
         // Cold: most accesses come from memory, serialized (later steps may
         // hit lines fetched by earlier steps of the same walk — e.g. shared
         // upper host-PT nodes).
@@ -444,9 +448,8 @@ mod tests {
             EptConfig::default().host_pl1_and_pl2(),
             AsapOsConfig::pl1_and_pl2(),
         );
-        let mut asap = NestedMmu::new(
-            NestedMmuConfig::default().with_asap(NestedAsapConfig::all()),
-        );
+        let mut asap =
+            NestedMmu::new(NestedMmuConfig::default().with_asap(NestedAsapConfig::all()));
         asap.load_context(&vm_a);
         let va_a = heap_va(&vm_a);
         let a = asap.translate(&mut vm_a, va_a);
@@ -461,7 +464,10 @@ mod tests {
 
     #[test]
     fn asap_preserves_translations_under_virtualization() {
-        let mut vm_a = vm(AsapOsConfig::pl1_and_pl2(), EptConfig::default().host_pl1_and_pl2());
+        let mut vm_a = vm(
+            AsapOsConfig::pl1_and_pl2(),
+            EptConfig::default().host_pl1_and_pl2(),
+        );
         let heap = heap_va(&vm_a);
         let vas: Vec<VirtAddr> = (0..16)
             .map(|i| VirtAddr::new(heap.raw() + i * 0x3000).unwrap())
@@ -471,9 +477,8 @@ mod tests {
         }
         let mut base = NestedMmu::new(NestedMmuConfig::default());
         base.load_context(&vm_a);
-        let mut asap = NestedMmu::new(
-            NestedMmuConfig::default().with_asap(NestedAsapConfig::all()),
-        );
+        let mut asap =
+            NestedMmu::new(NestedMmuConfig::default().with_asap(NestedAsapConfig::all()));
         asap.load_context(&vm_a);
         for va in &vas {
             let b = base.translate(&mut vm_a, *va);
@@ -490,7 +495,10 @@ mod tests {
         let va = heap_va(&vm4k);
         let out4k = mmu4k.translate(&mut vm4k, va);
 
-        let mut vm2m = vm(AsapOsConfig::disabled(), EptConfig::default().host_2m_pages());
+        let mut vm2m = vm(
+            AsapOsConfig::disabled(),
+            EptConfig::default().host_2m_pages(),
+        );
         let mut mmu2m = NestedMmu::new(NestedMmuConfig::default());
         mmu2m.load_context(&vm2m);
         let va2 = heap_va(&vm2m);

@@ -42,7 +42,10 @@ pub fn prefetch_target(desc: &VmaDescriptor, level: PtLevel, va: VirtAddr) -> Op
         PtLevel::Pl2 => desc.pl2_base,
         _ => None,
     }?;
-    debug_assert!(desc.covers(va), "prefetch computed for a va outside the VMA");
+    debug_assert!(
+        desc.covers(va),
+        "prefetch computed for a va outside the VMA"
+    );
     // i-th table page at `level` within the VMA (floor semantics match the
     // OS placement in asap-os::placement::node_index).
     let table_shift = level.index_shift() + INDEX_BITS;
@@ -71,14 +74,20 @@ mod tests {
         let t0 = prefetch_target(&d, PtLevel::Pl1, VirtAddr::new(0x4000_0000).unwrap()).unwrap();
         assert_eq!(t0.raw(), 0x100_0000);
         // Page 511: node 0, entry 511.
-        let t511 =
-            prefetch_target(&d, PtLevel::Pl1, VirtAddr::new(0x4000_0000 + 511 * 0x1000).unwrap())
-                .unwrap();
+        let t511 = prefetch_target(
+            &d,
+            PtLevel::Pl1,
+            VirtAddr::new(0x4000_0000 + 511 * 0x1000).unwrap(),
+        )
+        .unwrap();
         assert_eq!(t511.raw(), 0x100_0000 + 511 * 8);
         // Page 512: node 1, entry 0.
-        let t512 =
-            prefetch_target(&d, PtLevel::Pl1, VirtAddr::new(0x4000_0000 + 512 * 0x1000).unwrap())
-                .unwrap();
+        let t512 = prefetch_target(
+            &d,
+            PtLevel::Pl1,
+            VirtAddr::new(0x4000_0000 + 512 * 0x1000).unwrap(),
+        )
+        .unwrap();
         assert_eq!(t512.raw(), 0x100_0000 + 4096);
     }
 
@@ -134,7 +143,9 @@ mod tests {
         );
         let heap = *p.vma_of_kind(VmaKind::Heap).unwrap();
         let vas: Vec<VirtAddr> = (0..64u64)
-            .map(|i| VirtAddr::new(heap.start().raw() + i * 7 * 0x1000 + (i % 3) * (2 << 20)).unwrap())
+            .map(|i| {
+                VirtAddr::new(heap.start().raw() + i * 7 * 0x1000 + (i % 3) * (2 << 20)).unwrap()
+            })
             .collect();
         for va in &vas {
             p.touch(*va).unwrap();

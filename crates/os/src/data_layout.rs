@@ -110,7 +110,11 @@ impl DataPageLayout {
 
     fn group_is_clustered(&self, group: u64) -> bool {
         // A keyed hash in [0,1) compared against the fraction.
-        let h = feistel_permute(group & ((1 << GROUP_BITS) - 1), self.key ^ 0xC1u64, GROUP_BITS);
+        let h = feistel_permute(
+            group & ((1 << GROUP_BITS) - 1),
+            self.key ^ 0xC1u64,
+            GROUP_BITS,
+        );
         (h as f64) / ((1u64 << GROUP_BITS) as f64) < self.cluster_fraction
     }
 
@@ -231,10 +235,7 @@ mod tests {
         for p in [0.0f64, 0.25, 0.6, 1.0] {
             let layout = DataPageLayout::new(PhysMap::new(Asid(1)), p, 99);
             let measured = layout.measured_cluster_fraction(20_000);
-            assert!(
-                (measured - p).abs() < 0.02,
-                "p={p}, measured={measured}"
-            );
+            assert!((measured - p).abs() < 0.02, "p={p}, measured={measured}");
         }
     }
 

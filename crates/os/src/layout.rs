@@ -171,11 +171,19 @@ mod tests {
         for vma in tree.iter() {
             let s = vma.start().raw();
             match vma.kind() {
-                VmaKind::Text => assert!(s >= ProcessLayout::TEXT_BASE && s < ProcessLayout::HEAP_BASE),
-                VmaKind::Heap => assert!(s >= ProcessLayout::HEAP_BASE && s < ProcessLayout::MMAP_TOP),
-                VmaKind::Mmap => assert!(s < ProcessLayout::MMAP_TOP && s >= ProcessLayout::HEAP_BASE),
+                VmaKind::Text => {
+                    assert!((ProcessLayout::TEXT_BASE..ProcessLayout::HEAP_BASE).contains(&s));
+                }
+                VmaKind::Heap => {
+                    assert!((ProcessLayout::HEAP_BASE..ProcessLayout::MMAP_TOP).contains(&s));
+                }
+                VmaKind::Mmap => {
+                    assert!((ProcessLayout::HEAP_BASE..ProcessLayout::MMAP_TOP).contains(&s));
+                }
                 VmaKind::Library => assert!(s >= ProcessLayout::LIB_BASE),
-                VmaKind::Stack => assert!(s < ProcessLayout::STACK_TOP && s >= ProcessLayout::LIB_BASE),
+                VmaKind::Stack => {
+                    assert!((ProcessLayout::LIB_BASE..ProcessLayout::STACK_TOP).contains(&s));
+                }
             }
         }
     }

@@ -96,9 +96,7 @@ impl PhysMap {
     #[must_use]
     pub fn pt_scatter_base(&self) -> PhysFrameNum {
         match self.mode {
-            Mode::SparseHost => {
-                PhysFrameNum::new((1 << 30) + u64::from(self.asid.0) * (1 << 23))
-            }
+            Mode::SparseHost => PhysFrameNum::new((1 << 30) + u64::from(self.asid.0) * (1 << 23)),
             Mode::CompactGuest => PhysFrameNum::new(1 << 22),
         }
     }
@@ -107,9 +105,7 @@ impl PhysMap {
     #[must_use]
     pub fn reservation_base(&self) -> PhysFrameNum {
         match self.mode {
-            Mode::SparseHost => {
-                PhysFrameNum::new((1 << 34) + u64::from(self.asid.0) * (1 << 26))
-            }
+            Mode::SparseHost => PhysFrameNum::new((1 << 34) + u64::from(self.asid.0) * (1 << 26)),
             Mode::CompactGuest => PhysFrameNum::new(1 << 23),
         }
     }
@@ -118,9 +114,9 @@ impl PhysMap {
     #[must_use]
     pub fn data_clustered_base(&self) -> PhysFrameNum {
         match self.mode {
-            Mode::SparseHost => PhysFrameNum::new(
-                (1 << 38) + u64::from(self.asid.0) * Self::DATA_WINDOW_FRAMES,
-            ),
+            Mode::SparseHost => {
+                PhysFrameNum::new((1 << 38) + u64::from(self.asid.0) * Self::DATA_WINDOW_FRAMES)
+            }
             Mode::CompactGuest => PhysFrameNum::new(1 << 27),
         }
     }
@@ -129,9 +125,9 @@ impl PhysMap {
     #[must_use]
     pub fn data_scattered_base(&self) -> PhysFrameNum {
         match self.mode {
-            Mode::SparseHost => PhysFrameNum::new(
-                (1 << 39) + u64::from(self.asid.0) * Self::DATA_WINDOW_FRAMES,
-            ),
+            Mode::SparseHost => {
+                PhysFrameNum::new((1 << 39) + u64::from(self.asid.0) * Self::DATA_WINDOW_FRAMES)
+            }
             Mode::CompactGuest => PhysFrameNum::new(1 << 32),
         }
     }
@@ -152,26 +148,53 @@ mod tests {
         let mut windows: Vec<(u64, u64, String)> = Vec::new();
         for a in [0u16, 1, 7, 63] {
             let m = PhysMap::new(Asid(a));
-            windows.push((m.pt_scatter_base().raw(), PhysMap::PT_WINDOW_FRAMES,
-                          format!("pt/{a}")));
-            windows.push((m.reservation_base().raw(),
-                          PhysMap::RESERVATION_WINDOW_FRAMES, format!("res/{a}")));
-            windows.push((m.data_clustered_base().raw(), PhysMap::DATA_WINDOW_FRAMES,
-                          format!("datc/{a}")));
-            windows.push((m.data_scattered_base().raw(), PhysMap::DATA_WINDOW_FRAMES,
-                          format!("dats/{a}")));
+            windows.push((
+                m.pt_scatter_base().raw(),
+                PhysMap::PT_WINDOW_FRAMES,
+                format!("pt/{a}"),
+            ));
+            windows.push((
+                m.reservation_base().raw(),
+                PhysMap::RESERVATION_WINDOW_FRAMES,
+                format!("res/{a}"),
+            ));
+            windows.push((
+                m.data_clustered_base().raw(),
+                PhysMap::DATA_WINDOW_FRAMES,
+                format!("datc/{a}"),
+            ));
+            windows.push((
+                m.data_scattered_base().raw(),
+                PhysMap::DATA_WINDOW_FRAMES,
+                format!("dats/{a}"),
+            ));
         }
-        windows.push((PhysMap::corunner_base().raw(), PhysMap::DATA_WINDOW_FRAMES,
-                      "corunner".into()));
+        windows.push((
+            PhysMap::corunner_base().raw(),
+            PhysMap::DATA_WINDOW_FRAMES,
+            "corunner".into(),
+        ));
         windows
     }
 
     fn compact_windows() -> Vec<(u64, u64, String)> {
         let m = PhysMap::compact_guest(Asid(0));
         vec![
-            (m.pt_scatter_base().raw(), PhysMap::PT_WINDOW_FRAMES, "pt".into()),
-            (m.reservation_base().raw(), PhysMap::RESERVATION_WINDOW_FRAMES, "res".into()),
-            (m.data_clustered_base().raw(), PhysMap::DATA_WINDOW_FRAMES, "datc".into()),
+            (
+                m.pt_scatter_base().raw(),
+                PhysMap::PT_WINDOW_FRAMES,
+                "pt".into(),
+            ),
+            (
+                m.reservation_base().raw(),
+                PhysMap::RESERVATION_WINDOW_FRAMES,
+                "res".into(),
+            ),
+            (
+                m.data_clustered_base().raw(),
+                PhysMap::DATA_WINDOW_FRAMES,
+                "datc".into(),
+            ),
             (m.data_scattered_base().raw(), 1 << 30, "dats".into()),
         ]
     }
@@ -209,8 +232,10 @@ mod tests {
         let m = PhysMap::compact_guest(Asid(0));
         assert!(m.span_end().raw() < 1 << 36);
         for (base, span, name) in compact_windows() {
-            assert!(base + span <= m.span_end().raw(),
-                    "window {name} exceeds the compact span");
+            assert!(
+                base + span <= m.span_end().raw(),
+                "window {name} exceeds the compact span"
+            );
         }
     }
 

@@ -249,10 +249,7 @@ impl PtNodeAllocator for NodePlacer<'_> {
         if let Some((vma_id, vma_start)) = self.vma {
             if self.asap_levels.contains(&level) {
                 let index = node_index(vma_start, level, va);
-                if let Some(frame) =
-                    self.reservations
-                        .place(vma_id, level, index, self.scatter)
-                {
+                if let Some(frame) = self.reservations.place(vma_id, level, index, self.scatter) {
                     return frame;
                 }
             }
@@ -277,13 +274,19 @@ mod tests {
         let start = va(0x5600_0000_0000);
         // PL1: one table page covers 2 MiB.
         assert_eq!(node_index(start, PtLevel::Pl1, start), 0);
-        assert_eq!(node_index(start, PtLevel::Pl1, va(start.raw() + (2 << 20))), 1);
+        assert_eq!(
+            node_index(start, PtLevel::Pl1, va(start.raw() + (2 << 20))),
+            1
+        );
         assert_eq!(
             node_index(start, PtLevel::Pl1, va(start.raw() + (2 << 20) - 1)),
             0
         );
         // PL2: one table page covers 1 GiB.
-        assert_eq!(node_index(start, PtLevel::Pl2, va(start.raw() + (1 << 30))), 1);
+        assert_eq!(
+            node_index(start, PtLevel::Pl2, va(start.raw() + (1 << 30))),
+            1
+        );
         // Unaligned VMA start still indexes correctly (floor semantics).
         let odd = va(0x5600_0010_0000); // 1 MiB into a 2 MiB region
         assert_eq!(node_index(odd, PtLevel::Pl1, odd), 0);
@@ -294,7 +297,7 @@ mod tests {
     fn nodes_needed_counts_straddling() {
         let start = va(0x5600_0010_0000); // mid-2MiB
         let end = va(0x5600_0030_0000); // 2 MiB later, also mid-region
-        // Straddles two PL1 table pages.
+                                        // Straddles two PL1 table pages.
         assert_eq!(nodes_needed(start, end, PtLevel::Pl1), 2);
         assert_eq!(nodes_needed(start, start, PtLevel::Pl1), 0);
         // A 4 GiB aligned VMA needs 2048 PL1 pages and 4 PL2 pages.

@@ -6,8 +6,8 @@ use crate::{
     VmaDescriptor, VmaId, VmaKind, VmaTree,
 };
 use asap_alloc::{ScatterAllocator, ScatterConfig};
-use asap_pt::{PageTable, PtCensus, PteFlags, SimPhysMem, Walker, WalkTrace};
 use asap_pt::Translation;
+use asap_pt::{PageTable, PtCensus, PteFlags, SimPhysMem, WalkTrace, Walker};
 use asap_types::{Asid, ByteSize, PageSize, PagingMode, PhysFrameNum, VirtAddr, VirtPageNum};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -265,7 +265,9 @@ impl Process {
             return Ok(TouchOutcome::AlreadyMapped);
         }
         let vma = *self.vmas.find(va).ok_or(OsError::Segfault(va))?;
-        let frame = self.data_layout.frame_for(VirtPageNum::new(self.data_index(&vma, va)));
+        let frame = self
+            .data_layout
+            .frame_for(VirtPageNum::new(self.data_index(&vma, va)));
         let phys = self.phys;
         let mut rebased = RebasedScatter {
             inner: &mut self.scatter,
@@ -496,12 +498,22 @@ mod tests {
             let va = VirtAddr::new(heap.start().raw() + region * (2 << 20)).unwrap();
             p.touch(va).unwrap();
             let trace = p.walk(va);
-            frames.push(trace.step_at(PtLevel::Pl1).unwrap().entry_addr.frame_number().raw());
+            frames.push(
+                trace
+                    .step_at(PtLevel::Pl1)
+                    .unwrap()
+                    .entry_addr
+                    .frame_number()
+                    .raw(),
+            );
         }
         // Not in sorted ascending order with stride 1 (overwhelmingly likely
         // under scattering).
         let sorted_contig = frames.windows(2).all(|w| w[1] == w[0] + 1);
-        assert!(!sorted_contig, "scattered PT pages must not be contiguous: {frames:?}");
+        assert!(
+            !sorted_contig,
+            "scattered PT pages must not be contiguous: {frames:?}"
+        );
         assert!(p.vma_descriptors().is_empty());
     }
 
@@ -565,7 +577,8 @@ mod tests {
         let heap = p.vma_of_kind(VmaKind::Heap).unwrap().start();
         // Map pages 0 and 2 of the first cluster.
         p.touch(heap).unwrap();
-        p.touch(VirtAddr::new(heap.raw() + 2 * 4096).unwrap()).unwrap();
+        p.touch(VirtAddr::new(heap.raw() + 2 * 4096).unwrap())
+            .unwrap();
         let cluster = p.cluster_translations(heap);
         assert!(cluster[0].is_some());
         assert!(cluster[1].is_none());
@@ -577,7 +590,8 @@ mod tests {
         let mut p = small_process(AsapOsConfig::disabled());
         let heap = p.vma_of_kind(VmaKind::Heap).unwrap().start();
         for i in 0..10u64 {
-            p.touch(VirtAddr::new(heap.raw() + i * 4096).unwrap()).unwrap();
+            p.touch(VirtAddr::new(heap.raw() + i * 4096).unwrap())
+                .unwrap();
         }
         let census = p.census();
         assert_eq!(census.entries_at(PtLevel::Pl1), 10);

@@ -337,8 +337,10 @@ mod tests {
         // One 98-page VMA and two 1-page VMAs.
         t.insert(va(0x100000), va(0x100000 + 98 * 0x1000), VmaKind::Heap)
             .unwrap();
-        t.insert(va(0x400000), va(0x401000), VmaKind::Library).unwrap();
-        t.insert(va(0x500000), va(0x501000), VmaKind::Stack).unwrap();
+        t.insert(va(0x400000), va(0x401000), VmaKind::Library)
+            .unwrap();
+        t.insert(va(0x500000), va(0x501000), VmaKind::Stack)
+            .unwrap();
         assert_eq!(t.footprint().bytes(), 100 * 0x1000);
         assert_eq!(t.vmas_covering(0.98), 1);
         assert_eq!(t.vmas_covering(0.99), 2);

@@ -173,13 +173,26 @@ mod tests {
         // Map 3 pages in one 2 MiB region and 1 page in another 1 GiB region.
         let base = VirtAddr::new(0x10_0000_0000).unwrap();
         for i in 0..3u64 {
-            pt.map(&mut mem, &mut alloc, base.checked_add(i * 0x1000).unwrap(),
-                   PhysFrameNum::new(100 + i), PageSize::Size4K, PteFlags::user_data())
-                .unwrap();
+            pt.map(
+                &mut mem,
+                &mut alloc,
+                base.checked_add(i * 0x1000).unwrap(),
+                PhysFrameNum::new(100 + i),
+                PageSize::Size4K,
+                PteFlags::user_data(),
+            )
+            .unwrap();
         }
         let far = VirtAddr::new(0x10_4000_0000).unwrap();
-        pt.map(&mut mem, &mut alloc, far, PhysFrameNum::new(200), PageSize::Size4K,
-               PteFlags::user_data()).unwrap();
+        pt.map(
+            &mut mem,
+            &mut alloc,
+            far,
+            PhysFrameNum::new(200),
+            PageSize::Size4K,
+            PteFlags::user_data(),
+        )
+        .unwrap();
 
         let c = PtCensus::collect(&mem, &pt);
         assert_eq!(c.pages_at(PtLevel::Pl4), 1);
@@ -198,9 +211,15 @@ mod tests {
         let mut mem = SimPhysMem::new();
         let mut alloc = BumpNodeAllocator::new(PhysFrameNum::new(0x100));
         let mut pt = PageTable::new(PagingMode::FourLevel, &mut mem, &mut alloc);
-        pt.map(&mut mem, &mut alloc, VirtAddr::new(0x4000_0000).unwrap(),
-               PhysFrameNum::new(512), PageSize::Size2M, PteFlags::user_data())
-            .unwrap();
+        pt.map(
+            &mut mem,
+            &mut alloc,
+            VirtAddr::new(0x4000_0000).unwrap(),
+            PhysFrameNum::new(512),
+            PageSize::Size2M,
+            PteFlags::user_data(),
+        )
+        .unwrap();
         let c = PtCensus::collect(&mem, &pt);
         assert_eq!(c.pages_at(PtLevel::Pl1), 0, "no PL1 page under a 2MiB leaf");
         assert_eq!(c.entries_at(PtLevel::Pl2), 1);
@@ -217,9 +236,15 @@ mod tests {
         let base = VirtAddr::new(0x40_0000_0000).unwrap();
         let pages = 512 * 16; // 16 full PL1 tables = 32 MiB
         for i in 0..pages {
-            pt.map(&mut mem, &mut alloc, base.checked_add(i * 0x1000).unwrap(),
-                   PhysFrameNum::new(i), PageSize::Size4K, PteFlags::user_data())
-                .unwrap();
+            pt.map(
+                &mut mem,
+                &mut alloc,
+                base.checked_add(i * 0x1000).unwrap(),
+                PhysFrameNum::new(i),
+                PageSize::Size4K,
+                PteFlags::user_data(),
+            )
+            .unwrap();
         }
         let c = PtCensus::collect(&mem, &pt);
         assert_eq!(c.pages_at(PtLevel::Pl1), 16);

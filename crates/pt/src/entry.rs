@@ -254,7 +254,7 @@ mod tests {
 
     #[test]
     fn frame_and_flags_roundtrip() {
-        let frame = PhysFrameNum::new(0xdead_b);
+        let frame = PhysFrameNum::new(0xdeadb);
         let flags = PteFlags::user_data().with(PteFlags::ACCESSED);
         let pte = Pte::new(frame, flags);
         assert_eq!(pte.frame(), frame);
@@ -312,7 +312,9 @@ mod tests {
         assert_eq!(PteFlags::empty().to_string(), "-------");
         assert_eq!(PteFlags::user_data().to_string(), "PWU---X");
         assert_eq!(
-            PteFlags::intermediate().with(PteFlags::ACCESSED).to_string(),
+            PteFlags::intermediate()
+                .with(PteFlags::ACCESSED)
+                .to_string(),
             "PWUA---"
         );
     }

@@ -142,8 +142,8 @@ impl Default for PtFrame {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asap_types::PhysFrameNum;
     use crate::PteFlags;
+    use asap_types::PhysFrameNum;
 
     fn pte(n: u64) -> Pte {
         Pte::new(PhysFrameNum::new(n), PteFlags::user_data())

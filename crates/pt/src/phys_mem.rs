@@ -113,10 +113,7 @@ impl SimPhysMem {
     /// Approximate host-side bytes used by materialized frames (diagnostic).
     #[must_use]
     pub fn approx_host_bytes(&self) -> usize {
-        self.frames
-            .values()
-            .map(|f| 64 + f.populated() * 24)
-            .sum()
+        self.frames.values().map(|f| 64 + f.populated() * 24).sum()
     }
 }
 

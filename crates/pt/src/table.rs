@@ -1,9 +1,7 @@
 //! The radix-tree page table: map, unmap, translate.
 
-use crate::{Pte, PteFlags, PtError, SimPhysMem};
-use asap_types::{
-    PageSize, PagingMode, PhysAddr, PhysFrameNum, PtLevel, VirtAddr, PTE_SIZE,
-};
+use crate::{PtError, Pte, PteFlags, SimPhysMem};
+use asap_types::{PageSize, PagingMode, PhysAddr, PhysFrameNum, PtLevel, VirtAddr, PTE_SIZE};
 
 /// Chooses physical frames for new page-table nodes.
 ///
@@ -88,11 +86,7 @@ pub struct PageTable {
 
 impl PageTable {
     /// Allocates a root node and returns an empty page table.
-    pub fn new(
-        mode: PagingMode,
-        mem: &mut SimPhysMem,
-        alloc: &mut dyn PtNodeAllocator,
-    ) -> Self {
+    pub fn new(mode: PagingMode, mem: &mut SimPhysMem, alloc: &mut dyn PtNodeAllocator) -> Self {
         let root = alloc.alloc_node(mode.root_level(), VirtAddr::new_unchecked(0));
         mem.install_table_frame(root);
         Self { mode, root }
@@ -170,10 +164,8 @@ impl PageTable {
             node = if entry.is_present() {
                 entry.frame()
             } else {
-                let child = alloc.alloc_node(
-                    level.child().expect("non-leaf level has a child"),
-                    va,
-                );
+                let child =
+                    alloc.alloc_node(level.child().expect("non-leaf level has a child"), va);
                 mem.install_table_frame(child);
                 mem.write_entry(entry_addr, Pte::new(child, PteFlags::intermediate()));
                 child
@@ -212,8 +204,7 @@ impl PageTable {
             }
             let is_leaf = level == PtLevel::Pl1 || entry.is_large_leaf();
             if is_leaf {
-                let size = PageSize::from_leaf_level(level)
-                    .ok_or(PtError::NotMapped(va))?;
+                let size = PageSize::from_leaf_level(level).ok_or(PtError::NotMapped(va))?;
                 mem.write_entry(entry_addr, Pte::not_present());
                 return Ok(size);
             }
@@ -267,8 +258,15 @@ mod tests {
         let (mut mem, mut alloc, mut pt) = setup();
         let va = VirtAddr::new(0x1234_5678_9000).unwrap();
         let frame = PhysFrameNum::new(0xabc);
-        pt.map(&mut mem, &mut alloc, va, frame, PageSize::Size4K, PteFlags::user_data())
-            .unwrap();
+        pt.map(
+            &mut mem,
+            &mut alloc,
+            va,
+            frame,
+            PageSize::Size4K,
+            PteFlags::user_data(),
+        )
+        .unwrap();
         let t = pt.translate(&mem, va).unwrap();
         assert_eq!(t.frame, frame);
         assert_eq!(t.size, PageSize::Size4K);
@@ -291,19 +289,40 @@ mod tests {
         let (mut mem, mut alloc, mut pt) = setup();
         assert_eq!(mem.table_frame_count(), 1); // root only
         let va = VirtAddr::new(0x7000_0000_0000).unwrap();
-        pt.map(&mut mem, &mut alloc, va, PhysFrameNum::new(1), PageSize::Size4K,
-               PteFlags::user_data()).unwrap();
+        pt.map(
+            &mut mem,
+            &mut alloc,
+            va,
+            PhysFrameNum::new(1),
+            PageSize::Size4K,
+            PteFlags::user_data(),
+        )
+        .unwrap();
         // Root + PL3 + PL2 + PL1 nodes.
         assert_eq!(mem.table_frame_count(), 4);
         // A second page in the same 2 MiB region reuses all nodes.
         let va2 = va.checked_add(0x1000).unwrap();
-        pt.map(&mut mem, &mut alloc, va2, PhysFrameNum::new(2), PageSize::Size4K,
-               PteFlags::user_data()).unwrap();
+        pt.map(
+            &mut mem,
+            &mut alloc,
+            va2,
+            PhysFrameNum::new(2),
+            PageSize::Size4K,
+            PteFlags::user_data(),
+        )
+        .unwrap();
         assert_eq!(mem.table_frame_count(), 4);
         // A page in a different 512 GiB region allocates a fresh chain.
         let far = VirtAddr::new(0x0000_8000_0000_0000 - 0x1000).unwrap();
-        pt.map(&mut mem, &mut alloc, far, PhysFrameNum::new(3), PageSize::Size4K,
-               PteFlags::user_data()).unwrap();
+        pt.map(
+            &mut mem,
+            &mut alloc,
+            far,
+            PhysFrameNum::new(3),
+            PageSize::Size4K,
+            PteFlags::user_data(),
+        )
+        .unwrap();
         assert_eq!(mem.table_frame_count(), 7);
     }
 
@@ -311,10 +330,23 @@ mod tests {
     fn double_map_rejected() {
         let (mut mem, mut alloc, mut pt) = setup();
         let va = VirtAddr::new(0x4000).unwrap();
-        pt.map(&mut mem, &mut alloc, va, PhysFrameNum::new(1), PageSize::Size4K,
-               PteFlags::user_data()).unwrap();
-        let again = pt.map(&mut mem, &mut alloc, va, PhysFrameNum::new(2),
-                           PageSize::Size4K, PteFlags::user_data());
+        pt.map(
+            &mut mem,
+            &mut alloc,
+            va,
+            PhysFrameNum::new(1),
+            PageSize::Size4K,
+            PteFlags::user_data(),
+        )
+        .unwrap();
+        let again = pt.map(
+            &mut mem,
+            &mut alloc,
+            va,
+            PhysFrameNum::new(2),
+            PageSize::Size4K,
+            PteFlags::user_data(),
+        );
         assert_eq!(again, Err(PtError::AlreadyMapped(va)));
     }
 
@@ -323,8 +355,15 @@ mod tests {
         let (mut mem, mut alloc, mut pt) = setup();
         let va = VirtAddr::new(0x4000_0000).unwrap(); // 2MiB-aligned
         let frame = PhysFrameNum::new(512 * 7); // 2MiB-aligned frame
-        pt.map(&mut mem, &mut alloc, va, frame, PageSize::Size2M, PteFlags::user_data())
-            .unwrap();
+        pt.map(
+            &mut mem,
+            &mut alloc,
+            va,
+            frame,
+            PageSize::Size2M,
+            PteFlags::user_data(),
+        )
+        .unwrap();
         // Any address inside the 2 MiB page translates.
         let inside = va.checked_add(0x12_3456).unwrap();
         let t = pt.translate(&mem, inside).unwrap();
@@ -343,9 +382,18 @@ mod tests {
         let (mut mem, mut alloc, mut pt) = setup();
         let va = VirtAddr::new(0x40_0000_0000).unwrap(); // 1GiB-aligned
         let frame = PhysFrameNum::new(512 * 512 * 3);
-        pt.map(&mut mem, &mut alloc, va, frame, PageSize::Size1G, PteFlags::user_data())
+        pt.map(
+            &mut mem,
+            &mut alloc,
+            va,
+            frame,
+            PageSize::Size1G,
+            PteFlags::user_data(),
+        )
+        .unwrap();
+        let t = pt
+            .translate(&mem, va.checked_add(0x3fff_ffff).unwrap())
             .unwrap();
-        let t = pt.translate(&mem, va.checked_add(0x3fff_ffff).unwrap()).unwrap();
         assert_eq!(t.size, PageSize::Size1G);
         assert_eq!(mem.table_frame_count(), 2); // root + PL3
     }
@@ -354,13 +402,25 @@ mod tests {
     fn misaligned_large_page_rejected() {
         let (mut mem, mut alloc, mut pt) = setup();
         let va = VirtAddr::new(0x4000_1000).unwrap(); // not 2MiB-aligned
-        let err = pt.map(&mut mem, &mut alloc, va, PhysFrameNum::new(512),
-                         PageSize::Size2M, PteFlags::user_data());
+        let err = pt.map(
+            &mut mem,
+            &mut alloc,
+            va,
+            PhysFrameNum::new(512),
+            PageSize::Size2M,
+            PteFlags::user_data(),
+        );
         assert_eq!(err, Err(PtError::Misaligned(va)));
         // Misaligned *frame* also rejected.
         let va = VirtAddr::new(0x4000_0000).unwrap();
-        let err = pt.map(&mut mem, &mut alloc, va, PhysFrameNum::new(511),
-                         PageSize::Size2M, PteFlags::user_data());
+        let err = pt.map(
+            &mut mem,
+            &mut alloc,
+            va,
+            PhysFrameNum::new(511),
+            PageSize::Size2M,
+            PteFlags::user_data(),
+        );
         assert_eq!(err, Err(PtError::Misaligned(va)));
     }
 
@@ -368,14 +428,30 @@ mod tests {
     fn small_map_under_large_leaf_conflicts() {
         let (mut mem, mut alloc, mut pt) = setup();
         let va = VirtAddr::new(0x4000_0000).unwrap();
-        pt.map(&mut mem, &mut alloc, va, PhysFrameNum::new(512), PageSize::Size2M,
-               PteFlags::user_data()).unwrap();
+        pt.map(
+            &mut mem,
+            &mut alloc,
+            va,
+            PhysFrameNum::new(512),
+            PageSize::Size2M,
+            PteFlags::user_data(),
+        )
+        .unwrap();
         let inner = va.checked_add(0x1000).unwrap();
-        let err = pt.map(&mut mem, &mut alloc, inner, PhysFrameNum::new(1),
-                         PageSize::Size4K, PteFlags::user_data());
+        let err = pt.map(
+            &mut mem,
+            &mut alloc,
+            inner,
+            PhysFrameNum::new(1),
+            PageSize::Size4K,
+            PteFlags::user_data(),
+        );
         assert_eq!(
             err,
-            Err(PtError::LargePageConflict { va: inner, level: PtLevel::Pl2 })
+            Err(PtError::LargePageConflict {
+                va: inner,
+                level: PtLevel::Pl2
+            })
         );
     }
 
@@ -384,10 +460,24 @@ mod tests {
         let (mut mem, mut alloc, mut pt) = setup();
         let small = VirtAddr::new(0x5000).unwrap();
         let large = VirtAddr::new(0x4000_0000).unwrap();
-        pt.map(&mut mem, &mut alloc, small, PhysFrameNum::new(1), PageSize::Size4K,
-               PteFlags::user_data()).unwrap();
-        pt.map(&mut mem, &mut alloc, large, PhysFrameNum::new(512), PageSize::Size2M,
-               PteFlags::user_data()).unwrap();
+        pt.map(
+            &mut mem,
+            &mut alloc,
+            small,
+            PhysFrameNum::new(1),
+            PageSize::Size4K,
+            PteFlags::user_data(),
+        )
+        .unwrap();
+        pt.map(
+            &mut mem,
+            &mut alloc,
+            large,
+            PhysFrameNum::new(512),
+            PageSize::Size2M,
+            PteFlags::user_data(),
+        )
+        .unwrap();
         assert_eq!(pt.unmap(&mut mem, small), Ok(PageSize::Size4K));
         assert_eq!(pt.unmap(&mut mem, large), Ok(PageSize::Size2M));
         assert!(pt.translate(&mem, small).is_none());
@@ -402,21 +492,36 @@ mod tests {
         let mut pt = PageTable::new(PagingMode::FiveLevel, &mut mem, &mut alloc);
         // An address above the 48-bit boundary.
         let va = VirtAddr::new(1 << 50).unwrap();
-        pt.map(&mut mem, &mut alloc, va, PhysFrameNum::new(77), PageSize::Size4K,
-               PteFlags::user_data()).unwrap();
+        pt.map(
+            &mut mem,
+            &mut alloc,
+            va,
+            PhysFrameNum::new(77),
+            PageSize::Size4K,
+            PteFlags::user_data(),
+        )
+        .unwrap();
         assert_eq!(pt.translate(&mem, va).unwrap().frame, PhysFrameNum::new(77));
         // Five nodes: PL5 root + PL4 + PL3 + PL2 + PL1.
         assert_eq!(mem.table_frame_count(), 5);
         // The same address is out of range for a 4-level table.
         let (mut mem4, mut alloc4, mut pt4) = setup();
-        let err = pt4.map(&mut mem4, &mut alloc4, va, PhysFrameNum::new(1),
-                          PageSize::Size4K, PteFlags::user_data());
+        let err = pt4.map(
+            &mut mem4,
+            &mut alloc4,
+            va,
+            PhysFrameNum::new(1),
+            PageSize::Size4K,
+            PteFlags::user_data(),
+        );
         assert_eq!(err, Err(PtError::OutOfRange(va)));
     }
 
     #[test]
     fn out_of_range_translate_is_none() {
         let (mem, _, pt) = setup();
-        assert!(pt.translate(&mem, VirtAddr::new(1 << 50).unwrap()).is_none());
+        assert!(pt
+            .translate(&mem, VirtAddr::new(1 << 50).unwrap())
+            .is_none());
     }
 }

@@ -213,8 +213,15 @@ mod tests {
         let mut alloc = BumpNodeAllocator::new(PhysFrameNum::new(0x100));
         let mut pt = PageTable::new(PagingMode::FourLevel, &mut mem, &mut alloc);
         let va = VirtAddr::new(0x7fff_1234_5000).unwrap();
-        pt.map(&mut mem, &mut alloc, va, PhysFrameNum::new(0x9999),
-               PageSize::Size4K, PteFlags::user_data()).unwrap();
+        pt.map(
+            &mut mem,
+            &mut alloc,
+            va,
+            PhysFrameNum::new(0x9999),
+            PageSize::Size4K,
+            PteFlags::user_data(),
+        )
+        .unwrap();
         (mem, pt, va)
     }
 
@@ -223,7 +230,10 @@ mod tests {
         let (mem, pt, va) = setup_mapped();
         let trace = Walker::walk(&mem, &pt, va);
         let levels: Vec<_> = trace.steps.iter().map(|s| s.level).collect();
-        assert_eq!(levels, [PtLevel::Pl4, PtLevel::Pl3, PtLevel::Pl2, PtLevel::Pl1]);
+        assert_eq!(
+            levels,
+            [PtLevel::Pl4, PtLevel::Pl3, PtLevel::Pl2, PtLevel::Pl1]
+        );
         assert_eq!(
             trace.translation().unwrap().frame,
             PhysFrameNum::new(0x9999)
@@ -246,7 +256,12 @@ mod tests {
         let cousin = VirtAddr::new(va.raw() ^ 0x1000).unwrap();
         let trace = Walker::walk(&mem, &pt, cousin);
         assert!(trace.is_fault());
-        assert_eq!(trace.outcome, WalkOutcome::Fault { level: PtLevel::Pl1 });
+        assert_eq!(
+            trace.outcome,
+            WalkOutcome::Fault {
+                level: PtLevel::Pl1
+            }
+        );
         // The faulting read itself is part of the trace (§3.7.1).
         assert_eq!(trace.steps.len(), 4);
         assert!(!trace.steps.last().unwrap().entry.is_present());
@@ -268,8 +283,15 @@ mod tests {
         let mut alloc = BumpNodeAllocator::new(PhysFrameNum::new(0x100));
         let mut pt = PageTable::new(PagingMode::FourLevel, &mut mem, &mut alloc);
         let va = VirtAddr::new(0x4000_0000).unwrap();
-        pt.map(&mut mem, &mut alloc, va, PhysFrameNum::new(512), PageSize::Size2M,
-               PteFlags::user_data()).unwrap();
+        pt.map(
+            &mut mem,
+            &mut alloc,
+            va,
+            PhysFrameNum::new(512),
+            PageSize::Size2M,
+            PteFlags::user_data(),
+        )
+        .unwrap();
         let trace = Walker::walk(&mem, &pt, va.checked_add(0x1234).unwrap());
         assert_eq!(trace.steps.len(), 3); // PL4, PL3, PL2 leaf
         let t = trace.translation().unwrap();
@@ -281,8 +303,11 @@ mod tests {
         let (mem, pt, va) = setup_mapped();
         let trace = Walker::walk(&mem, &pt, va);
         for step in &trace.steps {
-            assert!(mem.is_table_frame(step.entry_addr.frame_number()),
-                    "step at {} reads inside a table frame", step.level);
+            assert!(
+                mem.is_table_frame(step.entry_addr.frame_number()),
+                "step at {} reads inside a table frame",
+                step.level
+            );
             assert_eq!(step.entry_addr.frame_offset() % 8, 0);
         }
     }
@@ -305,8 +330,15 @@ mod tests {
         let mut alloc = BumpNodeAllocator::new(PhysFrameNum::new(0x100));
         let mut pt = PageTable::new(PagingMode::FiveLevel, &mut mem, &mut alloc);
         let va = VirtAddr::new(1 << 52).unwrap();
-        pt.map(&mut mem, &mut alloc, va, PhysFrameNum::new(3), PageSize::Size4K,
-               PteFlags::user_data()).unwrap();
+        pt.map(
+            &mut mem,
+            &mut alloc,
+            va,
+            PhysFrameNum::new(3),
+            PageSize::Size4K,
+            PteFlags::user_data(),
+        )
+        .unwrap();
         let trace = Walker::walk(&mem, &pt, va);
         assert_eq!(trace.steps.len(), 5);
         assert_eq!(trace.steps[0].level, PtLevel::Pl5);

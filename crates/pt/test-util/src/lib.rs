@@ -1,0 +1,55 @@
+//! Shared test helpers for asserting on physical frame layout.
+//!
+//! Lives beside `asap-pt` (whose census computes the same metric on live
+//! page tables) but depends on nothing, so any crate — including ones
+//! upstream of `asap-pt` such as `asap-alloc` — can use it as a
+//! dev-dependency without creating a cycle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Returns `(contiguous_regions, mean_run_length)` for a set of frame
+/// numbers: the number of maximal runs of consecutive frames, and the
+/// average frames per run. Duplicates are ignored; an empty slice yields
+/// `(0, 0.0)`.
+#[must_use]
+pub fn contiguity(frames: &[u64]) -> (usize, f64) {
+    let mut sorted = frames.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.is_empty() {
+        return (0, 0.0);
+    }
+    let mut regions = 1;
+    for pair in sorted.windows(2) {
+        if pair[1] != pair[0] + 1 {
+            regions += 1;
+        }
+    }
+    (regions, sorted.len() as f64 / regions as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::contiguity;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(contiguity(&[]), (0, 0.0));
+    }
+
+    #[test]
+    fn single_run() {
+        let (regions, mean) = contiguity(&[5, 6, 7, 8]);
+        assert_eq!(regions, 1);
+        assert!((mean - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_runs_and_duplicates() {
+        // {1,2} and {10}: two regions, 3 unique frames, mean 1.5.
+        let (regions, mean) = contiguity(&[2, 1, 10, 2]);
+        assert_eq!(regions, 2);
+        assert!((mean - 1.5).abs() < 1e-12);
+    }
+}

@@ -269,7 +269,9 @@ mod tests {
         let w = WorkloadSpec::mcf;
         assert_eq!(NativeRunSpec::baseline(w()).label(), "Baseline");
         assert_eq!(
-            NativeRunSpec::baseline(w()).with_asap(AsapHwConfig::p1()).label(),
+            NativeRunSpec::baseline(w())
+                .with_asap(AsapHwConfig::p1())
+                .label(),
             "P1"
         );
         assert_eq!(

@@ -16,11 +16,6 @@ pub const CPU_WORK_CYCLES_PER_ACCESS: u64 = 3;
 /// rule of thumb) — the MPKI denominator.
 pub const INSTRUCTIONS_PER_ACCESS: u64 = 4;
 
-#[cfg(test)]
-mod tests {
-    #[test]
-    fn constants_are_sane() {
-        assert!(super::CPU_WORK_CYCLES_PER_ACCESS > 0);
-        assert!(super::INSTRUCTIONS_PER_ACCESS >= 1);
-    }
-}
+// Compile-time sanity: the cycle model's denominators must be non-zero.
+const _: () = assert!(CPU_WORK_CYCLES_PER_ACCESS > 0);
+const _: () = assert!(INSTRUCTIONS_PER_ACCESS >= 1);

@@ -101,7 +101,8 @@ pub fn run_native(spec: &NativeRunSpec) -> RunResult {
                 process.page_table(),
                 process.asid(),
                 va,
-                spec.clustered_tlb.then_some(&process as &dyn asap_core::ClusterSource),
+                spec.clustered_tlb
+                    .then_some(&process as &dyn asap_core::ClusterSource),
             );
             if outcome.path == TranslationPath::Walk {
                 walk_cycles += outcome.latency;

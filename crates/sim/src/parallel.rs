@@ -1,7 +1,7 @@
 //! Deterministic parallel fan-out of independent runs.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Applies `f` to every item on a pool of host threads, preserving input
 /// order in the output. Each run is internally deterministic (seeded), so
@@ -38,23 +38,30 @@ where
     let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let item = work[i].lock().take().expect("each slot taken once");
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("each slot taken once");
                 let r = f(item);
-                *results[i].lock() = Some(r);
+                *results[i].lock().expect("result slot poisoned") = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("all slots filled"))
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("all slots filled")
+        })
         .collect()
 }
 

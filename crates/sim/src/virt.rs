@@ -7,7 +7,6 @@ use asap_types::{Asid, PageSize};
 use asap_virt::{EptConfig, VirtualMachine};
 use asap_workloads::{AccessStream, CoRunner};
 
-
 /// Runs one virtualized configuration and returns its measurements.
 ///
 /// The guest process runs the workload; every TLB miss triggers the full 2D
@@ -35,7 +34,9 @@ pub fn run_virt(spec: &VirtRunSpec) -> RunResult {
     };
     if spec.host_page_size == PageSize::Size2M {
         // With 2 MiB host pages the host PT has no PL1 level to reserve.
-        ept_config.host_levels.retain(|l| *l != asap_types::PtLevel::Pl1);
+        ept_config
+            .host_levels
+            .retain(|l| *l != asap_types::PtLevel::Pl1);
     }
     let guest_config = spec
         .workload
@@ -43,7 +44,11 @@ pub fn run_virt(spec: &VirtRunSpec) -> RunResult {
         .with_compact_phys();
     let mut vm = VirtualMachine::new(guest_config, ept_config);
     let mut stream = spec.workload.build_stream(vm.guest(), seed ^ 0x11);
-    let mut mmu = NestedMmu::new(NestedMmuConfig::default().with_asap(spec.asap.clone()).with_seed(seed));
+    let mut mmu = NestedMmu::new(
+        NestedMmuConfig::default()
+            .with_asap(spec.asap.clone())
+            .with_seed(seed),
+    );
     mmu.load_context(&vm);
     let mut corunner = spec
         .colocated
@@ -63,7 +68,8 @@ pub fn run_virt(spec: &VirtRunSpec) -> RunResult {
             window_start_cycle = mmu.now();
         }
         let va = stream.next_va();
-        vm.touch(va).expect("workload streams stay inside their VMAs");
+        vm.touch(va)
+            .expect("workload streams stay inside their VMAs");
         let outcome = mmu.translate(&mut vm, va);
         if outcome.path == NestedPath::Walk {
             walk_cycles += outcome.latency;

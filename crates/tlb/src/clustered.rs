@@ -81,7 +81,10 @@ impl ClusteredTlb {
     #[must_use]
     pub fn new(config: ClusteredTlbConfig, seed: u64) -> Self {
         let num_sets = config.entries / config.ways;
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         Self {
             array: SetAssoc::new(num_sets, config.ways, ReplacementKind::Lru, seed),
             num_sets,
@@ -162,7 +165,15 @@ impl ClusteredTlb {
         if covered > 1 {
             self.coalesced_fills += 1;
         }
-        self.insert_entry(asid, Self::cluster_of(vpn), ClusterEntry { base_frame: base, valid }, sub as u8);
+        self.insert_entry(
+            asid,
+            Self::cluster_of(vpn),
+            ClusterEntry {
+                base_frame: base,
+                valid,
+            },
+            sub as u8,
+        );
     }
 
     fn insert_entry(&mut self, asid: Asid, cluster: u64, entry: ClusterEntry, _anchor: u8) {
@@ -206,7 +217,9 @@ mod tests {
     }
 
     fn contiguous_cluster(base: u64) -> Vec<Option<PhysFrameNum>> {
-        (0..CLUSTER_PAGES).map(|i| Some(PhysFrameNum::new(base + i))).collect()
+        (0..CLUSTER_PAGES)
+            .map(|i| Some(PhysFrameNum::new(base + i)))
+            .collect()
     }
 
     #[test]
@@ -287,7 +300,10 @@ mod tests {
         t.fill_cluster(Asid(0), VirtPageNum::new(0), &contiguous_cluster(100));
         // Remap: a later walk observes different PFNs for the same cluster.
         t.fill_cluster(Asid(0), VirtPageNum::new(0), &contiguous_cluster(500));
-        assert_eq!(t.lookup(Asid(0), VirtPageNum::new(3)), Some(PhysFrameNum::new(503)));
+        assert_eq!(
+            t.lookup(Asid(0), VirtPageNum::new(3)),
+            Some(PhysFrameNum::new(503))
+        );
     }
 
     #[test]

@@ -47,8 +47,17 @@ impl TlbConfig {
     #[must_use]
     pub fn num_sets(&self) -> usize {
         let sets = self.entries / self.ways;
-        assert_eq!(sets * self.ways, self.entries, "{}: entries/ways mismatch", self.name);
-        assert!(sets.is_power_of_two(), "{}: set count must be a power of two", self.name);
+        assert_eq!(
+            sets * self.ways,
+            self.entries,
+            "{}: entries/ways mismatch",
+            self.name
+        );
+        assert!(
+            sets.is_power_of_two(),
+            "{}: set count must be a power of two",
+            self.name
+        );
         sets
     }
 }

@@ -167,12 +167,18 @@ mod tests {
         }
         assert!(h.l1.probe(asid, vpn).is_none(), "evicted from L1");
         match h.lookup(asid, vpn) {
-            TlbLookup::Hit { level: TlbLevel::L2, .. } => {}
+            TlbLookup::Hit {
+                level: TlbLevel::L2,
+                ..
+            } => {}
             other => panic!("expected L2 hit, got {other:?}"),
         }
         // Promotion: next lookup is an L1 hit.
         match h.lookup(asid, vpn) {
-            TlbLookup::Hit { level: TlbLevel::L1, .. } => {}
+            TlbLookup::Hit {
+                level: TlbLevel::L1,
+                ..
+            } => {}
             other => panic!("expected L1 hit after promotion, got {other:?}"),
         }
     }

@@ -129,10 +129,12 @@ impl PageWalkCaches {
                 self.pl2.insert(set, (asid, tag), node);
             }
             PtLevel::Pl3 => {
-                self.pl3.insert(0, (asid, Self::tag(PtLevel::Pl3, va)), node);
+                self.pl3
+                    .insert(0, (asid, Self::tag(PtLevel::Pl3, va)), node);
             }
             PtLevel::Pl4 => {
-                self.pl4.insert(0, (asid, Self::tag(PtLevel::Pl4, va)), node);
+                self.pl4
+                    .insert(0, (asid, Self::tag(PtLevel::Pl4, va)), node);
             }
             PtLevel::Pl1 | PtLevel::Pl5 => {}
         }

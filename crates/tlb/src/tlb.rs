@@ -166,7 +166,11 @@ mod tests {
         let mut t = tlb();
         let vpn = VirtPageNum::new(100);
         assert!(t.lookup(Asid(0), vpn).is_none());
-        t.insert(Asid(0), vpn, TlbEntry::new(PhysFrameNum::new(5), PageSize::Size4K));
+        t.insert(
+            Asid(0),
+            vpn,
+            TlbEntry::new(PhysFrameNum::new(5), PageSize::Size4K),
+        );
         assert_eq!(t.lookup(Asid(0), vpn).unwrap().frame, PhysFrameNum::new(5));
         assert_eq!(t.stats().hits, 1);
         assert_eq!(t.stats().misses, 1);
@@ -176,7 +180,11 @@ mod tests {
     fn asids_are_isolated() {
         let mut t = tlb();
         let vpn = VirtPageNum::new(100);
-        t.insert(Asid(0), vpn, TlbEntry::new(PhysFrameNum::new(5), PageSize::Size4K));
+        t.insert(
+            Asid(0),
+            vpn,
+            TlbEntry::new(PhysFrameNum::new(5), PageSize::Size4K),
+        );
         assert!(t.lookup(Asid(1), vpn).is_none());
         t.flush_asid(Asid(0));
         assert!(t.lookup(Asid(0), vpn).is_none());
@@ -187,10 +195,16 @@ mod tests {
         let mut t = tlb();
         // A 2 MiB page at VPN 0x400 (2MiB-aligned).
         let base = VirtPageNum::new(0x400);
-        t.insert(Asid(0), base, TlbEntry::new(PhysFrameNum::new(0x200), PageSize::Size2M));
+        t.insert(
+            Asid(0),
+            base,
+            TlbEntry::new(PhysFrameNum::new(0x200), PageSize::Size2M),
+        );
         // Any of the 512 constituent 4 KiB VPNs hits.
         for off in [0u64, 1, 255, 511] {
-            let e = t.lookup(Asid(0), base.add(off)).expect("covered by 2MiB entry");
+            let e = t
+                .lookup(Asid(0), base.add(off))
+                .expect("covered by 2MiB entry");
             assert_eq!(e.size, PageSize::Size2M);
         }
         assert!(t.lookup(Asid(0), base.add(512)).is_none());
@@ -207,7 +221,11 @@ mod tests {
     fn capacity_eviction() {
         let mut t = tlb(); // 64 entries
         for i in 0..65u64 {
-            t.insert(Asid(0), VirtPageNum::new(i), TlbEntry::new(PhysFrameNum::new(i), PageSize::Size4K));
+            t.insert(
+                Asid(0),
+                VirtPageNum::new(i),
+                TlbEntry::new(PhysFrameNum::new(i), PageSize::Size4K),
+            );
         }
         assert_eq!(t.len(), 64);
         assert_eq!(t.stats().evictions, 1);
@@ -217,7 +235,11 @@ mod tests {
     fn invalidate_single_page() {
         let mut t = tlb();
         let vpn = VirtPageNum::new(9);
-        t.insert(Asid(0), vpn, TlbEntry::new(PhysFrameNum::new(1), PageSize::Size4K));
+        t.insert(
+            Asid(0),
+            vpn,
+            TlbEntry::new(PhysFrameNum::new(1), PageSize::Size4K),
+        );
         t.invalidate(Asid(0), vpn);
         assert!(t.probe(Asid(0), vpn).is_none());
     }
@@ -226,7 +248,11 @@ mod tests {
     fn probe_leaves_stats_alone() {
         let mut t = tlb();
         let vpn = VirtPageNum::new(3);
-        t.insert(Asid(0), vpn, TlbEntry::new(PhysFrameNum::new(1), PageSize::Size4K));
+        t.insert(
+            Asid(0),
+            vpn,
+            TlbEntry::new(PhysFrameNum::new(1), PageSize::Size4K),
+        );
         let _ = t.probe(Asid(0), vpn);
         let _ = t.probe(Asid(0), VirtPageNum::new(4));
         assert_eq!(t.stats().hits + t.stats().misses, 0);

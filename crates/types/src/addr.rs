@@ -256,7 +256,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(VirtAddr::new(0x1000).unwrap().to_string(), "v:0x000000001000");
+        assert_eq!(
+            VirtAddr::new(0x1000).unwrap().to_string(),
+            "v:0x000000001000"
+        );
         assert_eq!(PhysAddr::new(0x1000).to_string(), "p:0x000000001000");
         assert_eq!(format!("{:x}", PhysAddr::new(0xff)), "ff");
     }

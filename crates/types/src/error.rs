@@ -26,7 +26,10 @@ mod tests {
     #[test]
     fn error_display() {
         let e = AddrError::NonCanonical(1 << 60);
-        assert_eq!(e.to_string(), "non-canonical virtual address 0x1000000000000000");
+        assert_eq!(
+            e.to_string(),
+            "non-canonical virtual address 0x1000000000000000"
+        );
     }
 
     #[test]

@@ -2,10 +2,8 @@
 
 use crate::HostPtMap;
 use asap_alloc::{FrameAllocator, ScatterAllocator, ScatterConfig};
-use asap_pt::{PageTable, PtCensus, PteFlags, PtNodeAllocator, SimPhysMem, Walker, WalkTrace};
-use asap_types::{
-    PageSize, PagingMode, PhysAddr, PhysFrameNum, PtLevel, VirtAddr, INDEX_BITS,
-};
+use asap_pt::{PageTable, PtCensus, PtNodeAllocator, PteFlags, SimPhysMem, WalkTrace, Walker};
+use asap_types::{PageSize, PagingMode, PhysAddr, PhysFrameNum, PtLevel, VirtAddr, INDEX_BITS};
 
 /// Configuration of the host dimension.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,7 +139,14 @@ impl Ept {
             scatter: &mut self.scatter,
         };
         self.table
-            .map(&mut self.mem, &mut placer, va_base, frame, size, PteFlags::user_data())
+            .map(
+                &mut self.mem,
+                &mut placer,
+                va_base,
+                frame,
+                size,
+                PteFlags::user_data(),
+            )
             .expect("EPT fault-in cannot double-map");
         self.faults += 1;
     }
@@ -329,8 +334,14 @@ mod tests {
         for region in 0..8u64 {
             let g = gpa(region * (2 << 20));
             ept.ensure_mapped(g);
-            frames.push(ept.walk(g).step_at(PtLevel::Pl1).unwrap()
-                .entry_addr.frame_number().raw());
+            frames.push(
+                ept.walk(g)
+                    .step_at(PtLevel::Pl1)
+                    .unwrap()
+                    .entry_addr
+                    .frame_number()
+                    .raw(),
+            );
         }
         let contiguous = frames.windows(2).all(|w| w[1] == w[0] + 1);
         assert!(!contiguous, "{frames:?}");

@@ -50,9 +50,18 @@ mod tests {
     #[test]
     fn host_windows_disjoint_and_above_guest() {
         let windows = [
-            (HostPtMap::scatter_base().raw(), HostPtMap::SCATTER_WINDOW_FRAMES),
-            (HostPtMap::res_pl1_base().raw(), HostPtMap::RES_PL1_WINDOW_FRAMES),
-            (HostPtMap::res_pl2_base().raw(), HostPtMap::RES_PL2_WINDOW_FRAMES),
+            (
+                HostPtMap::scatter_base().raw(),
+                HostPtMap::SCATTER_WINDOW_FRAMES,
+            ),
+            (
+                HostPtMap::res_pl1_base().raw(),
+                HostPtMap::RES_PL1_WINDOW_FRAMES,
+            ),
+            (
+                HostPtMap::res_pl2_base().raw(),
+                HostPtMap::RES_PL2_WINDOW_FRAMES,
+            ),
         ];
         for (base, span) in windows {
             assert!(base >= HostPtMap::GUEST_IDENTITY_END);

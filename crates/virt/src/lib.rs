@@ -14,7 +14,7 @@
 //! * [`NestedWalker`] / [`NestedWalkTrace`] — the exact Fig. 7 access
 //!   sequence, each step carrying the host-physical address the memory
 //!   hierarchy sees;
-//! * [`VirtualMachine`] — a guest [`Process`] (with its own guest-side ASAP
+//! * [`VirtualMachine`] — a guest [`Process`](asap_os::Process) (with its own guest-side ASAP
 //!   policy, negotiated with the hypervisor via vmcalls per §3.6) behind an
 //!   [`Ept`].
 //!

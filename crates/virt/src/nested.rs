@@ -140,9 +140,7 @@ impl NestedWalker {
             // Guest-physical address of the gPT entry to read.
             let entry_gpa = PageTable::entry_addr(g_node, g_level, va);
             // 1D host walk translating that gPA (accesses 1-4, 6-9, ...).
-            let Some(entry_hpa) =
-                Self::host_1d(ept, entry_gpa, Some(g_level), &mut steps)
-            else {
+            let Some(entry_hpa) = Self::host_1d(ept, entry_gpa, Some(g_level), &mut steps) else {
                 return NestedWalkTrace {
                     va,
                     steps,
@@ -169,8 +167,8 @@ impl NestedWalker {
                 };
             }
             if g_level == PtLevel::Pl1 || entry.is_large_leaf() {
-                let size = asap_types::PageSize::from_leaf_level(g_level)
-                    .expect("leaf at PL1/PL2/PL3");
+                let size =
+                    asap_types::PageSize::from_leaf_level(g_level).expect("leaf at PL1/PL2/PL3");
                 let guest = Translation {
                     frame: entry.frame(),
                     size,
@@ -178,8 +176,7 @@ impl NestedWalker {
                 };
                 // Final host walk for the data address (accesses 21-24).
                 let data_gpa = guest.phys_addr(va);
-                let Some(data_hpa) = Self::host_1d(ept, data_gpa, None, &mut steps)
-                else {
+                let Some(data_hpa) = Self::host_1d(ept, data_gpa, None, &mut steps) else {
                     return NestedWalkTrace {
                         va,
                         steps,
@@ -261,7 +258,9 @@ mod tests {
             assert_eq!(chunk[4].level, expect_level);
         }
         let tail = &trace.steps[20..];
-        assert!(tail.iter().all(|s| s.dim == Dim::Host && s.for_guest_level.is_none()));
+        assert!(tail
+            .iter()
+            .all(|s| s.dim == Dim::Host && s.for_guest_level.is_none()));
     }
 
     #[test]
@@ -294,7 +293,9 @@ mod tests {
         let trace = NestedWalker::walk(guest.mem(), guest.page_table(), &mut ept, cousin);
         assert_eq!(
             trace.outcome,
-            NestedOutcome::GuestFault { level: PtLevel::Pl1 }
+            NestedOutcome::GuestFault {
+                level: PtLevel::Pl1
+            }
         );
         // 4 host walks + 4 guest reads happened; no final data walk.
         assert_eq!(trace.steps.len(), 20);

@@ -133,7 +133,10 @@ mod tests {
     fn host_bases_follow_ept_config() {
         let vm1 = vm(AsapOsConfig::disabled(), EptConfig::default());
         assert!(vm1.host_region_base(PtLevel::Pl1).is_none());
-        let vm2 = vm(AsapOsConfig::disabled(), EptConfig::default().host_pl1_and_pl2());
+        let vm2 = vm(
+            AsapOsConfig::disabled(),
+            EptConfig::default().host_pl1_and_pl2(),
+        );
         assert!(vm2.host_region_base(PtLevel::Pl1).is_some());
         assert!(vm2.host_region_base(PtLevel::Pl2).is_some());
     }

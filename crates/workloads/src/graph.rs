@@ -185,7 +185,11 @@ mod tests {
     fn touches_wide_page_set() {
         let mut s = GraphStream::new(ranges(), GraphMode::Bfs, 2);
         let pages: HashSet<u64> = (0..20_000).map(|_| s.next_va().raw() >> 12).collect();
-        assert!(pages.len() > 200, "graph traversal must roam: {}", pages.len());
+        assert!(
+            pages.len() > 200,
+            "graph traversal must roam: {}",
+            pages.len()
+        );
     }
 
     #[test]

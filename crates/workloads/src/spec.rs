@@ -135,7 +135,10 @@ impl WorkloadSpec {
             footprint: ByteSize::gib(80),
             big_vmas: 6,
             libs: 18,
-            pattern: PatternKind::Uniform { hot_fraction: 1.0, seq_run: 4 },
+            pattern: PatternKind::Uniform {
+                hot_fraction: 1.0,
+                seq_run: 4,
+            },
             pt_scatter_run: 23.2,
             data_cluster_fraction: 0.05,
         }
@@ -150,7 +153,10 @@ impl WorkloadSpec {
             footprint: ByteSize::gib(400),
             big_vmas: 13,
             libs: 18,
-            pattern: PatternKind::Uniform { hot_fraction: 1.0, seq_run: 4 },
+            pattern: PatternKind::Uniform {
+                hot_fraction: 1.0,
+                seq_run: 4,
+            },
             pt_scatter_run: 39.6,
             data_cluster_fraction: 0.11,
         }
@@ -253,13 +259,18 @@ impl WorkloadSpec {
     pub fn build_stream(&self, process: &Process, seed: u64) -> BoxedStream {
         let ranges = self.dataset_ranges(process);
         match self.pattern {
-            PatternKind::Uniform { hot_fraction, seq_run } => {
-                Box::new(UniformStream::new(ranges, hot_fraction, seq_run, seed))
-            }
+            PatternKind::Uniform {
+                hot_fraction,
+                seq_run,
+            } => Box::new(UniformStream::new(ranges, hot_fraction, seq_run, seed)),
             PatternKind::Zipfian { s } => Box::new(ZipfStream::new(ranges, s, seed)),
-            PatternKind::PointerChase { reuse, capacity, scan_mean } => {
-                Box::new(PointerChaseStream::new(ranges, reuse, capacity, scan_mean, seed))
-            }
+            PatternKind::PointerChase {
+                reuse,
+                capacity,
+                scan_mean,
+            } => Box::new(PointerChaseStream::new(
+                ranges, reuse, capacity, scan_mean, seed,
+            )),
             PatternKind::Graph(mode) => Box::new(GraphStream::new(ranges, mode, seed)),
         }
     }
@@ -331,9 +342,10 @@ mod tests {
             let mut stream = small.build_stream(&p, 5);
             for _ in 0..500 {
                 let va = stream.next_va();
-                let vma = p.vmas().find(va).unwrap_or_else(|| {
-                    panic!("{}: {va} outside every VMA", small.name)
-                });
+                let vma = p
+                    .vmas()
+                    .find(va)
+                    .unwrap_or_else(|| panic!("{}: {va} outside every VMA", small.name));
                 assert!(
                     matches!(vma.kind(), VmaKind::Heap | VmaKind::Mmap),
                     "{}: stream escaped the dataset",

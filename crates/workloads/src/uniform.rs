@@ -165,6 +165,10 @@ mod tests {
         let mut s = UniformStream::new(ranges(), 1.0, 1, 3);
         let pages: std::collections::HashSet<u64> =
             (0..2000).map(|_| s.next_va().raw() >> 12).collect();
-        assert!(pages.len() > 50, "uniform stream must spread: {}", pages.len());
+        assert!(
+            pages.len() > 50,
+            "uniform stream must spread: {}",
+            pages.len()
+        );
     }
 }

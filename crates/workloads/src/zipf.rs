@@ -148,7 +148,10 @@ mod tests {
         }
         let top = counts.get(&1).copied().unwrap_or(0);
         let mid = counts.get(&500).copied().unwrap_or(0);
-        assert!(top > 20 * mid.max(1), "rank 1 ({top}) must dominate rank 500 ({mid})");
+        assert!(
+            top > 20 * mid.max(1),
+            "rank 1 ({top}) must dominate rank 500 ({mid})"
+        );
     }
 
     #[test]
@@ -159,8 +162,8 @@ mod tests {
         for _ in 0..20_000 {
             counts[z.sample(&mut rng) as usize] += 1;
         }
-        for k in 1..=10 {
-            let f = counts[k] as f64 / 20_000.0;
+        for (k, &count) in counts.iter().enumerate().skip(1) {
+            let f = count as f64 / 20_000.0;
             assert!((f - 0.1).abs() < 0.02, "rank {k}: {f}");
         }
     }

@@ -14,12 +14,24 @@ fn main() {
     let sim = SimConfig::default();
     let mut table = Table::new(
         "reduction in total page-walk cycles vs baseline (native isolation)",
-        vec!["workload", "Clustered TLB", "ASAP P1+P2", "Clustered + ASAP"],
+        vec![
+            "workload",
+            "Clustered TLB",
+            "ASAP P1+P2",
+            "Clustered + ASAP",
+        ],
     );
-    for w in [WorkloadSpec::mcf(), WorkloadSpec::canneal(), WorkloadSpec::mc80()] {
+    for w in [
+        WorkloadSpec::mcf(),
+        WorkloadSpec::canneal(),
+        WorkloadSpec::mc80(),
+    ] {
         let base = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
-        let clustered =
-            run_native(&NativeRunSpec::baseline(w.clone()).with_clustered_tlb().with_sim(sim));
+        let clustered = run_native(
+            &NativeRunSpec::baseline(w.clone())
+                .with_clustered_tlb()
+                .with_sim(sim),
+        );
         let asap = run_native(
             &NativeRunSpec::baseline(w.clone())
                 .with_asap(AsapHwConfig::p1_p2())
@@ -31,9 +43,8 @@ fn main() {
                 .with_asap(AsapHwConfig::p1_p2())
                 .with_sim(sim),
         );
-        let pct = |r: &asap::sim::RunResult| {
-            format!("{:.1}%", r.walk_cycles_reduction_vs(&base) * 100.0)
-        };
+        let pct =
+            |r: &asap::sim::RunResult| format!("{:.1}%", r.walk_cycles_reduction_vs(&base) * 100.0);
         table.row(vec![w.name.into(), pct(&clustered), pct(&asap), pct(&both)]);
     }
     println!("{}", table.render());

@@ -18,12 +18,29 @@ fn main() {
         vec!["config", "avg walk latency (cycles)"],
     );
     let runs = [
-        ("4-level baseline", NativeRunSpec::baseline(w.clone()).with_sim(sim)),
-        ("4-level ASAP P1+P2",
-         NativeRunSpec::baseline(w.clone()).with_asap(AsapHwConfig::p1_p2()).with_sim(sim)),
-        ("5-level baseline", NativeRunSpec::baseline(w.clone()).five_level().with_sim(sim)),
-        ("5-level ASAP P1+P2",
-         NativeRunSpec::baseline(w).five_level().with_asap(AsapHwConfig::p1_p2()).with_sim(sim)),
+        (
+            "4-level baseline",
+            NativeRunSpec::baseline(w.clone()).with_sim(sim),
+        ),
+        (
+            "4-level ASAP P1+P2",
+            NativeRunSpec::baseline(w.clone())
+                .with_asap(AsapHwConfig::p1_p2())
+                .with_sim(sim),
+        ),
+        (
+            "5-level baseline",
+            NativeRunSpec::baseline(w.clone())
+                .five_level()
+                .with_sim(sim),
+        ),
+        (
+            "5-level ASAP P1+P2",
+            NativeRunSpec::baseline(w)
+                .five_level()
+                .with_asap(AsapHwConfig::p1_p2())
+                .with_sim(sim),
+        ),
     ];
     for (name, spec) in runs {
         let r = run_native(&spec);

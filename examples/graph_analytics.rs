@@ -15,7 +15,13 @@ fn main() {
     let sim = SimConfig::default();
     let mut table = Table::new(
         "graph analytics: average page-walk latency (cycles)",
-        vec!["workload", "native base", "native ASAP", "virt base", "virt ASAP"],
+        vec![
+            "workload",
+            "native base",
+            "native ASAP",
+            "virt base",
+            "virt ASAP",
+        ],
     );
     for w in [WorkloadSpec::bfs(), WorkloadSpec::pagerank()] {
         let nb = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
@@ -33,9 +39,17 @@ fn main() {
         table.row(vec![
             w.name.into(),
             format!("{:.1}", nb.avg_walk_latency()),
-            format!("{:.1} (-{:.0}%)", na.avg_walk_latency(), na.reduction_vs(&nb) * 100.0),
+            format!(
+                "{:.1} (-{:.0}%)",
+                na.avg_walk_latency(),
+                na.reduction_vs(&nb) * 100.0
+            ),
             format!("{:.1}", vb.avg_walk_latency()),
-            format!("{:.1} (-{:.0}%)", va.avg_walk_latency(), va.reduction_vs(&vb) * 100.0),
+            format!(
+                "{:.1} (-{:.0}%)",
+                va.avg_walk_latency(),
+                va.reduction_vs(&vb) * 100.0
+            ),
         ]);
         // Fig. 9-style leaf-level breakdown for the native baseline.
         let f = nb.served.fractions(PtLevel::Pl1);

@@ -35,10 +35,10 @@ fn all_workloads_run_natively() {
 #[test]
 fn all_workloads_run_virtualized() {
     for w in WorkloadSpec::paper_suite() {
-        let native =
-            run_native(&NativeRunSpec::baseline(small(w.clone())).with_sim(SimConfig::smoke_test()));
-        let virt =
-            run_virt(&VirtRunSpec::baseline(small(w)).with_sim(SimConfig::smoke_test()));
+        let native = run_native(
+            &NativeRunSpec::baseline(small(w.clone())).with_sim(SimConfig::smoke_test()),
+        );
+        let virt = run_virt(&VirtRunSpec::baseline(small(w)).with_sim(SimConfig::smoke_test()));
         assert_eq!(virt.faults, 0, "{}", virt.workload);
         assert!(
             virt.avg_walk_latency() > native.avg_walk_latency(),
@@ -122,7 +122,10 @@ fn asap_is_architecturally_invisible_even_with_holes() {
     for va in &vas {
         p.touch(*va).unwrap();
     }
-    assert!(p.hole_count() > 0, "the scenario must actually create holes");
+    assert!(
+        p.hole_count() > 0,
+        "the scenario must actually create holes"
+    );
 
     let mut baseline = Mmu::new(MmuConfig::default());
     let mut asap = Mmu::new(MmuConfig::default().with_asap(AsapHwConfig::p1_p2()));

@@ -1,0 +1,240 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of the criterion 0.5 API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size` / `bench_function` / `finish`),
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Bench files compile unchanged against the
+//! real crate.
+//!
+//! Measurement is intentionally simple: each benchmark is calibrated to a
+//! per-sample time budget, then `sample_size` samples are taken and the
+//! median, minimum, and maximum per-iteration times are printed. There are
+//! no statistical regression reports, plots, or baselines — swap in the
+//! real criterion for those.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work. Delegates to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration timing collected for one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    nanos_per_iter: f64,
+}
+
+/// The benchmark driver. One instance is threaded through every group
+/// registered with [`criterion_group!`].
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CRITERION_QUICK=1 cuts the per-sample budget for smoke runs.
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1");
+        Self {
+            default_sample_size: if quick { 10 } else { 20 },
+            sample_budget: if quick {
+                Duration::from_millis(2)
+            } else {
+                Duration::from_millis(10)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        let budget = self.sample_budget;
+        run_benchmark(&id.into(), sample_size, budget, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration, created by
+/// [`Criterion::benchmark_group`].
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples taken per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        run_benchmark(&full, samples, self.criterion.sample_budget, f);
+        self
+    }
+
+    /// Ends the group. (Upstream flushes reports here; the shim prints
+    /// results eagerly, so this is a no-op kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Handle passed to each benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples_wanted: usize,
+    samples: Vec<Sample>,
+}
+
+impl Bencher {
+    /// Times `routine`, taking the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples_wanted {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(Sample {
+                nanos_per_iter: elapsed.as_nanos() as f64 / self.iters_per_sample as f64,
+            });
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, budget: Duration, mut f: F) {
+    // Calibration pass: one sample of one iteration to estimate cost.
+    let mut probe = Bencher {
+        iters_per_sample: 1,
+        samples_wanted: 1,
+        samples: Vec::new(),
+    };
+    f(&mut probe);
+    let Some(first) = probe.samples.first() else {
+        println!("{id:<44} (no measurement: bencher.iter never called)");
+        return;
+    };
+    let per_iter = first.nanos_per_iter.max(1.0);
+    let iters = ((budget.as_nanos() as f64 / per_iter) as u64).clamp(1, 1_000_000);
+
+    let mut bencher = Bencher {
+        iters_per_sample: iters,
+        samples_wanted: samples,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut times: Vec<f64> = bencher.samples.iter().map(|s| s.nanos_per_iter).collect();
+    if times.is_empty() {
+        println!("{id:<44} (no measurement: bencher.iter never called)");
+        return;
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let median = times[times.len() / 2];
+    println!(
+        "{id:<44} median {:>12}  min {:>12}  max {:>12}  ({} samples x {} iters)",
+        fmt_nanos(median),
+        fmt_nanos(times[0]),
+        fmt_nanos(*times.last().unwrap()),
+        times.len(),
+        iters,
+    );
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner, mirroring
+/// upstream `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring upstream
+/// `criterion_main!`. Requires `harness = false` on the bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        let mut runs = 0u64;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs > 0, "routine must actually execute");
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(41) + 1, 42);
+    }
+
+    #[test]
+    fn nanos_formatting_scales() {
+        assert!(fmt_nanos(5.0).ends_with("ns"));
+        assert!(fmt_nanos(5_000.0).ends_with("µs"));
+        assert!(fmt_nanos(5_000_000.0).ends_with("ms"));
+        assert!(fmt_nanos(5_000_000_000.0).ends_with('s'));
+    }
+}
