@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # CI for the ASAP reproduction. Run from the repo root:
 #
-#   ./ci.sh              # full pass: fmt, clippy, release build, tests
-#   ASAP_QUICK=1 ./ci.sh # same gates, reduced simulation windows
+#   ./ci.sh              # full pass: fmt, clippy, release build, tests,
+#                        # doc, end-to-end smoke scenarios
+#   ./ci.sh --quick      # only the registry's smoke scenarios end-to-end
+#                        # (fast driver-regression check, ~seconds)
+#   ASAP_QUICK=1 ./ci.sh # full gates, reduced simulation windows
 #
-# The last two steps are the repository's tier-1 verification command
+# The build+test steps are the repository's tier-1 verification command
 # (`cargo build --release && cargo test -q`); the script adds the style
-# and lint gates in front so a green ./ci.sh implies a clean PR.
+# and lint gates in front and the end-to-end smoke pass behind, so a
+# green ./ci.sh implies a clean PR.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -16,11 +20,37 @@ run() {
     "$@"
 }
 
+smoke() {
+    # The registry's smoke scenarios through the real generic driver loop
+    # — catches driver regressions unit tests miss. Deterministic: it
+    # regenerates BENCH_results.json, and the gate below fails on any
+    # drift from the committed copy (the perf-trajectory check). A PR
+    # that intentionally changes behaviour commits the regenerated file.
+    run cargo run --release -p asap-bench --bin smoke
+    # Compare against HEAD (not the index) so staged-but-uncommitted drift
+    # still fails the gate.
+    if git rev-parse --is-inside-work-tree >/dev/null 2>&1 \
+        && git cat-file -e HEAD:BENCH_results.json 2>/dev/null; then
+        run git diff --exit-code HEAD -- BENCH_results.json
+    else
+        echo
+        echo "WARNING: trajectory check skipped (BENCH_results.json not in HEAD)"
+    fi
+}
+
+if [[ "${1:-}" == "--quick" ]]; then
+    smoke
+    echo
+    echo "ci.sh --quick: smoke scenarios passed"
+    exit 0
+fi
+
 run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
 run cargo test -q
 run cargo doc --no-deps --quiet
+smoke
 
 echo
 echo "ci.sh: all gates passed"

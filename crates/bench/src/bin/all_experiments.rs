@@ -1,29 +1,33 @@
-//! Regenerates every table and figure of the paper's evaluation.
+//! Regenerates every table and figure of the paper's evaluation by
+//! iterating the scenario registry (one flattened parallel fan-out).
 //!
-//! Output is markdown; redirect it into a file to snapshot a full
-//! reproduction run (EXPERIMENTS.md embeds one such snapshot).
+//! Markdown goes to stdout; redirect it into a file to snapshot a full
+//! reproduction run. Machine-readable results are also written to
+//! `BENCH_results_full.json` (override the path with the first argument)
+//! so successive commits have a perf trajectory to diff against. The
+//! default path deliberately differs from the committed smoke-tier
+//! `BENCH_results.json`: the two tiers use different windows and must
+//! never overwrite each other.
 
 fn main() {
     let start = std::time::Instant::now();
+    let json_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_results_full.json".into());
     println!("# ASAP reproduction: all experiments\n");
-    println!("{}", asap_bench::table1().render());
-    println!("{}", asap_bench::fig2().render());
-    println!("{}", asap_bench::fig3().render());
-    println!("{}", asap_bench::table2().render());
-    let (a, b) = asap_bench::fig8();
-    println!("{}", a.render());
-    println!("{}", b.render());
-    println!("{}", asap_bench::fig9().render());
-    let (a, b) = asap_bench::fig10();
-    println!("{}", a.render());
-    println!("{}", b.render());
-    println!("{}", asap_bench::table6().render());
-    let (fig11, table7) = asap_bench::fig11_table7();
-    println!("{}", table7.render());
-    println!("{}", fig11.render());
-    println!("{}", asap_bench::fig12().render());
-    println!("{}", asap_bench::ablation_pwc().render());
-    println!("{}", asap_bench::ablation_scatter().render());
-    println!("{}", asap_bench::ablation_5level().render());
+    let reports = asap_bench::run_all_experiments(asap_bench::sim_config());
+    for report in &reports {
+        for t in &report.tables {
+            println!("{}", t.render());
+        }
+    }
+    let results: Vec<_> = reports.into_iter().map(|r| r.results).collect();
+    match asap_bench::write_results_json(&json_path, &results, asap_bench::tier()) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => {
+            eprintln!("failed to write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
     eprintln!("total wall time: {:?}", start.elapsed());
 }

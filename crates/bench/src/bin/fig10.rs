@@ -1,7 +1,6 @@
-//! Regenerates one experiment of the paper's evaluation; see DESIGN.md.
+//! Regenerates one experiment of the paper's evaluation via the scenario
+//! registry; see ARCHITECTURE.md.
 
 fn main() {
-    let (a, b) = asap_bench::fig10();
-    println!("{}", a.render());
-    println!("{}", b.render());
+    asap_bench::print_experiment("fig10");
 }

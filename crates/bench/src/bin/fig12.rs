@@ -1,5 +1,6 @@
-//! Regenerates one experiment of the paper's evaluation; see DESIGN.md.
+//! Regenerates one experiment of the paper's evaluation via the scenario
+//! registry; see ARCHITECTURE.md.
 
 fn main() {
-    println!("{}", asap_bench::fig12().render());
+    asap_bench::print_experiment("fig12");
 }

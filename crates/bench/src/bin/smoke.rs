@@ -1,0 +1,36 @@
+//! CI smoke runner: executes the registry's smoke scenarios end-to-end at
+//! miniature scale — the whole engine matrix through the real driver loop,
+//! catching driver regressions unit tests miss.
+//!
+//! Writes `BENCH_results.json` (tier "smoke"; override the path with the
+//! first argument). The simulation is fully deterministic, so the file is
+//! byte-stable across hosts: `ci.sh` regenerates it and fails on a git
+//! diff — that diff IS the behaviour/perf-trajectory check.
+
+use asap_sim::scenarios::{run_scenarios, smoke_set};
+use asap_sim::SimConfig;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let json_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_results.json".into());
+    let set = smoke_set();
+    let results = run_scenarios(&set, SimConfig::smoke_test());
+    for r in &results {
+        for t in asap_bench::render(r.name, r) {
+            println!("{}", t.render());
+        }
+        for run in &r.runs {
+            assert_eq!(run.result.faults, 0, "{}/{} faulted", r.name, run.variant);
+        }
+    }
+    match asap_bench::write_results_json(&json_path, &results, "smoke") {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => {
+            eprintln!("failed to write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("smoke wall time: {:?}", start.elapsed());
+}

@@ -1,32 +1,33 @@
 //! Experiment harness: regenerates every table and figure of the paper's
 //! evaluation (§5) from the simulator.
 //!
-//! Each `pub fn` corresponds to one table/figure and returns rendered
-//! [`Table`]s; the `src/bin/*` binaries are thin wrappers. Run everything
+//! Every experiment's runs are resolved through the scenario registry
+//! ([`asap_sim::scenarios`]); this crate only owns the *rendering* — how a
+//! scenario's [`RunResult`]s become the paper's tables. The `src/bin/*`
+//! binaries are registry lookups ([`print_experiment`]); run everything
 //! with:
 //!
 //! ```text
 //! cargo run --release -p asap-bench --bin all_experiments
 //! ```
 //!
-//! Set `ASAP_QUICK=1` for a fast smoke pass (smaller measurement windows).
+//! which also writes machine-readable results to `BENCH_results_full.json`
+//! (the CI `smoke` binary owns the committed smoke-tier
+//! `BENCH_results.json`). Set `ASAP_QUICK=1` for a fast smoke pass
+//! (smaller measurement windows).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use asap_core::{AsapHwConfig, NestedAsapConfig};
-use asap_sim::{
-    fmt_cycles, fmt_pct, fmt_ratio, parallel_map, run_native, run_virt, NativeRunSpec, RunResult,
-    SimConfig, Table, VirtRunSpec,
-};
-use asap_tlb::PwcConfig;
-use asap_types::{ByteSize, PtLevel};
+use asap_sim::scenarios::{find, registry, run_scenarios, Scenario, ScenarioResults};
+use asap_sim::{fmt_cycles, fmt_pct, fmt_ratio, parallel_map, RunResult, SimConfig, Table};
+use asap_types::PtLevel;
 use asap_workloads::WorkloadSpec;
 
 /// The shared window configuration: honours `ASAP_QUICK=1` for smoke runs.
 #[must_use]
 pub fn sim_config() -> SimConfig {
-    if std::env::var("ASAP_QUICK").is_ok_and(|v| v == "1") {
+    if quick_mode() {
         SimConfig {
             warmup_accesses: 5_000,
             measure_accesses: 20_000,
@@ -37,53 +38,142 @@ pub fn sim_config() -> SimConfig {
     }
 }
 
-/// Table 1: memcached walk-latency growth under dataset scaling, SMT
-/// colocation and virtualization, normalized to native mc80 in isolation.
+/// Whether `ASAP_QUICK=1` is set.
 #[must_use]
-pub fn table1() -> Table {
-    let sim = sim_config();
-    enum Spec {
-        N(NativeRunSpec),
-        V(VirtRunSpec),
+pub fn quick_mode() -> bool {
+    std::env::var("ASAP_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// The tier tag stamped into `BENCH_results.json` for the current windows.
+#[must_use]
+pub fn tier() -> &'static str {
+    if quick_mode() {
+        "quick"
+    } else {
+        "full"
     }
-    let specs = vec![
-        (
-            "native mc80 (reference)",
-            Spec::N(NativeRunSpec::baseline(WorkloadSpec::mc80()).with_sim(sim)),
-        ),
-        (
-            "5x larger dataset (mc400)",
-            Spec::N(NativeRunSpec::baseline(WorkloadSpec::mc400()).with_sim(sim)),
-        ),
-        (
-            "SMT colocation",
-            Spec::N(
-                NativeRunSpec::baseline(WorkloadSpec::mc80())
-                    .colocated()
-                    .with_sim(sim),
-            ),
-        ),
-        (
-            "Virtualization",
-            Spec::V(VirtRunSpec::baseline(WorkloadSpec::mc80()).with_sim(sim)),
-        ),
+}
+
+/// The registry minus the CI-only smoke scenario, in paper order — the
+/// set `all_experiments` regenerates.
+fn paper_scenarios() -> Vec<Scenario> {
+    registry().into_iter().filter(|s| !s.smoke).collect()
+}
+
+/// The experiments `all_experiments` regenerates, in paper order.
+#[must_use]
+pub fn experiment_names() -> Vec<&'static str> {
+    paper_scenarios().into_iter().map(|s| s.name).collect()
+}
+
+/// One experiment's rendered tables plus the raw results they were built
+/// from (for JSON emission).
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// The scenario's registry key.
+    pub name: &'static str,
+    /// The rendered tables, in print order.
+    pub tables: Vec<Table>,
+    /// The raw per-run measurements.
+    pub results: ScenarioResults,
+}
+
+/// Runs one experiment by registry name and renders its tables.
+///
+/// # Panics
+///
+/// Panics when `name` is not in the registry.
+#[must_use]
+pub fn run_experiment(name: &str, sim: SimConfig) -> ExperimentReport {
+    let scenario = find(name).unwrap_or_else(|| panic!("unknown scenario {name}"));
+    let results = scenario.run(sim);
+    ExperimentReport {
+        name: scenario.name,
+        tables: render(scenario.name, &results),
+        results,
+    }
+}
+
+/// Runs every paper experiment as one flattened parallel fan-out and
+/// renders each, in registry order.
+#[must_use]
+pub fn run_all_experiments(sim: SimConfig) -> Vec<ExperimentReport> {
+    let scenarios = paper_scenarios();
+    let all = run_scenarios(&scenarios, sim);
+    all.into_iter()
+        .map(|results| ExperimentReport {
+            name: results.name,
+            tables: render(results.name, &results),
+            results,
+        })
+        .collect()
+}
+
+/// Writes results as `BENCH_results.json`-schema JSON to `path`.
+///
+/// # Errors
+///
+/// Propagates the I/O error; callers (the experiment binaries) must treat
+/// it as fatal — a missing results file would silently skip the CI
+/// perf-trajectory check.
+pub fn write_results_json(
+    path: &str,
+    results: &[ScenarioResults],
+    tier: &str,
+) -> std::io::Result<()> {
+    std::fs::write(path, asap_sim::results_to_json(results, tier))
+}
+
+/// Runs one experiment with the shared window configuration and prints its
+/// tables — the whole body of each `src/bin` wrapper.
+///
+/// # Panics
+///
+/// Panics when `name` is not in the registry.
+pub fn print_experiment(name: &str) {
+    for t in run_experiment(name, sim_config()).tables {
+        println!("{}", t.render());
+    }
+}
+
+/// Renders a scenario's results into the paper's tables.
+///
+/// # Panics
+///
+/// Panics when `name` has no renderer (every registry entry has one).
+#[must_use]
+pub fn render(name: &str, results: &ScenarioResults) -> Vec<Table> {
+    match name {
+        "table1" => vec![render_table1(results)],
+        "fig2" => vec![render_fig2(results)],
+        "fig3" => vec![render_fig3(results)],
+        "table2" => vec![render_table2()],
+        "fig8" => render_fig8(results),
+        "fig9" => vec![render_fig9(results)],
+        "fig10" => render_fig10(results),
+        "table6" => vec![render_table6(results)],
+        "fig11_table7" => render_fig11_table7(results),
+        "fig12" => vec![render_fig12(results)],
+        "ablation_pwc" => vec![render_ablation_pwc(results)],
+        "ablation_scatter" => vec![render_ablation_scatter(results)],
+        "ablation_5level" => vec![render_ablation_5level(results)],
+        "smoke" => vec![render_smoke(results)],
+        other => panic!("no renderer for scenario {other}"),
+    }
+}
+
+fn render_table1(r: &ScenarioResults) -> Table {
+    let rows: [(&str, &RunResult); 5] = [
+        ("native mc80 (reference)", r.get("mc80", "native")),
+        ("5x larger dataset (mc400)", r.get("mc400", "native")),
+        ("SMT colocation", r.get("mc80", "native+coloc")),
+        ("Virtualization", r.get("mc80", "virt")),
         (
             "Virtualization + SMT colocation",
-            Spec::V(
-                VirtRunSpec::baseline(WorkloadSpec::mc80())
-                    .colocated()
-                    .with_sim(sim),
-            ),
+            r.get("mc80", "virt+coloc"),
         ),
     ];
-    let results = parallel_map(specs, |(name, spec)| {
-        let r = match spec {
-            Spec::N(s) => run_native(&s),
-            Spec::V(s) => run_virt(&s),
-        };
-        (name, r)
-    });
-    let reference = results[0].1.avg_walk_latency();
+    let reference = rows[0].1.avg_walk_latency();
     let mut t = Table::new(
         "Table 1: memcached page-walk latency growth (normalized to native mc80 isolation)",
         vec![
@@ -94,112 +184,78 @@ pub fn table1() -> Table {
         ],
     );
     let paper = ["1.0x", "1.2x", "2.7x", "5.3x", "12.0x"];
-    for ((name, r), paper_ratio) in results.iter().zip(paper) {
+    for ((name, run), paper_ratio) in rows.iter().zip(paper) {
         t.row(vec![
             (*name).into(),
-            fmt_cycles(r.avg_walk_latency()),
-            fmt_ratio(r.avg_walk_latency() / reference),
+            fmt_cycles(run.avg_walk_latency()),
+            fmt_ratio(run.avg_walk_latency() / reference),
             paper_ratio.into(),
         ]);
     }
     t
 }
 
-/// Fig. 2: fraction of execution time spent in page walks, four scenarios.
-#[must_use]
-pub fn fig2() -> Table {
-    let sim = sim_config();
-    let suite = WorkloadSpec::paper_suite_no_mc400();
+/// Shared renderer for the Figs. 2/3 four-scenario layout.
+fn render_four_scenarios(
+    r: &ScenarioResults,
+    suite: &[WorkloadSpec],
+    title: &str,
+    metric: fn(&RunResult) -> f64,
+    fmt: fn(f64) -> String,
+) -> Table {
     let mut t = Table::new(
+        title,
+        vec![
+            "workload",
+            "native",
+            "native+coloc",
+            "virtualized",
+            "virt+coloc",
+        ],
+    );
+    let variants = ["native", "native+coloc", "virt", "virt+coloc"];
+    let mut sums = [0.0f64; 4];
+    for w in suite {
+        let mut cells = vec![w.name.to_string()];
+        for (s, v) in sums.iter_mut().zip(variants.iter()) {
+            let x = metric(r.get(w.name, v));
+            cells.push(fmt(x));
+            *s += x;
+        }
+        t.row(cells);
+    }
+    let n = suite.len() as f64;
+    let mut cells = vec!["Average".to_string()];
+    for s in sums {
+        cells.push(fmt(s / n));
+    }
+    t.row(cells);
+    t
+}
+
+fn render_fig2(r: &ScenarioResults) -> Table {
+    render_four_scenarios(
+        r,
+        &WorkloadSpec::paper_suite_no_mc400(),
         "Figure 2: fraction of execution time spent in page walks",
-        vec![
-            "workload",
-            "native",
-            "native+coloc",
-            "virtualized",
-            "virt+coloc",
-        ],
-    );
-    let rows = parallel_map(suite, |w| {
-        let native = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
-        let ncol = run_native(&NativeRunSpec::baseline(w.clone()).colocated().with_sim(sim));
-        let virt = run_virt(&VirtRunSpec::baseline(w.clone()).with_sim(sim));
-        let vcol = run_virt(&VirtRunSpec::baseline(w.clone()).colocated().with_sim(sim));
-        (w.name, [native, ncol, virt, vcol])
-    });
-    let mut sums = [0.0f64; 4];
-    for (name, rs) in &rows {
-        t.row(vec![
-            (*name).into(),
-            fmt_pct(rs[0].walk_fraction()),
-            fmt_pct(rs[1].walk_fraction()),
-            fmt_pct(rs[2].walk_fraction()),
-            fmt_pct(rs[3].walk_fraction()),
-        ]);
-        for (s, r) in sums.iter_mut().zip(rs.iter()) {
-            *s += r.walk_fraction();
-        }
-    }
-    let n = rows.len() as f64;
-    t.row(vec![
-        "Average".into(),
-        fmt_pct(sums[0] / n),
-        fmt_pct(sums[1] / n),
-        fmt_pct(sums[2] / n),
-        fmt_pct(sums[3] / n),
-    ]);
-    t
+        RunResult::walk_fraction,
+        fmt_pct,
+    )
 }
 
-/// Fig. 3: average page-walk latency across the four scenarios.
-#[must_use]
-pub fn fig3() -> Table {
-    let sim = sim_config();
-    let suite = WorkloadSpec::paper_suite();
-    let mut t = Table::new(
+fn render_fig3(r: &ScenarioResults) -> Table {
+    render_four_scenarios(
+        r,
+        &WorkloadSpec::paper_suite(),
         "Figure 3: average page-walk latency (cycles)",
-        vec![
-            "workload",
-            "native",
-            "native+coloc",
-            "virtualized",
-            "virt+coloc",
-        ],
-    );
-    let rows = parallel_map(suite, |w| {
-        let native = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
-        let ncol = run_native(&NativeRunSpec::baseline(w.clone()).colocated().with_sim(sim));
-        let virt = run_virt(&VirtRunSpec::baseline(w.clone()).with_sim(sim));
-        let vcol = run_virt(&VirtRunSpec::baseline(w.clone()).colocated().with_sim(sim));
-        (w.name, [native, ncol, virt, vcol])
-    });
-    let mut sums = [0.0f64; 4];
-    for (name, rs) in &rows {
-        t.row(vec![
-            (*name).into(),
-            fmt_cycles(rs[0].avg_walk_latency()),
-            fmt_cycles(rs[1].avg_walk_latency()),
-            fmt_cycles(rs[2].avg_walk_latency()),
-            fmt_cycles(rs[3].avg_walk_latency()),
-        ]);
-        for (s, r) in sums.iter_mut().zip(rs.iter()) {
-            *s += r.avg_walk_latency();
-        }
-    }
-    let n = rows.len() as f64;
-    t.row(vec![
-        "Average".into(),
-        fmt_cycles(sums[0] / n),
-        fmt_cycles(sums[1] / n),
-        fmt_cycles(sums[2] / n),
-        fmt_cycles(sums[3] / n),
-    ]);
-    t
+        RunResult::avg_walk_latency,
+        fmt_cycles,
+    )
 }
 
-/// Table 2: VMA counts, PT page counts and physical contiguity.
-#[must_use]
-pub fn table2() -> Table {
+/// Table 2 is analytic (a page-table census, no simulation runs), so its
+/// renderer builds the processes itself.
+fn render_table2() -> Table {
     use asap_os::AsapOsConfig;
     use asap_types::Asid;
     use asap_workloads::AccessStream;
@@ -255,8 +311,7 @@ pub fn table2() -> Table {
     t
 }
 
-fn fig8_scenario(colocated: bool) -> Table {
-    let sim = sim_config();
+fn fig8_table(r: &ScenarioResults, colocated: bool) -> Table {
     let title = if colocated {
         "Figure 8b: native walk latency under SMT colocation (cycles)"
     } else {
@@ -273,29 +328,21 @@ fn fig8_scenario(colocated: bool) -> Table {
             "P1+P2 red.",
         ],
     );
-    let rows = parallel_map(WorkloadSpec::paper_suite(), |w| {
-        let mk = |asap: AsapHwConfig| {
-            let mut s = NativeRunSpec::baseline(w.clone())
-                .with_asap(asap)
-                .with_sim(sim);
-            if colocated {
-                s = s.colocated();
-            }
-            run_native(&s)
-        };
-        (
-            w.name,
-            [
-                mk(AsapHwConfig::off()),
-                mk(AsapHwConfig::p1()),
-                mk(AsapHwConfig::p1_p2()),
-            ],
-        )
-    });
+    let key = |base: &str| {
+        if colocated {
+            format!("{base}+coloc")
+        } else {
+            base.to_string()
+        }
+    };
+    let suite = WorkloadSpec::paper_suite();
     let mut acc = [0.0f64; 3];
-    for (name, [base, p1, p12]) in &rows {
+    for w in &suite {
+        let base = r.get(w.name, &key("Baseline"));
+        let p1 = r.get(w.name, &key("P1"));
+        let p12 = r.get(w.name, &key("P1+P2"));
         t.row(vec![
-            (*name).into(),
+            w.name.into(),
             fmt_cycles(base.avg_walk_latency()),
             fmt_cycles(p1.avg_walk_latency()),
             fmt_cycles(p12.avg_walk_latency()),
@@ -306,7 +353,7 @@ fn fig8_scenario(colocated: bool) -> Table {
         acc[1] += p1.avg_walk_latency();
         acc[2] += p12.avg_walk_latency();
     }
-    let n = rows.len() as f64;
+    let n = suite.len() as f64;
     t.row(vec![
         "Average".into(),
         fmt_cycles(acc[0] / n),
@@ -318,43 +365,29 @@ fn fig8_scenario(colocated: bool) -> Table {
     t
 }
 
-/// Fig. 8: native walk latency, Baseline vs P1 vs P1+P2 (isolation and
-/// colocation).
-#[must_use]
-pub fn fig8() -> (Table, Table) {
-    (fig8_scenario(false), fig8_scenario(true))
+fn render_fig8(r: &ScenarioResults) -> Vec<Table> {
+    vec![fig8_table(r, false), fig8_table(r, true)]
 }
 
-/// Fig. 9: fraction of walk requests served per hierarchy level, per PT
-/// level, for mcf and redis (isolation and colocation).
-#[must_use]
-pub fn fig9() -> Table {
-    let sim = sim_config();
+fn render_fig9(r: &ScenarioResults) -> Table {
     let mut t = Table::new(
         "Figure 9: walk requests served by each level (baseline, native)",
         vec![
             "workload", "scenario", "PT level", "PWC", "L1", "L2", "LLC", "Mem",
         ],
     );
-    let specs: Vec<(WorkloadSpec, bool)> = vec![
-        (WorkloadSpec::mcf(), false),
-        (WorkloadSpec::redis(), false),
-        (WorkloadSpec::mcf(), true),
-        (WorkloadSpec::redis(), true),
-    ];
-    let rows = parallel_map(specs, |(w, coloc)| {
-        let mut s = NativeRunSpec::baseline(w.clone()).with_sim(sim);
-        if coloc {
-            s = s.colocated();
-        }
-        (w.name, coloc, run_native(&s))
-    });
-    for (name, coloc, r) in rows {
+    for (name, variant) in [
+        ("mcf", "isolation"),
+        ("redis", "isolation"),
+        ("mcf", "coloc"),
+        ("redis", "coloc"),
+    ] {
+        let run = r.get(name, variant);
         for level in [PtLevel::Pl4, PtLevel::Pl3, PtLevel::Pl2, PtLevel::Pl1] {
-            let f = r.served.fractions(level);
+            let f = run.served.fractions(level);
             t.row(vec![
                 name.into(),
-                if coloc { "coloc" } else { "isolation" }.into(),
+                variant.into(),
                 level.to_string(),
                 fmt_pct(f[0]),
                 fmt_pct(f[1]),
@@ -367,52 +400,39 @@ pub fn fig9() -> Table {
     t
 }
 
-fn fig10_scenario(colocated: bool) -> Table {
-    let sim = sim_config();
+fn fig10_table(r: &ScenarioResults, colocated: bool) -> Table {
     let title = if colocated {
         "Figure 10b: virtualized walk latency under SMT colocation (cycles)"
     } else {
         "Figure 10a: virtualized walk latency in isolation (cycles)"
     };
-    let configs: [(&str, NestedAsapConfig); 5] = [
-        ("Baseline", NestedAsapConfig::off()),
-        ("P1g", NestedAsapConfig::p1g()),
-        ("P1g+P2g", NestedAsapConfig::p1g_p2g()),
-        ("P1g+P1h", NestedAsapConfig::p1g_p1h()),
-        ("All", NestedAsapConfig::all()),
-    ];
+    let configs = ["Baseline", "P1g", "P1g+P2g", "P1g+P1h", "All"];
     let mut t = Table::new(
         title,
         vec![
             "workload", "Baseline", "P1g", "P1g+P2g", "P1g+P1h", "All", "All red.",
         ],
     );
-    let rows = parallel_map(WorkloadSpec::paper_suite(), |w| {
-        let results: Vec<RunResult> = configs
-            .iter()
-            .map(|(_, asap)| {
-                let mut s = VirtRunSpec::baseline(w.clone())
-                    .with_asap(asap.clone())
-                    .with_sim(sim);
-                if colocated {
-                    s = s.colocated();
-                }
-                run_virt(&s)
-            })
-            .collect();
-        (w.name, results)
-    });
-    let mut acc = [0.0f64; 5];
-    for (name, rs) in &rows {
-        let mut cells = vec![(*name).to_string()];
-        for (i, r) in rs.iter().enumerate() {
-            cells.push(fmt_cycles(r.avg_walk_latency()));
-            acc[i] += r.avg_walk_latency();
+    let key = |base: &str| {
+        if colocated {
+            format!("{base}+coloc")
+        } else {
+            base.to_string()
         }
-        cells.push(fmt_pct(rs[4].reduction_vs(&rs[0])));
+    };
+    let suite = WorkloadSpec::paper_suite();
+    let mut acc = [0.0f64; 5];
+    for w in &suite {
+        let rs: Vec<&RunResult> = configs.iter().map(|c| r.get(w.name, &key(c))).collect();
+        let mut cells = vec![w.name.to_string()];
+        for (i, run) in rs.iter().enumerate() {
+            cells.push(fmt_cycles(run.avg_walk_latency()));
+            acc[i] += run.avg_walk_latency();
+        }
+        cells.push(fmt_pct(rs[4].reduction_vs(rs[0])));
         t.row(cells);
     }
-    let n = rows.len() as f64;
+    let n = suite.len() as f64;
     let mut cells = vec!["Average".to_string()];
     for a in acc {
         cells.push(fmt_cycles(a / n));
@@ -422,17 +442,11 @@ fn fig10_scenario(colocated: bool) -> Table {
     t
 }
 
-/// Fig. 10: virtualized walk latency across per-dimension ASAP configs.
-#[must_use]
-pub fn fig10() -> (Table, Table) {
-    (fig10_scenario(false), fig10_scenario(true))
+fn render_fig10(r: &ScenarioResults) -> Vec<Table> {
+    vec![fig10_table(r, false), fig10_table(r, true)]
 }
 
-/// Table 6: conservative performance projection — critical-path walk
-/// fraction × ASAP's walk-latency reduction (virtualized, isolation).
-#[must_use]
-pub fn table6() -> Table {
-    let sim = sim_config();
+fn render_table6(r: &ScenarioResults) -> Table {
     let workloads: Vec<WorkloadSpec> = WorkloadSpec::paper_suite()
         .into_iter()
         .filter(|w| !w.name.starts_with("mc"))
@@ -446,31 +460,20 @@ pub fn table6() -> Table {
             "estimated speedup",
         ],
     );
-    let rows = parallel_map(workloads, |w| {
-        let normal = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
-        let perfect = run_native(
-            &NativeRunSpec::baseline(w.clone())
-                .perfect_tlb()
-                .with_sim(sim),
-        );
-        let fraction = 1.0 - perfect.cycles as f64 / normal.cycles as f64;
-        let vbase = run_virt(&VirtRunSpec::baseline(w.clone()).with_sim(sim));
-        let vasap = run_virt(
-            &VirtRunSpec::baseline(w.clone())
-                .with_asap(NestedAsapConfig::all())
-                .with_sim(sim),
-        );
-        let reduction = vasap.reduction_vs(&vbase);
-        (w.name, fraction, reduction)
-    });
     let mut est_sum = 0.0;
-    for (name, fraction, reduction) in &rows {
+    for w in &workloads {
+        let normal = r.get(w.name, "native");
+        let perfect = r.get(w.name, "native-perfect");
+        let fraction = 1.0 - perfect.cycles as f64 / normal.cycles as f64;
+        let vbase = r.get(w.name, "virt");
+        let vasap = r.get(w.name, "virt+asap");
+        let reduction = vasap.reduction_vs(vbase);
         let est = fraction * reduction;
         est_sum += est;
         t.row(vec![
-            (*name).into(),
-            fmt_pct(*fraction),
-            fmt_pct(*reduction),
+            w.name.into(),
+            fmt_pct(fraction),
+            fmt_pct(reduction),
             fmt_pct(est),
         ]);
     }
@@ -478,35 +481,13 @@ pub fn table6() -> Table {
         "Average".into(),
         String::new(),
         String::new(),
-        fmt_pct(est_sum / rows.len() as f64),
+        fmt_pct(est_sum / workloads.len() as f64),
     ]);
     t
 }
 
-/// Fig. 11 + Table 7: clustered TLB vs ASAP vs both (native isolation).
-#[must_use]
-pub fn fig11_table7() -> (Table, Table) {
-    let sim = sim_config();
-    let rows = parallel_map(WorkloadSpec::paper_suite(), |w| {
-        let base = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
-        let clustered = run_native(
-            &NativeRunSpec::baseline(w.clone())
-                .with_clustered_tlb()
-                .with_sim(sim),
-        );
-        let asap = run_native(
-            &NativeRunSpec::baseline(w.clone())
-                .with_asap(AsapHwConfig::p1_p2())
-                .with_sim(sim),
-        );
-        let both = run_native(
-            &NativeRunSpec::baseline(w.clone())
-                .with_asap(AsapHwConfig::p1_p2())
-                .with_clustered_tlb()
-                .with_sim(sim),
-        );
-        (w.name, base, clustered, asap, both)
-    });
+fn render_fig11_table7(r: &ScenarioResults) -> Vec<Table> {
+    let suite = WorkloadSpec::paper_suite();
     let mut t7 = Table::new(
         "Table 7: TLB MPKI reduction with the clustered TLB",
         vec![
@@ -523,13 +504,17 @@ pub fn fig11_table7() -> (Table, Table) {
         vec!["workload", "Clustered TLB", "ASAP", "Clustered + ASAP"],
     );
     let mut acc = [0.0f64; 3];
-    for ((name, base, clustered, asap, both), paper) in rows.iter().zip(paper7) {
+    for (w, paper) in suite.iter().zip(paper7) {
+        let base = r.get(w.name, "Baseline");
+        let clustered = r.get(w.name, "Clustered");
+        let asap = r.get(w.name, "ASAP");
+        let both = r.get(w.name, "Clustered+ASAP");
         // Clustered-TLB hits eliminate walks; MPKI here counts *walks
         // performed* per kilo-instruction so the coalescing effect shows.
         let base_mpki = base.walks.count() as f64 * 1000.0 / base.instructions as f64;
         let cl_mpki = clustered.walks.count() as f64 * 1000.0 / clustered.instructions as f64;
         t7.row(vec![
-            (*name).into(),
+            w.name.into(),
             format!("{base_mpki:.2}"),
             format!("{cl_mpki:.2}"),
             fmt_pct(1.0 - cl_mpki / base_mpki),
@@ -540,31 +525,27 @@ pub fn fig11_table7() -> (Table, Table) {
             asap.walk_cycles_reduction_vs(base),
             both.walk_cycles_reduction_vs(base),
         ];
-        for (a, r) in acc.iter_mut().zip(reductions.iter()) {
-            *a += r;
+        for (a, red) in acc.iter_mut().zip(reductions.iter()) {
+            *a += red;
         }
         t11.row(vec![
-            (*name).into(),
+            w.name.into(),
             fmt_pct(reductions[0]),
             fmt_pct(reductions[1]),
             fmt_pct(reductions[2]),
         ]);
     }
-    let n = rows.len() as f64;
+    let n = suite.len() as f64;
     t11.row(vec![
         "Average".into(),
         fmt_pct(acc[0] / n),
         fmt_pct(acc[1] / n),
         fmt_pct(acc[2] / n),
     ]);
-    (t11, t7)
+    vec![t11, t7]
 }
 
-/// Fig. 12: virtualization with 2 MiB host pages — baseline vs ASAP
-/// (P1g+P2g+P2h), isolation and colocation.
-#[must_use]
-pub fn fig12() -> Table {
-    let sim = sim_config();
+fn render_fig12(r: &ScenarioResults) -> Table {
     let mut t = Table::new(
         "Figure 12: virtualized walk latency with 2 MiB host pages (cycles)",
         vec![
@@ -577,45 +558,25 @@ pub fn fig12() -> Table {
             "red. coloc",
         ],
     );
-    let rows = parallel_map(WorkloadSpec::paper_suite(), |w| {
-        let mk = |asap: bool, coloc: bool| {
-            let mut s = VirtRunSpec::baseline(w.clone())
-                .host_2m_pages()
-                .with_sim(sim);
-            if asap {
-                s = s.with_asap(NestedAsapConfig::host_2m());
-            }
-            if coloc {
-                s = s.colocated();
-            }
-            run_virt(&s)
-        };
-        (
-            w.name,
-            [
-                mk(false, false),
-                mk(true, false),
-                mk(false, true),
-                mk(true, true),
-            ],
-        )
-    });
+    let suite = WorkloadSpec::paper_suite();
+    let variants = ["Baseline", "ASAP", "Baseline+coloc", "ASAP+coloc"];
     let mut acc = [0.0f64; 4];
-    for (name, rs) in &rows {
+    for w in &suite {
+        let rs: Vec<&RunResult> = variants.iter().map(|v| r.get(w.name, v)).collect();
         t.row(vec![
-            (*name).into(),
+            w.name.into(),
             fmt_cycles(rs[0].avg_walk_latency()),
             fmt_cycles(rs[1].avg_walk_latency()),
             fmt_cycles(rs[2].avg_walk_latency()),
             fmt_cycles(rs[3].avg_walk_latency()),
-            fmt_pct(rs[1].reduction_vs(&rs[0])),
-            fmt_pct(rs[3].reduction_vs(&rs[2])),
+            fmt_pct(rs[1].reduction_vs(rs[0])),
+            fmt_pct(rs[3].reduction_vs(rs[2])),
         ]);
-        for (a, r) in acc.iter_mut().zip(rs.iter()) {
-            *a += r.avg_walk_latency();
+        for (a, run) in acc.iter_mut().zip(rs.iter()) {
+            *a += run.avg_walk_latency();
         }
     }
-    let n = rows.len() as f64;
+    let n = suite.len() as f64;
     t.row(vec![
         "Average".into(),
         fmt_cycles(acc[0] / n),
@@ -628,27 +589,18 @@ pub fn fig12() -> Table {
     t
 }
 
-/// §5.1.1 ablation: doubling PWC capacity barely moves walk latency.
-#[must_use]
-pub fn ablation_pwc() -> Table {
-    let sim = sim_config();
+fn render_ablation_pwc(r: &ScenarioResults) -> Table {
     let mut t = Table::new(
         "Ablation (§5.1.1): PWC capacity doubling (native isolation)",
         vec!["workload", "default PWC", "doubled PWC", "reduction"],
     );
-    let rows = parallel_map(WorkloadSpec::paper_suite(), |w| {
-        let base = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
-        let doubled = run_native(
-            &NativeRunSpec::baseline(w.clone())
-                .with_pwc(PwcConfig::split_doubled())
-                .with_sim(sim),
-        );
-        (w.name, base, doubled)
-    });
+    let suite = WorkloadSpec::paper_suite();
     let (mut b, mut d) = (0.0f64, 0.0f64);
-    for (name, base, doubled) in &rows {
+    for w in &suite {
+        let base = r.get(w.name, "default");
+        let doubled = r.get(w.name, "doubled");
         t.row(vec![
-            (*name).into(),
+            w.name.into(),
             fmt_cycles(base.avg_walk_latency()),
             fmt_cycles(doubled.avg_walk_latency()),
             fmt_pct(doubled.reduction_vs(base)),
@@ -658,89 +610,120 @@ pub fn ablation_pwc() -> Table {
     }
     t.row(vec![
         "Average".into(),
-        fmt_cycles(b / rows.len() as f64),
-        fmt_cycles(d / rows.len() as f64),
+        fmt_cycles(b / suite.len() as f64),
+        fmt_cycles(d / suite.len() as f64),
         fmt_pct(1.0 - d / b),
     ]);
     t
 }
 
-/// Ablation: baseline walk latency vs PT-page scatter (mean run length).
-#[must_use]
-pub fn ablation_scatter() -> Table {
-    let sim = sim_config();
+fn render_ablation_scatter(r: &ScenarioResults) -> Table {
     let mut t = Table::new(
         "Ablation: baseline sensitivity to PT physical layout (mc80, native isolation)",
         vec!["PT scatter mean run (frames)", "avg walk latency (cycles)"],
     );
-    let runs = parallel_map(vec![1.0f64, 4.0, 23.2, 256.0], |run| {
-        let r = run_native(
-            &NativeRunSpec::baseline(WorkloadSpec::mc80())
-                .with_pt_scatter_run(run)
-                .with_sim(sim),
-        );
-        (run, r)
-    });
-    for (run, r) in runs {
-        t.row(vec![format!("{run:.1}"), fmt_cycles(r.avg_walk_latency())]);
-    }
-    t
-}
-
-/// §3.5 extension: five-level paging, with and without ASAP.
-#[must_use]
-pub fn ablation_5level() -> Table {
-    let sim = sim_config();
-    let mut t = Table::new(
-        "Extension (§3.5): five-level page table (mc400, native isolation)",
-        vec!["config", "avg walk latency (cycles)", "vs 4-level baseline"],
-    );
-    let specs = vec![
-        (
-            "4-level baseline",
-            NativeRunSpec::baseline(WorkloadSpec::mc400()).with_sim(sim),
-        ),
-        (
-            "5-level baseline",
-            NativeRunSpec::baseline(WorkloadSpec::mc400())
-                .five_level()
-                .with_sim(sim),
-        ),
-        (
-            "5-level + ASAP P1+P2",
-            NativeRunSpec::baseline(WorkloadSpec::mc400())
-                .five_level()
-                .with_asap(AsapHwConfig::p1_p2())
-                .with_sim(sim),
-        ),
-    ];
-    let results = parallel_map(specs, |(name, s)| (name, run_native(&s)));
-    let base = results[0].1.avg_walk_latency();
-    for (name, r) in results {
+    for run in [1.0f64, 4.0, 23.2, 256.0] {
+        let result = r.get("mc80", &format!("run={run:.1}"));
         t.row(vec![
-            name.into(),
-            fmt_cycles(r.avg_walk_latency()),
-            fmt_ratio(r.avg_walk_latency() / base),
+            format!("{run:.1}"),
+            fmt_cycles(result.avg_walk_latency()),
         ]);
     }
     t
 }
 
-/// A small subset of workloads for quick experiment smoke tests.
-#[must_use]
-pub fn smoke_workload() -> WorkloadSpec {
-    WorkloadSpec {
-        footprint: ByteSize::mib(256),
-        ..WorkloadSpec::mc80()
+fn render_ablation_5level(r: &ScenarioResults) -> Table {
+    let mut t = Table::new(
+        "Extension (§3.5): five-level page table (mc400, native isolation)",
+        vec!["config", "avg walk latency (cycles)", "vs 4-level baseline"],
+    );
+    let rows = [
+        ("4-level baseline", "4-level"),
+        ("5-level baseline", "5-level"),
+        ("5-level + ASAP P1+P2", "5-level+ASAP"),
+    ];
+    let base = r.get("mc400", "4-level").avg_walk_latency();
+    for (name, variant) in rows {
+        let run = r.get("mc400", variant);
+        t.row(vec![
+            name.into(),
+            fmt_cycles(run.avg_walk_latency()),
+            fmt_ratio(run.avg_walk_latency() / base),
+        ]);
     }
+    t
+}
+
+/// The CI smoke report: one row per engine-matrix run.
+fn render_smoke(r: &ScenarioResults) -> Table {
+    let mut t = Table::new(
+        "CI smoke: engine matrix at miniature scale",
+        vec![
+            "variant",
+            "walks",
+            "avg walk latency (cycles)",
+            "cycles",
+            "prefetches",
+            "faults",
+        ],
+    );
+    for run in &r.runs {
+        t.row(vec![
+            run.variant.clone(),
+            run.result.walks.count().to_string(),
+            fmt_cycles(run.result.avg_walk_latency()),
+            run.result.cycles.to_string(),
+            run.result.prefetches_issued.to_string(),
+            run.result.faults.to_string(),
+        ]);
+    }
+    t
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn sim_config_honours_quick_env() {
         // Not setting the env: default windows.
         let c = super::sim_config();
         assert!(c.measure_accesses >= 20_000);
+    }
+
+    #[test]
+    fn experiment_names_cover_the_paper_and_exclude_ci_smoke() {
+        let names = experiment_names();
+        assert!(names.contains(&"fig3"));
+        assert!(!names.contains(&"smoke"), "smoke is CI-only");
+    }
+
+    #[test]
+    fn every_registry_entry_runs_and_renders() {
+        // Micro windows: enough to drive every scenario builder AND every
+        // renderer arm end-to-end, so a registry entry without a renderer
+        // (or a renderer/registry variant-key mismatch) fails here instead
+        // of at `all_experiments` runtime.
+        let sim = SimConfig {
+            warmup_accesses: 100,
+            measure_accesses: 300,
+            seed: 42,
+        };
+        let scenarios = registry();
+        let all = run_scenarios(&scenarios, sim);
+        for results in &all {
+            let tables = render(results.name, results);
+            assert!(!tables.is_empty(), "{} rendered nothing", results.name);
+            for t in &tables {
+                assert!(!t.render().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_experiment_renders_a_table_per_run() {
+        let report = run_experiment("smoke", SimConfig::smoke_test());
+        assert_eq!(report.tables.len(), 1);
+        assert_eq!(report.tables[0].len(), report.results.runs.len());
     }
 }

@@ -1,0 +1,336 @@
+//! The unified translation-engine abstraction.
+//!
+//! The paper evaluates one mechanism (ASAP) on two machines: native
+//! translation ([`Mmu`](crate::Mmu), §3.1–3.3) and nested translation
+//! ([`NestedMmu`](crate::NestedMmu), §3.4). This module gives both the same
+//! shape so the rest of the system — the driver loop, the scenario
+//! registry, future backends — can stay generic:
+//!
+//! * [`TranslationEngine`] — the interface a simulation driver speaks:
+//!   context load, translate-on-access, demand/co-runner accesses, clock
+//!   control, and a statistics snapshot with prefetch accounting;
+//! * [`SimMachine`] — the software side an engine translates for (a
+//!   [`Process`] or a [`VirtualMachine`]): demand paging plus a
+//!   ground-truth translation used by perfect-TLB runs;
+//! * [`EngineCore`] — the plumbing both MMUs share (TLB fast path, cache
+//!   hierarchy and its clock, prefetch issue, walk-latency accounting), so
+//!   `mmu.rs` and `nested_mmu.rs` cannot drift apart.
+//!
+//! A new translation backend (e.g. a cache-backed TLB à la Victima, or a
+//! speculative hashed scheme à la Revelator) plugs in by implementing
+//! [`TranslationEngine`], typically over an embedded [`EngineCore`].
+
+use crate::{prefetch_target, ServedByMatrix, ServedSource, WalkLatencyStats};
+use asap_cache::{AccessResult, CacheHierarchy, HierarchyConfig};
+use asap_os::{OsError, Process, VmaDescriptor};
+use asap_tlb::{TlbConfig, TlbEntry, TlbHierarchy, TlbLevel, TlbLookup, TlbStats};
+use asap_types::{Asid, CacheLineAddr, PhysAddr, PtLevel, VirtAddr, VirtPageNum};
+use asap_virt::VirtualMachine;
+
+/// Cycles charged for a translation that hits the L2 S-TLB (the L1 hit is
+/// folded into the load pipeline). Used by the execution-time model
+/// (Fig. 2); walk latencies are unaffected.
+pub const L2_TLB_HIT_CYCLES: u64 = 7;
+
+/// How a translation was resolved, across every engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslationPath {
+    /// L1 D-TLB hit.
+    TlbL1,
+    /// L2 S-TLB hit.
+    TlbL2,
+    /// Clustered-TLB hit (§5.4.1), when configured.
+    ClusteredTlb,
+    /// Full page walk (1D native, 2D nested).
+    Walk,
+}
+
+/// The engine-agnostic outcome of one translation request — what the
+/// generic driver loop needs for cycle and prefetch accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOutcome {
+    /// How the translation was served.
+    pub path: TranslationPath,
+    /// Translation-side latency in cycles (0 for an L1 TLB hit).
+    pub latency: u64,
+    /// The resulting physical address (`None` on a page fault). For nested
+    /// engines this is the final host-physical address.
+    pub phys: Option<PhysAddr>,
+    /// ASAP prefetches issued for this access (0 on TLB hits).
+    pub prefetches_issued: u8,
+    /// ASAP prefetches dropped for lack of an MSHR.
+    pub prefetches_dropped: u8,
+}
+
+/// An owned snapshot of every statistic a run report is built from.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Walk-latency distribution over the window.
+    pub walks: WalkLatencyStats,
+    /// Per-level serving sources (guest dimension for nested engines).
+    pub served: ServedByMatrix,
+    /// Host-dimension serving sources (nested engines only).
+    pub host_served: Option<ServedByMatrix>,
+    /// L2 S-TLB hit/miss counters (the MPKI source).
+    pub l2_tlb: TlbStats,
+    /// Walks that ended in a page fault.
+    pub walk_faults: u64,
+}
+
+/// The software machine an engine translates for: it owns the page tables
+/// and backs demand paging. [`Process`] (native) and [`VirtualMachine`]
+/// (nested) implement it.
+pub trait SimMachine {
+    /// Demand-pages `va` (OS work off the measured path).
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error when `va` lies outside every VMA.
+    fn demand_page(&mut self, va: VirtAddr) -> Result<(), OsError>;
+
+    /// Ground-truth translation without any MMU involvement — the
+    /// perfect-TLB methodology of Table 6. Takes `&mut self` because nested
+    /// machines may lazily extend host mappings for page-table pages.
+    fn reference_translate(&mut self, va: VirtAddr) -> Option<PhysAddr>;
+}
+
+impl SimMachine for Process {
+    fn demand_page(&mut self, va: VirtAddr) -> Result<(), OsError> {
+        self.touch(va).map(|_| ())
+    }
+
+    fn reference_translate(&mut self, va: VirtAddr) -> Option<PhysAddr> {
+        self.translate(va).map(|t| t.phys_addr(va))
+    }
+}
+
+impl SimMachine for VirtualMachine {
+    fn demand_page(&mut self, va: VirtAddr) -> Result<(), OsError> {
+        self.touch(va).map(|_| ())
+    }
+
+    fn reference_translate(&mut self, va: VirtAddr) -> Option<PhysAddr> {
+        self.nested_walk(va).data_hpa()
+    }
+}
+
+/// One pluggable translation backend: the interface between an MMU model
+/// and the generic simulation driver.
+///
+/// Implementations simulate the full translation machine — TLB lookups,
+/// prefetches, walks over the cache hierarchy — and keep their own
+/// statistics, exposed as an owned [`EngineStats`] snapshot.
+pub trait TranslationEngine {
+    /// The paired software state ([`Process`], [`VirtualMachine`], ...).
+    type Machine: SimMachine;
+
+    /// Loads OS/hypervisor-provided context (range-register descriptors) —
+    /// the context-switch step of §3.4.
+    fn load_context(&mut self, machine: &Self::Machine);
+
+    /// Translates one application reference, advancing the engine clock by
+    /// the translation latency.
+    fn translate_access(&mut self, machine: &mut Self::Machine, va: VirtAddr) -> EngineOutcome;
+
+    /// A demand data access (the application's own load/store reaching the
+    /// cache hierarchy); advances the clock.
+    fn data_access(&mut self, pa: PhysAddr) -> AccessResult;
+
+    /// Cache pressure from the SMT co-runner: perturbs cache contents
+    /// without consuming this thread's cycles (§4).
+    fn corunner_access(&mut self, line: CacheLineAddr);
+
+    /// The current cycle count.
+    fn now(&self) -> u64;
+
+    /// Advances the clock (non-memory work between accesses).
+    fn advance(&mut self, cycles: u64);
+
+    /// Resets all statistics, keeping cached state warm (post-warmup).
+    fn reset_stats(&mut self);
+
+    /// An owned snapshot of the current statistics.
+    fn stats_snapshot(&self) -> EngineStats;
+}
+
+/// The state and plumbing shared by every translation engine: the TLB
+/// hierarchy, the cache hierarchy with its clock, and walk accounting.
+/// Engines embed one and add their backend-specific structures (PWCs,
+/// range registers, clustered TLB, ...).
+#[derive(Debug)]
+pub(crate) struct EngineCore {
+    pub(crate) tlbs: TlbHierarchy,
+    pub(crate) hierarchy: CacheHierarchy,
+    pub(crate) walk_stats: WalkLatencyStats,
+    pub(crate) walk_faults: u64,
+}
+
+impl EngineCore {
+    pub(crate) fn new(
+        l1_tlb: TlbConfig,
+        l2_tlb: TlbConfig,
+        hierarchy: HierarchyConfig,
+        seed: u64,
+    ) -> Self {
+        Self {
+            tlbs: TlbHierarchy::new(l1_tlb, l2_tlb, seed),
+            hierarchy: CacheHierarchy::new(hierarchy),
+            walk_stats: WalkLatencyStats::new(),
+            walk_faults: 0,
+        }
+    }
+
+    /// The TLB fast path: on a hit, charges the hit latency to the clock
+    /// and returns the level, latency and entry for the caller to build its
+    /// outcome from.
+    pub(crate) fn tlb_lookup(
+        &mut self,
+        asid: Asid,
+        vpn: VirtPageNum,
+    ) -> Option<(TlbLevel, u64, TlbEntry)> {
+        match self.tlbs.lookup(asid, vpn) {
+            TlbLookup::Hit { entry, level } => {
+                let latency = match level {
+                    TlbLevel::L1 => 0,
+                    TlbLevel::L2 => L2_TLB_HIT_CYCLES,
+                };
+                self.hierarchy.advance(latency);
+                Some((level, latency, entry))
+            }
+            TlbLookup::Miss => None,
+        }
+    }
+
+    /// Issues the ASAP prefetches a descriptor enables for `va` at time
+    /// `at`, accumulating issue/drop counts.
+    pub(crate) fn issue_prefetches(
+        &mut self,
+        desc: &VmaDescriptor,
+        levels: &[PtLevel],
+        va: VirtAddr,
+        at: u64,
+        issued: &mut u8,
+        dropped: &mut u8,
+    ) {
+        for &level in levels {
+            if let Some(target) = prefetch_target(desc, level, va) {
+                match self.hierarchy.prefetch_at(target.cache_line(), at) {
+                    Some(_) => *issued = issued.saturating_add(1),
+                    None => *dropped = dropped.saturating_add(1),
+                }
+            }
+        }
+    }
+
+    /// One walker access to the cache hierarchy at walk-local time `t`:
+    /// advances `t` by the access latency and classifies the serving
+    /// source (merged with an in-flight prefetch or served by a level).
+    pub(crate) fn walk_access(&mut self, line: CacheLineAddr, t: &mut u64) -> ServedSource {
+        let r = self.hierarchy.access_at(line, *t);
+        *t += r.latency;
+        if r.merged {
+            ServedSource::Merged(r.served_by)
+        } else {
+            ServedSource::Cache(r.served_by)
+        }
+    }
+
+    /// Closes out a walk that started at `t0` and ended at `t`: charges the
+    /// latency to the global clock, records it, and returns it.
+    pub(crate) fn finish_walk(&mut self, t0: u64, t: u64) -> u64 {
+        let latency = t - t0;
+        self.hierarchy.advance(latency);
+        self.walk_stats.record(latency);
+        latency
+    }
+
+    pub(crate) fn data_access(&mut self, pa: PhysAddr) -> AccessResult {
+        self.hierarchy.access(pa.cache_line())
+    }
+
+    pub(crate) fn corunner_access(&mut self, line: CacheLineAddr) {
+        let now = self.hierarchy.now();
+        let _ = self.hierarchy.access_at(line, now);
+    }
+
+    pub(crate) fn now(&self) -> u64 {
+        self.hierarchy.now()
+    }
+
+    pub(crate) fn advance(&mut self, cycles: u64) {
+        self.hierarchy.advance(cycles);
+    }
+
+    /// Resets the shared statistics (TLBs, hierarchy, walk accounting),
+    /// keeping all cached state warm.
+    pub(crate) fn reset_stats(&mut self) {
+        self.walk_stats = WalkLatencyStats::new();
+        self.walk_faults = 0;
+        self.tlbs.reset_stats();
+        self.hierarchy.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_os::{AsapOsConfig, ProcessConfig, VmaKind};
+    use asap_types::ByteSize;
+    use asap_virt::EptConfig;
+
+    fn process() -> Process {
+        Process::new(
+            ProcessConfig::new(Asid(1))
+                .with_heap(ByteSize::mib(16))
+                .with_asap(AsapOsConfig::disabled()),
+        )
+    }
+
+    #[test]
+    fn process_is_a_sim_machine() {
+        let mut p = process();
+        let va = p.vma_of_kind(VmaKind::Heap).unwrap().start();
+        assert_eq!(p.reference_translate(va), None, "untouched page");
+        p.demand_page(va).unwrap();
+        let reference = p.reference_translate(va);
+        assert!(reference.is_some());
+        assert_eq!(reference, p.translate(va).map(|t| t.phys_addr(va)));
+    }
+
+    #[test]
+    fn vm_is_a_sim_machine() {
+        let mut vm = VirtualMachine::new(
+            ProcessConfig::new(Asid(1))
+                .with_heap(ByteSize::mib(16))
+                .with_compact_phys(),
+            EptConfig::default(),
+        );
+        let va = vm.guest().vma_of_kind(VmaKind::Heap).unwrap().start();
+        vm.demand_page(va).unwrap();
+        assert!(vm.reference_translate(va).is_some());
+    }
+
+    #[test]
+    fn core_tlb_fast_path_charges_l2_latency() {
+        let mut core = EngineCore::new(
+            TlbConfig::l1_dtlb(),
+            TlbConfig::l2_stlb(),
+            HierarchyConfig::broadwell_like(),
+            0,
+        );
+        let va = VirtAddr::new(0x4000).unwrap();
+        let vpn = va.page_number();
+        assert!(core.tlb_lookup(Asid(1), vpn).is_none());
+        core.tlbs.fill(
+            Asid(1),
+            vpn,
+            TlbEntry::new(
+                PhysAddr::new(0x9000).frame_number(),
+                asap_types::PageSize::Size4K,
+            ),
+        );
+        let (level, latency, _) = core.tlb_lookup(Asid(1), vpn).unwrap();
+        assert_eq!(level, TlbLevel::L1);
+        assert_eq!(latency, 0);
+    }
+}

@@ -12,7 +12,9 @@
 //! hierarchy per walk.
 //!
 //! This crate composes the substrates into the two machines the paper
-//! evaluates:
+//! evaluates, both implementing the [`TranslationEngine`] trait over a
+//! shared engine core (TLB fast path, hierarchy clock, prefetch issue,
+//! walk accounting):
 //!
 //! * [`Mmu`] — native translation: L1/L2 TLBs → split PWCs → hardware walk
 //!   over the cache hierarchy, with the ASAP prefetcher attached; optional
@@ -20,6 +22,10 @@
 //! * [`NestedMmu`] — virtualized translation: the 24-access 2D walk of
 //!   Fig. 7 with dedicated guest/host PWCs and ASAP applied per dimension
 //!   (`P1g`, `P2g`, `P1h`, `P2h`).
+//!
+//! The [`TranslationEngine`]/[`SimMachine`] pair is what the simulation
+//! driver in `asap-sim` speaks, so new translation backends drop in
+//! without touching the driver loop.
 //!
 //! # Examples
 //!
@@ -48,6 +54,7 @@
 
 mod cluster;
 mod config;
+mod engine;
 mod mmu;
 mod nested_mmu;
 mod prefetcher;
@@ -56,7 +63,10 @@ mod stats;
 
 pub use cluster::ClusterSource;
 pub use config::{AsapHwConfig, MmuConfig, NestedAsapConfig, NestedMmuConfig};
-pub use mmu::{AccessOutcome, Mmu, TranslationPath, WalkReport};
+pub use engine::{
+    EngineOutcome, EngineStats, SimMachine, TranslationEngine, TranslationPath, L2_TLB_HIT_CYCLES,
+};
+pub use mmu::{AccessOutcome, Mmu, WalkReport};
 pub use nested_mmu::{NestedAccessOutcome, NestedMmu, NestedPath, NestedWalkReport};
 pub use prefetcher::prefetch_target;
 pub use range_regs::RangeRegisterFile;

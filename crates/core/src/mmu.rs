@@ -1,33 +1,14 @@
 //! The native-execution MMU: TLBs → PWCs → walker, with ASAP attached.
 
+use crate::engine::{EngineCore, EngineOutcome, EngineStats, TranslationEngine, TranslationPath};
 use crate::{
-    prefetch_target, AsapHwConfig, ClusterSource, MmuConfig, RangeRegisterFile, ServedByMatrix,
-    ServedSource, WalkLatencyStats,
+    AsapHwConfig, ClusterSource, MmuConfig, RangeRegisterFile, ServedByMatrix, ServedSource,
 };
-use asap_cache::{CacheHierarchy, HierarchyStats};
+use asap_cache::HierarchyStats;
+use asap_os::Process;
 use asap_pt::{PageTable, SimPhysMem, Walker};
-use asap_tlb::{
-    ClusteredTlb, PageWalkCaches, TlbEntry, TlbHierarchy, TlbLevel, TlbLookup, TlbStats,
-};
+use asap_tlb::{ClusteredTlb, PageWalkCaches, TlbEntry, TlbLevel, TlbStats};
 use asap_types::{Asid, CacheLineAddr, PageSize, PhysAddr, PtLevel, VirtAddr};
-
-/// Cycles charged for a translation that hits the L2 S-TLB (the L1 hit is
-/// folded into the load pipeline). Used by the execution-time model
-/// (Fig. 2); walk latencies are unaffected.
-pub const L2_TLB_HIT_CYCLES: u64 = 7;
-
-/// How a translation was resolved.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TranslationPath {
-    /// L1 D-TLB hit.
-    TlbL1,
-    /// L2 S-TLB hit.
-    TlbL2,
-    /// Clustered-TLB hit (§5.4.1), when configured.
-    ClusteredTlb,
-    /// Full page walk.
-    Walk,
-}
 
 /// Details of one page walk.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,37 +41,41 @@ pub struct AccessOutcome {
 
 /// The per-core translation machine of Fig. 6: unmodified TLBs, PWCs,
 /// walker and cache hierarchy, plus the ASAP range registers and prefetch
-/// logic bolted onto the TLB-miss path.
+/// logic bolted onto the TLB-miss path. The TLB fast path, hierarchy clock
+/// and walk accounting live in the shared `EngineCore`; this type adds
+/// the native-only structures (split PWCs, clustered TLB, one range-register
+/// file).
 #[derive(Debug)]
 pub struct Mmu {
+    core: EngineCore,
     asap: AsapHwConfig,
-    tlbs: TlbHierarchy,
     pwc: PageWalkCaches,
     clustered: Option<ClusteredTlb>,
-    hierarchy: CacheHierarchy,
     range_regs: RangeRegisterFile,
-    walk_stats: WalkLatencyStats,
     served: ServedByMatrix,
-    walk_faults: u64,
 }
 
 impl Mmu {
     /// Builds an MMU from `config`.
     #[must_use]
     pub fn new(config: MmuConfig) -> Self {
+        let MmuConfig {
+            l1_tlb,
+            l2_tlb,
+            pwc,
+            hierarchy,
+            asap,
+            range_registers,
+            clustered_tlb,
+            seed,
+        } = config;
         Self {
-            tlbs: TlbHierarchy::new(config.l1_tlb.clone(), config.l2_tlb.clone(), config.seed),
-            pwc: PageWalkCaches::new(config.pwc.clone(), config.seed ^ 0x9C),
-            clustered: config
-                .clustered_tlb
-                .clone()
-                .map(|c| ClusteredTlb::new(c, config.seed ^ 0xC7)),
-            hierarchy: CacheHierarchy::new(config.hierarchy.clone()),
-            range_regs: RangeRegisterFile::new(config.range_registers),
-            asap: config.asap,
-            walk_stats: WalkLatencyStats::new(),
+            core: EngineCore::new(l1_tlb, l2_tlb, hierarchy, seed),
+            pwc: PageWalkCaches::new(pwc, seed ^ 0x9C),
+            clustered: clustered_tlb.map(|c| ClusteredTlb::new(c, seed ^ 0xC7)),
+            range_regs: RangeRegisterFile::new(range_registers),
+            asap,
             served: ServedByMatrix::new(),
-            walk_faults: 0,
         }
     }
 
@@ -115,30 +100,26 @@ impl Mmu {
         cluster: Option<&dyn ClusterSource>,
     ) -> AccessOutcome {
         let vpn = va.page_number();
-        match self.tlbs.lookup(asid, vpn) {
-            TlbLookup::Hit { entry, level } => {
-                let (path, latency) = match level {
-                    TlbLevel::L1 => (TranslationPath::TlbL1, 0),
-                    TlbLevel::L2 => (TranslationPath::TlbL2, L2_TLB_HIT_CYCLES),
-                };
-                self.hierarchy.advance(latency);
-                return AccessOutcome {
-                    path,
-                    latency,
-                    phys: Some(entry.phys_addr(va)),
-                    walk: None,
-                };
-            }
-            TlbLookup::Miss => {}
+        if let Some((level, latency, entry)) = self.core.tlb_lookup(asid, vpn) {
+            let path = match level {
+                TlbLevel::L1 => TranslationPath::TlbL1,
+                TlbLevel::L2 => TranslationPath::TlbL2,
+            };
+            return AccessOutcome {
+                path,
+                latency,
+                phys: Some(entry.phys_addr(va)),
+                walk: None,
+            };
         }
         if let Some(ct) = &mut self.clustered {
             if let Some(frame) = ct.lookup(asid, vpn) {
                 let entry = TlbEntry::new(frame, PageSize::Size4K);
-                self.tlbs.fill(asid, vpn, entry);
-                self.hierarchy.advance(L2_TLB_HIT_CYCLES);
+                self.core.tlbs.fill(asid, vpn, entry);
+                self.core.advance(crate::L2_TLB_HIT_CYCLES);
                 return AccessOutcome {
                     path: TranslationPath::ClusteredTlb,
-                    latency: L2_TLB_HIT_CYCLES,
+                    latency: crate::L2_TLB_HIT_CYCLES,
                     phys: Some(entry.phys_addr(va)),
                     walk: None,
                 };
@@ -168,7 +149,7 @@ impl Mmu {
         va: VirtAddr,
         cluster: Option<&dyn ClusterSource>,
     ) -> WalkReport {
-        let t0 = self.hierarchy.now();
+        let t0 = self.core.now();
 
         // ASAP: range-register check in parallel with walker activation; on
         // a hit, prefetches launch immediately (concurrently with the
@@ -177,14 +158,14 @@ impl Mmu {
         let mut prefetches_dropped = 0u8;
         if self.asap.is_enabled() {
             if let Some(desc) = self.range_regs.lookup(va).copied() {
-                for &level in &self.asap.levels {
-                    if let Some(target) = prefetch_target(&desc, level, va) {
-                        match self.hierarchy.prefetch_at(target.cache_line(), t0) {
-                            Some(_) => prefetches_issued += 1,
-                            None => prefetches_dropped += 1,
-                        }
-                    }
-                }
+                self.core.issue_prefetches(
+                    &desc,
+                    &self.asap.levels,
+                    va,
+                    t0,
+                    &mut prefetches_issued,
+                    &mut prefetches_dropped,
+                );
             }
         }
 
@@ -205,18 +186,11 @@ impl Mmu {
                 self.served.record(step.level, ServedSource::Pwc);
                 continue;
             }
-            let r = self.hierarchy.access_at(step.entry_addr.cache_line(), t);
-            t += r.latency;
-            let src = if r.merged {
-                ServedSource::Merged(r.served_by)
-            } else {
-                ServedSource::Cache(r.served_by)
-            };
+            let src = self.core.walk_access(step.entry_addr.cache_line(), &mut t);
             sources.push((step.level, src));
             self.served.record(step.level, src);
         }
-        let latency = t - t0;
-        self.hierarchy.advance(latency);
+        let latency = self.core.finish_walk(t0, t);
 
         // Fills: PWC entries for intermediate levels, TLB (and clustered
         // TLB) for the leaf. Only a completed walk installs translations —
@@ -229,7 +203,8 @@ impl Mmu {
         }
         let fault = trace.is_fault();
         if let Some(tr) = trace.translation() {
-            self.tlbs
+            self.core
+                .tlbs
                 .fill(asid, vpn_of(va), TlbEntry::new(tr.frame, tr.size));
             if tr.size == PageSize::Size4K {
                 if let (Some(ct), Some(source)) = (&mut self.clustered, cluster) {
@@ -237,9 +212,8 @@ impl Mmu {
                 }
             }
         } else {
-            self.walk_faults += 1;
+            self.core.walk_faults += 1;
         }
-        self.walk_stats.record(latency);
         WalkReport {
             latency,
             sources,
@@ -252,21 +226,20 @@ impl Mmu {
     /// A demand data access (the application's own load/store reaching the
     /// cache hierarchy); advances the clock.
     pub fn data_access(&mut self, pa: PhysAddr) -> asap_cache::AccessResult {
-        self.hierarchy.access(pa.cache_line())
+        self.core.data_access(pa)
     }
 
     /// Cache pressure from the SMT co-runner: perturbs cache contents
     /// without consuming this thread's cycles (the co-runner executes on
     /// the sibling hardware thread, §4).
     pub fn corunner_access(&mut self, line: CacheLineAddr) {
-        let now = self.hierarchy.now();
-        let _ = self.hierarchy.access_at(line, now);
+        self.core.corunner_access(line);
     }
 
     /// Walk-latency statistics (Fig. 3/8 metric).
     #[must_use]
-    pub fn walk_stats(&self) -> &WalkLatencyStats {
-        &self.walk_stats
+    pub fn walk_stats(&self) -> &crate::WalkLatencyStats {
+        &self.core.walk_stats
     }
 
     /// The served-by matrix (Fig. 9 data).
@@ -278,13 +251,13 @@ impl Mmu {
     /// L1 TLB statistics.
     #[must_use]
     pub fn l1_tlb_stats(&self) -> &TlbStats {
-        self.tlbs.l1_stats()
+        self.core.tlbs.l1_stats()
     }
 
     /// L2 TLB statistics (MPKI source for Table 7).
     #[must_use]
     pub fn l2_tlb_stats(&self) -> &TlbStats {
-        self.tlbs.l2_stats()
+        self.core.tlbs.l2_stats()
     }
 
     /// Clustered-TLB statistics when configured.
@@ -296,37 +269,93 @@ impl Mmu {
     /// Cache-hierarchy statistics.
     #[must_use]
     pub fn hierarchy_stats(&self) -> &HierarchyStats {
-        self.hierarchy.stats()
+        self.core.hierarchy.stats()
     }
 
     /// Walks that ended in a fault.
     #[must_use]
     pub fn walk_faults(&self) -> u64 {
-        self.walk_faults
+        self.core.walk_faults
     }
 
     /// The current cycle count.
     #[must_use]
     pub fn now(&self) -> u64 {
-        self.hierarchy.now()
+        self.core.now()
     }
 
     /// Advances the clock (non-memory work between accesses).
     pub fn advance(&mut self, cycles: u64) {
-        self.hierarchy.advance(cycles);
+        self.core.advance(cycles);
     }
 
     /// Resets all statistics, keeping state warm (post-warmup).
     pub fn reset_stats(&mut self) {
-        self.walk_stats = WalkLatencyStats::new();
+        self.core.reset_stats();
         self.served = ServedByMatrix::new();
-        self.walk_faults = 0;
-        self.tlbs.reset_stats();
         self.pwc.reset_stats();
-        self.hierarchy.reset_stats();
         self.range_regs.reset_stats();
         if let Some(ct) = &mut self.clustered {
             ct.reset_stats();
+        }
+    }
+}
+
+impl TranslationEngine for Mmu {
+    type Machine = Process;
+
+    fn load_context(&mut self, machine: &Process) {
+        Mmu::load_context(self, machine.vma_descriptors());
+    }
+
+    fn translate_access(&mut self, machine: &mut Process, va: VirtAddr) -> EngineOutcome {
+        let cluster = self
+            .clustered
+            .is_some()
+            .then_some(&*machine as &dyn ClusterSource);
+        let out = self.translate(
+            machine.mem(),
+            machine.page_table(),
+            machine.asid(),
+            va,
+            cluster,
+        );
+        EngineOutcome {
+            path: out.path,
+            latency: out.latency,
+            phys: out.phys,
+            prefetches_issued: out.walk.as_ref().map_or(0, |w| w.prefetches_issued),
+            prefetches_dropped: out.walk.as_ref().map_or(0, |w| w.prefetches_dropped),
+        }
+    }
+
+    fn data_access(&mut self, pa: PhysAddr) -> asap_cache::AccessResult {
+        Mmu::data_access(self, pa)
+    }
+
+    fn corunner_access(&mut self, line: CacheLineAddr) {
+        Mmu::corunner_access(self, line);
+    }
+
+    fn now(&self) -> u64 {
+        Mmu::now(self)
+    }
+
+    fn advance(&mut self, cycles: u64) {
+        Mmu::advance(self, cycles);
+    }
+
+    fn reset_stats(&mut self) {
+        Mmu::reset_stats(self);
+    }
+
+    fn stats_snapshot(&self) -> EngineStats {
+        EngineStats {
+            walks: self.core.walk_stats.clone(),
+            served: self.served,
+            host_served: None,
+            l2_tlb: *self.core.tlbs.l2_stats(),
+            walk_faults: self.core.walk_faults,
         }
     }
 }
@@ -338,6 +367,7 @@ fn vpn_of(va: VirtAddr) -> asap_types::VirtPageNum {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::AsapHwConfig;
     use asap_os::{AsapOsConfig, Process, ProcessConfig, VmaKind};
     use asap_types::{Asid, ByteSize};
 
@@ -572,5 +602,33 @@ mod tests {
         // Contents stay warm: the next access is still a TLB hit.
         let out = mmu.translate(p.mem(), p.page_table(), p.asid(), va, None);
         assert_eq!(out.path, TranslationPath::TlbL1);
+    }
+
+    #[test]
+    fn engine_trait_matches_inherent_translation() {
+        // The trait surface must be a pure view over the inherent API: the
+        // same access sequence through both yields identical outcomes.
+        let mut p1 = process(AsapOsConfig::pl1_and_pl2());
+        let mut p2 = process(AsapOsConfig::pl1_and_pl2());
+        let vas: Vec<VirtAddr> = (0..16).map(|i| heap_va(&p1, i * 0x3000)).collect();
+        for va in &vas {
+            p1.touch(*va).unwrap();
+            p2.touch(*va).unwrap();
+        }
+        let mut inherent = Mmu::new(MmuConfig::default().with_asap(AsapHwConfig::p1_p2()));
+        inherent.load_context(p1.vma_descriptors());
+        let mut engine = Mmu::new(MmuConfig::default().with_asap(AsapHwConfig::p1_p2()));
+        TranslationEngine::load_context(&mut engine, &p2);
+        for va in &vas {
+            let a = inherent.translate(p1.mem(), p1.page_table(), p1.asid(), *va, None);
+            let b = engine.translate_access(&mut p2, *va);
+            assert_eq!(a.path, b.path);
+            assert_eq!(a.latency, b.latency);
+            assert_eq!(a.phys, b.phys);
+        }
+        let snap = engine.stats_snapshot();
+        assert_eq!(snap.walks, *inherent.walk_stats());
+        assert_eq!(snap.walk_faults, 0);
+        assert!(snap.host_served.is_none());
     }
 }

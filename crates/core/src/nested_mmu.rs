@@ -1,21 +1,15 @@
 //! The virtualized MMU: 2D walks with per-dimension ASAP (Fig. 7).
 
-use crate::{
-    prefetch_target, NestedAsapConfig, NestedMmuConfig, RangeRegisterFile, ServedByMatrix,
-    ServedSource, WalkLatencyStats,
-};
-use asap_cache::CacheHierarchy;
+use crate::engine::{EngineCore, EngineOutcome, EngineStats, TranslationEngine, TranslationPath};
+use crate::{NestedAsapConfig, NestedMmuConfig, RangeRegisterFile, ServedByMatrix, ServedSource};
 use asap_os::VmaDescriptor;
-use asap_tlb::{PageWalkCaches, TlbEntry, TlbHierarchy, TlbLevel, TlbLookup};
+use asap_tlb::{PageWalkCaches, TlbEntry, TlbLevel};
 use asap_types::{Asid, PhysAddr, PtLevel, VirtAddr};
 use asap_virt::{Dim, VirtualMachine};
 
 /// ASID used to tag host-dimension structures (one VM per core in the
 /// evaluated scenarios).
 const HOST_ASID: Asid = Asid(u16::MAX);
-
-/// Cycles charged for an L2 S-TLB hit (as in the native MMU).
-const L2_TLB_HIT_CYCLES: u64 = 7;
 
 /// How a virtualized translation was resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,37 +53,43 @@ pub struct NestedAccessOutcome {
 /// The virtualized translation machine: nested TLBs, one PWC per dimension,
 /// and ASAP range registers for both dimensions. The host dimension needs
 /// only a single descriptor because the whole guest is one host VMA (§3.6).
+/// The TLB fast path, hierarchy clock and walk accounting live in the
+/// shared `EngineCore`.
 #[derive(Debug)]
 pub struct NestedMmu {
+    core: EngineCore,
     asap: NestedAsapConfig,
-    tlbs: TlbHierarchy,
     gpwc: PageWalkCaches,
     hpwc: PageWalkCaches,
-    hierarchy: CacheHierarchy,
     guest_regs: RangeRegisterFile,
     host_desc: Option<VmaDescriptor>,
-    walk_stats: WalkLatencyStats,
     guest_served: ServedByMatrix,
     host_served: ServedByMatrix,
-    walk_faults: u64,
 }
 
 impl NestedMmu {
     /// Builds the nested MMU from `config`.
     #[must_use]
     pub fn new(config: NestedMmuConfig) -> Self {
+        let NestedMmuConfig {
+            l1_tlb,
+            l2_tlb,
+            guest_pwc,
+            host_pwc,
+            hierarchy,
+            asap,
+            range_registers,
+            seed,
+        } = config;
         Self {
-            tlbs: TlbHierarchy::new(config.l1_tlb.clone(), config.l2_tlb.clone(), config.seed),
-            gpwc: PageWalkCaches::new(config.guest_pwc.clone(), config.seed ^ 0x61),
-            hpwc: PageWalkCaches::new(config.host_pwc.clone(), config.seed ^ 0x62),
-            hierarchy: CacheHierarchy::new(config.hierarchy.clone()),
-            guest_regs: RangeRegisterFile::new(config.range_registers),
+            core: EngineCore::new(l1_tlb, l2_tlb, hierarchy, seed),
+            gpwc: PageWalkCaches::new(guest_pwc, seed ^ 0x61),
+            hpwc: PageWalkCaches::new(host_pwc, seed ^ 0x62),
+            guest_regs: RangeRegisterFile::new(range_registers),
             host_desc: None,
-            asap: config.asap,
-            walk_stats: WalkLatencyStats::new(),
+            asap,
             guest_served: ServedByMatrix::new(),
             host_served: ServedByMatrix::new(),
-            walk_faults: 0,
         }
     }
 
@@ -117,24 +117,20 @@ impl NestedMmu {
     pub fn translate(&mut self, vm: &mut VirtualMachine, va: VirtAddr) -> NestedAccessOutcome {
         let asid = vm.guest().asid();
         let vpn = va.page_number();
-        match self.tlbs.lookup(asid, vpn) {
-            TlbLookup::Hit { entry, level } => {
-                let (path, latency) = match level {
-                    TlbLevel::L1 => (NestedPath::TlbL1, 0),
-                    TlbLevel::L2 => (NestedPath::TlbL2, L2_TLB_HIT_CYCLES),
-                };
-                self.hierarchy.advance(latency);
-                return NestedAccessOutcome {
-                    path,
-                    latency,
-                    hpa: Some(entry.phys_addr(va)),
-                    walk: None,
-                };
-            }
-            TlbLookup::Miss => {}
+        if let Some((level, latency, entry)) = self.core.tlb_lookup(asid, vpn) {
+            let path = match level {
+                TlbLevel::L1 => NestedPath::TlbL1,
+                TlbLevel::L2 => NestedPath::TlbL2,
+            };
+            return NestedAccessOutcome {
+                path,
+                latency,
+                hpa: Some(entry.phys_addr(va)),
+                walk: None,
+            };
         }
         let trace = vm.nested_walk(va);
-        let t0 = self.hierarchy.now();
+        let t0 = self.core.now();
         let mut issued = 0u8;
         let mut dropped = 0u8;
 
@@ -144,14 +140,14 @@ impl NestedMmu {
         // host-physical targets.
         if !self.asap.guest.is_empty() {
             if let Some(desc) = self.guest_regs.lookup(va).copied() {
-                for &level in &self.asap.guest {
-                    if let Some(target) = prefetch_target(&desc, level, va) {
-                        match self.hierarchy.prefetch_at(target.cache_line(), t0) {
-                            Some(_) => issued += 1,
-                            None => dropped += 1,
-                        }
-                    }
-                }
+                self.core.issue_prefetches(
+                    &desc,
+                    &self.asap.guest,
+                    va,
+                    t0,
+                    &mut issued,
+                    &mut dropped,
+                );
             }
         }
 
@@ -183,21 +179,20 @@ impl NestedMmu {
             let gpa = segment[0].translating_gpa;
             // Host-dimension prefetches for this 1D walk, issued as it
             // starts ("using the guest physical address", §3.6).
+            let gpa_va = VirtAddr::new_unchecked(gpa.raw());
             if !self.asap.host.is_empty() {
                 if let Some(host_desc) = self.host_desc {
-                    let gpa_va = VirtAddr::new_unchecked(gpa.raw());
-                    for &level in &self.asap.host {
-                        if let Some(target) = prefetch_target(&host_desc, level, gpa_va) {
-                            match self.hierarchy.prefetch_at(target.cache_line(), t) {
-                                Some(_) => issued = issued.saturating_add(1),
-                                None => dropped = dropped.saturating_add(1),
-                            }
-                        }
-                    }
+                    self.core.issue_prefetches(
+                        &host_desc,
+                        &self.asap.host,
+                        gpa_va,
+                        t,
+                        &mut issued,
+                        &mut dropped,
+                    );
                 }
             }
             // Host PWC probe for this 1D walk.
-            let gpa_va = VirtAddr::new_unchecked(gpa.raw());
             let h_hit = self.hpwc.lookup(HOST_ASID, gpa_va);
             let h_start = h_hit.map_or(PtLevel::Pl4, |h| h.next_level);
             t += self.hpwc.latency();
@@ -208,16 +203,10 @@ impl NestedMmu {
                             self.host_served.record(step.level, ServedSource::Pwc);
                             continue;
                         }
-                        let r = self
-                            .hierarchy
-                            .access_at(step.host_entry_addr.cache_line(), t);
-                        t += r.latency;
+                        let src = self
+                            .core
+                            .walk_access(step.host_entry_addr.cache_line(), &mut t);
                         accesses += 1;
-                        let src = if r.merged {
-                            ServedSource::Merged(r.served_by)
-                        } else {
-                            ServedSource::Cache(r.served_by)
-                        };
                         self.host_served.record(step.level, src);
                         // Fill the host PWC with intermediate entries.
                         if step.level != PtLevel::Pl1
@@ -229,16 +218,10 @@ impl NestedMmu {
                         }
                     }
                     Dim::Guest => {
-                        let r = self
-                            .hierarchy
-                            .access_at(step.host_entry_addr.cache_line(), t);
-                        t += r.latency;
+                        let src = self
+                            .core
+                            .walk_access(step.host_entry_addr.cache_line(), &mut t);
                         accesses += 1;
-                        let src = if r.merged {
-                            ServedSource::Merged(r.served_by)
-                        } else {
-                            ServedSource::Cache(r.served_by)
-                        };
                         self.guest_served.record(step.level, src);
                         // Fill the guest PWC with intermediate gPT entries.
                         if step.level != PtLevel::Pl1
@@ -251,9 +234,7 @@ impl NestedMmu {
                 }
             }
         }
-        let latency = t - t0;
-        self.hierarchy.advance(latency);
-        self.walk_stats.record(latency);
+        let latency = self.core.finish_walk(t0, t);
 
         let fault = !trace.is_mapped();
         let hpa = trace.data_hpa();
@@ -262,9 +243,9 @@ impl NestedMmu {
             // page base.
             let base = data_hpa.raw() & !(guest_t.size.bytes() - 1);
             let entry = TlbEntry::new(PhysAddr::new(base).frame_number(), guest_t.size);
-            self.tlbs.fill(asid, vpn, entry);
+            self.core.tlbs.fill(asid, vpn, entry);
         } else {
-            self.walk_faults += 1;
+            self.core.walk_faults += 1;
         }
         NestedAccessOutcome {
             path: NestedPath::Walk,
@@ -282,19 +263,18 @@ impl NestedMmu {
 
     /// A demand data access in the guest (advances the clock).
     pub fn data_access(&mut self, hpa: PhysAddr) -> asap_cache::AccessResult {
-        self.hierarchy.access(hpa.cache_line())
+        self.core.data_access(hpa)
     }
 
     /// Cache pressure from the SMT co-runner (does not consume cycles).
     pub fn corunner_access(&mut self, line: asap_types::CacheLineAddr) {
-        let now = self.hierarchy.now();
-        let _ = self.hierarchy.access_at(line, now);
+        self.core.corunner_access(line);
     }
 
     /// Walk-latency statistics (Fig. 10/12 metric).
     #[must_use]
-    pub fn walk_stats(&self) -> &WalkLatencyStats {
-        &self.walk_stats
+    pub fn walk_stats(&self) -> &crate::WalkLatencyStats {
+        &self.core.walk_stats
     }
 
     /// Guest-dimension served-by matrix.
@@ -312,37 +292,88 @@ impl NestedMmu {
     /// L2 TLB statistics.
     #[must_use]
     pub fn l2_tlb_stats(&self) -> &asap_tlb::TlbStats {
-        self.tlbs.l2_stats()
+        self.core.tlbs.l2_stats()
     }
 
     /// Walks that faulted.
     #[must_use]
     pub fn walk_faults(&self) -> u64 {
-        self.walk_faults
+        self.core.walk_faults
     }
 
     /// Current cycle count.
     #[must_use]
     pub fn now(&self) -> u64 {
-        self.hierarchy.now()
+        self.core.now()
     }
 
     /// Advances the clock.
     pub fn advance(&mut self, cycles: u64) {
-        self.hierarchy.advance(cycles);
+        self.core.advance(cycles);
     }
 
     /// Resets statistics, keeping state warm.
     pub fn reset_stats(&mut self) {
-        self.walk_stats = WalkLatencyStats::new();
+        self.core.reset_stats();
         self.guest_served = ServedByMatrix::new();
         self.host_served = ServedByMatrix::new();
-        self.walk_faults = 0;
-        self.tlbs.reset_stats();
         self.gpwc.reset_stats();
         self.hpwc.reset_stats();
-        self.hierarchy.reset_stats();
         self.guest_regs.reset_stats();
+    }
+}
+
+impl TranslationEngine for NestedMmu {
+    type Machine = VirtualMachine;
+
+    fn load_context(&mut self, machine: &VirtualMachine) {
+        NestedMmu::load_context(self, machine);
+    }
+
+    fn translate_access(&mut self, machine: &mut VirtualMachine, va: VirtAddr) -> EngineOutcome {
+        let out = self.translate(machine, va);
+        let path = match out.path {
+            NestedPath::TlbL1 => TranslationPath::TlbL1,
+            NestedPath::TlbL2 => TranslationPath::TlbL2,
+            NestedPath::Walk => TranslationPath::Walk,
+        };
+        EngineOutcome {
+            path,
+            latency: out.latency,
+            phys: out.hpa,
+            prefetches_issued: out.walk.as_ref().map_or(0, |w| w.prefetches_issued),
+            prefetches_dropped: out.walk.as_ref().map_or(0, |w| w.prefetches_dropped),
+        }
+    }
+
+    fn data_access(&mut self, pa: PhysAddr) -> asap_cache::AccessResult {
+        NestedMmu::data_access(self, pa)
+    }
+
+    fn corunner_access(&mut self, line: asap_types::CacheLineAddr) {
+        NestedMmu::corunner_access(self, line);
+    }
+
+    fn now(&self) -> u64 {
+        NestedMmu::now(self)
+    }
+
+    fn advance(&mut self, cycles: u64) {
+        NestedMmu::advance(self, cycles);
+    }
+
+    fn reset_stats(&mut self) {
+        NestedMmu::reset_stats(self);
+    }
+
+    fn stats_snapshot(&self) -> EngineStats {
+        EngineStats {
+            walks: self.core.walk_stats.clone(),
+            served: self.guest_served,
+            host_served: Some(self.host_served),
+            l2_tlb: *self.core.tlbs.l2_stats(),
+            walk_faults: self.core.walk_faults,
+        }
     }
 }
 
@@ -505,5 +536,19 @@ mod tests {
         let out2m = mmu2m.translate(&mut vm2m, va2);
         assert!(out2m.walk.as_ref().unwrap().accesses < out4k.walk.as_ref().unwrap().accesses);
         assert!(out2m.latency < out4k.latency);
+    }
+
+    #[test]
+    fn engine_trait_exposes_host_dimension() {
+        let mut vm_t = vm(AsapOsConfig::disabled(), EptConfig::default());
+        let va = heap_va(&vm_t);
+        let mut mmu = NestedMmu::new(NestedMmuConfig::default());
+        TranslationEngine::load_context(&mut mmu, &vm_t);
+        let out = mmu.translate_access(&mut vm_t, va);
+        assert_eq!(out.path, TranslationPath::Walk);
+        assert!(out.phys.is_some());
+        let snap = mmu.stats_snapshot();
+        assert_eq!(snap.walks.count(), 1);
+        assert!(snap.host_served.is_some());
     }
 }

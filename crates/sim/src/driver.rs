@@ -1,0 +1,184 @@
+//! The one generic driver loop every scenario runs through.
+//!
+//! [`run_scenario`] models an in-order core over any
+//! [`TranslationEngine`]: each application reference is (1) demand-paged by
+//! the OS if new, (2) translated by the engine (or resolved for free in
+//! perfect-TLB mode), (3) performed as a data access through the cache
+//! hierarchy, with fixed non-memory work in between; the colocated
+//! co-runner injects cache pressure per reference (§4). Statistics reset
+//! after the warmup window. `run_native` and `run_virt` are thin wrappers
+//! that assemble the machine and call this loop.
+
+use crate::{RunResult, SimConfig, CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
+use asap_core::{SimMachine, TranslationEngine, TranslationPath};
+use asap_workloads::{AccessStream, CoRunner};
+
+/// Everything the generic driver needs besides the engine/machine pair:
+/// window sizes, the co-runner switch, the perfect-TLB switch, and the
+/// labels stamped onto the [`RunResult`].
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// The workload's name (stamped onto the result).
+    pub workload: &'static str,
+    /// The configuration label (stamped onto the result).
+    pub label: String,
+    /// Window sizes and seeding.
+    pub sim: SimConfig,
+    /// Whether the SMT co-runner is active.
+    pub colocated: bool,
+    /// Table 6 methodology: translation is free ("no page walks"); the
+    /// engine still serves data accesses and the clock still advances.
+    pub perfect_tlb: bool,
+}
+
+/// Runs one scenario — warmup window, stats reset, measurement window —
+/// over any translation engine, and collects the measurements.
+///
+/// The engine must already be constructed and context-loaded; `machine`
+/// owns the page tables and backs demand paging; `stream` generates the
+/// application's reference sequence.
+///
+/// # Panics
+///
+/// Panics if the workload generates an address outside its VMAs (a
+/// generator bug caught loudly rather than silently skipped).
+pub fn run_scenario<E: TranslationEngine>(
+    engine: &mut E,
+    machine: &mut E::Machine,
+    stream: &mut dyn AccessStream,
+    meta: &RunMeta,
+) -> RunResult {
+    let mut corunner = meta
+        .colocated
+        .then(|| CoRunner::memory_intensive(meta.sim.seed ^ 0xC0));
+
+    let total = meta.sim.warmup_accesses + meta.sim.measure_accesses;
+    let mut window_start_cycle = 0u64;
+    let mut walk_cycles = 0u64;
+    let mut prefetches_issued = 0u64;
+    let mut prefetches_dropped = 0u64;
+    for i in 0..total {
+        if i == meta.sim.warmup_accesses {
+            engine.reset_stats();
+            walk_cycles = 0;
+            prefetches_issued = 0;
+            prefetches_dropped = 0;
+            window_start_cycle = engine.now();
+        }
+        let va = stream.next_va();
+        // OS demand paging happens off the measured path (a faulting access
+        // costs microseconds of OS work either way; the paper's walk-latency
+        // metric covers successful walks).
+        machine
+            .demand_page(va)
+            .expect("workload streams stay inside their VMAs");
+        let pa = if meta.perfect_tlb {
+            machine
+                .reference_translate(va)
+                .expect("touched page translates")
+        } else {
+            let outcome = engine.translate_access(machine, va);
+            if outcome.path == TranslationPath::Walk {
+                walk_cycles += outcome.latency;
+                prefetches_issued += u64::from(outcome.prefetches_issued);
+                prefetches_dropped += u64::from(outcome.prefetches_dropped);
+            }
+            outcome.phys.expect("touched page translates")
+        };
+        let _ = engine.data_access(pa);
+        engine.advance(CPU_WORK_CYCLES_PER_ACCESS);
+        if let Some(co) = corunner.as_mut() {
+            for line in co.next_lines() {
+                engine.corunner_access(line);
+            }
+        }
+    }
+
+    let stats = engine.stats_snapshot();
+    RunResult {
+        workload: meta.workload,
+        label: meta.label.clone(),
+        walks: stats.walks,
+        served: stats.served,
+        host_served: stats.host_served,
+        l2_tlb_misses: stats.l2_tlb.misses,
+        l2_tlb_accesses: stats.l2_tlb.accesses(),
+        instructions: meta.sim.measure_accesses * INSTRUCTIONS_PER_ACCESS,
+        cycles: engine.now() - window_start_cycle,
+        walk_cycles,
+        prefetches_issued,
+        prefetches_dropped,
+        faults: stats.walk_faults,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::smoke_workload as small;
+    use asap_core::{Mmu, MmuConfig, NestedMmu, NestedMmuConfig};
+    use asap_os::AsapOsConfig;
+    use asap_types::Asid;
+    use asap_virt::VirtualMachine;
+
+    fn meta(sim: SimConfig) -> RunMeta {
+        RunMeta {
+            workload: "test",
+            label: "direct".into(),
+            sim,
+            colocated: false,
+            perfect_tlb: false,
+        }
+    }
+
+    #[test]
+    fn drives_a_native_engine_directly() {
+        let w = small();
+        let sim = SimConfig::smoke_test();
+        let mut process = w.build_process(Asid(1), AsapOsConfig::disabled(), sim.seed);
+        let mut stream = w.build_stream(&process, sim.seed ^ 0x11);
+        let mut mmu = Mmu::new(MmuConfig::default().with_seed(sim.seed));
+        TranslationEngine::load_context(&mut mmu, &process);
+        let r = run_scenario(&mut mmu, &mut process, stream.as_mut(), &meta(sim));
+        assert!(r.walks.count() > 100);
+        assert_eq!(r.faults, 0);
+        assert!(r.host_served.is_none());
+    }
+
+    #[test]
+    fn drives_a_nested_engine_directly() {
+        let w = small();
+        let sim = SimConfig::smoke_test();
+        let guest = w
+            .process_config(Asid(1), AsapOsConfig::disabled(), sim.seed)
+            .with_compact_phys();
+        let ept = asap_virt::EptConfig {
+            scatter_run: w.pt_scatter_run,
+            seed: sim.seed ^ 0xE9,
+            ..asap_virt::EptConfig::default()
+        };
+        let mut vm = VirtualMachine::new(guest, ept);
+        let mut stream = w.build_stream(vm.guest(), sim.seed ^ 0x11);
+        let mut mmu = NestedMmu::new(NestedMmuConfig::default().with_seed(sim.seed));
+        TranslationEngine::load_context(&mut mmu, &vm);
+        let r = run_scenario(&mut mmu, &mut vm, stream.as_mut(), &meta(sim));
+        assert!(r.walks.count() > 100);
+        assert!(r.host_served.is_some());
+    }
+
+    #[test]
+    fn perfect_tlb_never_queries_the_engine() {
+        let w = small();
+        let sim = SimConfig::smoke_test();
+        let mut process = w.build_process(Asid(1), AsapOsConfig::disabled(), sim.seed);
+        let mut stream = w.build_stream(&process, sim.seed ^ 0x11);
+        let mut mmu = Mmu::new(MmuConfig::default().with_seed(sim.seed));
+        let mut m = meta(sim);
+        m.perfect_tlb = true;
+        let r = run_scenario(&mut mmu, &mut process, stream.as_mut(), &m);
+        assert_eq!(r.walks.count(), 0);
+        assert_eq!(r.walk_cycles, 0);
+        assert_eq!(r.l2_tlb_accesses, 0);
+        assert!(r.cycles > 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Minimal JSON rendering for machine-readable benchmark results.
+//!
+//! The workspace is offline (no serde); this hand-rolled writer covers the
+//! flat schema `BENCH_results.json` needs. Runs are fully deterministic
+//! (seeded simulation), so the emitted file is byte-stable across hosts —
+//! diffing it between commits IS the perf-trajectory check.
+
+use crate::scenarios::ScenarioResults;
+use crate::RunResult;
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (finite values only; the metrics
+/// emitted here are ratios and means, never NaN/inf).
+fn num(x: f64) -> String {
+    debug_assert!(x.is_finite());
+    format!("{x:.4}")
+}
+
+fn run_json(r: &RunResult, workload: &str, variant: &str, indent: &str) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{indent}{{\"workload\": \"{}\", \"variant\": \"{}\", \"label\": \"{}\", ",
+        escape(workload),
+        escape(variant),
+        escape(&r.label)
+    );
+    let _ = write!(
+        s,
+        "\"walks\": {}, \"avg_walk_latency\": {}, \"walk_cycles\": {}, \"cycles\": {}, ",
+        r.walks.count(),
+        num(r.avg_walk_latency()),
+        r.walk_cycles,
+        r.cycles
+    );
+    let _ = write!(
+        s,
+        "\"walk_fraction\": {}, \"mpki\": {}, \"l2_tlb_misses\": {}, \"l2_tlb_accesses\": {}, ",
+        num(r.walk_fraction()),
+        num(r.mpki()),
+        r.l2_tlb_misses,
+        r.l2_tlb_accesses
+    );
+    let _ = write!(
+        s,
+        "\"instructions\": {}, \"prefetches_issued\": {}, \"prefetches_dropped\": {}, \"faults\": {}}}",
+        r.instructions, r.prefetches_issued, r.prefetches_dropped, r.faults
+    );
+    s
+}
+
+/// Renders a full scenario-results set as the `BENCH_results.json` schema.
+///
+/// `tier` records the window scale the numbers were produced at ("full",
+/// "quick" or "smoke") so trajectory diffs never compare across scales.
+///
+/// # Examples
+///
+/// ```
+/// use asap_sim::scenarios::find;
+/// use asap_sim::{results_to_json, SimConfig};
+///
+/// let results = [find("smoke").unwrap().run(SimConfig::smoke_test())];
+/// let json = results_to_json(&results, "smoke");
+/// assert!(json.starts_with('{'));
+/// assert!(json.contains("\"scenario\": \"smoke\""));
+/// ```
+#[must_use]
+pub fn results_to_json(results: &[ScenarioResults], tier: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"tier\": \"{}\",", escape(tier));
+    s.push_str("  \"scenarios\": [\n");
+    for (i, sc) in results.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"scenario\": \"{}\", \"runs\": [",
+            escape(sc.name)
+        );
+        for (j, r) in sc.runs.iter().enumerate() {
+            s.push_str(&run_json(&r.result, r.workload, &r.variant, "      "));
+            s.push_str(if j + 1 < sc.runs.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("    ]}");
+        s.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{ScenarioResults, ScenarioRunResult};
+    use asap_core::{ServedByMatrix, WalkLatencyStats};
+
+    fn result() -> RunResult {
+        let mut walks = WalkLatencyStats::new();
+        walks.record(100);
+        RunResult {
+            workload: "mc80",
+            label: "Baseline \"quoted\"".into(),
+            walks,
+            served: ServedByMatrix::new(),
+            host_served: None,
+            l2_tlb_misses: 5,
+            l2_tlb_accesses: 10,
+            instructions: 1000,
+            cycles: 400,
+            walk_cycles: 100,
+            prefetches_issued: 2,
+            prefetches_dropped: 1,
+            faults: 0,
+        }
+    }
+
+    #[test]
+    fn renders_escaped_valid_shape() {
+        let results = [ScenarioResults {
+            name: "smoke",
+            runs: vec![ScenarioRunResult {
+                workload: "mc80",
+                variant: "native/baseline".into(),
+                result: result(),
+            }],
+        }];
+        let json = results_to_json(&results, "smoke");
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"tier\": \"smoke\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"avg_walk_latency\": 100.0000"));
+        assert!(json.contains("\"walk_fraction\": 0.2500"));
+        // Balanced braces/brackets (a cheap structural sanity check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_scenarios_render() {
+        let results = [ScenarioResults {
+            name: "table2",
+            runs: Vec::new(),
+        }];
+        let json = results_to_json(&results, "full");
+        assert!(json.contains("\"scenario\": \"table2\", \"runs\": [\n    ]}"));
+    }
+}

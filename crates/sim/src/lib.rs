@@ -1,16 +1,22 @@
 //! The simulation driver for the ASAP reproduction.
 //!
-//! Assembles a full machine — workload process (or VM), MMU (or nested
-//! MMU), optional SMT co-runner — runs a warmup window followed by a
-//! measurement window, and collects the statistics every paper table and
-//! figure is built from:
+//! Assembles a full machine — workload process (or VM), translation engine
+//! (native or nested MMU), optional SMT co-runner — runs a warmup window
+//! followed by a measurement window, and collects the statistics every
+//! paper table and figure is built from:
 //!
-//! * [`run_native`] — native execution (Figs. 3/8/9/11, Tables 1/2/6/7);
-//! * [`run_virt`] — virtualized execution (Figs. 3/10/12, Table 1);
+//! * [`run_scenario`] — the ONE generic driver loop, over any
+//!   [`asap_core::TranslationEngine`];
+//! * [`run_native`] / [`run_virt`] — thin wrappers assembling the native
+//!   (Figs. 3/8/9/11, Tables 1/2/6/7) and virtualized (Figs. 3/10/12,
+//!   Table 1) machines for it;
+//! * [`scenarios`] — the registry naming every paper experiment as an
+//!   enumerable workload × engine × window cross product;
 //! * [`parallel_map`] — deterministic fan-out of independent runs across
 //!   host threads;
-//! * [`Table`] — the ASCII/markdown renderer used by every experiment
-//!   binary.
+//! * [`Table`] / [`results_to_json`] — the markdown renderer and the
+//!   machine-readable `BENCH_results.json` emitter used by the experiment
+//!   binaries.
 //!
 //! # Examples
 //!
@@ -30,14 +36,19 @@
 
 mod config;
 mod cycles;
+mod driver;
+mod json;
 mod native;
 mod parallel;
 mod report;
 mod result;
+pub mod scenarios;
 mod virt;
 
 pub use config::{NativeRunSpec, SimConfig, VirtRunSpec};
 pub use cycles::{CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
+pub use driver::{run_scenario, RunMeta};
+pub use json::results_to_json;
 pub use native::run_native;
 pub use parallel::parallel_map;
 pub use report::{fmt_cycles, fmt_pct, fmt_ratio, Table};

@@ -1,10 +1,12 @@
-//! The native-execution driver.
+//! The native-execution driver: assembles a [`Mmu`] + [`Process`] machine
+//! and hands it to the generic [`run_scenario`] loop.
 
-use crate::{NativeRunSpec, RunResult, CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
-use asap_core::{Mmu, MmuConfig, TranslationPath};
-use asap_os::AsapOsConfig;
+use crate::driver::{run_scenario, RunMeta};
+use crate::{NativeRunSpec, RunResult};
+use asap_core::{Mmu, MmuConfig, TranslationEngine};
+use asap_os::{AsapOsConfig, Process};
 use asap_types::Asid;
-use asap_workloads::{AccessStream, CoRunner, WorkloadSpec};
+use asap_workloads::WorkloadSpec;
 
 /// Derives the OS-side ASAP configuration from the hardware levels: the OS
 /// reserves sorted regions exactly for the levels hardware will prefetch.
@@ -30,12 +32,9 @@ fn effective_workload(spec: &NativeRunSpec) -> WorkloadSpec {
 
 /// Runs one native configuration and returns its measurements.
 ///
-/// The driver loop models an in-order core: each application reference is
-/// (1) demand-paged by the OS if new, (2) translated by the MMU (TLBs →
-/// clustered TLB → walk with ASAP prefetches), (3) performed as a data
-/// access through the cache hierarchy, with fixed non-memory work in
-/// between; the colocated co-runner injects one random line per reference
-/// (§4). Statistics reset after warmup.
+/// Builds the process (with the spec's paging mode threaded straight into
+/// the process configuration), workload stream and MMU, then delegates to
+/// [`run_scenario`].
 ///
 /// # Panics
 ///
@@ -45,16 +44,11 @@ fn effective_workload(spec: &NativeRunSpec) -> WorkloadSpec {
 pub fn run_native(spec: &NativeRunSpec) -> RunResult {
     let workload = effective_workload(spec);
     let seed = spec.sim.seed;
-    let mut process = workload.build_process(Asid(1), os_asap(spec), seed);
-    // Exercise the paging-mode knob through the process config when the
-    // 5-level ablation is requested.
-    if spec.paging_mode == asap_types::PagingMode::FiveLevel {
-        process = asap_os::Process::new(
-            workload
-                .process_config(Asid(1), os_asap(spec), seed)
-                .with_paging_mode(asap_types::PagingMode::FiveLevel),
-        );
-    }
+    let mut process = Process::new(
+        workload
+            .process_config(Asid(1), os_asap(spec), seed)
+            .with_paging_mode(spec.paging_mode),
+    );
     let mut stream = workload.build_stream(&process, seed ^ 0x11);
     let mut mmu_config = MmuConfig::default()
         .with_asap(spec.asap.clone())
@@ -64,96 +58,23 @@ pub fn run_native(spec: &NativeRunSpec) -> RunResult {
         mmu_config = mmu_config.with_clustered_tlb();
     }
     let mut mmu = Mmu::new(mmu_config);
-    mmu.load_context(process.vma_descriptors());
-    let mut corunner = spec
-        .colocated
-        .then(|| CoRunner::memory_intensive(seed ^ 0xC0));
-
-    let total = spec.sim.warmup_accesses + spec.sim.measure_accesses;
-    let mut window_start_cycle = 0u64;
-    let mut walk_cycles = 0u64;
-    let mut prefetches_issued = 0u64;
-    let mut prefetches_dropped = 0u64;
-    for i in 0..total {
-        if i == spec.sim.warmup_accesses {
-            mmu.reset_stats();
-            walk_cycles = 0;
-            prefetches_issued = 0;
-            prefetches_dropped = 0;
-            window_start_cycle = mmu.now();
-        }
-        let va = stream.next_va();
-        // OS demand paging happens off the measured path (a faulting access
-        // costs microseconds of OS work either way; the paper's walk-latency
-        // metric covers successful walks).
-        process
-            .touch(va)
-            .expect("workload streams stay inside their VMAs");
-        let pa = if spec.perfect_tlb {
-            // Table 6 methodology: translation is free ("no page walks").
-            process
-                .translate(va)
-                .map(|t| t.phys_addr(va))
-                .expect("touched page translates")
-        } else {
-            let outcome = mmu.translate(
-                process.mem(),
-                process.page_table(),
-                process.asid(),
-                va,
-                spec.clustered_tlb
-                    .then_some(&process as &dyn asap_core::ClusterSource),
-            );
-            if outcome.path == TranslationPath::Walk {
-                walk_cycles += outcome.latency;
-                if let Some(walk) = &outcome.walk {
-                    prefetches_issued += u64::from(walk.prefetches_issued);
-                    prefetches_dropped += u64::from(walk.prefetches_dropped);
-                }
-            }
-            outcome.phys.expect("touched page translates")
-        };
-        let _ = mmu.data_access(pa);
-        mmu.advance(CPU_WORK_CYCLES_PER_ACCESS);
-        if let Some(co) = corunner.as_mut() {
-            for line in co.next_lines() {
-                mmu.corunner_access(line);
-            }
-        }
-    }
-
-    let l2 = *mmu.l2_tlb_stats();
-    RunResult {
+    TranslationEngine::load_context(&mut mmu, &process);
+    let meta = RunMeta {
         workload: spec.workload.name,
         label: spec.label(),
-        walks: mmu.walk_stats().clone(),
-        served: *mmu.served_matrix(),
-        host_served: None,
-        l2_tlb_misses: l2.misses,
-        l2_tlb_accesses: l2.accesses(),
-        instructions: spec.sim.measure_accesses * INSTRUCTIONS_PER_ACCESS,
-        cycles: mmu.now() - window_start_cycle,
-        walk_cycles,
-        prefetches_issued,
-        prefetches_dropped,
-        faults: mmu.walk_faults(),
-    }
+        sim: spec.sim,
+        colocated: spec.colocated,
+        perfect_tlb: spec.perfect_tlb,
+    };
+    run_scenario(&mut mmu, &mut process, stream.as_mut(), &meta)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenarios::smoke_workload as small;
     use crate::SimConfig;
     use asap_core::AsapHwConfig;
-    use asap_types::ByteSize;
-
-    /// A small workload so tests run in milliseconds.
-    fn small() -> WorkloadSpec {
-        WorkloadSpec {
-            footprint: ByteSize::mib(256),
-            ..WorkloadSpec::mc80()
-        }
-    }
 
     #[test]
     fn baseline_run_produces_walks() {
@@ -206,6 +127,16 @@ mod tests {
         assert_eq!(r.walks.count(), 0);
         assert_eq!(r.walk_cycles, 0);
         assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn five_level_paging_threads_through_one_build() {
+        let spec = NativeRunSpec::baseline(small())
+            .five_level()
+            .with_sim(SimConfig::smoke_test());
+        let r = run_native(&spec);
+        assert!(r.walks.count() > 100);
+        assert_eq!(r.faults, 0);
     }
 
     #[test]

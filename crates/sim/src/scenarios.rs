@@ -1,0 +1,724 @@
+//! The scenario registry: every paper experiment as a named, enumerable
+//! set of runs.
+//!
+//! A [`Scenario`] is a named cross product of workload × engine
+//! configuration × simulation configuration. The registry ([`registry`])
+//! enumerates one scenario per paper experiment (fig2…fig12, table1…table7,
+//! the ablations) plus a `smoke` scenario covering the whole engine matrix
+//! at miniature scale for CI. Experiment harnesses resolve their runs here
+//! instead of hand-rolling spec lists, so adding a scenario is one registry
+//! entry — the drivers, parallel fan-out and reporting come for free.
+//!
+//! # Examples
+//!
+//! ```
+//! use asap_sim::scenarios::{find, registry};
+//! use asap_sim::SimConfig;
+//!
+//! assert!(registry().iter().any(|s| s.name == "fig3"));
+//! let smoke = find("smoke").unwrap();
+//! let results = smoke.run(SimConfig::smoke_test());
+//! assert!(results.get("mc80", "native/baseline").walks.count() > 0);
+//! ```
+
+use crate::{parallel_map, run_native, run_virt, NativeRunSpec, RunResult, SimConfig, VirtRunSpec};
+use asap_core::{AsapHwConfig, NestedAsapConfig};
+use asap_tlb::PwcConfig;
+use asap_types::ByteSize;
+use asap_workloads::WorkloadSpec;
+
+/// One run specification, native or virtualized — the unit the registry
+/// enumerates and the generic driver executes.
+#[derive(Debug, Clone)]
+pub enum RunSpec {
+    /// A native-execution run.
+    Native(NativeRunSpec),
+    /// A virtualized-execution run.
+    Virt(VirtRunSpec),
+}
+
+impl RunSpec {
+    /// Executes the run through the generic driver.
+    #[must_use]
+    pub fn run(&self) -> RunResult {
+        match self {
+            RunSpec::Native(s) => run_native(s),
+            RunSpec::Virt(s) => run_virt(s),
+        }
+    }
+
+    /// The workload's name.
+    #[must_use]
+    pub fn workload(&self) -> &'static str {
+        match self {
+            RunSpec::Native(s) => s.workload.name,
+            RunSpec::Virt(s) => s.workload.name,
+        }
+    }
+
+    /// The configuration label.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            RunSpec::Native(s) => s.label(),
+            RunSpec::Virt(s) => s.label(),
+        }
+    }
+}
+
+/// One named run within a scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// The workload's name (first lookup key).
+    pub workload: &'static str,
+    /// The variant key within the scenario ("native", "P1+P2+coloc", ...).
+    pub variant: String,
+    /// The full specification.
+    pub spec: RunSpec,
+}
+
+/// A named, enumerable experiment: workload × engine config × sim config.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Registry key ("fig2", "table1", "ablation_pwc", ...).
+    pub name: &'static str,
+    /// Human-readable description.
+    pub title: &'static str,
+    /// Whether the scenario belongs to the CI smoke set (small enough to
+    /// run end-to-end on every `ci.sh` pass).
+    pub smoke: bool,
+    builder: fn(SimConfig) -> Vec<ScenarioRun>,
+}
+
+impl Scenario {
+    /// Enumerates the scenario's runs for the given window configuration.
+    #[must_use]
+    pub fn runs(&self, sim: SimConfig) -> Vec<ScenarioRun> {
+        (self.builder)(sim)
+    }
+
+    /// Executes every run across host threads and collects the results.
+    #[must_use]
+    pub fn run(&self, sim: SimConfig) -> ScenarioResults {
+        run_scenarios(std::slice::from_ref(self), sim)
+            .pop()
+            .expect("one scenario in, one result set out")
+    }
+}
+
+/// The measurements of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioRunResult {
+    /// The workload's name.
+    pub workload: &'static str,
+    /// The variant key.
+    pub variant: String,
+    /// The driver's measurements.
+    pub result: RunResult,
+}
+
+/// All results of one executed scenario, addressable by (workload, variant).
+#[derive(Debug, Clone)]
+pub struct ScenarioResults {
+    /// The scenario's registry key.
+    pub name: &'static str,
+    /// Every run's measurements, in registry order.
+    pub runs: Vec<ScenarioRunResult>,
+}
+
+impl ScenarioResults {
+    /// The result for (workload, variant).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pair is not part of the scenario — a harness bug
+    /// reported loudly rather than rendered as an empty cell.
+    #[must_use]
+    pub fn get(&self, workload: &str, variant: &str) -> &RunResult {
+        self.runs
+            .iter()
+            .find(|r| r.workload == workload && r.variant == variant)
+            .map(|r| &r.result)
+            .unwrap_or_else(|| panic!("scenario {}: no run ({workload}, {variant})", self.name))
+    }
+}
+
+/// Runs several scenarios as ONE flattened parallel fan-out (better load
+/// balancing than nesting `parallel_map` per scenario), preserving order.
+#[must_use]
+pub fn run_scenarios(scenarios: &[Scenario], sim: SimConfig) -> Vec<ScenarioResults> {
+    let mut flat: Vec<(usize, ScenarioRun)> = Vec::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        flat.extend(s.runs(sim).into_iter().map(|r| (i, r)));
+    }
+    let done = parallel_map(flat, |(i, run)| {
+        (
+            i,
+            ScenarioRunResult {
+                workload: run.workload,
+                variant: run.variant,
+                result: run.spec.run(),
+            },
+        )
+    });
+    let mut out: Vec<ScenarioResults> = scenarios
+        .iter()
+        .map(|s| ScenarioResults {
+            name: s.name,
+            runs: Vec::new(),
+        })
+        .collect();
+    for (i, r) in done {
+        out[i].runs.push(r);
+    }
+    out
+}
+
+/// Looks a scenario up by name.
+#[must_use]
+pub fn find(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+/// The scenarios of the CI smoke set.
+#[must_use]
+pub fn smoke_set() -> Vec<Scenario> {
+    registry().into_iter().filter(|s| s.smoke).collect()
+}
+
+/// The full registry, in paper order.
+#[must_use]
+pub fn registry() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "table1",
+            title: "Table 1: memcached walk-latency growth under scaling, colocation, virtualization",
+            smoke: false,
+            builder: table1_runs,
+        },
+        Scenario {
+            name: "fig2",
+            title: "Figure 2: fraction of execution time spent in page walks",
+            smoke: false,
+            builder: fig2_runs,
+        },
+        Scenario {
+            name: "fig3",
+            title: "Figure 3: average page-walk latency across the four scenarios",
+            smoke: false,
+            builder: fig3_runs,
+        },
+        Scenario {
+            name: "table2",
+            title: "Table 2: VMAs, PT pages and physical contiguity (analytic census, no sim runs)",
+            smoke: false,
+            builder: |_| Vec::new(),
+        },
+        Scenario {
+            name: "fig8",
+            title: "Figure 8: native walk latency, Baseline vs P1 vs P1+P2",
+            smoke: false,
+            builder: fig8_runs,
+        },
+        Scenario {
+            name: "fig9",
+            title: "Figure 9: walk requests served by each hierarchy level",
+            smoke: false,
+            builder: fig9_runs,
+        },
+        Scenario {
+            name: "fig10",
+            title: "Figure 10: virtualized walk latency across per-dimension ASAP configs",
+            smoke: false,
+            builder: fig10_runs,
+        },
+        Scenario {
+            name: "table6",
+            title: "Table 6: conservative performance projection",
+            smoke: false,
+            builder: table6_runs,
+        },
+        Scenario {
+            name: "fig11_table7",
+            title: "Fig. 11 + Table 7: clustered TLB vs ASAP vs both",
+            smoke: false,
+            builder: fig11_table7_runs,
+        },
+        Scenario {
+            name: "fig12",
+            title: "Figure 12: virtualization with 2 MiB host pages",
+            smoke: false,
+            builder: fig12_runs,
+        },
+        Scenario {
+            name: "ablation_pwc",
+            title: "Ablation (§5.1.1): PWC capacity doubling",
+            smoke: false,
+            builder: ablation_pwc_runs,
+        },
+        Scenario {
+            name: "ablation_scatter",
+            title: "Ablation: baseline sensitivity to PT physical layout",
+            smoke: false,
+            builder: ablation_scatter_runs,
+        },
+        Scenario {
+            name: "ablation_5level",
+            title: "Extension (§3.5): five-level page table",
+            smoke: false,
+            builder: ablation_5level_runs,
+        },
+        Scenario {
+            name: "smoke",
+            title: "CI smoke: the full engine matrix (native/virt × baseline/ASAP/features) at miniature scale",
+            smoke: true,
+            builder: smoke_runs,
+        },
+    ]
+}
+
+fn native(w: WorkloadSpec, sim: SimConfig) -> NativeRunSpec {
+    NativeRunSpec::baseline(w).with_sim(sim)
+}
+
+fn virt(w: WorkloadSpec, sim: SimConfig) -> VirtRunSpec {
+    VirtRunSpec::baseline(w).with_sim(sim)
+}
+
+fn table1_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+    let mc80 = WorkloadSpec::mc80;
+    vec![
+        ScenarioRun {
+            workload: mc80().name,
+            variant: "native".into(),
+            spec: RunSpec::Native(native(mc80(), sim)),
+        },
+        ScenarioRun {
+            workload: WorkloadSpec::mc400().name,
+            variant: "native".into(),
+            spec: RunSpec::Native(native(WorkloadSpec::mc400(), sim)),
+        },
+        ScenarioRun {
+            workload: mc80().name,
+            variant: "native+coloc".into(),
+            spec: RunSpec::Native(native(mc80(), sim).colocated()),
+        },
+        ScenarioRun {
+            workload: mc80().name,
+            variant: "virt".into(),
+            spec: RunSpec::Virt(virt(mc80(), sim)),
+        },
+        ScenarioRun {
+            workload: mc80().name,
+            variant: "virt+coloc".into(),
+            spec: RunSpec::Virt(virt(mc80(), sim).colocated()),
+        },
+    ]
+}
+
+/// The four execution scenarios of Figs. 2/3 for one workload.
+fn four_scenarios(w: &WorkloadSpec, sim: SimConfig) -> Vec<ScenarioRun> {
+    vec![
+        ScenarioRun {
+            workload: w.name,
+            variant: "native".into(),
+            spec: RunSpec::Native(native(w.clone(), sim)),
+        },
+        ScenarioRun {
+            workload: w.name,
+            variant: "native+coloc".into(),
+            spec: RunSpec::Native(native(w.clone(), sim).colocated()),
+        },
+        ScenarioRun {
+            workload: w.name,
+            variant: "virt".into(),
+            spec: RunSpec::Virt(virt(w.clone(), sim)),
+        },
+        ScenarioRun {
+            workload: w.name,
+            variant: "virt+coloc".into(),
+            spec: RunSpec::Virt(virt(w.clone(), sim).colocated()),
+        },
+    ]
+}
+
+fn fig2_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+    WorkloadSpec::paper_suite_no_mc400()
+        .iter()
+        .flat_map(|w| four_scenarios(w, sim))
+        .collect()
+}
+
+fn fig3_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+    WorkloadSpec::paper_suite()
+        .iter()
+        .flat_map(|w| four_scenarios(w, sim))
+        .collect()
+}
+
+fn fig8_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+    let configs = [
+        ("Baseline", AsapHwConfig::off()),
+        ("P1", AsapHwConfig::p1()),
+        ("P1+P2", AsapHwConfig::p1_p2()),
+    ];
+    let mut runs = Vec::new();
+    for coloc in [false, true] {
+        for w in WorkloadSpec::paper_suite() {
+            for (key, asap) in &configs {
+                let mut s = native(w.clone(), sim).with_asap(asap.clone());
+                if coloc {
+                    s = s.colocated();
+                }
+                runs.push(ScenarioRun {
+                    workload: w.name,
+                    variant: if coloc {
+                        format!("{key}+coloc")
+                    } else {
+                        (*key).into()
+                    },
+                    spec: RunSpec::Native(s),
+                });
+            }
+        }
+    }
+    runs
+}
+
+fn fig9_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+    let mut runs = Vec::new();
+    for (w, coloc) in [
+        (WorkloadSpec::mcf(), false),
+        (WorkloadSpec::redis(), false),
+        (WorkloadSpec::mcf(), true),
+        (WorkloadSpec::redis(), true),
+    ] {
+        let mut s = native(w.clone(), sim);
+        if coloc {
+            s = s.colocated();
+        }
+        runs.push(ScenarioRun {
+            workload: w.name,
+            variant: if coloc { "coloc" } else { "isolation" }.into(),
+            spec: RunSpec::Native(s),
+        });
+    }
+    runs
+}
+
+fn fig10_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+    let configs: [(&str, NestedAsapConfig); 5] = [
+        ("Baseline", NestedAsapConfig::off()),
+        ("P1g", NestedAsapConfig::p1g()),
+        ("P1g+P2g", NestedAsapConfig::p1g_p2g()),
+        ("P1g+P1h", NestedAsapConfig::p1g_p1h()),
+        ("All", NestedAsapConfig::all()),
+    ];
+    let mut runs = Vec::new();
+    for coloc in [false, true] {
+        for w in WorkloadSpec::paper_suite() {
+            for (key, asap) in &configs {
+                let mut s = virt(w.clone(), sim).with_asap(asap.clone());
+                if coloc {
+                    s = s.colocated();
+                }
+                runs.push(ScenarioRun {
+                    workload: w.name,
+                    variant: if coloc {
+                        format!("{key}+coloc")
+                    } else {
+                        (*key).into()
+                    },
+                    spec: RunSpec::Virt(s),
+                });
+            }
+        }
+    }
+    runs
+}
+
+fn table6_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+    let mut runs = Vec::new();
+    for w in WorkloadSpec::paper_suite()
+        .into_iter()
+        .filter(|w| !w.name.starts_with("mc"))
+    {
+        runs.push(ScenarioRun {
+            workload: w.name,
+            variant: "native".into(),
+            spec: RunSpec::Native(native(w.clone(), sim)),
+        });
+        runs.push(ScenarioRun {
+            workload: w.name,
+            variant: "native-perfect".into(),
+            spec: RunSpec::Native(native(w.clone(), sim).perfect_tlb()),
+        });
+        runs.push(ScenarioRun {
+            workload: w.name,
+            variant: "virt".into(),
+            spec: RunSpec::Virt(virt(w.clone(), sim)),
+        });
+        runs.push(ScenarioRun {
+            workload: w.name,
+            variant: "virt+asap".into(),
+            spec: RunSpec::Virt(virt(w.clone(), sim).with_asap(NestedAsapConfig::all())),
+        });
+    }
+    runs
+}
+
+fn fig11_table7_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+    let mut runs = Vec::new();
+    for w in WorkloadSpec::paper_suite() {
+        runs.push(ScenarioRun {
+            workload: w.name,
+            variant: "Baseline".into(),
+            spec: RunSpec::Native(native(w.clone(), sim)),
+        });
+        runs.push(ScenarioRun {
+            workload: w.name,
+            variant: "Clustered".into(),
+            spec: RunSpec::Native(native(w.clone(), sim).with_clustered_tlb()),
+        });
+        runs.push(ScenarioRun {
+            workload: w.name,
+            variant: "ASAP".into(),
+            spec: RunSpec::Native(native(w.clone(), sim).with_asap(AsapHwConfig::p1_p2())),
+        });
+        runs.push(ScenarioRun {
+            workload: w.name,
+            variant: "Clustered+ASAP".into(),
+            spec: RunSpec::Native(
+                native(w.clone(), sim)
+                    .with_asap(AsapHwConfig::p1_p2())
+                    .with_clustered_tlb(),
+            ),
+        });
+    }
+    runs
+}
+
+fn fig12_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+    let mut runs = Vec::new();
+    for w in WorkloadSpec::paper_suite() {
+        let mk = |asap: bool, coloc: bool| {
+            let mut s = virt(w.clone(), sim).host_2m_pages();
+            if asap {
+                s = s.with_asap(NestedAsapConfig::host_2m());
+            }
+            if coloc {
+                s = s.colocated();
+            }
+            RunSpec::Virt(s)
+        };
+        for (variant, asap, coloc) in [
+            ("Baseline", false, false),
+            ("ASAP", true, false),
+            ("Baseline+coloc", false, true),
+            ("ASAP+coloc", true, true),
+        ] {
+            runs.push(ScenarioRun {
+                workload: w.name,
+                variant: variant.into(),
+                spec: mk(asap, coloc),
+            });
+        }
+    }
+    runs
+}
+
+fn ablation_pwc_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+    let mut runs = Vec::new();
+    for w in WorkloadSpec::paper_suite() {
+        runs.push(ScenarioRun {
+            workload: w.name,
+            variant: "default".into(),
+            spec: RunSpec::Native(native(w.clone(), sim)),
+        });
+        runs.push(ScenarioRun {
+            workload: w.name,
+            variant: "doubled".into(),
+            spec: RunSpec::Native(native(w.clone(), sim).with_pwc(PwcConfig::split_doubled())),
+        });
+    }
+    runs
+}
+
+fn ablation_scatter_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+    [1.0f64, 4.0, 23.2, 256.0]
+        .into_iter()
+        .map(|run| ScenarioRun {
+            workload: WorkloadSpec::mc80().name,
+            variant: format!("run={run:.1}"),
+            spec: RunSpec::Native(native(WorkloadSpec::mc80(), sim).with_pt_scatter_run(run)),
+        })
+        .collect()
+}
+
+fn ablation_5level_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+    let w = WorkloadSpec::mc400;
+    vec![
+        ScenarioRun {
+            workload: w().name,
+            variant: "4-level".into(),
+            spec: RunSpec::Native(native(w(), sim)),
+        },
+        ScenarioRun {
+            workload: w().name,
+            variant: "5-level".into(),
+            spec: RunSpec::Native(native(w(), sim).five_level()),
+        },
+        ScenarioRun {
+            workload: w().name,
+            variant: "5-level+ASAP".into(),
+            spec: RunSpec::Native(
+                native(w(), sim)
+                    .five_level()
+                    .with_asap(AsapHwConfig::p1_p2()),
+            ),
+        },
+    ]
+}
+
+/// The miniature workload the smoke scenario (and the engine-parity test)
+/// is pinned to.
+#[must_use]
+pub fn smoke_workload() -> WorkloadSpec {
+    WorkloadSpec {
+        footprint: ByteSize::mib(256),
+        ..WorkloadSpec::mc80()
+    }
+}
+
+fn smoke_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+    let w = smoke_workload;
+    let name = w().name;
+    let mk = |variant: &str, spec: RunSpec| ScenarioRun {
+        workload: name,
+        variant: variant.into(),
+        spec,
+    };
+    vec![
+        mk("native/baseline", RunSpec::Native(native(w(), sim))),
+        mk(
+            "native/asap",
+            RunSpec::Native(native(w(), sim).with_asap(AsapHwConfig::p1_p2())),
+        ),
+        mk(
+            "native/asap+clustered+coloc",
+            RunSpec::Native(
+                native(w(), sim)
+                    .with_asap(AsapHwConfig::p1_p2())
+                    .with_clustered_tlb()
+                    .colocated(),
+            ),
+        ),
+        mk(
+            "native/baseline+5level",
+            RunSpec::Native(native(w(), sim).five_level()),
+        ),
+        mk(
+            "native/perfect-tlb",
+            RunSpec::Native(native(w(), sim).perfect_tlb()),
+        ),
+        mk("virt/baseline", RunSpec::Virt(virt(w(), sim))),
+        mk(
+            "virt/asap",
+            RunSpec::Virt(virt(w(), sim).with_asap(NestedAsapConfig::all())),
+        ),
+        mk(
+            "virt/asap+host2m+coloc",
+            RunSpec::Virt(
+                virt(w(), sim)
+                    .with_asap(NestedAsapConfig::host_2m())
+                    .host_2m_pages()
+                    .colocated(),
+            ),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_complete() {
+        let reg = registry();
+        let mut names: Vec<&str> = reg.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        let mut deduped = names.clone();
+        deduped.dedup();
+        assert_eq!(names, deduped, "duplicate scenario names");
+        for expected in [
+            "table1",
+            "fig2",
+            "fig3",
+            "table2",
+            "fig8",
+            "fig9",
+            "fig10",
+            "table6",
+            "fig11_table7",
+            "fig12",
+            "ablation_pwc",
+            "ablation_scatter",
+            "ablation_5level",
+            "smoke",
+        ] {
+            assert!(find(expected).is_some(), "missing scenario {expected}");
+        }
+    }
+
+    #[test]
+    fn every_scenario_enumerates_unique_run_keys() {
+        let sim = SimConfig::smoke_test();
+        for s in registry() {
+            let runs = s.runs(sim);
+            let mut keys: Vec<(String, String)> = runs
+                .iter()
+                .map(|r| (r.workload.to_string(), r.variant.clone()))
+                .collect();
+            let n = keys.len();
+            keys.sort();
+            keys.dedup();
+            assert_eq!(keys.len(), n, "scenario {} has duplicate keys", s.name);
+        }
+    }
+
+    #[test]
+    fn smoke_scenario_runs_end_to_end() {
+        let results = find("smoke").unwrap().run(SimConfig::smoke_test());
+        assert_eq!(results.runs.len(), 8);
+        let base = results.get("mc80", "native/baseline");
+        let asap = results.get("mc80", "native/asap");
+        assert!(asap.avg_walk_latency() < base.avg_walk_latency());
+        assert_eq!(results.get("mc80", "native/perfect-tlb").walks.count(), 0);
+        assert!(results.get("mc80", "virt/baseline").host_served.is_some());
+    }
+
+    #[test]
+    fn run_scenarios_flattens_and_regroups() {
+        let sim = SimConfig {
+            warmup_accesses: 200,
+            measure_accesses: 500,
+            seed: 42,
+        };
+        let set: Vec<Scenario> = registry()
+            .into_iter()
+            .filter(|s| s.name == "smoke" || s.name == "table2")
+            .collect();
+        let all = run_scenarios(&set, sim);
+        assert_eq!(all.len(), 2);
+        let smoke = all.iter().find(|r| r.name == "smoke").unwrap();
+        let table2 = all.iter().find(|r| r.name == "table2").unwrap();
+        assert_eq!(smoke.runs.len(), 8);
+        assert!(table2.runs.is_empty(), "table2 is an analytic scenario");
+        // Grouped results match a per-scenario run exactly.
+        let direct = find("smoke").unwrap().run(sim);
+        for (a, b) in smoke.runs.iter().zip(direct.runs.iter()) {
+            assert_eq!(a.variant, b.variant);
+            assert_eq!(a.result.walks, b.result.walks);
+        }
+    }
+}

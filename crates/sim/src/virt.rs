@@ -1,11 +1,12 @@
-//! The virtualized-execution driver.
+//! The virtualized-execution driver: assembles a [`NestedMmu`] +
+//! [`VirtualMachine`] and hands it to the generic [`run_scenario`] loop.
 
-use crate::{RunResult, VirtRunSpec, CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
-use asap_core::{NestedMmu, NestedMmuConfig, NestedPath};
+use crate::driver::{run_scenario, RunMeta};
+use crate::{RunResult, VirtRunSpec};
+use asap_core::{NestedMmu, NestedMmuConfig, TranslationEngine};
 use asap_os::AsapOsConfig;
 use asap_types::{Asid, PageSize};
 use asap_virt::{EptConfig, VirtualMachine};
-use asap_workloads::{AccessStream, CoRunner};
 
 /// Runs one virtualized configuration and returns its measurements.
 ///
@@ -14,6 +15,11 @@ use asap_workloads::{AccessStream, CoRunner};
 /// OS reserves sorted regions for the guest prefetch levels (negotiated
 /// with the hypervisor via the §3.6 vmcall protocol), and the hypervisor
 /// keeps the host PT levels sorted for the host prefetch levels.
+///
+/// # Panics
+///
+/// Panics if the workload generates an address outside its VMAs (a
+/// generator bug caught loudly rather than silently skipped).
 #[must_use]
 pub fn run_virt(spec: &VirtRunSpec) -> RunResult {
     let seed = spec.sim.seed;
@@ -49,77 +55,23 @@ pub fn run_virt(spec: &VirtRunSpec) -> RunResult {
             .with_asap(spec.asap.clone())
             .with_seed(seed),
     );
-    mmu.load_context(&vm);
-    let mut corunner = spec
-        .colocated
-        .then(|| CoRunner::memory_intensive(seed ^ 0xC0));
-
-    let total = spec.sim.warmup_accesses + spec.sim.measure_accesses;
-    let mut window_start_cycle = 0u64;
-    let mut walk_cycles = 0u64;
-    let mut prefetches_issued = 0u64;
-    let mut prefetches_dropped = 0u64;
-    for i in 0..total {
-        if i == spec.sim.warmup_accesses {
-            mmu.reset_stats();
-            walk_cycles = 0;
-            prefetches_issued = 0;
-            prefetches_dropped = 0;
-            window_start_cycle = mmu.now();
-        }
-        let va = stream.next_va();
-        vm.touch(va)
-            .expect("workload streams stay inside their VMAs");
-        let outcome = mmu.translate(&mut vm, va);
-        if outcome.path == NestedPath::Walk {
-            walk_cycles += outcome.latency;
-            if let Some(walk) = &outcome.walk {
-                prefetches_issued += u64::from(walk.prefetches_issued);
-                prefetches_dropped += u64::from(walk.prefetches_dropped);
-            }
-        }
-        let hpa = outcome.hpa.expect("touched page translates");
-        let _ = mmu.data_access(hpa);
-        mmu.advance(CPU_WORK_CYCLES_PER_ACCESS);
-        if let Some(co) = corunner.as_mut() {
-            for line in co.next_lines() {
-                mmu.corunner_access(line);
-            }
-        }
-    }
-
-    let l2 = *mmu.l2_tlb_stats();
-    RunResult {
+    TranslationEngine::load_context(&mut mmu, &vm);
+    let meta = RunMeta {
         workload: spec.workload.name,
         label: spec.label(),
-        walks: mmu.walk_stats().clone(),
-        served: *mmu.guest_served_matrix(),
-        host_served: Some(*mmu.host_served_matrix()),
-        l2_tlb_misses: l2.misses,
-        l2_tlb_accesses: l2.accesses(),
-        instructions: spec.sim.measure_accesses * INSTRUCTIONS_PER_ACCESS,
-        cycles: mmu.now() - window_start_cycle,
-        walk_cycles,
-        prefetches_issued,
-        prefetches_dropped,
-        faults: mmu.walk_faults(),
-    }
+        sim: spec.sim,
+        colocated: spec.colocated,
+        perfect_tlb: false,
+    };
+    run_scenario(&mut mmu, &mut vm, stream.as_mut(), &meta)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenarios::smoke_workload as small;
     use crate::{run_native, NativeRunSpec, SimConfig};
     use asap_core::NestedAsapConfig;
-    use asap_types::ByteSize;
-    use asap_workloads::WorkloadSpec;
-
-    fn small() -> WorkloadSpec {
-        WorkloadSpec {
-            footprint: ByteSize::mib(256),
-            ..WorkloadSpec::mc80()
-        }
-    }
 
     #[test]
     fn virtualization_multiplies_walk_latency() {

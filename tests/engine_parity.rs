@@ -1,0 +1,94 @@
+//! Engine-parity regression test for the `TranslationEngine` refactor.
+//!
+//! Before `Mmu`/`NestedMmu` were rebuilt over the shared `EngineCore` and
+//! `run_native`/`run_virt` collapsed into the generic `run_scenario`
+//! driver, the pre-refactor drivers were run over a matrix of
+//! baseline/ASAP × native/virt smoke configurations and their statistics
+//! recorded below. The refactored stack must reproduce those statistics
+//! **bit-identically**: the refactor is pure code motion, so any drift is
+//! a timing-model regression, not noise.
+//!
+//! The matrix matches the registry's `smoke` scenario, so CI's end-to-end
+//! smoke pass exercises exactly the configurations pinned here.
+
+use asap::sim::scenarios::find;
+use asap::sim::{RunResult, SimConfig};
+
+/// The statistics captured from the pre-refactor drivers (commit 95f9ca6)
+/// with `SimConfig::smoke_test()` on the 256 MiB mc80 smoke workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Golden {
+    walks: u64,
+    walk_total_cycles: u64,
+    cycles: u64,
+    walk_cycles: u64,
+    l2_tlb_misses: u64,
+    l2_tlb_accesses: u64,
+    prefetches_issued: u64,
+    prefetches_dropped: u64,
+    faults: u64,
+}
+
+#[rustfmt::skip]
+const GOLDEN: [(&str, Golden); 8] = [
+    ("native/baseline", Golden { walks: 1922, walk_total_cycles: 117086, cycles: 876902, walk_cycles: 117086, l2_tlb_misses: 1922, l2_tlb_accesses: 3068, prefetches_issued: 0, prefetches_dropped: 0, faults: 0 }),
+    ("native/asap", Golden { walks: 1922, walk_total_cycles: 114112, cycles: 873900, walk_cycles: 114112, l2_tlb_misses: 1922, l2_tlb_accesses: 3068, prefetches_issued: 3844, prefetches_dropped: 0, faults: 0 }),
+    ("native/asap+clustered+coloc", Golden { walks: 1917, walk_total_cycles: 116880, cycles: 879927, walk_cycles: 116880, l2_tlb_misses: 1922, l2_tlb_accesses: 3068, prefetches_issued: 3834, prefetches_dropped: 0, faults: 0 }),
+    ("native/baseline+5level", Golden { walks: 1922, walk_total_cycles: 117058, cycles: 876846, walk_cycles: 117058, l2_tlb_misses: 1922, l2_tlb_accesses: 3068, prefetches_issued: 0, prefetches_dropped: 0, faults: 0 }),
+    ("native/perfect-tlb", Golden { walks: 0, walk_total_cycles: 0, cycles: 751722, walk_cycles: 0, l2_tlb_misses: 0, l2_tlb_accesses: 0, prefetches_issued: 0, prefetches_dropped: 0, faults: 0 }),
+    ("virt/baseline", Golden { walks: 1922, walk_total_cycles: 903879, cycles: 1664347, walk_cycles: 903879, l2_tlb_misses: 1922, l2_tlb_accesses: 3068, prefetches_issued: 0, prefetches_dropped: 0, faults: 0 }),
+    ("virt/asap", Golden { walks: 1922, walk_total_cycles: 477628, cycles: 1238196, walk_cycles: 477628, l2_tlb_misses: 1922, l2_tlb_accesses: 3068, prefetches_issued: 12184, prefetches_dropped: 0, faults: 0 }),
+    ("virt/asap+host2m+coloc", Golden { walks: 1922, walk_total_cycles: 472458, cycles: 1235498, walk_cycles: 472458, l2_tlb_misses: 1922, l2_tlb_accesses: 3068, prefetches_issued: 8014, prefetches_dropped: 0, faults: 0 }),
+];
+
+fn snapshot(r: &RunResult) -> Golden {
+    Golden {
+        walks: r.walks.count(),
+        walk_total_cycles: r.walks.total_cycles(),
+        cycles: r.cycles,
+        walk_cycles: r.walk_cycles,
+        l2_tlb_misses: r.l2_tlb_misses,
+        l2_tlb_accesses: r.l2_tlb_accesses,
+        prefetches_issued: r.prefetches_issued,
+        prefetches_dropped: r.prefetches_dropped,
+        faults: r.faults,
+    }
+}
+
+/// The generic driver reproduces the pre-refactor statistics exactly for
+/// the whole engine matrix.
+#[test]
+fn refactored_drivers_match_pre_refactor_golden_stats() {
+    let results = find("smoke")
+        .expect("smoke scenario registered")
+        .run(SimConfig::smoke_test());
+    assert_eq!(results.runs.len(), GOLDEN.len(), "matrix shape changed");
+    for (variant, golden) in GOLDEN {
+        let run = results.get("mc80", variant);
+        assert_eq!(
+            snapshot(run),
+            golden,
+            "{variant}: statistics drifted from the pre-refactor driver"
+        );
+    }
+}
+
+/// The walk-latency distribution (not just its aggregates) is stable:
+/// mean recomputed from the golden aggregates matches the live mean.
+#[test]
+fn walk_latency_means_match_golden_aggregates() {
+    let results = find("smoke").unwrap().run(SimConfig::smoke_test());
+    for (variant, golden) in GOLDEN {
+        let run = results.get("mc80", variant);
+        let expected = if golden.walks == 0 {
+            0.0
+        } else {
+            golden.walk_total_cycles as f64 / golden.walks as f64
+        };
+        assert!(
+            (run.avg_walk_latency() - expected).abs() < 1e-9,
+            "{variant}: mean {} != golden {expected}",
+            run.avg_walk_latency()
+        );
+    }
+}
