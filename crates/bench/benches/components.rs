@@ -105,6 +105,79 @@ fn allocators(c: &mut Criterion) {
     g.finish();
 }
 
+fn contender_hot_paths(c: &mut Criterion) {
+    use asap_contenders::{PtwCostPredictor, PtwCostPredictorConfig, VictimaConfig, VictimaMmu};
+    use asap_core::TranslationEngine;
+    use asap_os::{Process, ProcessConfig, VmaKind};
+    use asap_types::ByteSize;
+
+    let mut g = c.benchmark_group("components/contenders");
+
+    // Revelator's hash unit: the speculative VA -> PA computation.
+    let p = Process::new(
+        ProcessConfig::new(Asid(3))
+            .with_heap(ByteSize::mib(64))
+            .with_data_cluster_fraction(1.0),
+    );
+    let hint = p.speculation_hint();
+    let heap = p.vma_of_kind(VmaKind::Heap).unwrap().start().raw();
+    let mut i = 0u64;
+    g.bench_function("speculative_hash", |b| {
+        b.iter(|| {
+            i = (i + 97) % 16_384;
+            hint.predict(VirtAddr::new(black_box(heap + i * 4096)).unwrap())
+        })
+    });
+
+    // Victima's TLB-block lookup: L2 probe + shadow payload, warmed by a
+    // pass whose tiny S-TLB evicts every fill straight into blocks.
+    let mut process = Process::new(
+        ProcessConfig::new(Asid(4))
+            .with_heap(ByteSize::mib(256))
+            .with_seed(5),
+    );
+    let heap = process.vma_of_kind(VmaKind::Heap).unwrap().start().raw();
+    // 128 pages, one per 2 MiB region, staying inside the 256 MiB heap.
+    let vas: Vec<VirtAddr> = (0..128u64)
+        .map(|i| VirtAddr::new(heap + i * 513 * 4096).unwrap())
+        .collect();
+    for va in &vas {
+        process.touch(*va).unwrap();
+    }
+    let mut mmu = VictimaMmu::new(VictimaConfig {
+        l2_tlb: asap_tlb::TlbConfig {
+            name: "tiny S-TLB",
+            entries: 8,
+            ways: 2,
+            replacement: asap_cache::ReplacementKind::Lru,
+        },
+        ..VictimaConfig::default()
+    });
+    TranslationEngine::load_context(&mut mmu, &process);
+    for va in &vas {
+        let _ = mmu.translate(&process, *va);
+    }
+    let mut i = 0usize;
+    g.bench_function("tlb_block_lookup", |b| {
+        b.iter(|| {
+            i = (i + 31) % vas.len();
+            mmu.translate(&process, vas[i])
+        })
+    });
+
+    // The PTW cost predictor's record/predict pair.
+    let mut predictor = PtwCostPredictor::new(PtwCostPredictorConfig::default(), 9);
+    let mut j = 0u64;
+    g.bench_function("ptw_cost_predict", |b| {
+        b.iter(|| {
+            j = (j + 511) % (1 << 20);
+            predictor.record(Asid(1), VirtPageNum::new(j), 100 + (j & 0xFF));
+            predictor.predicts_costly(Asid(1), VirtPageNum::new(j))
+        })
+    });
+    g.finish();
+}
+
 fn workload_gen(c: &mut Criterion) {
     let mut g = c.benchmark_group("components/workloads");
     let ranges = asap_workloads::WorkloadSpec::mcf();
@@ -124,6 +197,7 @@ criterion_group!(
     tlb_lookup,
     page_walk,
     allocators,
+    contender_hot_paths,
     workload_gen
 );
 criterion_main!(components);

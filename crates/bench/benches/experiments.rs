@@ -29,11 +29,13 @@ fn table1_kernel(c: &mut Criterion) {
     g.bench_function("native_mc80_baseline", |b| {
         b.iter(|| {
             run_native(&NativeRunSpec::baseline(small(WorkloadSpec::mc80())).with_sim(bench_sim()))
+                .unwrap()
         })
     });
     g.bench_function("virt_mc80_baseline", |b| {
         b.iter(|| {
             run_virt(&VirtRunSpec::baseline(small(WorkloadSpec::mc80())).with_sim(bench_sim()))
+                .unwrap()
         })
     });
     g.finish();
@@ -45,7 +47,9 @@ fn fig2_fig3_kernel(c: &mut Criterion) {
     for w in [WorkloadSpec::mcf(), WorkloadSpec::redis()] {
         g.bench_function(format!("native_{}", w.name), |b| {
             let w = small(w.clone());
-            b.iter(|| run_native(&NativeRunSpec::baseline(w.clone()).with_sim(bench_sim())))
+            b.iter(|| {
+                run_native(&NativeRunSpec::baseline(w.clone()).with_sim(bench_sim())).unwrap()
+            })
         });
     }
     g.finish();
@@ -66,6 +70,7 @@ fn fig8_kernel(c: &mut Criterion) {
                         .with_asap(asap.clone())
                         .with_sim(bench_sim()),
                 )
+                .unwrap()
             })
         });
     }
@@ -79,7 +84,8 @@ fn fig9_kernel(c: &mut Criterion) {
         b.iter(|| {
             let r = run_native(
                 &NativeRunSpec::baseline(small(WorkloadSpec::mcf())).with_sim(bench_sim()),
-            );
+            )
+            .unwrap();
             r.served.fractions(asap_types::PtLevel::Pl1)
         })
     });
@@ -101,6 +107,7 @@ fn fig10_kernel(c: &mut Criterion) {
                         .with_asap(asap.clone())
                         .with_sim(bench_sim()),
                 )
+                .unwrap()
             })
         });
     }
@@ -117,6 +124,7 @@ fn table6_kernel(c: &mut Criterion) {
                     .perfect_tlb()
                     .with_sim(bench_sim()),
             )
+            .unwrap()
         })
     });
     g.finish();
@@ -132,6 +140,7 @@ fn fig11_table7_kernel(c: &mut Criterion) {
                     .with_clustered_tlb()
                     .with_sim(bench_sim()),
             )
+            .unwrap()
         })
     });
     g.bench_function("clustered_plus_asap", |b| {
@@ -142,6 +151,7 @@ fn fig11_table7_kernel(c: &mut Criterion) {
                     .with_asap(AsapHwConfig::p1_p2())
                     .with_sim(bench_sim()),
             )
+            .unwrap()
         })
     });
     g.finish();
@@ -157,6 +167,7 @@ fn fig12_kernel(c: &mut Criterion) {
                     .host_2m_pages()
                     .with_sim(bench_sim()),
             )
+            .unwrap()
         })
     });
     g.bench_function("host_2m_asap", |b| {
@@ -167,6 +178,7 @@ fn fig12_kernel(c: &mut Criterion) {
                     .with_asap(NestedAsapConfig::host_2m())
                     .with_sim(bench_sim()),
             )
+            .unwrap()
         })
     });
     g.finish();

@@ -16,10 +16,19 @@ fn main() {
         .unwrap_or_else(|| "BENCH_results_full.json".into());
     println!("# ASAP reproduction: all experiments\n");
     let reports = asap_bench::run_all_experiments(asap_bench::sim_config());
+    let mut failed = false;
     for report in &reports {
+        for e in &report.results.errors {
+            eprintln!("{}/{}/{}: {}", report.name, e.workload, e.variant, e.error);
+            failed = true;
+        }
         for t in &report.tables {
             println!("{}", t.render());
         }
+    }
+    if failed {
+        eprintln!("one or more runs reported driver errors");
+        std::process::exit(1);
     }
     let results: Vec<_> = reports.into_iter().map(|r| r.results).collect();
     match asap_bench::write_results_json(&json_path, &results, asap_bench::tier()) {

@@ -1,0 +1,8 @@
+//! Head-to-head comparison of translation mechanisms: baseline vs ASAP vs
+//! Victima-style cache-resident TLB blocks vs Revelator-style hash
+//! speculation, across three workloads with contrasting reuse and
+//! physical-contiguity profiles; see ARCHITECTURE.md.
+
+fn main() {
+    asap_bench::print_experiment("contenders");
+}

@@ -18,6 +18,10 @@ fn main() {
     let set = smoke_set();
     let results = run_scenarios(&set, SimConfig::smoke_test());
     for r in &results {
+        for e in &r.errors {
+            eprintln!("{}/{}/{}: {}", r.name, e.workload, e.variant, e.error);
+        }
+        assert!(r.is_complete(), "scenario {} had driver errors", r.name);
         for t in asap_bench::render(r.name, r) {
             println!("{}", t.render());
         }

@@ -78,7 +78,10 @@ pub struct ExperimentReport {
     pub results: ScenarioResults,
 }
 
-/// Runs one experiment by registry name and renders its tables.
+/// Runs one experiment by registry name and renders its tables. A
+/// scenario with driver errors renders no tables — the errors ride along
+/// in `results.errors` for the caller to report, instead of the renderer
+/// panicking on the missing runs.
 ///
 /// # Panics
 ///
@@ -89,7 +92,11 @@ pub fn run_experiment(name: &str, sim: SimConfig) -> ExperimentReport {
     let results = scenario.run(sim);
     ExperimentReport {
         name: scenario.name,
-        tables: render(scenario.name, &results),
+        tables: if results.is_complete() {
+            render(scenario.name, &results)
+        } else {
+            Vec::new()
+        },
         results,
     }
 }
@@ -103,7 +110,11 @@ pub fn run_all_experiments(sim: SimConfig) -> Vec<ExperimentReport> {
     all.into_iter()
         .map(|results| ExperimentReport {
             name: results.name,
-            tables: render(results.name, &results),
+            tables: if results.is_complete() {
+                render(results.name, &results)
+            } else {
+                Vec::new()
+            },
             results,
         })
         .collect()
@@ -125,13 +136,22 @@ pub fn write_results_json(
 }
 
 /// Runs one experiment with the shared window configuration and prints its
-/// tables — the whole body of each `src/bin` wrapper.
+/// tables — the whole body of each `src/bin` wrapper. Driver errors are
+/// printed to stderr and exit the process non-zero.
 ///
 /// # Panics
 ///
 /// Panics when `name` is not in the registry.
 pub fn print_experiment(name: &str) {
-    for t in run_experiment(name, sim_config()).tables {
+    let report = run_experiment(name, sim_config());
+    for e in &report.results.errors {
+        eprintln!("{}/{}/{}: {}", report.name, e.workload, e.variant, e.error);
+    }
+    if !report.results.is_complete() {
+        eprintln!("{}: one or more runs reported driver errors", report.name);
+        std::process::exit(1);
+    }
+    for t in report.tables {
         println!("{}", t.render());
     }
 }
@@ -157,7 +177,9 @@ pub fn render(name: &str, results: &ScenarioResults) -> Vec<Table> {
         "ablation_pwc" => vec![render_ablation_pwc(results)],
         "ablation_scatter" => vec![render_ablation_scatter(results)],
         "ablation_5level" => vec![render_ablation_5level(results)],
+        "contenders" => render_contenders(results, "Head-to-head"),
         "smoke" => vec![render_smoke(results)],
+        "contenders_smoke" => render_contenders(results, "CI smoke head-to-head"),
         other => panic!("no renderer for scenario {other}"),
     }
 }
@@ -652,6 +674,53 @@ fn render_ablation_5level(r: &ScenarioResults) -> Table {
         ]);
     }
     t
+}
+
+/// The contender comparison: walk latency, walks performed, and total
+/// execution cycles for baseline vs ASAP vs Victima vs Revelator. Victima
+/// wins by *eliminating* walks (cache-resident TLB blocks), Revelator by
+/// *overlapping* the data fetch with the walk — so neither shows up fully
+/// in walk latency alone, and the cycles table is the decisive one.
+fn render_contenders(r: &ScenarioResults, title: &str) -> Vec<Table> {
+    let backends = ["Baseline", "ASAP", "Victima", "Revelator"];
+    let mut workloads: Vec<&str> = Vec::new();
+    for run in &r.runs {
+        if !workloads.contains(&run.workload) {
+            workloads.push(run.workload);
+        }
+    }
+    let mut lat = Table::new(
+        format!("{title}: average page-walk latency (cycles; walks in parentheses)"),
+        vec!["workload", "Baseline", "ASAP", "Victima", "Revelator"],
+    );
+    let mut cyc = Table::new(
+        format!("{title}: execution cycles (speedup vs baseline)"),
+        vec!["workload", "Baseline", "ASAP", "Victima", "Revelator"],
+    );
+    for w in &workloads {
+        let runs: Vec<&RunResult> = backends.iter().map(|b| r.get(w, b)).collect();
+        let mut lat_cells = vec![(*w).to_string()];
+        let mut cyc_cells = vec![(*w).to_string()];
+        for (i, run) in runs.iter().enumerate() {
+            lat_cells.push(format!(
+                "{} ({})",
+                fmt_cycles(run.avg_walk_latency()),
+                run.walks.count()
+            ));
+            if i == 0 {
+                cyc_cells.push(run.cycles.to_string());
+            } else {
+                cyc_cells.push(format!(
+                    "{} ({:.2}x)",
+                    run.cycles,
+                    runs[0].cycles as f64 / run.cycles as f64
+                ));
+            }
+        }
+        lat.row(lat_cells);
+        cyc.row(cyc_cells);
+    }
+    vec![lat, cyc]
 }
 
 /// The CI smoke report: one row per engine-matrix run.

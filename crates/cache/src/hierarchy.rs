@@ -242,6 +242,35 @@ impl CacheHierarchy {
         self.l1.latency()
     }
 
+    /// L2 hit latency — what a cache-resident TLB-block lookup costs.
+    #[must_use]
+    pub fn l2_latency(&self) -> u64 {
+        self.l2.latency()
+    }
+
+    /// Installs `line` into the L2 **only** — the insertion path of a
+    /// Victima-style backend, which parks evicted TLB entries as TLB blocks
+    /// in the L2 without polluting the L1 or LLC. The block then competes
+    /// for L2 ways with ordinary data, so cache pressure naturally evicts
+    /// stale translations.
+    pub fn l2_install(&mut self, line: CacheLineAddr) {
+        self.l2.fill(line);
+    }
+
+    /// Probes the L2 for `line`, updating recency on a hit (a real lookup,
+    /// as a TLB-block probe performs). Does not fill other levels and does
+    /// not touch the hierarchy-level hit/miss statistics — block probes are
+    /// accounted by the backend that issues them.
+    pub fn l2_lookup(&mut self, line: CacheLineAddr) -> bool {
+        self.l2.access(line)
+    }
+
+    /// Whether the L2 currently holds `line` (no side effects).
+    #[must_use]
+    pub fn l2_contains(&self, line: CacheLineAddr) -> bool {
+        self.l2.contains(line)
+    }
+
     /// DRAM latency.
     #[must_use]
     pub fn memory_latency(&self) -> u64 {

@@ -41,6 +41,9 @@ pub enum TranslationPath {
     TlbL2,
     /// Clustered-TLB hit (§5.4.1), when configured.
     ClusteredTlb,
+    /// Hit on a cache-resident TLB block (a Victima-style backend): the
+    /// translation was recovered from the L2 data cache, no walk ran.
+    TlbBlock,
     /// Full page walk (1D native, 2D nested).
     Walk,
 }
@@ -156,17 +159,26 @@ pub trait TranslationEngine {
 /// The state and plumbing shared by every translation engine: the TLB
 /// hierarchy, the cache hierarchy with its clock, and walk accounting.
 /// Engines embed one and add their backend-specific structures (PWCs,
-/// range registers, clustered TLB, ...).
+/// range registers, clustered TLB, TLB-block stores, speculation units,
+/// ...). Public so out-of-crate backends (e.g. `asap-contenders`) build on
+/// the same plumbing as [`Mmu`](crate::Mmu)/[`NestedMmu`](crate::NestedMmu)
+/// instead of forking it.
 #[derive(Debug)]
-pub(crate) struct EngineCore {
-    pub(crate) tlbs: TlbHierarchy,
-    pub(crate) hierarchy: CacheHierarchy,
-    pub(crate) walk_stats: WalkLatencyStats,
-    pub(crate) walk_faults: u64,
+pub struct EngineCore {
+    /// The L1/L2 TLB hierarchy (the fast path every engine shares).
+    pub tlbs: TlbHierarchy,
+    /// The cache hierarchy; its internal clock is the engine clock.
+    pub hierarchy: CacheHierarchy,
+    /// Walk-latency distribution over the current window.
+    pub walk_stats: WalkLatencyStats,
+    /// Walks that ended in a page fault.
+    pub walk_faults: u64,
 }
 
 impl EngineCore {
-    pub(crate) fn new(
+    /// Builds the shared core from TLB geometries and a hierarchy config.
+    #[must_use]
+    pub fn new(
         l1_tlb: TlbConfig,
         l2_tlb: TlbConfig,
         hierarchy: HierarchyConfig,
@@ -183,7 +195,7 @@ impl EngineCore {
     /// The TLB fast path: on a hit, charges the hit latency to the clock
     /// and returns the level, latency and entry for the caller to build its
     /// outcome from.
-    pub(crate) fn tlb_lookup(
+    pub fn tlb_lookup(
         &mut self,
         asid: Asid,
         vpn: VirtPageNum,
@@ -203,7 +215,7 @@ impl EngineCore {
 
     /// Issues the ASAP prefetches a descriptor enables for `va` at time
     /// `at`, accumulating issue/drop counts.
-    pub(crate) fn issue_prefetches(
+    pub fn issue_prefetches(
         &mut self,
         desc: &VmaDescriptor,
         levels: &[PtLevel],
@@ -225,7 +237,7 @@ impl EngineCore {
     /// One walker access to the cache hierarchy at walk-local time `t`:
     /// advances `t` by the access latency and classifies the serving
     /// source (merged with an in-flight prefetch or served by a level).
-    pub(crate) fn walk_access(&mut self, line: CacheLineAddr, t: &mut u64) -> ServedSource {
+    pub fn walk_access(&mut self, line: CacheLineAddr, t: &mut u64) -> ServedSource {
         let r = self.hierarchy.access_at(line, *t);
         *t += r.latency;
         if r.merged {
@@ -237,33 +249,38 @@ impl EngineCore {
 
     /// Closes out a walk that started at `t0` and ended at `t`: charges the
     /// latency to the global clock, records it, and returns it.
-    pub(crate) fn finish_walk(&mut self, t0: u64, t: u64) -> u64 {
+    pub fn finish_walk(&mut self, t0: u64, t: u64) -> u64 {
         let latency = t - t0;
         self.hierarchy.advance(latency);
         self.walk_stats.record(latency);
         latency
     }
 
-    pub(crate) fn data_access(&mut self, pa: PhysAddr) -> AccessResult {
+    /// A demand data access through the hierarchy; advances the clock.
+    pub fn data_access(&mut self, pa: PhysAddr) -> AccessResult {
         self.hierarchy.access(pa.cache_line())
     }
 
-    pub(crate) fn corunner_access(&mut self, line: CacheLineAddr) {
+    /// Cache pressure from the SMT co-runner (no cycles consumed here).
+    pub fn corunner_access(&mut self, line: CacheLineAddr) {
         let now = self.hierarchy.now();
         let _ = self.hierarchy.access_at(line, now);
     }
 
-    pub(crate) fn now(&self) -> u64 {
+    /// The current cycle count.
+    #[must_use]
+    pub fn now(&self) -> u64 {
         self.hierarchy.now()
     }
 
-    pub(crate) fn advance(&mut self, cycles: u64) {
+    /// Advances the clock (non-memory work between accesses).
+    pub fn advance(&mut self, cycles: u64) {
         self.hierarchy.advance(cycles);
     }
 
     /// Resets the shared statistics (TLBs, hierarchy, walk accounting),
     /// keeping all cached state warm.
-    pub(crate) fn reset_stats(&mut self) {
+    pub fn reset_stats(&mut self) {
         self.walk_stats = WalkLatencyStats::new();
         self.walk_faults = 0;
         self.tlbs.reset_stats();

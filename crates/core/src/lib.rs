@@ -64,7 +64,8 @@ mod stats;
 pub use cluster::ClusterSource;
 pub use config::{AsapHwConfig, MmuConfig, NestedAsapConfig, NestedMmuConfig};
 pub use engine::{
-    EngineOutcome, EngineStats, SimMachine, TranslationEngine, TranslationPath, L2_TLB_HIT_CYCLES,
+    EngineCore, EngineOutcome, EngineStats, SimMachine, TranslationEngine, TranslationPath,
+    L2_TLB_HIT_CYCLES,
 };
 pub use mmu::{AccessOutcome, Mmu, WalkReport};
 pub use nested_mmu::{NestedAccessOutcome, NestedMmu, NestedPath, NestedWalkReport};

@@ -134,15 +134,43 @@ impl DataPageLayout {
             raw < (1 << PAGE_BITS),
             "page index {raw:#x} outside the data-layout domain"
         );
-        let group = raw >> 3;
-        let sub = raw & 7;
-        if self.group_is_clustered(group) {
-            let slot = feistel_permute(group, self.key, GROUP_BITS);
-            self.phys.data_clustered_base().add((slot << 3) | sub)
+        if self.group_is_clustered(raw >> 3) {
+            self.clustered_frame_for(raw)
         } else {
             let slot = feistel_permute(raw, self.key ^ 0x5C, PAGE_BITS);
             self.phys.data_scattered_base().add(slot)
         }
+    }
+
+    /// The frame the *clustered* placement path would assign to data-page
+    /// index `vpn`, computed unconditionally — the hash a Revelator-style
+    /// speculative translator evaluates in hardware. It equals
+    /// [`DataPageLayout::frame_for`] exactly when the page's 8-page group
+    /// is clusterable (the OS could honour the hash placement), and
+    /// mispredicts when fragmentation forced the group onto the scattered
+    /// path — so speculation accuracy tracks physical contiguity, as in the
+    /// real system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index exceeds the 2^30-page (4 TiB) domain.
+    #[must_use]
+    pub fn speculative_frame_for(&self, vpn: VirtPageNum) -> PhysFrameNum {
+        let raw = vpn.raw();
+        assert!(
+            raw < (1 << PAGE_BITS),
+            "page index {raw:#x} outside the data-layout domain"
+        );
+        self.clustered_frame_for(raw)
+    }
+
+    /// The clustered-path frame for raw page index `raw` (shared by the
+    /// real placement and the speculative hash).
+    fn clustered_frame_for(&self, raw: u64) -> PhysFrameNum {
+        let group = raw >> 3;
+        let sub = raw & 7;
+        let slot = feistel_permute(group, self.key, GROUP_BITS);
+        self.phys.data_clustered_base().add((slot << 3) | sub)
     }
 
     /// The frames of the whole aligned 8-page group containing `vpn`,

@@ -48,6 +48,7 @@ mod layout;
 mod phys_map;
 mod placement;
 mod process;
+pub(crate) mod speculation;
 mod vma;
 
 pub use data_layout::{feistel_permute, DataPageLayout};
@@ -57,4 +58,5 @@ pub use layout::{ProcessLayout, VmaSpec};
 pub use phys_map::PhysMap;
 pub use placement::{AsapOsConfig, PtPlacement, ReservationSet};
 pub use process::{Process, ProcessConfig, TouchOutcome};
+pub use speculation::{prediction_correct, SpeculationHint, SpeculationWindow};
 pub use vma::{Vma, VmaId, VmaKind, VmaTree};

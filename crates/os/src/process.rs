@@ -340,6 +340,20 @@ impl Process {
         })
     }
 
+    /// The speculation hint the OS publishes for hash-based speculative
+    /// translation (Revelator-style contenders): per-VMA data-page index
+    /// windows plus the placement-hash parameters. Pure hint — consumers
+    /// must verify every guess against the page table before use.
+    #[must_use]
+    pub fn speculation_hint(&self) -> crate::SpeculationHint {
+        let pairs: Vec<(Vma, u64)> = self
+            .data_index_base
+            .iter()
+            .filter_map(|(id, base)| self.vmas.get(*id).map(|vma| (*vma, *base)))
+            .collect();
+        crate::SpeculationHint::new(crate::speculation::windows_for(&pairs), self.data_layout)
+    }
+
     /// The first VMA of `kind`, if any.
     #[must_use]
     pub fn vma_of_kind(&self, kind: VmaKind) -> Option<&Vma> {

@@ -1,0 +1,188 @@
+//! The system-software-published speculation hint for hash-based
+//! speculative translation (a Revelator-style contender mechanism).
+//!
+//! Revelator's premise: the OS allocates data frames with a hash-guided
+//! policy and *publishes the hash parameters to hardware*, so that on a TLB
+//! miss the core can compute a speculative physical address in a few cycles
+//! and fetch data from it while the conventional radix walk verifies the
+//! guess. In this simulator the OS's data placement is already a pure
+//! function ([`DataPageLayout`]): the clustered path is the hash-friendly
+//! placement the OS *prefers*, and the scattered path is the
+//! fragmentation-forced fallback the hardware hash cannot predict.
+//!
+//! [`SpeculationHint`] is the architectural register state the OS loads on
+//! context switch: per-VMA index windows plus the layout parameters. It is
+//! intentionally *hint-only* — a consumer must never commit a speculative
+//! translation without verifying it against the page table.
+
+use crate::{DataPageLayout, Process, Vma};
+use asap_types::{PhysAddr, VirtAddr, VirtPageNum, PAGE_SIZE};
+
+/// One published VMA window: the dense data-page index base the OS assigned
+/// to the VMA, plus its virtual bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpeculationWindow {
+    /// First virtual address covered.
+    pub start: VirtAddr,
+    /// One past the last virtual address covered.
+    pub end: VirtAddr,
+    /// Process-relative data-page index of `start` (8-aligned).
+    pub index_base: u64,
+}
+
+impl SpeculationWindow {
+    /// Whether `va` falls inside this window.
+    #[must_use]
+    pub fn covers(&self, va: VirtAddr) -> bool {
+        self.start <= va && va < self.end
+    }
+}
+
+/// The hash parameters and VMA index windows hardware needs to compute a
+/// speculative VA → PA mapping — loaded from [`Process::speculation_hint`]
+/// on context switch.
+#[derive(Debug, Clone)]
+pub struct SpeculationHint {
+    windows: Vec<SpeculationWindow>,
+    layout: DataPageLayout,
+}
+
+impl SpeculationHint {
+    /// Builds a hint from explicit windows and layout parameters.
+    #[must_use]
+    pub fn new(windows: Vec<SpeculationWindow>, layout: DataPageLayout) -> Self {
+        Self { windows, layout }
+    }
+
+    /// An empty hint (speculation always declines).
+    #[must_use]
+    pub fn empty(layout: DataPageLayout) -> Self {
+        Self {
+            windows: Vec::new(),
+            layout,
+        }
+    }
+
+    /// The published windows.
+    #[must_use]
+    pub fn windows(&self) -> &[SpeculationWindow] {
+        &self.windows
+    }
+
+    /// The speculative physical address for `va`: the hash-placement frame
+    /// of its data-page index, or `None` when `va` lies outside every
+    /// published window. The guess is correct exactly when the page's
+    /// 8-page group took the clustered placement path; callers must verify
+    /// before any architectural use.
+    #[must_use]
+    pub fn predict(&self, va: VirtAddr) -> Option<PhysAddr> {
+        let w = self.windows.iter().find(|w| w.covers(va))?;
+        let index = w.index_base + (va.raw() - w.start.raw()) / PAGE_SIZE;
+        let frame = self.layout.speculative_frame_for(VirtPageNum::new(index));
+        Some(PhysAddr::new(
+            frame.base_addr().raw() | (va.raw() & (PAGE_SIZE - 1)),
+        ))
+    }
+}
+
+/// Builds the window list for a set of `(vma, index_base)` pairs.
+pub(crate) fn windows_for(vmas: &[(Vma, u64)]) -> Vec<SpeculationWindow> {
+    vmas.iter()
+        .map(|(vma, base)| SpeculationWindow {
+            start: vma.start(),
+            end: vma.end(),
+            index_base: *base,
+        })
+        .collect()
+}
+
+/// Convenience: whether the hint's guess for `va` matches the process'
+/// actual mapping (diagnostic; hardware learns this only from the
+/// verifying walk).
+#[must_use]
+pub fn prediction_correct(hint: &SpeculationHint, process: &Process, va: VirtAddr) -> bool {
+    match (hint.predict(va), process.translate(va)) {
+        (Some(guess), Some(t)) => guess == t.phys_addr(va),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProcessConfig, VmaKind};
+    use asap_types::{Asid, ByteSize};
+
+    fn process(cluster_fraction: f64) -> Process {
+        Process::new(
+            ProcessConfig::new(Asid(1))
+                .with_heap(ByteSize::mib(64))
+                .with_data_cluster_fraction(cluster_fraction)
+                .with_seed(11),
+        )
+    }
+
+    #[test]
+    fn fully_clustered_process_predicts_every_page() {
+        let mut p = process(1.0);
+        let hint = p.speculation_hint();
+        let heap = *p.vma_of_kind(VmaKind::Heap).unwrap();
+        for i in 0..64u64 {
+            let va = VirtAddr::new(heap.start().raw() + i * 4096 + 0x123).unwrap();
+            p.touch(va).unwrap();
+            let t = p.translate(va).unwrap();
+            assert_eq!(hint.predict(va), Some(t.phys_addr(va)), "page {i}");
+        }
+    }
+
+    #[test]
+    fn fully_scattered_process_never_predicts_correctly() {
+        let mut p = process(0.0);
+        let hint = p.speculation_hint();
+        let heap = *p.vma_of_kind(VmaKind::Heap).unwrap();
+        for i in 0..64u64 {
+            let va = VirtAddr::new(heap.start().raw() + i * 4096).unwrap();
+            p.touch(va).unwrap();
+            assert!(!prediction_correct(&hint, &p, va), "page {i}");
+        }
+    }
+
+    #[test]
+    fn intermediate_fraction_tracks_accuracy() {
+        let mut p = process(0.5);
+        let hint = p.speculation_hint();
+        let heap = *p.vma_of_kind(VmaKind::Heap).unwrap();
+        let n = 512u64;
+        let mut correct = 0u64;
+        for i in 0..n {
+            let va = VirtAddr::new(heap.start().raw() + i * 4096).unwrap();
+            p.touch(va).unwrap();
+            if prediction_correct(&hint, &p, va) {
+                correct += 1;
+            }
+        }
+        let rate = correct as f64 / n as f64;
+        assert!(
+            (rate - 0.5).abs() < 0.15,
+            "accuracy {rate} should track the 0.5 cluster fraction"
+        );
+    }
+
+    #[test]
+    fn addresses_outside_windows_decline() {
+        let p = process(1.0);
+        let hint = p.speculation_hint();
+        let wild = VirtAddr::new(0x1234_5678_0000).unwrap();
+        assert_eq!(hint.predict(wild), None);
+    }
+
+    #[test]
+    fn prediction_preserves_page_offset() {
+        let p = process(1.0);
+        let hint = p.speculation_hint();
+        let heap = p.vma_of_kind(VmaKind::Heap).unwrap().start();
+        let va = VirtAddr::new(heap.raw() + 0xABC).unwrap();
+        let pa = hint.predict(va).unwrap();
+        assert_eq!(pa.raw() & 0xFFF, 0xABC);
+    }
+}

@@ -1,5 +1,6 @@
 //! Run specifications.
 
+use asap_contenders::ContenderKind;
 use asap_core::{AsapHwConfig, NestedAsapConfig};
 use asap_tlb::PwcConfig;
 use asap_types::{PageSize, PagingMode};
@@ -167,6 +168,58 @@ impl NativeRunSpec {
             parts.push("coloc".into());
         }
         parts.join(" ")
+    }
+}
+
+/// One contender-backend run (a bar of the head-to-head comparison): the
+/// workload executes natively under a Victima- or Revelator-style MMU
+/// instead of the baseline/ASAP machine.
+#[derive(Debug, Clone)]
+pub struct ContenderRunSpec {
+    /// The workload preset.
+    pub workload: WorkloadSpec,
+    /// Which contender backend translates.
+    pub backend: ContenderKind,
+    /// Whether the SMT co-runner is active.
+    pub colocated: bool,
+    /// Window configuration.
+    pub sim: SimConfig,
+}
+
+impl ContenderRunSpec {
+    /// A contender run of `workload` under `backend`, in isolation.
+    #[must_use]
+    pub fn new(workload: WorkloadSpec, backend: ContenderKind) -> Self {
+        Self {
+            workload,
+            backend,
+            colocated: false,
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// Adds the SMT co-runner.
+    #[must_use]
+    pub fn colocated(mut self) -> Self {
+        self.colocated = true;
+        self
+    }
+
+    /// Sets the window configuration.
+    #[must_use]
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// A short label for reports ("Victima", "Revelator coloc", ...).
+    #[must_use]
+    pub fn label(&self) -> String {
+        if self.colocated {
+            format!("{} coloc", self.backend.label())
+        } else {
+            self.backend.label().to_string()
+        }
     }
 }
 

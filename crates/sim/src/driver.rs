@@ -6,12 +6,63 @@
 //! perfect-TLB mode), (3) performed as a data access through the cache
 //! hierarchy, with fixed non-memory work in between; the colocated
 //! co-runner injects cache pressure per reference (§4). Statistics reset
-//! after the warmup window. `run_native` and `run_virt` are thin wrappers
-//! that assemble the machine and call this loop.
+//! after the warmup window. `run_native`, `run_virt` and `run_contender`
+//! are thin wrappers that assemble the machine and call this loop.
+//!
+//! A misconfigured scenario — a workload stream escaping its VMAs, a
+//! machine that cannot translate a touched page — surfaces as a typed
+//! [`DriverError`] instead of a panic, so one bad run in a `parallel_map`
+//! fan-out reports cleanly instead of aborting the whole batch.
 
 use crate::{RunResult, SimConfig, CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
 use asap_core::{SimMachine, TranslationEngine, TranslationPath};
+use asap_os::OsError;
+use asap_types::VirtAddr;
 use asap_workloads::{AccessStream, CoRunner};
+
+/// A scenario misconfiguration detected while driving a run. These are
+/// *harness* errors (bad workload/machine pairings), not simulated
+/// architectural events — a correctly registered scenario never produces
+/// one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverError {
+    /// The workload stream generated an address outside every VMA of its
+    /// machine (a generator/machine mismatch).
+    StreamEscapedVma {
+        /// The offending address.
+        va: VirtAddr,
+        /// The OS error demand paging reported.
+        source: OsError,
+    },
+    /// A page the driver just demand-paged failed to translate — the
+    /// machine's paging state is inconsistent with its engine.
+    UntranslatablePage {
+        /// The offending address.
+        va: VirtAddr,
+    },
+}
+
+impl core::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DriverError::StreamEscapedVma { va, source } => {
+                write!(f, "workload stream escaped its VMAs at {va}: {source}")
+            }
+            DriverError::UntranslatablePage { va } => {
+                write!(f, "demand-paged address {va} failed to translate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DriverError::StreamEscapedVma { source, .. } => Some(source),
+            DriverError::UntranslatablePage { .. } => None,
+        }
+    }
+}
 
 /// Everything the generic driver needs besides the engine/machine pair:
 /// window sizes, the co-runner switch, the perfect-TLB switch, and the
@@ -38,16 +89,17 @@ pub struct RunMeta {
 /// owns the page tables and backs demand paging; `stream` generates the
 /// application's reference sequence.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the workload generates an address outside its VMAs (a
-/// generator bug caught loudly rather than silently skipped).
+/// Returns a [`DriverError`] when the workload generates an address outside
+/// its VMAs or a touched page fails to translate — misconfigurations
+/// reported to the caller rather than panicking mid-fan-out.
 pub fn run_scenario<E: TranslationEngine>(
     engine: &mut E,
     machine: &mut E::Machine,
     stream: &mut dyn AccessStream,
     meta: &RunMeta,
-) -> RunResult {
+) -> Result<RunResult, DriverError> {
     let mut corunner = meta
         .colocated
         .then(|| CoRunner::memory_intensive(meta.sim.seed ^ 0xC0));
@@ -71,11 +123,11 @@ pub fn run_scenario<E: TranslationEngine>(
         // metric covers successful walks).
         machine
             .demand_page(va)
-            .expect("workload streams stay inside their VMAs");
+            .map_err(|source| DriverError::StreamEscapedVma { va, source })?;
         let pa = if meta.perfect_tlb {
             machine
                 .reference_translate(va)
-                .expect("touched page translates")
+                .ok_or(DriverError::UntranslatablePage { va })?
         } else {
             let outcome = engine.translate_access(machine, va);
             if outcome.path == TranslationPath::Walk {
@@ -83,7 +135,7 @@ pub fn run_scenario<E: TranslationEngine>(
                 prefetches_issued += u64::from(outcome.prefetches_issued);
                 prefetches_dropped += u64::from(outcome.prefetches_dropped);
             }
-            outcome.phys.expect("touched page translates")
+            outcome.phys.ok_or(DriverError::UntranslatablePage { va })?
         };
         let _ = engine.data_access(pa);
         engine.advance(CPU_WORK_CYCLES_PER_ACCESS);
@@ -95,7 +147,7 @@ pub fn run_scenario<E: TranslationEngine>(
     }
 
     let stats = engine.stats_snapshot();
-    RunResult {
+    Ok(RunResult {
         workload: meta.workload,
         label: meta.label.clone(),
         walks: stats.walks,
@@ -109,7 +161,7 @@ pub fn run_scenario<E: TranslationEngine>(
         prefetches_issued,
         prefetches_dropped,
         faults: stats.walk_faults,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -139,7 +191,7 @@ mod tests {
         let mut stream = w.build_stream(&process, sim.seed ^ 0x11);
         let mut mmu = Mmu::new(MmuConfig::default().with_seed(sim.seed));
         TranslationEngine::load_context(&mut mmu, &process);
-        let r = run_scenario(&mut mmu, &mut process, stream.as_mut(), &meta(sim));
+        let r = run_scenario(&mut mmu, &mut process, stream.as_mut(), &meta(sim)).unwrap();
         assert!(r.walks.count() > 100);
         assert_eq!(r.faults, 0);
         assert!(r.host_served.is_none());
@@ -161,7 +213,7 @@ mod tests {
         let mut stream = w.build_stream(vm.guest(), sim.seed ^ 0x11);
         let mut mmu = NestedMmu::new(NestedMmuConfig::default().with_seed(sim.seed));
         TranslationEngine::load_context(&mut mmu, &vm);
-        let r = run_scenario(&mut mmu, &mut vm, stream.as_mut(), &meta(sim));
+        let r = run_scenario(&mut mmu, &mut vm, stream.as_mut(), &meta(sim)).unwrap();
         assert!(r.walks.count() > 100);
         assert!(r.host_served.is_some());
     }
@@ -175,10 +227,36 @@ mod tests {
         let mut mmu = Mmu::new(MmuConfig::default().with_seed(sim.seed));
         let mut m = meta(sim);
         m.perfect_tlb = true;
-        let r = run_scenario(&mut mmu, &mut process, stream.as_mut(), &m);
+        let r = run_scenario(&mut mmu, &mut process, stream.as_mut(), &m).unwrap();
         assert_eq!(r.walks.count(), 0);
         assert_eq!(r.walk_cycles, 0);
         assert_eq!(r.l2_tlb_accesses, 0);
         assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn escaping_stream_reports_instead_of_panicking() {
+        /// A stream that wanders outside every VMA.
+        struct WildStream;
+        impl AccessStream for WildStream {
+            fn next_va(&mut self) -> VirtAddr {
+                VirtAddr::new(0x1234_5678_0000).unwrap()
+            }
+            fn name(&self) -> &'static str {
+                "wild"
+            }
+        }
+        let sim = SimConfig::smoke_test();
+        let mut process = small().build_process(Asid(1), AsapOsConfig::disabled(), sim.seed);
+        let mut mmu = Mmu::new(MmuConfig::default().with_seed(sim.seed));
+        let err = run_scenario(&mut mmu, &mut process, &mut WildStream, &meta(sim)).unwrap_err();
+        match err {
+            DriverError::StreamEscapedVma { va, source } => {
+                assert_eq!(va, VirtAddr::new(0x1234_5678_0000).unwrap());
+                assert_eq!(source, OsError::Segfault(va));
+            }
+            other => panic!("expected StreamEscapedVma, got {other:?}"),
+        }
+        assert!(err.to_string().contains("escaped"));
     }
 }

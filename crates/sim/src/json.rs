@@ -143,6 +143,7 @@ mod tests {
                 variant: "native/baseline".into(),
                 result: result(),
             }],
+            errors: Vec::new(),
         }];
         let json = results_to_json(&results, "smoke");
         assert!(json.contains("\"schema_version\": 1"));
@@ -164,6 +165,7 @@ mod tests {
         let results = [ScenarioResults {
             name: "table2",
             runs: Vec::new(),
+            errors: Vec::new(),
         }];
         let json = results_to_json(&results, "full");
         assert!(json.contains("\"scenario\": \"table2\", \"runs\": [\n    ]}"));

@@ -7,9 +7,10 @@
 //!
 //! * [`run_scenario`] — the ONE generic driver loop, over any
 //!   [`asap_core::TranslationEngine`];
-//! * [`run_native`] / [`run_virt`] — thin wrappers assembling the native
-//!   (Figs. 3/8/9/11, Tables 1/2/6/7) and virtualized (Figs. 3/10/12,
-//!   Table 1) machines for it;
+//! * [`run_native`] / [`run_virt`] / [`run_contender`] — thin wrappers
+//!   assembling the native (Figs. 3/8/9/11, Tables 1/2/6/7), virtualized
+//!   (Figs. 3/10/12, Table 1) and contender-backend (Victima/Revelator
+//!   head-to-head) machines for it;
 //! * [`scenarios`] — the registry naming every paper experiment as an
 //!   enumerable workload × engine × window cross product;
 //! * [`parallel_map`] — deterministic fan-out of independent runs across
@@ -26,7 +27,7 @@
 //!
 //! let spec = NativeRunSpec::baseline(WorkloadSpec::mcf())
 //!     .with_sim(SimConfig::smoke_test());
-//! let result = asap_sim::run_native(&spec);
+//! let result = asap_sim::run_native(&spec).expect("well-formed spec");
 //! assert!(result.walks.count() > 0);
 //! assert!(result.walks.mean() > 0.0);
 //! ```
@@ -35,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod contender;
 mod cycles;
 mod driver;
 mod json;
@@ -45,9 +47,10 @@ mod result;
 pub mod scenarios;
 mod virt;
 
-pub use config::{NativeRunSpec, SimConfig, VirtRunSpec};
+pub use config::{ContenderRunSpec, NativeRunSpec, SimConfig, VirtRunSpec};
+pub use contender::run_contender;
 pub use cycles::{CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
-pub use driver::{run_scenario, RunMeta};
+pub use driver::{run_scenario, DriverError, RunMeta};
 pub use json::results_to_json;
 pub use native::run_native;
 pub use parallel::parallel_map;

@@ -1,7 +1,7 @@
 //! The native-execution driver: assembles a [`Mmu`] + [`Process`] machine
 //! and hands it to the generic [`run_scenario`] loop.
 
-use crate::driver::{run_scenario, RunMeta};
+use crate::driver::{run_scenario, DriverError, RunMeta};
 use crate::{NativeRunSpec, RunResult};
 use asap_core::{Mmu, MmuConfig, TranslationEngine};
 use asap_os::{AsapOsConfig, Process};
@@ -36,12 +36,11 @@ fn effective_workload(spec: &NativeRunSpec) -> WorkloadSpec {
 /// the process configuration), workload stream and MMU, then delegates to
 /// [`run_scenario`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the workload generates an address outside its VMAs (a
-/// generator bug caught loudly rather than silently skipped).
-#[must_use]
-pub fn run_native(spec: &NativeRunSpec) -> RunResult {
+/// Returns a [`DriverError`] when the workload generates an address outside
+/// its VMAs or a touched page fails to translate (a misconfigured spec).
+pub fn run_native(spec: &NativeRunSpec) -> Result<RunResult, DriverError> {
     let workload = effective_workload(spec);
     let seed = spec.sim.seed;
     let mut process = Process::new(
@@ -79,7 +78,7 @@ mod tests {
     #[test]
     fn baseline_run_produces_walks() {
         let spec = NativeRunSpec::baseline(small()).with_sim(SimConfig::smoke_test());
-        let r = run_native(&spec);
+        let r = run_native(&spec).unwrap();
         assert!(r.walks.count() > 100, "uniform random must miss TLBs");
         assert!(r.avg_walk_latency() > 0.0);
         assert_eq!(r.faults, 0);
@@ -90,12 +89,13 @@ mod tests {
     #[test]
     fn asap_reduces_walk_latency() {
         let sim = SimConfig::smoke_test();
-        let base = run_native(&NativeRunSpec::baseline(small()).with_sim(sim));
+        let base = run_native(&NativeRunSpec::baseline(small()).with_sim(sim)).unwrap();
         let p12 = run_native(
             &NativeRunSpec::baseline(small())
                 .with_asap(AsapHwConfig::p1_p2())
                 .with_sim(sim),
-        );
+        )
+        .unwrap();
         assert!(p12.prefetches_issued > 0);
         assert!(
             p12.avg_walk_latency() < base.avg_walk_latency(),
@@ -108,8 +108,9 @@ mod tests {
     #[test]
     fn colocation_increases_walk_latency() {
         let sim = SimConfig::smoke_test();
-        let iso = run_native(&NativeRunSpec::baseline(small()).with_sim(sim));
-        let coloc = run_native(&NativeRunSpec::baseline(small()).colocated().with_sim(sim));
+        let iso = run_native(&NativeRunSpec::baseline(small()).with_sim(sim)).unwrap();
+        let coloc =
+            run_native(&NativeRunSpec::baseline(small()).colocated().with_sim(sim)).unwrap();
         assert!(
             coloc.avg_walk_latency() > iso.avg_walk_latency(),
             "coloc {} !> iso {}",
@@ -123,7 +124,7 @@ mod tests {
         let spec = NativeRunSpec::baseline(small())
             .perfect_tlb()
             .with_sim(SimConfig::smoke_test());
-        let r = run_native(&spec);
+        let r = run_native(&spec).unwrap();
         assert_eq!(r.walks.count(), 0);
         assert_eq!(r.walk_cycles, 0);
         assert!(r.cycles > 0);
@@ -134,7 +135,7 @@ mod tests {
         let spec = NativeRunSpec::baseline(small())
             .five_level()
             .with_sim(SimConfig::smoke_test());
-        let r = run_native(&spec);
+        let r = run_native(&spec).unwrap();
         assert!(r.walks.count() > 100);
         assert_eq!(r.faults, 0);
     }
@@ -142,8 +143,8 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let spec = NativeRunSpec::baseline(small()).with_sim(SimConfig::smoke_test());
-        let a = run_native(&spec);
-        let b = run_native(&spec);
+        let a = run_native(&spec).unwrap();
+        let b = run_native(&spec).unwrap();
         assert_eq!(a.walks, b.walks);
         assert_eq!(a.cycles, b.cycles);
     }

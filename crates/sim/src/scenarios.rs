@@ -21,7 +21,12 @@
 //! assert!(results.get("mc80", "native/baseline").walks.count() > 0);
 //! ```
 
-use crate::{parallel_map, run_native, run_virt, NativeRunSpec, RunResult, SimConfig, VirtRunSpec};
+use crate::driver::DriverError;
+use crate::{
+    parallel_map, run_contender, run_native, run_virt, ContenderRunSpec, NativeRunSpec, RunResult,
+    SimConfig, VirtRunSpec,
+};
+use asap_contenders::ContenderKind;
 use asap_core::{AsapHwConfig, NestedAsapConfig};
 use asap_tlb::PwcConfig;
 use asap_types::ByteSize;
@@ -35,15 +40,21 @@ pub enum RunSpec {
     Native(NativeRunSpec),
     /// A virtualized-execution run.
     Virt(VirtRunSpec),
+    /// A contender-backend run (Victima/Revelator head-to-head).
+    Contender(ContenderRunSpec),
 }
 
 impl RunSpec {
     /// Executes the run through the generic driver.
-    #[must_use]
-    pub fn run(&self) -> RunResult {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the driver's [`DriverError`] for a misconfigured spec.
+    pub fn run(&self) -> Result<RunResult, DriverError> {
         match self {
             RunSpec::Native(s) => run_native(s),
             RunSpec::Virt(s) => run_virt(s),
+            RunSpec::Contender(s) => run_contender(s),
         }
     }
 
@@ -53,6 +64,7 @@ impl RunSpec {
         match self {
             RunSpec::Native(s) => s.workload.name,
             RunSpec::Virt(s) => s.workload.name,
+            RunSpec::Contender(s) => s.workload.name,
         }
     }
 
@@ -62,6 +74,7 @@ impl RunSpec {
         match self {
             RunSpec::Native(s) => s.label(),
             RunSpec::Virt(s) => s.label(),
+            RunSpec::Contender(s) => s.label(),
         }
     }
 }
@@ -117,13 +130,27 @@ pub struct ScenarioRunResult {
     pub result: RunResult,
 }
 
+/// A run the driver refused to execute (misconfigured spec), reported
+/// alongside the successful runs instead of aborting the fan-out.
+#[derive(Debug, Clone)]
+pub struct ScenarioRunError {
+    /// The workload's name.
+    pub workload: &'static str,
+    /// The variant key.
+    pub variant: String,
+    /// What the driver reported.
+    pub error: DriverError,
+}
+
 /// All results of one executed scenario, addressable by (workload, variant).
 #[derive(Debug, Clone)]
 pub struct ScenarioResults {
     /// The scenario's registry key.
     pub name: &'static str,
-    /// Every run's measurements, in registry order.
+    /// Every successful run's measurements, in registry order.
     pub runs: Vec<ScenarioRunResult>,
+    /// Runs the driver rejected with a typed error, in registry order.
+    pub errors: Vec<ScenarioRunError>,
 }
 
 impl ScenarioResults {
@@ -132,14 +159,33 @@ impl ScenarioResults {
     /// # Panics
     ///
     /// Panics when the pair is not part of the scenario — a harness bug
-    /// reported loudly rather than rendered as an empty cell.
+    /// reported loudly (including any driver error for the pair) rather
+    /// than rendered as an empty cell.
     #[must_use]
     pub fn get(&self, workload: &str, variant: &str) -> &RunResult {
         self.runs
             .iter()
             .find(|r| r.workload == workload && r.variant == variant)
             .map(|r| &r.result)
-            .unwrap_or_else(|| panic!("scenario {}: no run ({workload}, {variant})", self.name))
+            .unwrap_or_else(|| {
+                if let Some(e) = self
+                    .errors
+                    .iter()
+                    .find(|e| e.workload == workload && e.variant == variant)
+                {
+                    panic!(
+                        "scenario {}: run ({workload}, {variant}) failed: {}",
+                        self.name, e.error
+                    );
+                }
+                panic!("scenario {}: no run ({workload}, {variant})", self.name)
+            })
+    }
+
+    /// Whether every enumerated run executed successfully.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.errors.is_empty()
     }
 }
 
@@ -152,24 +198,29 @@ pub fn run_scenarios(scenarios: &[Scenario], sim: SimConfig) -> Vec<ScenarioResu
         flat.extend(s.runs(sim).into_iter().map(|r| (i, r)));
     }
     let done = parallel_map(flat, |(i, run)| {
-        (
-            i,
-            ScenarioRunResult {
-                workload: run.workload,
-                variant: run.variant,
-                result: run.spec.run(),
-            },
-        )
+        (i, run.workload, run.variant, run.spec.run())
     });
     let mut out: Vec<ScenarioResults> = scenarios
         .iter()
         .map(|s| ScenarioResults {
             name: s.name,
             runs: Vec::new(),
+            errors: Vec::new(),
         })
         .collect();
-    for (i, r) in done {
-        out[i].runs.push(r);
+    for (i, workload, variant, r) in done {
+        match r {
+            Ok(result) => out[i].runs.push(ScenarioRunResult {
+                workload,
+                variant,
+                result,
+            }),
+            Err(error) => out[i].errors.push(ScenarioRunError {
+                workload,
+                variant,
+                error,
+            }),
+        }
     }
     out
 }
@@ -269,10 +320,22 @@ pub fn registry() -> Vec<Scenario> {
             builder: ablation_5level_runs,
         },
         Scenario {
+            name: "contenders",
+            title: "Head-to-head: baseline vs ASAP vs Victima vs Revelator (native)",
+            smoke: false,
+            builder: contenders_runs,
+        },
+        Scenario {
             name: "smoke",
             title: "CI smoke: the full engine matrix (native/virt × baseline/ASAP/features) at miniature scale",
             smoke: true,
             builder: smoke_runs,
+        },
+        Scenario {
+            name: "contenders_smoke",
+            title: "CI smoke: the contender matrix (baseline/ASAP/Victima/Revelator) at miniature scale",
+            smoke: true,
+            builder: contenders_smoke_runs,
         },
     ]
 }
@@ -580,6 +643,63 @@ fn ablation_5level_runs(sim: SimConfig) -> Vec<ScenarioRun> {
     ]
 }
 
+/// The four head-to-head variants of one workload: the two paper machines
+/// (baseline, ASAP P1+P2) and the two contender backends, all native, all
+/// over identical processes (ASAP's OS policy moves only PT pages, so data
+/// placement — and thus Revelator's hash accuracy — is unaffected).
+fn head_to_head(w: &WorkloadSpec, sim: SimConfig) -> Vec<ScenarioRun> {
+    let mut runs = vec![
+        ScenarioRun {
+            workload: w.name,
+            variant: "Baseline".into(),
+            spec: RunSpec::Native(native(w.clone(), sim)),
+        },
+        ScenarioRun {
+            workload: w.name,
+            variant: "ASAP".into(),
+            spec: RunSpec::Native(native(w.clone(), sim).with_asap(AsapHwConfig::p1_p2())),
+        },
+    ];
+    for kind in ContenderKind::ALL {
+        runs.push(ScenarioRun {
+            workload: w.name,
+            variant: kind.label().into(),
+            spec: RunSpec::Contender(ContenderRunSpec::new(w.clone(), kind).with_sim(sim)),
+        });
+    }
+    runs
+}
+
+/// The workloads of the head-to-head comparison: a pointer chaser with
+/// high physical contiguity (Revelator's best case), a zipfian server
+/// whose hot set exceeds S-TLB reach (Victima's best case), and the
+/// fragmented uniform sweep both degrade on.
+fn contender_suite() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::mcf(),
+        WorkloadSpec::redis(),
+        WorkloadSpec::mc80(),
+    ]
+}
+
+fn contenders_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+    contender_suite()
+        .iter()
+        .flat_map(|w| head_to_head(w, sim))
+        .collect()
+}
+
+fn contenders_smoke_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+    // The same miniature redis variant the contender unit tests use: small
+    // enough for CI, enough page reuse that both contender mechanisms
+    // actually fire.
+    let w = WorkloadSpec {
+        footprint: ByteSize::mib(256),
+        ..WorkloadSpec::redis()
+    };
+    head_to_head(&w, sim)
+}
+
 /// The miniature workload the smoke scenario (and the engine-parity test)
 /// is pinned to.
 #[must_use]
@@ -664,7 +784,9 @@ mod tests {
             "ablation_pwc",
             "ablation_scatter",
             "ablation_5level",
+            "contenders",
             "smoke",
+            "contenders_smoke",
         ] {
             assert!(find(expected).is_some(), "missing scenario {expected}");
         }

@@ -1,7 +1,7 @@
 //! The virtualized-execution driver: assembles a [`NestedMmu`] +
 //! [`VirtualMachine`] and hands it to the generic [`run_scenario`] loop.
 
-use crate::driver::{run_scenario, RunMeta};
+use crate::driver::{run_scenario, DriverError, RunMeta};
 use crate::{RunResult, VirtRunSpec};
 use asap_core::{NestedMmu, NestedMmuConfig, TranslationEngine};
 use asap_os::AsapOsConfig;
@@ -16,12 +16,11 @@ use asap_virt::{EptConfig, VirtualMachine};
 /// with the hypervisor via the §3.6 vmcall protocol), and the hypervisor
 /// keeps the host PT levels sorted for the host prefetch levels.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the workload generates an address outside its VMAs (a
-/// generator bug caught loudly rather than silently skipped).
-#[must_use]
-pub fn run_virt(spec: &VirtRunSpec) -> RunResult {
+/// Returns a [`DriverError`] when the workload generates an address outside
+/// its VMAs or a touched page fails to translate (a misconfigured spec).
+pub fn run_virt(spec: &VirtRunSpec) -> Result<RunResult, DriverError> {
     let seed = spec.sim.seed;
     let guest_asap = if spec.asap.guest.is_empty() {
         AsapOsConfig::disabled()
@@ -76,8 +75,8 @@ mod tests {
     #[test]
     fn virtualization_multiplies_walk_latency() {
         let sim = SimConfig::smoke_test();
-        let native = run_native(&NativeRunSpec::baseline(small()).with_sim(sim));
-        let virt = run_virt(&VirtRunSpec::baseline(small()).with_sim(sim));
+        let native = run_native(&NativeRunSpec::baseline(small()).with_sim(sim)).unwrap();
+        let virt = run_virt(&VirtRunSpec::baseline(small()).with_sim(sim)).unwrap();
         // Table 1 / Fig. 3 shape: virt baseline is several times native.
         let ratio = virt.avg_walk_latency() / native.avg_walk_latency();
         assert!(
@@ -90,17 +89,19 @@ mod tests {
     #[test]
     fn full_asap_beats_guest_only() {
         let sim = SimConfig::smoke_test();
-        let base = run_virt(&VirtRunSpec::baseline(small()).with_sim(sim));
+        let base = run_virt(&VirtRunSpec::baseline(small()).with_sim(sim)).unwrap();
         let p1g = run_virt(
             &VirtRunSpec::baseline(small())
                 .with_asap(NestedAsapConfig::p1g())
                 .with_sim(sim),
-        );
+        )
+        .unwrap();
         let all = run_virt(
             &VirtRunSpec::baseline(small())
                 .with_asap(NestedAsapConfig::all())
                 .with_sim(sim),
-        );
+        )
+        .unwrap();
         assert!(p1g.avg_walk_latency() < base.avg_walk_latency());
         assert!(
             all.avg_walk_latency() < p1g.avg_walk_latency(),
@@ -114,16 +115,16 @@ mod tests {
     #[test]
     fn host_2m_pages_shorten_baseline_walks() {
         let sim = SimConfig::smoke_test();
-        let b4k = run_virt(&VirtRunSpec::baseline(small()).with_sim(sim));
-        let b2m = run_virt(&VirtRunSpec::baseline(small()).host_2m_pages().with_sim(sim));
+        let b4k = run_virt(&VirtRunSpec::baseline(small()).with_sim(sim)).unwrap();
+        let b2m = run_virt(&VirtRunSpec::baseline(small()).host_2m_pages().with_sim(sim)).unwrap();
         assert!(b2m.avg_walk_latency() < b4k.avg_walk_latency());
     }
 
     #[test]
     fn virt_runs_are_deterministic() {
         let spec = VirtRunSpec::baseline(small()).with_sim(SimConfig::smoke_test());
-        let a = run_virt(&spec);
-        let b = run_virt(&spec);
+        let a = run_virt(&spec).unwrap();
+        let b = run_virt(&spec).unwrap();
         assert_eq!(a.walks, b.walks);
     }
 }

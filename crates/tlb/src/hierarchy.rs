@@ -108,6 +108,20 @@ impl TlbHierarchy {
         self.l2.insert(asid, vpn, entry);
     }
 
+    /// Installs a walked translation into both levels, returning the entry
+    /// the L2 S-TLB displaced (if any) — the capture point for backends
+    /// that give evicted translations a second life (Victima-style
+    /// TLB blocks in the data cache).
+    pub fn fill_with_victim(
+        &mut self,
+        asid: Asid,
+        vpn: VirtPageNum,
+        entry: TlbEntry,
+    ) -> Option<(Asid, VirtPageNum, TlbEntry)> {
+        self.l1.insert(asid, vpn, entry);
+        self.l2.insert_with_victim(asid, vpn, entry)
+    }
+
     /// Invalidates one page everywhere.
     pub fn invalidate(&mut self, asid: Asid, vpn: VirtPageNum) {
         self.l1.invalidate(asid, vpn);

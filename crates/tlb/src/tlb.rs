@@ -102,12 +102,28 @@ impl Tlb {
 
     /// Installs a translation for the page containing `vpn`.
     pub fn insert(&mut self, asid: Asid, vpn: VirtPageNum, entry: TlbEntry) {
+        let _ = self.insert_with_victim(asid, vpn, entry);
+    }
+
+    /// Installs a translation and returns the entry it displaced, if any —
+    /// the hook a victim-caching backend (e.g. a Victima-style TLB-block
+    /// store) uses to capture evictions. The victim's page-base VPN is
+    /// reconstructed from its tag.
+    pub fn insert_with_victim(
+        &mut self,
+        asid: Asid,
+        vpn: VirtPageNum,
+        entry: TlbEntry,
+    ) -> Option<(Asid, VirtPageNum, TlbEntry)> {
         let tag = Self::tag_for(vpn, entry.size);
         let set = self.set_for(tag, entry.size);
         self.stats.fills += 1;
-        if self.array.insert(set, (asid, tag), entry).is_some() {
+        let evicted = self.array.insert(set, (asid, tag), entry);
+        evicted.map(|ev| {
             self.stats.evictions += 1;
-        }
+            let (victim_asid, victim_tag) = ev.key;
+            (victim_asid, VirtPageNum::new(victim_tag), ev.value)
+        })
     }
 
     /// Invalidates the entry covering `vpn` (any page size).

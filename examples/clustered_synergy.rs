@@ -26,23 +26,26 @@ fn main() {
         WorkloadSpec::canneal(),
         WorkloadSpec::mc80(),
     ] {
-        let base = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
+        let base = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim)).unwrap();
         let clustered = run_native(
             &NativeRunSpec::baseline(w.clone())
                 .with_clustered_tlb()
                 .with_sim(sim),
-        );
+        )
+        .unwrap();
         let asap = run_native(
             &NativeRunSpec::baseline(w.clone())
                 .with_asap(AsapHwConfig::p1_p2())
                 .with_sim(sim),
-        );
+        )
+        .unwrap();
         let both = run_native(
             &NativeRunSpec::baseline(w.clone())
                 .with_clustered_tlb()
                 .with_asap(AsapHwConfig::p1_p2())
                 .with_sim(sim),
-        );
+        )
+        .unwrap();
         let pct =
             |r: &asap::sim::RunResult| format!("{:.1}%", r.walk_cycles_reduction_vs(&base) * 100.0);
         table.row(vec![w.name.into(), pct(&clustered), pct(&asap), pct(&both)]);

@@ -43,7 +43,7 @@ fn main() {
         ),
     ];
     for (name, spec) in runs {
-        let r = run_native(&spec);
+        let r = run_native(&spec).unwrap();
         table.row(vec![name.into(), format!("{:.1}", r.avg_walk_latency())]);
     }
     println!("{}", table.render());

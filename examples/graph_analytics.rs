@@ -24,18 +24,20 @@ fn main() {
         ],
     );
     for w in [WorkloadSpec::bfs(), WorkloadSpec::pagerank()] {
-        let nb = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim));
+        let nb = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim)).unwrap();
         let na = run_native(
             &NativeRunSpec::baseline(w.clone())
                 .with_asap(AsapHwConfig::p1_p2())
                 .with_sim(sim),
-        );
-        let vb = run_virt(&VirtRunSpec::baseline(w.clone()).with_sim(sim));
+        )
+        .unwrap();
+        let vb = run_virt(&VirtRunSpec::baseline(w.clone()).with_sim(sim)).unwrap();
         let va = run_virt(
             &VirtRunSpec::baseline(w.clone())
                 .with_asap(NestedAsapConfig::all())
                 .with_sim(sim),
-        );
+        )
+        .unwrap();
         table.row(vec![
             w.name.into(),
             format!("{:.1}", nb.avg_walk_latency()),

@@ -26,13 +26,15 @@ fn main() {
             &NativeRunSpec::baseline(WorkloadSpec::mc80())
                 .with_asap(asap.clone())
                 .with_sim(sim),
-        );
+        )
+        .unwrap();
         let coloc = run_native(
             &NativeRunSpec::baseline(WorkloadSpec::mc80())
                 .with_asap(asap)
                 .colocated()
                 .with_sim(sim),
-        );
+        )
+        .unwrap();
         if name == "Baseline" {
             baselines = (iso.avg_walk_latency(), coloc.avg_walk_latency());
         }

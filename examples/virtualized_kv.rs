@@ -60,7 +60,8 @@ fn main() {
             &VirtRunSpec::baseline(redis.clone())
                 .with_asap(asap)
                 .with_sim(sim),
-        );
+        )
+        .unwrap();
         if name == "Baseline" {
             base = r.avg_walk_latency();
         }

@@ -22,6 +22,7 @@
 //! | [`os`] | `asap-os` | VMAs, demand paging, ASAP OS policy |
 //! | [`virt`] | `asap-virt` | nested (2D) translation |
 //! | [`core`] | `asap-core` | **the contribution**: range registers, prefetcher, MMUs |
+//! | [`contenders`] | `asap-contenders` | competitor backends: Victima, Revelator |
 //! | [`workloads`] | `asap-workloads` | the seven calibrated workloads |
 //! | [`sim`] | `asap-sim` | scenario drivers, reports |
 //!
@@ -55,6 +56,7 @@
 
 pub use asap_alloc as alloc;
 pub use asap_cache as cache;
+pub use asap_contenders as contenders;
 pub use asap_core as core;
 pub use asap_os as os;
 pub use asap_pt as pt;
