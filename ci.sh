@@ -2,8 +2,8 @@
 # CI for the ASAP reproduction. Run from the repo root:
 #
 #   ./ci.sh              # full pass: fmt, clippy, release build, tests,
-#                        # doc, end-to-end smoke scenarios
-#   ./ci.sh --quick      # only the registry's smoke scenarios end-to-end
+#                        # doc, end-to-end smoke scenarios via the asap CLI
+#   ./ci.sh --quick      # only the CLI dispatch + smoke scenarios
 #                        # (fast driver-regression check, ~seconds)
 #   ASAP_QUICK=1 ./ci.sh # full gates, reduced simulation windows
 #
@@ -20,13 +20,24 @@ run() {
     "$@"
 }
 
+ASAP="cargo run --release -q -p asap-bench --bin asap --"
+
 smoke() {
+    # The whole experiment surface is one CLI now; sanity-check its
+    # dispatch first (`list` must resolve the registry and name the smoke
+    # scenarios) so a broken binary fails loudly before the long part.
+    echo
+    echo "==> asap list"
+    list_output="$($ASAP list)"
+    echo "$list_output"
+    echo "$list_output" | grep -q "^smoke " \
+        || { echo "asap list does not name the smoke scenario"; exit 1; }
     # The registry's smoke scenarios through the real generic driver loop
     # — catches driver regressions unit tests miss. Deterministic: it
     # regenerates BENCH_results.json, and the gate below fails on any
     # drift from the committed copy (the perf-trajectory check). A PR
     # that intentionally changes behaviour commits the regenerated file.
-    run cargo run --release -p asap-bench --bin smoke
+    run $ASAP smoke
     # Compare against HEAD (not the index) so staged-but-uncommitted drift
     # still fails the gate.
     if git rev-parse --is-inside-work-tree >/dev/null 2>&1 \
@@ -41,7 +52,7 @@ smoke() {
 if [[ "${1:-}" == "--quick" ]]; then
     smoke
     echo
-    echo "ci.sh --quick: smoke scenarios passed"
+    echo "ci.sh --quick: CLI dispatch + smoke scenarios passed"
     exit 0
 fi
 

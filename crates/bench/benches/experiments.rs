@@ -1,9 +1,9 @@
 //! Criterion benches, one group per paper table/figure: each measures the
 //! simulation kernel that regenerates the experiment, at reduced scale
-//! (the binaries in `src/bin` produce the full tables).
+//! (the `asap` CLI produces the full tables).
 
 use asap_core::{AsapHwConfig, NestedAsapConfig};
-use asap_sim::{run_native, run_virt, NativeRunSpec, SimConfig, VirtRunSpec};
+use asap_sim::{RunSpec, SimConfig};
 use asap_types::ByteSize;
 use asap_workloads::WorkloadSpec;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -28,13 +28,18 @@ fn table1_kernel(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("native_mc80_baseline", |b| {
         b.iter(|| {
-            run_native(&NativeRunSpec::baseline(small(WorkloadSpec::mc80())).with_sim(bench_sim()))
+            RunSpec::new(small(WorkloadSpec::mc80()))
+                .with_sim(bench_sim())
+                .run()
                 .unwrap()
         })
     });
     g.bench_function("virt_mc80_baseline", |b| {
         b.iter(|| {
-            run_virt(&VirtRunSpec::baseline(small(WorkloadSpec::mc80())).with_sim(bench_sim()))
+            RunSpec::new(small(WorkloadSpec::mc80()))
+                .virt()
+                .with_sim(bench_sim())
+                .run()
                 .unwrap()
         })
     });
@@ -47,9 +52,7 @@ fn fig2_fig3_kernel(c: &mut Criterion) {
     for w in [WorkloadSpec::mcf(), WorkloadSpec::redis()] {
         g.bench_function(format!("native_{}", w.name), |b| {
             let w = small(w.clone());
-            b.iter(|| {
-                run_native(&NativeRunSpec::baseline(w.clone()).with_sim(bench_sim())).unwrap()
-            })
+            b.iter(|| RunSpec::new(w.clone()).with_sim(bench_sim()).run().unwrap())
         });
     }
     g.finish();
@@ -65,12 +68,11 @@ fn fig8_kernel(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                run_native(
-                    &NativeRunSpec::baseline(small(WorkloadSpec::mc80()))
-                        .with_asap(asap.clone())
-                        .with_sim(bench_sim()),
-                )
-                .unwrap()
+                RunSpec::new(small(WorkloadSpec::mc80()))
+                    .with_asap(asap.clone())
+                    .with_sim(bench_sim())
+                    .run()
+                    .unwrap()
             })
         });
     }
@@ -82,10 +84,10 @@ fn fig9_kernel(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("served_matrix_mcf", |b| {
         b.iter(|| {
-            let r = run_native(
-                &NativeRunSpec::baseline(small(WorkloadSpec::mcf())).with_sim(bench_sim()),
-            )
-            .unwrap();
+            let r = RunSpec::new(small(WorkloadSpec::mcf()))
+                .with_sim(bench_sim())
+                .run()
+                .unwrap();
             r.served.fractions(asap_types::PtLevel::Pl1)
         })
     });
@@ -102,12 +104,12 @@ fn fig10_kernel(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                run_virt(
-                    &VirtRunSpec::baseline(small(WorkloadSpec::mc80()))
-                        .with_asap(asap.clone())
-                        .with_sim(bench_sim()),
-                )
-                .unwrap()
+                RunSpec::new(small(WorkloadSpec::mc80()))
+                    .virt()
+                    .with_nested_asap(asap.clone())
+                    .with_sim(bench_sim())
+                    .run()
+                    .unwrap()
             })
         });
     }
@@ -119,12 +121,11 @@ fn table6_kernel(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("perfect_tlb", |b| {
         b.iter(|| {
-            run_native(
-                &NativeRunSpec::baseline(small(WorkloadSpec::mcf()))
-                    .perfect_tlb()
-                    .with_sim(bench_sim()),
-            )
-            .unwrap()
+            RunSpec::new(small(WorkloadSpec::mcf()))
+                .perfect_tlb()
+                .with_sim(bench_sim())
+                .run()
+                .unwrap()
         })
     });
     g.finish();
@@ -135,23 +136,21 @@ fn fig11_table7_kernel(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("clustered_tlb", |b| {
         b.iter(|| {
-            run_native(
-                &NativeRunSpec::baseline(small(WorkloadSpec::mcf()))
-                    .with_clustered_tlb()
-                    .with_sim(bench_sim()),
-            )
-            .unwrap()
+            RunSpec::new(small(WorkloadSpec::mcf()))
+                .with_clustered_tlb()
+                .with_sim(bench_sim())
+                .run()
+                .unwrap()
         })
     });
     g.bench_function("clustered_plus_asap", |b| {
         b.iter(|| {
-            run_native(
-                &NativeRunSpec::baseline(small(WorkloadSpec::mcf()))
-                    .with_clustered_tlb()
-                    .with_asap(AsapHwConfig::p1_p2())
-                    .with_sim(bench_sim()),
-            )
-            .unwrap()
+            RunSpec::new(small(WorkloadSpec::mcf()))
+                .with_clustered_tlb()
+                .with_asap(AsapHwConfig::p1_p2())
+                .with_sim(bench_sim())
+                .run()
+                .unwrap()
         })
     });
     g.finish();
@@ -162,23 +161,21 @@ fn fig12_kernel(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("host_2m_baseline", |b| {
         b.iter(|| {
-            run_virt(
-                &VirtRunSpec::baseline(small(WorkloadSpec::mc80()))
-                    .host_2m_pages()
-                    .with_sim(bench_sim()),
-            )
-            .unwrap()
+            RunSpec::new(small(WorkloadSpec::mc80()))
+                .host_2m_pages()
+                .with_sim(bench_sim())
+                .run()
+                .unwrap()
         })
     });
     g.bench_function("host_2m_asap", |b| {
         b.iter(|| {
-            run_virt(
-                &VirtRunSpec::baseline(small(WorkloadSpec::mc80()))
-                    .host_2m_pages()
-                    .with_asap(NestedAsapConfig::host_2m())
-                    .with_sim(bench_sim()),
-            )
-            .unwrap()
+            RunSpec::new(small(WorkloadSpec::mc80()))
+                .host_2m_pages()
+                .with_nested_asap(NestedAsapConfig::host_2m())
+                .with_sim(bench_sim())
+                .run()
+                .unwrap()
         })
     });
     g.finish();

@@ -1,0 +1,239 @@
+//! `asap` — the ONE experiment CLI for the reproduction.
+//!
+//! Replaces the old per-figure binaries: every experiment is a scenario in
+//! the registry, rendered by its metadata-selected renderer.
+//!
+//! ```text
+//! asap list                    # what's in the registry
+//! asap run fig3 fig8           # run named scenarios, print their tables
+//! asap smoke                   # CI smoke set -> committed BENCH_results.json
+//! asap all                     # every paper scenario -> BENCH_results_full.json
+//!
+//! options:
+//!   --json <path>              # override the results JSON path
+//!   --quick                    # reduced windows (tier "quick"; ASAP_QUICK=1 also works)
+//!   --filter <substr>          # keep only scenarios whose name contains <substr>
+//! ```
+//!
+//! Exit status: 0 on success, 1 when any run reported a driver error (the
+//! errors are printed to stderr — a failed run in a fan-out never hides
+//! behind a green exit), 2 on usage errors.
+
+use asap_bench::{
+    execute_scenarios, paper_scenarios, render, report_errors, results_tier, sim_config,
+    write_results_json,
+};
+use asap_sim::scenarios::{find, registry, smoke_set, Scenario};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+asap — drive the ASAP-reproduction experiment registry
+
+USAGE:
+    asap <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list                 list registered scenarios
+    run <scenario>...    run the named scenarios and print their tables
+    smoke                run the CI smoke set and write BENCH_results.json
+    all                  run every paper scenario and write BENCH_results_full.json
+
+OPTIONS:
+    --json <path>        override the results JSON path
+                         (run: none unless given; smoke: BENCH_results.json;
+                          all: BENCH_results_full.json)
+    --quick              reduced simulation windows (tier \"quick\")
+    --filter <substr>    keep only scenarios whose name contains <substr>
+    -h, --help           print this help
+";
+
+struct Cli {
+    command: String,
+    names: Vec<String>,
+    json: Option<String>,
+    quick: bool,
+    filter: Option<String>,
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("asap: {message}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        command: String::new(),
+        names: Vec::new(),
+        json: None,
+        quick: false,
+        filter: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                cli.json = Some(
+                    it.next()
+                        .ok_or_else(|| "--json needs a path".to_string())?
+                        .clone(),
+                );
+            }
+            "--quick" => cli.quick = true,
+            "--filter" => {
+                cli.filter = Some(
+                    it.next()
+                        .ok_or_else(|| "--filter needs a substring".to_string())?
+                        .clone(),
+                );
+            }
+            "-h" | "--help" | "help" => {
+                cli.command = "help".into();
+                return Ok(cli);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option {flag}"));
+            }
+            positional => {
+                if cli.command.is_empty() {
+                    cli.command = positional.into();
+                } else {
+                    cli.names.push(positional.into());
+                }
+            }
+        }
+    }
+    if cli.command.is_empty() {
+        return Err("a command is required".into());
+    }
+    Ok(cli)
+}
+
+fn apply_filter(set: Vec<Scenario>, filter: Option<&str>) -> Vec<Scenario> {
+    match filter {
+        Some(f) => set.into_iter().filter(|s| s.name.contains(f)).collect(),
+        None => set,
+    }
+}
+
+fn cmd_list(cli: &Cli) -> ExitCode {
+    let set = apply_filter(registry(), cli.filter.as_deref());
+    if set.is_empty() {
+        eprintln!("asap: no scenario matches the filter");
+        return ExitCode::from(1);
+    }
+    for s in &set {
+        let runs = s.runs(s.windows_or(sim_config(cli.quick))).len();
+        let tag = if s.smoke { "smoke" } else { "     " };
+        println!("{:<18} {:>3} runs  {}  {}", s.name, runs, tag, s.title);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs a scenario set, prints every rendered table, reports errors, and
+/// optionally writes the results JSON. The shared tail of `run`, `smoke`
+/// and `all`. The JSON tier follows the windows the set actually ran at
+/// ([`results_tier`]), and nothing is written when any run failed — a
+/// partial document must never overwrite a results baseline.
+fn execute_and_report(set: &[Scenario], cli: &Cli, default_json: Option<&str>) -> ExitCode {
+    if set.is_empty() {
+        eprintln!("asap: no scenario matches the filter");
+        return ExitCode::from(2);
+    }
+    let start = std::time::Instant::now();
+    let results = execute_scenarios(set, sim_config(cli.quick));
+    for (scenario, result) in set.iter().zip(&results) {
+        for t in render(scenario, result) {
+            println!("{}", t.render());
+        }
+    }
+    let mut failures = report_errors(results.iter());
+    for r in &results {
+        for run in &r.runs {
+            if run.result.faults > 0 {
+                eprintln!(
+                    "{}/{}/{}: {} translation faults",
+                    r.name, run.workload, run.variant, run.result.faults
+                );
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} run(s) failed; results JSON not written");
+        return ExitCode::from(1);
+    }
+    if let Some(path) = cli.json.as_deref().or(default_json) {
+        match write_results_json(path, &results, results_tier(set, cli.quick)) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    eprintln!("wall time: {:?}", start.elapsed());
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(cli: &Cli) -> ExitCode {
+    if cli.names.is_empty() {
+        return usage_error("`run` needs at least one scenario name");
+    }
+    let mut set = Vec::new();
+    for name in &cli.names {
+        match find(name) {
+            Some(s) => set.push(s),
+            None => {
+                eprintln!("asap: unknown scenario {name:?}; try `asap list`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let set = apply_filter(set, cli.filter.as_deref());
+    execute_and_report(&set, cli, None)
+}
+
+fn cmd_smoke(cli: &Cli) -> ExitCode {
+    // The smoke scenarios pin their own miniature windows, so the emitted
+    // file is byte-stable across hosts (and across `--quick`): `ci.sh`
+    // regenerates it and fails on a git diff — that diff IS the
+    // behaviour/perf-trajectory check. A filtered subset must never
+    // overwrite the committed full-set baseline, so `--filter` drops the
+    // default path (pass `--json` explicitly to keep a partial file).
+    let set = apply_filter(smoke_set(), cli.filter.as_deref());
+    let default_json = if cli.filter.is_none() {
+        Some("BENCH_results.json")
+    } else {
+        None
+    };
+    execute_and_report(&set, cli, default_json)
+}
+
+fn cmd_all(cli: &Cli) -> ExitCode {
+    println!("# ASAP reproduction: all experiments\n");
+    let set = apply_filter(paper_scenarios(), cli.filter.as_deref());
+    // The default path deliberately differs from the committed smoke-tier
+    // BENCH_results.json: the two tiers use different windows and must
+    // never overwrite each other. A filtered subset keeps the default
+    // (the full-tier file is git-ignored scratch, not a CI baseline).
+    execute_and_report(&set, cli, Some("BENCH_results_full.json"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&args) {
+        Ok(cli) => cli,
+        Err(message) => return usage_error(&message),
+    };
+    match cli.command.as_str() {
+        "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        "list" => cmd_list(&cli),
+        "run" => cmd_run(&cli),
+        "smoke" => cmd_smoke(&cli),
+        "all" => cmd_all(&cli),
+        other => usage_error(&format!("unknown command {other:?}")),
+    }
+}

@@ -3,31 +3,34 @@
 //!
 //! Every experiment's runs are resolved through the scenario registry
 //! ([`asap_sim::scenarios`]); this crate only owns the *rendering* — how a
-//! scenario's [`RunResult`]s become the paper's tables. The `src/bin/*`
-//! binaries are registry lookups ([`print_experiment`]); run everything
-//! with:
+//! scenario's [`RunResult`]s become the paper's tables. Which renderer a
+//! scenario gets is selected by its [`RendererKind`] metadata, so a new
+//! registry entry needs no harness change (the default renderer prints one
+//! row per run). The single `asap` CLI (`src/bin/asap.rs`) fronts it all:
 //!
 //! ```text
-//! cargo run --release -p asap-bench --bin all_experiments
+//! cargo run --release -p asap-bench --bin asap -- list
+//! cargo run --release -p asap-bench --bin asap -- run fig3 fig8
+//! cargo run --release -p asap-bench --bin asap -- smoke   # committed BENCH_results.json
+//! cargo run --release -p asap-bench --bin asap -- all     # BENCH_results_full.json
 //! ```
 //!
-//! which also writes machine-readable results to `BENCH_results_full.json`
-//! (the CI `smoke` binary owns the committed smoke-tier
-//! `BENCH_results.json`). Set `ASAP_QUICK=1` for a fast smoke pass
-//! (smaller measurement windows).
+//! `--quick` (or `ASAP_QUICK=1`) shrinks the measurement windows for a
+//! fast pass.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use asap_sim::scenarios::{find, registry, run_scenarios, Scenario, ScenarioResults};
+use asap_sim::scenarios::{registry, run_scenarios, RendererKind, Scenario, ScenarioResults};
 use asap_sim::{fmt_cycles, fmt_pct, fmt_ratio, parallel_map, RunResult, SimConfig, Table};
 use asap_types::PtLevel;
 use asap_workloads::WorkloadSpec;
 
-/// The shared window configuration: honours `ASAP_QUICK=1` for smoke runs.
+/// The shared window configuration: `quick` (the CLI flag) or
+/// `ASAP_QUICK=1` selects reduced windows.
 #[must_use]
-pub fn sim_config() -> SimConfig {
-    if quick_mode() {
+pub fn sim_config(quick: bool) -> SimConfig {
+    if quick || quick_mode() {
         SimConfig {
             warmup_accesses: 5_000,
             measure_accesses: 20_000,
@@ -44,89 +47,97 @@ pub fn quick_mode() -> bool {
     std::env::var("ASAP_QUICK").is_ok_and(|v| v == "1")
 }
 
-/// The tier tag stamped into `BENCH_results.json` for the current windows.
+/// The tier tag stamped into results JSON for the current windows.
 #[must_use]
-pub fn tier() -> &'static str {
-    if quick_mode() {
+pub fn tier(quick: bool) -> &'static str {
+    if quick || quick_mode() {
         "quick"
     } else {
         "full"
     }
 }
 
-/// The registry minus the CI-only smoke scenario, in paper order — the
-/// set `all_experiments` regenerates.
-fn paper_scenarios() -> Vec<Scenario> {
+/// The tier tag for a concrete scenario set: scenarios with pinned
+/// windows run at those windows regardless of `quick`, so the tag must
+/// follow the windows the numbers were actually produced at. All-pinned
+/// smoke windows → `"smoke"`; no pinned windows → [`tier`]; anything
+/// else → `"mixed"` (never comparable to a committed baseline).
+#[must_use]
+pub fn results_tier(set: &[Scenario], quick: bool) -> &'static str {
+    let smoke_windows = SimConfig::smoke_test();
+    let pinned = set.iter().filter(|s| s.default_windows().is_some()).count();
+    if pinned == 0 {
+        tier(quick)
+    } else if pinned == set.len()
+        && set
+            .iter()
+            .all(|s| s.default_windows() == Some(smoke_windows))
+    {
+        "smoke"
+    } else {
+        "mixed"
+    }
+}
+
+/// The registry minus the CI-only smoke scenarios, in paper order — the
+/// set `asap all` regenerates.
+#[must_use]
+pub fn paper_scenarios() -> Vec<Scenario> {
     registry().into_iter().filter(|s| !s.smoke).collect()
 }
 
-/// The experiments `all_experiments` regenerates, in paper order.
+/// The experiments `asap all` regenerates, in paper order.
 #[must_use]
 pub fn experiment_names() -> Vec<&'static str> {
     paper_scenarios().into_iter().map(|s| s.name).collect()
 }
 
-/// One experiment's rendered tables plus the raw results they were built
-/// from (for JSON emission).
-#[derive(Debug, Clone)]
-pub struct ExperimentReport {
-    /// The scenario's registry key.
-    pub name: &'static str,
-    /// The rendered tables, in print order.
-    pub tables: Vec<Table>,
-    /// The raw per-run measurements.
-    pub results: ScenarioResults,
-}
-
-/// Runs one experiment by registry name and renders its tables. A
-/// scenario with driver errors renders no tables — the errors ride along
-/// in `results.errors` for the caller to report, instead of the renderer
-/// panicking on the missing runs.
-///
-/// # Panics
-///
-/// Panics when `name` is not in the registry.
+/// Executes a scenario set, honouring each scenario's own declared
+/// windows ([`Scenario::default_windows`]) and falling back to `fallback`
+/// for the rest. Scenarios sharing windows run as one flattened parallel
+/// fan-out; results come back in the input order.
 #[must_use]
-pub fn run_experiment(name: &str, sim: SimConfig) -> ExperimentReport {
-    let scenario = find(name).unwrap_or_else(|| panic!("unknown scenario {name}"));
-    let results = scenario.run(sim);
-    ExperimentReport {
-        name: scenario.name,
-        tables: if results.is_complete() {
-            render(scenario.name, &results)
-        } else {
-            Vec::new()
-        },
-        results,
+pub fn execute_scenarios(set: &[Scenario], fallback: SimConfig) -> Vec<ScenarioResults> {
+    let mut groups: Vec<(SimConfig, Vec<usize>)> = Vec::new();
+    for (i, s) in set.iter().enumerate() {
+        let sim = s.windows_or(fallback);
+        match groups.iter_mut().find(|(g, _)| *g == sim) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((sim, vec![i])),
+        }
     }
+    let mut out: Vec<Option<ScenarioResults>> = set.iter().map(|_| None).collect();
+    for (sim, idxs) in groups {
+        let subset: Vec<Scenario> = idxs.iter().map(|&i| set[i].clone()).collect();
+        for (results, &i) in run_scenarios(&subset, sim).into_iter().zip(&idxs) {
+            out[i] = Some(results);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every scenario lands in exactly one group"))
+        .collect()
 }
 
-/// Runs every paper experiment as one flattened parallel fan-out and
-/// renders each, in registry order.
-#[must_use]
-pub fn run_all_experiments(sim: SimConfig) -> Vec<ExperimentReport> {
-    let scenarios = paper_scenarios();
-    let all = run_scenarios(&scenarios, sim);
-    all.into_iter()
-        .map(|results| ExperimentReport {
-            name: results.name,
-            tables: if results.is_complete() {
-                render(results.name, &results)
-            } else {
-                Vec::new()
-            },
-            results,
-        })
-        .collect()
+/// Prints every collected driver error to stderr and returns how many
+/// there were — the CLI exits non-zero when this is not 0, so a failed
+/// run in a fan-out can never hide behind a green exit.
+pub fn report_errors<'a>(all: impl IntoIterator<Item = &'a ScenarioResults>) -> usize {
+    let mut count = 0;
+    for results in all {
+        for e in &results.errors {
+            eprintln!("{}/{}/{}: {}", results.name, e.workload, e.variant, e.error);
+            count += 1;
+        }
+    }
+    count
 }
 
 /// Writes results as `BENCH_results.json`-schema JSON to `path`.
 ///
 /// # Errors
 ///
-/// Propagates the I/O error; callers (the experiment binaries) must treat
-/// it as fatal — a missing results file would silently skip the CI
-/// perf-trajectory check.
+/// Propagates the I/O error; callers (the CLI) must treat it as fatal — a
+/// missing results file would silently skip the CI perf-trajectory check.
 pub fn write_results_json(
     path: &str,
     results: &[ScenarioResults],
@@ -135,53 +146,79 @@ pub fn write_results_json(
     std::fs::write(path, asap_sim::results_to_json(results, tier))
 }
 
-/// Runs one experiment with the shared window configuration and prints its
-/// tables — the whole body of each `src/bin` wrapper. Driver errors are
-/// printed to stderr and exit the process non-zero.
-///
-/// # Panics
-///
-/// Panics when `name` is not in the registry.
-pub fn print_experiment(name: &str) {
-    let report = run_experiment(name, sim_config());
-    for e in &report.results.errors {
-        eprintln!("{}/{}/{}: {}", report.name, e.workload, e.variant, e.error);
+/// Renders a scenario's results into the paper's tables, selected by the
+/// scenario's [`RendererKind`] metadata. A scenario with driver errors
+/// renders nothing — the errors ride along in `results.errors` for
+/// [`report_errors`] instead of the renderer panicking on missing runs.
+#[must_use]
+pub fn render(scenario: &Scenario, results: &ScenarioResults) -> Vec<Table> {
+    if !results.is_complete() {
+        return Vec::new();
     }
-    if !report.results.is_complete() {
-        eprintln!("{}: one or more runs reported driver errors", report.name);
-        std::process::exit(1);
-    }
-    for t in report.tables {
-        println!("{}", t.render());
+    let suite = scenario.workload_specs();
+    match scenario.renderer {
+        RendererKind::RunMatrix => vec![render_run_matrix(scenario, results)],
+        RendererKind::Table1 => vec![render_table1(results)],
+        RendererKind::WalkFractionGrid => vec![render_four_scenarios(
+            results,
+            suite,
+            "Figure 2: fraction of execution time spent in page walks",
+            RunResult::walk_fraction,
+            fmt_pct,
+        )],
+        RendererKind::WalkLatencyGrid => vec![render_four_scenarios(
+            results,
+            suite,
+            "Figure 3: average page-walk latency (cycles)",
+            RunResult::avg_walk_latency,
+            fmt_cycles,
+        )],
+        RendererKind::PtCensus => vec![render_pt_census(suite)],
+        RendererKind::AsapSweep => vec![
+            asap_sweep_table(results, suite, false),
+            asap_sweep_table(results, suite, true),
+        ],
+        RendererKind::ServedBy => vec![render_served_by(results)],
+        RendererKind::NestedAsapSweep => vec![
+            nested_sweep_table(results, suite, false),
+            nested_sweep_table(results, suite, true),
+        ],
+        RendererKind::Projection => vec![render_projection(results, suite)],
+        RendererKind::ClusteredSynergy => render_clustered_synergy(results, suite),
+        RendererKind::HostHugePages => vec![render_host_huge_pages(results, suite)],
+        RendererKind::PwcAblation => vec![render_pwc_ablation(results, suite)],
+        RendererKind::ScatterAblation => vec![render_scatter_ablation(results)],
+        RendererKind::FiveLevelAblation => vec![render_five_level(results)],
+        RendererKind::HeadToHead => render_head_to_head(results),
     }
 }
 
-/// Renders a scenario's results into the paper's tables.
-///
-/// # Panics
-///
-/// Panics when `name` has no renderer (every registry entry has one).
-#[must_use]
-pub fn render(name: &str, results: &ScenarioResults) -> Vec<Table> {
-    match name {
-        "table1" => vec![render_table1(results)],
-        "fig2" => vec![render_fig2(results)],
-        "fig3" => vec![render_fig3(results)],
-        "table2" => vec![render_table2()],
-        "fig8" => render_fig8(results),
-        "fig9" => vec![render_fig9(results)],
-        "fig10" => render_fig10(results),
-        "table6" => vec![render_table6(results)],
-        "fig11_table7" => render_fig11_table7(results),
-        "fig12" => vec![render_fig12(results)],
-        "ablation_pwc" => vec![render_ablation_pwc(results)],
-        "ablation_scatter" => vec![render_ablation_scatter(results)],
-        "ablation_5level" => vec![render_ablation_5level(results)],
-        "contenders" => render_contenders(results, "Head-to-head"),
-        "smoke" => vec![render_smoke(results)],
-        "contenders_smoke" => render_contenders(results, "CI smoke head-to-head"),
-        other => panic!("no renderer for scenario {other}"),
+/// The default renderer: one row per run, engine-matrix style.
+fn render_run_matrix(scenario: &Scenario, r: &ScenarioResults) -> Table {
+    let mut t = Table::new(
+        scenario.title,
+        vec![
+            "workload",
+            "variant",
+            "walks",
+            "avg walk latency (cycles)",
+            "cycles",
+            "prefetches",
+            "faults",
+        ],
+    );
+    for run in &r.runs {
+        t.row(vec![
+            run.workload.into(),
+            run.variant.clone(),
+            run.result.walks.count().to_string(),
+            fmt_cycles(run.result.avg_walk_latency()),
+            run.result.cycles.to_string(),
+            run.result.prefetches_issued.to_string(),
+            run.result.faults.to_string(),
+        ]);
     }
+    t
 }
 
 fn render_table1(r: &ScenarioResults) -> Table {
@@ -255,29 +292,9 @@ fn render_four_scenarios(
     t
 }
 
-fn render_fig2(r: &ScenarioResults) -> Table {
-    render_four_scenarios(
-        r,
-        &WorkloadSpec::paper_suite_no_mc400(),
-        "Figure 2: fraction of execution time spent in page walks",
-        RunResult::walk_fraction,
-        fmt_pct,
-    )
-}
-
-fn render_fig3(r: &ScenarioResults) -> Table {
-    render_four_scenarios(
-        r,
-        &WorkloadSpec::paper_suite(),
-        "Figure 3: average page-walk latency (cycles)",
-        RunResult::avg_walk_latency,
-        fmt_cycles,
-    )
-}
-
 /// Table 2 is analytic (a page-table census, no simulation runs), so its
-/// renderer builds the processes itself.
-fn render_table2() -> Table {
+/// renderer builds the processes itself from the scenario's workloads.
+fn render_pt_census(suite: &[WorkloadSpec]) -> Table {
     use asap_os::AsapOsConfig;
     use asap_types::Asid;
     use asap_workloads::AccessStream;
@@ -293,7 +310,7 @@ fn render_table2() -> Table {
             "mean run (frames)",
         ],
     );
-    let rows = parallel_map(WorkloadSpec::paper_suite(), |w| {
+    let rows = parallel_map(suite.to_vec(), |w| {
         let mut p = w.build_process(Asid(1), AsapOsConfig::disabled(), 7);
         let mut stream = w.build_stream(&p, 9);
         // Touch enough of the dataset that the PT's statistical layout is
@@ -333,7 +350,7 @@ fn render_table2() -> Table {
     t
 }
 
-fn fig8_table(r: &ScenarioResults, colocated: bool) -> Table {
+fn asap_sweep_table(r: &ScenarioResults, suite: &[WorkloadSpec], colocated: bool) -> Table {
     let title = if colocated {
         "Figure 8b: native walk latency under SMT colocation (cycles)"
     } else {
@@ -357,9 +374,8 @@ fn fig8_table(r: &ScenarioResults, colocated: bool) -> Table {
             base.to_string()
         }
     };
-    let suite = WorkloadSpec::paper_suite();
     let mut acc = [0.0f64; 3];
-    for w in &suite {
+    for w in suite {
         let base = r.get(w.name, &key("Baseline"));
         let p1 = r.get(w.name, &key("P1"));
         let p12 = r.get(w.name, &key("P1+P2"));
@@ -387,29 +403,19 @@ fn fig8_table(r: &ScenarioResults, colocated: bool) -> Table {
     t
 }
 
-fn render_fig8(r: &ScenarioResults) -> Vec<Table> {
-    vec![fig8_table(r, false), fig8_table(r, true)]
-}
-
-fn render_fig9(r: &ScenarioResults) -> Table {
+fn render_served_by(r: &ScenarioResults) -> Table {
     let mut t = Table::new(
         "Figure 9: walk requests served by each level (baseline, native)",
         vec![
             "workload", "scenario", "PT level", "PWC", "L1", "L2", "LLC", "Mem",
         ],
     );
-    for (name, variant) in [
-        ("mcf", "isolation"),
-        ("redis", "isolation"),
-        ("mcf", "coloc"),
-        ("redis", "coloc"),
-    ] {
-        let run = r.get(name, variant);
+    for run in &r.runs {
         for level in [PtLevel::Pl4, PtLevel::Pl3, PtLevel::Pl2, PtLevel::Pl1] {
-            let f = run.served.fractions(level);
+            let f = run.result.served.fractions(level);
             t.row(vec![
-                name.into(),
-                variant.into(),
+                run.workload.into(),
+                run.variant.clone(),
                 level.to_string(),
                 fmt_pct(f[0]),
                 fmt_pct(f[1]),
@@ -422,7 +428,7 @@ fn render_fig9(r: &ScenarioResults) -> Table {
     t
 }
 
-fn fig10_table(r: &ScenarioResults, colocated: bool) -> Table {
+fn nested_sweep_table(r: &ScenarioResults, suite: &[WorkloadSpec], colocated: bool) -> Table {
     let title = if colocated {
         "Figure 10b: virtualized walk latency under SMT colocation (cycles)"
     } else {
@@ -442,9 +448,8 @@ fn fig10_table(r: &ScenarioResults, colocated: bool) -> Table {
             base.to_string()
         }
     };
-    let suite = WorkloadSpec::paper_suite();
     let mut acc = [0.0f64; 5];
-    for w in &suite {
+    for w in suite {
         let rs: Vec<&RunResult> = configs.iter().map(|c| r.get(w.name, &key(c))).collect();
         let mut cells = vec![w.name.to_string()];
         for (i, run) in rs.iter().enumerate() {
@@ -464,15 +469,7 @@ fn fig10_table(r: &ScenarioResults, colocated: bool) -> Table {
     t
 }
 
-fn render_fig10(r: &ScenarioResults) -> Vec<Table> {
-    vec![fig10_table(r, false), fig10_table(r, true)]
-}
-
-fn render_table6(r: &ScenarioResults) -> Table {
-    let workloads: Vec<WorkloadSpec> = WorkloadSpec::paper_suite()
-        .into_iter()
-        .filter(|w| !w.name.starts_with("mc"))
-        .collect();
+fn render_projection(r: &ScenarioResults, suite: &[WorkloadSpec]) -> Table {
     let mut t = Table::new(
         "Table 6: conservative projection of ASAP's performance improvement",
         vec![
@@ -483,7 +480,7 @@ fn render_table6(r: &ScenarioResults) -> Table {
         ],
     );
     let mut est_sum = 0.0;
-    for w in &workloads {
+    for w in suite {
         let normal = r.get(w.name, "native");
         let perfect = r.get(w.name, "native-perfect");
         let fraction = 1.0 - perfect.cycles as f64 / normal.cycles as f64;
@@ -503,13 +500,12 @@ fn render_table6(r: &ScenarioResults) -> Table {
         "Average".into(),
         String::new(),
         String::new(),
-        fmt_pct(est_sum / workloads.len() as f64),
+        fmt_pct(est_sum / suite.len() as f64),
     ]);
     t
 }
 
-fn render_fig11_table7(r: &ScenarioResults) -> Vec<Table> {
-    let suite = WorkloadSpec::paper_suite();
+fn render_clustered_synergy(r: &ScenarioResults, suite: &[WorkloadSpec]) -> Vec<Table> {
     let mut t7 = Table::new(
         "Table 7: TLB MPKI reduction with the clustered TLB",
         vec![
@@ -567,7 +563,7 @@ fn render_fig11_table7(r: &ScenarioResults) -> Vec<Table> {
     vec![t11, t7]
 }
 
-fn render_fig12(r: &ScenarioResults) -> Table {
+fn render_host_huge_pages(r: &ScenarioResults, suite: &[WorkloadSpec]) -> Table {
     let mut t = Table::new(
         "Figure 12: virtualized walk latency with 2 MiB host pages (cycles)",
         vec![
@@ -580,10 +576,9 @@ fn render_fig12(r: &ScenarioResults) -> Table {
             "red. coloc",
         ],
     );
-    let suite = WorkloadSpec::paper_suite();
     let variants = ["Baseline", "ASAP", "Baseline+coloc", "ASAP+coloc"];
     let mut acc = [0.0f64; 4];
-    for w in &suite {
+    for w in suite {
         let rs: Vec<&RunResult> = variants.iter().map(|v| r.get(w.name, v)).collect();
         t.row(vec![
             w.name.into(),
@@ -611,14 +606,13 @@ fn render_fig12(r: &ScenarioResults) -> Table {
     t
 }
 
-fn render_ablation_pwc(r: &ScenarioResults) -> Table {
+fn render_pwc_ablation(r: &ScenarioResults, suite: &[WorkloadSpec]) -> Table {
     let mut t = Table::new(
         "Ablation (§5.1.1): PWC capacity doubling (native isolation)",
         vec!["workload", "default PWC", "doubled PWC", "reduction"],
     );
-    let suite = WorkloadSpec::paper_suite();
     let (mut b, mut d) = (0.0f64, 0.0f64);
-    for w in &suite {
+    for w in suite {
         let base = r.get(w.name, "default");
         let doubled = r.get(w.name, "doubled");
         t.row(vec![
@@ -639,38 +633,34 @@ fn render_ablation_pwc(r: &ScenarioResults) -> Table {
     t
 }
 
-fn render_ablation_scatter(r: &ScenarioResults) -> Table {
+fn render_scatter_ablation(r: &ScenarioResults) -> Table {
     let mut t = Table::new(
         "Ablation: baseline sensitivity to PT physical layout (mc80, native isolation)",
         vec!["PT scatter mean run (frames)", "avg walk latency (cycles)"],
     );
-    for run in [1.0f64, 4.0, 23.2, 256.0] {
-        let result = r.get("mc80", &format!("run={run:.1}"));
+    for run in &r.runs {
         t.row(vec![
-            format!("{run:.1}"),
-            fmt_cycles(result.avg_walk_latency()),
+            run.variant
+                .strip_prefix("run=")
+                .unwrap_or(&run.variant)
+                .to_string(),
+            fmt_cycles(run.result.avg_walk_latency()),
         ]);
     }
     t
 }
 
-fn render_ablation_5level(r: &ScenarioResults) -> Table {
+fn render_five_level(r: &ScenarioResults) -> Table {
     let mut t = Table::new(
         "Extension (§3.5): five-level page table (mc400, native isolation)",
         vec!["config", "avg walk latency (cycles)", "vs 4-level baseline"],
     );
-    let rows = [
-        ("4-level baseline", "4-level"),
-        ("5-level baseline", "5-level"),
-        ("5-level + ASAP P1+P2", "5-level+ASAP"),
-    ];
-    let base = r.get("mc400", "4-level").avg_walk_latency();
-    for (name, variant) in rows {
-        let run = r.get("mc400", variant);
+    let base = r.runs.first().map_or(0.0, |r| r.result.avg_walk_latency());
+    for run in &r.runs {
         t.row(vec![
-            name.into(),
-            fmt_cycles(run.avg_walk_latency()),
-            fmt_ratio(run.avg_walk_latency() / base),
+            run.variant.clone(),
+            fmt_cycles(run.result.avg_walk_latency()),
+            fmt_ratio(run.result.avg_walk_latency() / base),
         ]);
     }
     t
@@ -681,7 +671,7 @@ fn render_ablation_5level(r: &ScenarioResults) -> Table {
 /// wins by *eliminating* walks (cache-resident TLB blocks), Revelator by
 /// *overlapping* the data fetch with the walk — so neither shows up fully
 /// in walk latency alone, and the cycles table is the decisive one.
-fn render_contenders(r: &ScenarioResults, title: &str) -> Vec<Table> {
+fn render_head_to_head(r: &ScenarioResults) -> Vec<Table> {
     let backends = ["Baseline", "ASAP", "Victima", "Revelator"];
     let mut workloads: Vec<&str> = Vec::new();
     for run in &r.runs {
@@ -690,11 +680,11 @@ fn render_contenders(r: &ScenarioResults, title: &str) -> Vec<Table> {
         }
     }
     let mut lat = Table::new(
-        format!("{title}: average page-walk latency (cycles; walks in parentheses)"),
+        "Head-to-head: average page-walk latency (cycles; walks in parentheses)",
         vec!["workload", "Baseline", "ASAP", "Victima", "Revelator"],
     );
     let mut cyc = Table::new(
-        format!("{title}: execution cycles (speedup vs baseline)"),
+        "Head-to-head: execution cycles (speedup vs baseline)",
         vec!["workload", "Baseline", "ASAP", "Victima", "Revelator"],
     );
     for w in &workloads {
@@ -723,41 +713,35 @@ fn render_contenders(r: &ScenarioResults, title: &str) -> Vec<Table> {
     vec![lat, cyc]
 }
 
-/// The CI smoke report: one row per engine-matrix run.
-fn render_smoke(r: &ScenarioResults) -> Table {
-    let mut t = Table::new(
-        "CI smoke: engine matrix at miniature scale",
-        vec![
-            "variant",
-            "walks",
-            "avg walk latency (cycles)",
-            "cycles",
-            "prefetches",
-            "faults",
-        ],
-    );
-    for run in &r.runs {
-        t.row(vec![
-            run.variant.clone(),
-            run.result.walks.count().to_string(),
-            fmt_cycles(run.result.avg_walk_latency()),
-            run.result.cycles.to_string(),
-            run.result.prefetches_issued.to_string(),
-            run.result.faults.to_string(),
-        ]);
-    }
-    t
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asap_sim::scenarios::find;
 
     #[test]
-    fn sim_config_honours_quick_env() {
-        // Not setting the env: default windows.
-        let c = super::sim_config();
-        assert!(c.measure_accesses >= 20_000);
+    fn sim_config_honours_quick_flag() {
+        assert!(sim_config(false).measure_accesses >= 20_000);
+        assert_eq!(sim_config(true).measure_accesses, 20_000);
+        assert_eq!(tier(true), "quick");
+    }
+
+    #[test]
+    fn results_tier_follows_the_actual_windows() {
+        let smoke: Vec<Scenario> = registry().into_iter().filter(|s| s.smoke).collect();
+        let paper = paper_scenarios();
+        let mixed: Vec<Scenario> = registry()
+            .into_iter()
+            .filter(|s| s.name == "smoke" || s.name == "fig3")
+            .collect();
+        assert_eq!(results_tier(&smoke, false), "smoke");
+        assert_eq!(
+            results_tier(&smoke, true),
+            "smoke",
+            "--quick can't change pinned windows"
+        );
+        assert_eq!(results_tier(&paper, false), "full");
+        assert_eq!(results_tier(&paper, true), "quick");
+        assert_eq!(results_tier(&mixed, false), "mixed");
     }
 
     #[test]
@@ -770,9 +754,8 @@ mod tests {
     #[test]
     fn every_registry_entry_runs_and_renders() {
         // Micro windows: enough to drive every scenario builder AND every
-        // renderer arm end-to-end, so a registry entry without a renderer
-        // (or a renderer/registry variant-key mismatch) fails here instead
-        // of at `all_experiments` runtime.
+        // renderer arm end-to-end, so a renderer/registry variant-key
+        // mismatch fails here instead of at `asap all` runtime.
         let sim = SimConfig {
             warmup_accesses: 100,
             measure_accesses: 300,
@@ -780,9 +763,10 @@ mod tests {
         };
         let scenarios = registry();
         let all = run_scenarios(&scenarios, sim);
-        for results in &all {
-            let tables = render(results.name, results);
-            assert!(!tables.is_empty(), "{} rendered nothing", results.name);
+        for (scenario, results) in scenarios.iter().zip(&all) {
+            assert!(results.is_complete(), "{} had errors", scenario.name);
+            let tables = render(scenario, results);
+            assert!(!tables.is_empty(), "{} rendered nothing", scenario.name);
             for t in &tables {
                 assert!(!t.render().is_empty());
             }
@@ -790,9 +774,58 @@ mod tests {
     }
 
     #[test]
-    fn smoke_experiment_renders_a_table_per_run() {
-        let report = run_experiment("smoke", SimConfig::smoke_test());
-        assert_eq!(report.tables.len(), 1);
-        assert_eq!(report.tables[0].len(), report.results.runs.len());
+    fn smoke_scenario_renders_a_table_per_run() {
+        let scenario = find("smoke").unwrap();
+        let results = scenario.run(SimConfig::smoke_test());
+        let tables = render(&scenario, &results);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), results.runs.len());
+    }
+
+    #[test]
+    fn execute_scenarios_honours_declared_windows() {
+        // smoke declares miniature windows; table2 enumerates no runs. The
+        // grouped execution must keep input order and use the declared
+        // windows (the committed smoke numbers pin the window size).
+        let set: Vec<Scenario> = registry()
+            .into_iter()
+            .filter(|s| s.name == "table2" || s.name == "smoke")
+            .collect();
+        let results = execute_scenarios(&set, SimConfig::default());
+        assert_eq!(results[0].name, "table2");
+        assert_eq!(results[1].name, "smoke");
+        let direct = find("smoke").unwrap().run(SimConfig::smoke_test());
+        for (a, b) in results[1].runs.iter().zip(direct.runs.iter()) {
+            assert_eq!(a.variant, b.variant);
+            assert_eq!(a.result.cycles, b.result.cycles);
+        }
+    }
+
+    #[test]
+    fn render_skips_incomplete_results_and_reports_their_errors() {
+        use asap_sim::scenarios::{ScenarioResults, ScenarioRunError};
+        use asap_sim::DriverError;
+        let scenario = find("smoke").unwrap();
+        let complete = ScenarioResults {
+            name: "smoke",
+            runs: Vec::new(),
+            errors: Vec::new(),
+        };
+        // Complete-but-empty renders an (empty) matrix…
+        assert_eq!(render(&scenario, &complete).len(), 1);
+        // …but a scenario with driver errors renders nothing, and the
+        // errors are countable for the CLI's non-zero exit.
+        let failed = ScenarioResults {
+            errors: vec![ScenarioRunError {
+                workload: "mc80",
+                variant: "native/baseline".into(),
+                error: DriverError::IncompatibleSpec {
+                    reason: "test error",
+                },
+            }],
+            ..complete
+        };
+        assert!(render(&scenario, &failed).is_empty());
+        assert_eq!(report_errors([&failed]), 1);
     }
 }

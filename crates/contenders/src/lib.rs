@@ -2,7 +2,8 @@
 //!
 //! The paper's evaluation (§5) positions ASAP against alternative ways of
 //! attacking translation overhead. This crate models two of the strongest
-//! alternatives from the literature as full [`TranslationEngine`] backends,
+//! alternatives from the literature as full
+//! [`TranslationEngine`](asap_core::TranslationEngine) backends,
 //! so the scenario registry can run workload × {baseline, ASAP, Victima,
 //! Revelator} matrices through the one generic driver loop:
 //!

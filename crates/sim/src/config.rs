@@ -1,9 +1,38 @@
-//! Run specifications.
+//! The unified run specification: one builder-style spec for every
+//! simulation the harness can drive.
+//!
+//! A [`RunSpec`] is `workload × engine × machine × knobs`. The engine
+//! ([`EngineSelect`]: Baseline / ASAP / Victima / Revelator) and the
+//! machine ([`MachineSelect`]: native / virtualized) are *data*, not
+//! types — the same spec type describes a native baseline run, a
+//! virtualized per-dimension ASAP sweep, and a contender head-to-head bar,
+//! and [`RunSpec::run`] dispatches to the right machine assembly
+//! internally. New backends plug in as `EngineSelect` variants without a
+//! new spec type or driver entry point.
+//!
+//! # Examples
+//!
+//! ```
+//! use asap_sim::{EngineSelect, RunSpec, SimConfig};
+//! use asap_workloads::WorkloadSpec;
+//!
+//! // A native ASAP run…
+//! let native = RunSpec::new(WorkloadSpec::mcf())
+//!     .with_engine(EngineSelect::asap_p1_p2())
+//!     .with_sim(SimConfig::smoke_test());
+//! assert_eq!(native.label(), "P1+P2");
+//!
+//! // …and a virtualized baseline, same spec type.
+//! let virt = RunSpec::new(WorkloadSpec::mcf()).virt();
+//! assert_eq!(virt.label(), "Baseline");
+//! ```
 
+use crate::driver::DriverError;
+use crate::RunResult;
 use asap_contenders::ContenderKind;
 use asap_core::{AsapHwConfig, NestedAsapConfig};
 use asap_tlb::PwcConfig;
-use asap_types::{PageSize, PagingMode};
+use asap_types::{PageSize, PagingMode, PtLevel};
 use asap_workloads::WorkloadSpec;
 
 /// Window sizes and seeding for one run.
@@ -46,23 +75,139 @@ impl SimConfig {
     }
 }
 
-/// One native-execution run (a bar of Figs. 3/8/11 or a row of the tables).
+/// Which translation mechanism runs — an axis value, not a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineSelect {
+    /// The stock radix MMU (no prefetching).
+    Baseline,
+    /// ASAP prefetching at the given hardware levels (native machines).
+    Asap(AsapHwConfig),
+    /// ASAP prefetching per walk dimension (virtualized machines).
+    NestedAsap(NestedAsapConfig),
+    /// Victima-style cache-resident TLB blocks (native machines).
+    Victima,
+    /// Revelator-style hash speculation (native machines).
+    Revelator,
+}
+
+impl EngineSelect {
+    /// Native ASAP at `P1+P2` — the paper's headline configuration.
+    #[must_use]
+    pub fn asap_p1_p2() -> Self {
+        EngineSelect::Asap(AsapHwConfig::p1_p2())
+    }
+
+    /// The contender backend of `kind`.
+    #[must_use]
+    pub fn contender(kind: ContenderKind) -> Self {
+        match kind {
+            ContenderKind::Victima => EngineSelect::Victima,
+            ContenderKind::Revelator => EngineSelect::Revelator,
+        }
+    }
+
+    /// The engine part of the run label ("Baseline", "P1+P2",
+    /// "P1g+P1h+P2g+P2h", "Victima", …).
+    #[must_use]
+    pub fn label_fragment(&self) -> String {
+        match self {
+            EngineSelect::Baseline => "Baseline".into(),
+            EngineSelect::Asap(cfg) => {
+                if cfg.is_enabled() {
+                    let mut levels: Vec<&str> = Vec::new();
+                    if cfg.levels.contains(&PtLevel::Pl1) {
+                        levels.push("P1");
+                    }
+                    if cfg.levels.contains(&PtLevel::Pl2) {
+                        levels.push("P2");
+                    }
+                    levels.join("+")
+                } else {
+                    "Baseline".into()
+                }
+            }
+            EngineSelect::NestedAsap(cfg) => {
+                if cfg.is_enabled() {
+                    let mut bits: Vec<&str> = Vec::new();
+                    if cfg.guest.contains(&PtLevel::Pl1) {
+                        bits.push("P1g");
+                    }
+                    if cfg.host.contains(&PtLevel::Pl1) {
+                        bits.push("P1h");
+                    }
+                    if cfg.guest.contains(&PtLevel::Pl2) {
+                        bits.push("P2g");
+                    }
+                    if cfg.host.contains(&PtLevel::Pl2) {
+                        bits.push("P2h");
+                    }
+                    bits.join("+")
+                } else {
+                    "Baseline".into()
+                }
+            }
+            EngineSelect::Victima => ContenderKind::Victima.label().into(),
+            EngineSelect::Revelator => ContenderKind::Revelator.label().into(),
+        }
+    }
+}
+
+/// Which machine the workload executes on — an axis value, not a type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineSelect {
+    /// Bare-metal native execution.
+    Native,
+    /// A guest under a hypervisor; every TLB miss takes the 2D walk.
+    Virt {
+        /// Host page size backing guest memory (2 MiB for Fig. 12).
+        host_page_size: PageSize,
+    },
+}
+
+impl MachineSelect {
+    /// Virtualized execution over 4 KiB host pages (the common case).
+    #[must_use]
+    pub fn virt() -> Self {
+        MachineSelect::Virt {
+            host_page_size: PageSize::Size4K,
+        }
+    }
+
+    /// Virtualized execution over 2 MiB host pages (Fig. 12).
+    #[must_use]
+    pub fn virt_2m() -> Self {
+        MachineSelect::Virt {
+            host_page_size: PageSize::Size2M,
+        }
+    }
+
+    /// Whether this is the native machine.
+    #[must_use]
+    pub fn is_native(self) -> bool {
+        matches!(self, MachineSelect::Native)
+    }
+}
+
+/// One run: `workload × engine × machine × knobs` — the unit the scenario
+/// registry enumerates and [`RunSpec::run`] executes.
 #[derive(Debug, Clone)]
-pub struct NativeRunSpec {
+pub struct RunSpec {
     /// The workload preset.
     pub workload: WorkloadSpec,
+    /// Which translation mechanism runs.
+    pub engine: EngineSelect,
+    /// Which machine the workload executes on.
+    pub machine: MachineSelect,
     /// Whether the SMT co-runner is active (§4 colocation).
     pub colocated: bool,
-    /// Hardware prefetch levels; the OS reserves matching sorted regions.
-    pub asap: AsapHwConfig,
-    /// Enable the clustered TLB (§5.4.1).
+    /// Enable the clustered TLB (§5.4.1; native baseline/ASAP only).
     pub clustered_tlb: bool,
     /// Run with translation disabled entirely — the Table 6 methodology
     /// (execution time "in the absence of TLB misses").
     pub perfect_tlb: bool,
-    /// Page-walk-cache geometry (ablation knob, §5.1.1).
+    /// Page-walk-cache geometry (ablation knob, §5.1.1; native only).
     pub pwc: PwcConfig,
-    /// Paging depth (5-level exercises the §3.5 extension).
+    /// Paging depth (5-level exercises the §3.5 extension; native only).
     pub paging_mode: PagingMode,
     /// Overrides the workload's PT scatter run length (ablation), if set.
     pub pt_scatter_run_override: Option<f64>,
@@ -70,15 +215,17 @@ pub struct NativeRunSpec {
     pub sim: SimConfig,
 }
 
-impl NativeRunSpec {
-    /// The baseline configuration for `workload`: no ASAP, no clustering,
-    /// default PWCs, isolation.
+impl RunSpec {
+    /// The baseline native run of `workload`: stock MMU, no clustering,
+    /// default PWCs, isolation. Every other configuration is a builder
+    /// call away.
     #[must_use]
-    pub fn baseline(workload: WorkloadSpec) -> Self {
+    pub fn new(workload: WorkloadSpec) -> Self {
         Self {
             workload,
+            engine: EngineSelect::Baseline,
+            machine: MachineSelect::Native,
             colocated: false,
-            asap: AsapHwConfig::off(),
             clustered_tlb: false,
             perfect_tlb: false,
             pwc: PwcConfig::split_default(),
@@ -88,11 +235,49 @@ impl NativeRunSpec {
         }
     }
 
-    /// Enables ASAP at the given levels (hardware + OS sides together).
+    /// Swaps the workload, keeping every knob (scenario cross products).
     #[must_use]
-    pub fn with_asap(mut self, asap: AsapHwConfig) -> Self {
-        self.asap = asap;
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
         self
+    }
+
+    /// Selects the engine.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineSelect) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Enables native ASAP at the given levels (hardware + OS together).
+    #[must_use]
+    pub fn with_asap(self, asap: AsapHwConfig) -> Self {
+        self.with_engine(EngineSelect::Asap(asap))
+    }
+
+    /// Enables per-dimension ASAP (virtualized machines).
+    #[must_use]
+    pub fn with_nested_asap(self, asap: NestedAsapConfig) -> Self {
+        self.with_engine(EngineSelect::NestedAsap(asap))
+    }
+
+    /// Selects the machine.
+    #[must_use]
+    pub fn with_machine(mut self, machine: MachineSelect) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Runs virtualized over 4 KiB host pages.
+    #[must_use]
+    pub fn virt(self) -> Self {
+        self.with_machine(MachineSelect::virt())
+    }
+
+    /// Runs virtualized over 2 MiB host pages (Fig. 12).
+    #[must_use]
+    pub fn host_2m_pages(self) -> Self {
+        self.with_machine(MachineSelect::virt_2m())
     }
 
     /// Adds the SMT co-runner.
@@ -144,172 +329,100 @@ impl NativeRunSpec {
         self
     }
 
-    /// A short label for reports ("Baseline", "P1", "P1+P2", ...).
+    /// The workload's name.
+    #[must_use]
+    pub fn workload_name(&self) -> &'static str {
+        self.workload.name
+    }
+
+    /// The workload with the spec's overrides applied.
+    pub(crate) fn effective_workload(&self) -> WorkloadSpec {
+        let mut w = self.workload.clone();
+        if let Some(run) = self.pt_scatter_run_override {
+            w.pt_scatter_run = run;
+        }
+        w
+    }
+
+    /// A short label for reports, derived from the engine, machine and
+    /// feature knobs: "Baseline", "P1+P2 ClusteredTLB coloc",
+    /// "P1g+P2g+P2h host2M", "Victima coloc", ….
     #[must_use]
     pub fn label(&self) -> String {
-        use asap_types::PtLevel;
-        let mut parts = Vec::new();
-        if self.asap.is_enabled() {
-            let mut levels: Vec<&str> = Vec::new();
-            if self.asap.levels.contains(&PtLevel::Pl1) {
-                levels.push("P1");
-            }
-            if self.asap.levels.contains(&PtLevel::Pl2) {
-                levels.push("P2");
-            }
-            parts.push(levels.join("+"));
-        } else {
-            parts.push("Baseline".into());
-        }
+        let mut parts = vec![self.engine.label_fragment()];
         if self.clustered_tlb {
             parts.push("ClusteredTLB".into());
         }
-        if self.colocated {
-            parts.push("coloc".into());
-        }
-        parts.join(" ")
-    }
-}
-
-/// One contender-backend run (a bar of the head-to-head comparison): the
-/// workload executes natively under a Victima- or Revelator-style MMU
-/// instead of the baseline/ASAP machine.
-#[derive(Debug, Clone)]
-pub struct ContenderRunSpec {
-    /// The workload preset.
-    pub workload: WorkloadSpec,
-    /// Which contender backend translates.
-    pub backend: ContenderKind,
-    /// Whether the SMT co-runner is active.
-    pub colocated: bool,
-    /// Window configuration.
-    pub sim: SimConfig,
-}
-
-impl ContenderRunSpec {
-    /// A contender run of `workload` under `backend`, in isolation.
-    #[must_use]
-    pub fn new(workload: WorkloadSpec, backend: ContenderKind) -> Self {
-        Self {
-            workload,
-            backend,
-            colocated: false,
-            sim: SimConfig::default(),
-        }
-    }
-
-    /// Adds the SMT co-runner.
-    #[must_use]
-    pub fn colocated(mut self) -> Self {
-        self.colocated = true;
-        self
-    }
-
-    /// Sets the window configuration.
-    #[must_use]
-    pub fn with_sim(mut self, sim: SimConfig) -> Self {
-        self.sim = sim;
-        self
-    }
-
-    /// A short label for reports ("Victima", "Revelator coloc", ...).
-    #[must_use]
-    pub fn label(&self) -> String {
-        if self.colocated {
-            format!("{} coloc", self.backend.label())
-        } else {
-            self.backend.label().to_string()
-        }
-    }
-}
-
-/// One virtualized-execution run (a bar of Figs. 10/12).
-#[derive(Debug, Clone)]
-pub struct VirtRunSpec {
-    /// The workload preset (runs inside the guest).
-    pub workload: WorkloadSpec,
-    /// Whether the SMT co-runner is active.
-    pub colocated: bool,
-    /// Per-dimension prefetch levels; guest OS and hypervisor reserve
-    /// matching regions.
-    pub asap: NestedAsapConfig,
-    /// Host page size backing guest memory (2 MiB for Fig. 12).
-    pub host_page_size: PageSize,
-    /// Window configuration.
-    pub sim: SimConfig,
-}
-
-impl VirtRunSpec {
-    /// The virtualized baseline: no ASAP anywhere, 4 KiB host pages.
-    #[must_use]
-    pub fn baseline(workload: WorkloadSpec) -> Self {
-        Self {
-            workload,
-            colocated: false,
-            asap: NestedAsapConfig::off(),
-            host_page_size: PageSize::Size4K,
-            sim: SimConfig::default(),
-        }
-    }
-
-    /// Sets the per-dimension ASAP levels.
-    #[must_use]
-    pub fn with_asap(mut self, asap: NestedAsapConfig) -> Self {
-        self.asap = asap;
-        self
-    }
-
-    /// Adds the SMT co-runner.
-    #[must_use]
-    pub fn colocated(mut self) -> Self {
-        self.colocated = true;
-        self
-    }
-
-    /// Uses 2 MiB host pages (Fig. 12).
-    #[must_use]
-    pub fn host_2m_pages(mut self) -> Self {
-        self.host_page_size = PageSize::Size2M;
-        self
-    }
-
-    /// Sets the window configuration.
-    #[must_use]
-    pub fn with_sim(mut self, sim: SimConfig) -> Self {
-        self.sim = sim;
-        self
-    }
-
-    /// A short label for reports ("Baseline", "P1g", "P1g+P1h+P2g+P2h"...).
-    #[must_use]
-    pub fn label(&self) -> String {
-        use asap_types::PtLevel;
-        let mut parts = Vec::new();
-        if self.asap.is_enabled() {
-            let mut bits = Vec::new();
-            if self.asap.guest.contains(&PtLevel::Pl1) {
-                bits.push("P1g");
+        if matches!(
+            self.machine,
+            MachineSelect::Virt {
+                host_page_size: PageSize::Size2M
             }
-            if self.asap.host.contains(&PtLevel::Pl1) {
-                bits.push("P1h");
-            }
-            if self.asap.guest.contains(&PtLevel::Pl2) {
-                bits.push("P2g");
-            }
-            if self.asap.host.contains(&PtLevel::Pl2) {
-                bits.push("P2h");
-            }
-            parts.push(bits.join("+"));
-        } else {
-            parts.push("Baseline".into());
-        }
-        if self.host_page_size == PageSize::Size2M {
+        ) {
             parts.push("host2M".into());
         }
         if self.colocated {
             parts.push("coloc".into());
         }
         parts.join(" ")
+    }
+
+    /// Checks that the engine, machine, and knobs are a combination the
+    /// simulator models. The registry only produces valid specs; this is
+    /// the typed error a hand-built spec gets instead of a panic deep in
+    /// machine assembly.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::IncompatibleSpec`] naming the first offending
+    /// combination.
+    pub fn validate(&self) -> Result<(), DriverError> {
+        let err = |reason| Err(DriverError::IncompatibleSpec { reason });
+        match (&self.engine, &self.machine) {
+            (EngineSelect::NestedAsap(_), MachineSelect::Native) => {
+                return err("nested (per-dimension) ASAP needs a virtualized machine; use EngineSelect::Asap for native runs");
+            }
+            (EngineSelect::Asap(_), MachineSelect::Virt { .. }) => {
+                return err(
+                    "native ASAP levels on a virtualized machine; use EngineSelect::NestedAsap",
+                );
+            }
+            (EngineSelect::Victima | EngineSelect::Revelator, MachineSelect::Virt { .. }) => {
+                return err("contender backends (Victima/Revelator) model native machines only");
+            }
+            _ => {}
+        }
+        let contender = matches!(self.engine, EngineSelect::Victima | EngineSelect::Revelator);
+        if self.clustered_tlb && (!self.machine.is_native() || contender) {
+            return err("the clustered TLB is modeled only in the native baseline/ASAP MMU");
+        }
+        if self.pwc != PwcConfig::split_default() && (!self.machine.is_native() || contender) {
+            return err("PWC geometry is configurable only on the native baseline/ASAP machine");
+        }
+        if self.paging_mode != PagingMode::FourLevel && (!self.machine.is_native() || contender) {
+            return err("five-level paging is modeled only on the native machine");
+        }
+        Ok(())
+    }
+
+    /// Executes the run: validates the spec, assembles the machine the
+    /// engine/machine axes select, and drives it through the one generic
+    /// driver loop.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::IncompatibleSpec`] for a combination the simulator
+    /// does not model, or the driver's error for a misconfigured
+    /// workload/machine pairing.
+    pub fn run(&self) -> Result<RunResult, DriverError> {
+        self.validate()?;
+        match (&self.machine, &self.engine) {
+            (MachineSelect::Native, EngineSelect::Victima | EngineSelect::Revelator) => {
+                crate::contender::run_contender(self)
+            }
+            (MachineSelect::Native, _) => crate::native::run_native(self),
+            (MachineSelect::Virt { .. }, _) => crate::virt::run_virt(self),
+        }
     }
 }
 
@@ -320,42 +433,107 @@ mod tests {
     #[test]
     fn native_labels() {
         let w = WorkloadSpec::mcf;
-        assert_eq!(NativeRunSpec::baseline(w()).label(), "Baseline");
+        assert_eq!(RunSpec::new(w()).label(), "Baseline");
         assert_eq!(
-            NativeRunSpec::baseline(w())
-                .with_asap(AsapHwConfig::p1())
-                .label(),
+            RunSpec::new(w()).with_asap(AsapHwConfig::p1()).label(),
             "P1"
         );
         assert_eq!(
-            NativeRunSpec::baseline(w())
+            RunSpec::new(w())
                 .with_asap(AsapHwConfig::p1_p2())
                 .colocated()
                 .label(),
             "P1+P2 coloc"
         );
         assert_eq!(
-            NativeRunSpec::baseline(w()).with_clustered_tlb().label(),
+            RunSpec::new(w()).with_clustered_tlb().label(),
             "Baseline ClusteredTLB"
+        );
+        assert_eq!(
+            RunSpec::new(w()).with_asap(AsapHwConfig::off()).label(),
+            "Baseline"
         );
     }
 
     #[test]
     fn virt_labels() {
         let w = WorkloadSpec::redis;
-        assert_eq!(VirtRunSpec::baseline(w()).label(), "Baseline");
+        assert_eq!(RunSpec::new(w()).virt().label(), "Baseline");
         assert_eq!(
-            VirtRunSpec::baseline(w())
-                .with_asap(NestedAsapConfig::all())
+            RunSpec::new(w())
+                .virt()
+                .with_nested_asap(NestedAsapConfig::all())
                 .label(),
             "P1g+P1h+P2g+P2h"
         );
         assert_eq!(
-            VirtRunSpec::baseline(w())
-                .with_asap(NestedAsapConfig::host_2m())
+            RunSpec::new(w())
+                .with_nested_asap(NestedAsapConfig::host_2m())
                 .host_2m_pages()
                 .label(),
             "P1g+P2g+P2h host2M"
         );
+    }
+
+    #[test]
+    fn contender_labels() {
+        let spec = RunSpec::new(WorkloadSpec::mcf())
+            .with_engine(EngineSelect::contender(ContenderKind::Revelator))
+            .colocated();
+        assert_eq!(spec.label(), "Revelator coloc");
+        assert_eq!(
+            RunSpec::new(WorkloadSpec::mcf())
+                .with_engine(EngineSelect::Victima)
+                .label(),
+            "Victima"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_mismatched_axes() {
+        let w = WorkloadSpec::mcf;
+        let bad = [
+            RunSpec::new(w()).with_nested_asap(NestedAsapConfig::all()),
+            RunSpec::new(w()).virt().with_asap(AsapHwConfig::p1()),
+            RunSpec::new(w()).virt().with_engine(EngineSelect::Victima),
+            RunSpec::new(w()).virt().with_clustered_tlb(),
+            RunSpec::new(w())
+                .with_engine(EngineSelect::Revelator)
+                .five_level(),
+            RunSpec::new(w())
+                .virt()
+                .with_pwc(asap_tlb::PwcConfig::split_doubled()),
+        ];
+        for spec in bad {
+            let err = spec.validate().unwrap_err();
+            assert!(
+                matches!(err, DriverError::IncompatibleSpec { .. }),
+                "{spec:?} should be incompatible"
+            );
+            assert_eq!(spec.run().unwrap_err(), err, "run() must validate first");
+        }
+    }
+
+    #[test]
+    fn validation_accepts_the_modeled_matrix() {
+        let w = WorkloadSpec::mcf;
+        for spec in [
+            RunSpec::new(w()),
+            RunSpec::new(w())
+                .with_asap(AsapHwConfig::p1_p2())
+                .colocated(),
+            RunSpec::new(w()).with_clustered_tlb().five_level(),
+            RunSpec::new(w()).perfect_tlb(),
+            RunSpec::new(w()).virt(),
+            RunSpec::new(w())
+                .host_2m_pages()
+                .with_nested_asap(NestedAsapConfig::host_2m()),
+            RunSpec::new(w()).with_engine(EngineSelect::Victima),
+            RunSpec::new(w())
+                .with_engine(EngineSelect::Revelator)
+                .colocated(),
+        ] {
+            spec.validate().unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+        }
     }
 }

@@ -1,10 +1,11 @@
-//! The contender-backend driver: assembles a Victima- or Revelator-style
-//! MMU + [`Process`] machine and hands it to the generic [`run_scenario`]
-//! loop — the head-to-head counterpart of `run_native`.
+//! Contender machine assembly: builds a Victima- or Revelator-style MMU +
+//! `Process` for a unified [`RunSpec`] whose engine axis selects a
+//! contender backend, and hands it to the generic `run_scenario` loop.
+//! Reached only through [`RunSpec::run`]'s internal dispatch.
 
 use crate::driver::{run_scenario, DriverError, RunMeta};
-use crate::{ContenderRunSpec, RunResult};
-use asap_contenders::{ContenderKind, RevelatorConfig, RevelatorMmu, VictimaConfig, VictimaMmu};
+use crate::{EngineSelect, RunResult, RunSpec};
+use asap_contenders::{RevelatorConfig, RevelatorMmu, VictimaConfig, VictimaMmu};
 use asap_core::TranslationEngine;
 use asap_os::{AsapOsConfig, Process};
 use asap_types::Asid;
@@ -16,51 +17,45 @@ use asap_types::Asid;
 /// publishes — so the process is always built with ASAP disabled, making
 /// the comparison against the registry's baseline runs apples-to-apples
 /// (identical data placement, identical page tables).
-///
-/// # Errors
-///
-/// Returns a [`DriverError`] when the workload generates an address outside
-/// its VMAs or a touched page fails to translate (a misconfigured spec).
-pub fn run_contender(spec: &ContenderRunSpec) -> Result<RunResult, DriverError> {
+pub(crate) fn run_contender(spec: &RunSpec) -> Result<RunResult, DriverError> {
+    let workload = spec.effective_workload();
     let seed = spec.sim.seed;
-    let mut process = Process::new(spec.workload.process_config(
-        Asid(1),
-        AsapOsConfig::disabled(),
-        seed,
-    ));
-    let mut stream = spec.workload.build_stream(&process, seed ^ 0x11);
+    let mut process =
+        Process::new(workload.process_config(Asid(1), AsapOsConfig::disabled(), seed));
+    let mut stream = workload.build_stream(&process, seed ^ 0x11);
     let meta = RunMeta {
         workload: spec.workload.name,
         label: spec.label(),
         sim: spec.sim,
         colocated: spec.colocated,
-        perfect_tlb: false,
+        perfect_tlb: spec.perfect_tlb,
     };
-    match spec.backend {
-        ContenderKind::Victima => {
+    match spec.engine {
+        EngineSelect::Victima => {
             let mut mmu = VictimaMmu::new(VictimaConfig::default().with_seed(seed));
             TranslationEngine::load_context(&mut mmu, &process);
             run_scenario(&mut mmu, &mut process, stream.as_mut(), &meta)
         }
-        ContenderKind::Revelator => {
+        EngineSelect::Revelator => {
             let mut mmu = RevelatorMmu::new(RevelatorConfig::default().with_seed(seed));
             TranslationEngine::load_context(&mut mmu, &process);
             run_scenario(&mut mmu, &mut process, stream.as_mut(), &meta)
         }
+        _ => unreachable!("dispatch sends only contender specs here"),
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::scenarios::smoke_workload as small;
-    use crate::{run_native, NativeRunSpec, SimConfig};
+    use crate::{EngineSelect, RunSpec, SimConfig};
 
     #[test]
     fn victima_run_produces_walks_and_no_faults() {
-        let spec = ContenderRunSpec::new(small(), ContenderKind::Victima)
+        let spec = RunSpec::new(small())
+            .with_engine(EngineSelect::Victima)
             .with_sim(SimConfig::smoke_test());
-        let r = run_contender(&spec).unwrap();
+        let r = spec.run().unwrap();
         assert!(r.walks.count() > 100);
         assert_eq!(r.faults, 0);
         assert_eq!(r.label, "Victima");
@@ -76,9 +71,12 @@ mod tests {
             ..asap_workloads::WorkloadSpec::redis()
         };
         let sim = SimConfig::smoke_test();
-        let base = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim)).unwrap();
-        let victima =
-            run_contender(&ContenderRunSpec::new(w, ContenderKind::Victima).with_sim(sim)).unwrap();
+        let base = RunSpec::new(w.clone()).with_sim(sim).run().unwrap();
+        let victima = RunSpec::new(w)
+            .with_engine(EngineSelect::Victima)
+            .with_sim(sim)
+            .run()
+            .unwrap();
         assert!(
             victima.walks.count() < base.walks.count(),
             "Victima blocks must absorb misses: {} !< {}",
@@ -98,8 +96,11 @@ mod tests {
             ..small()
         };
         let sim = SimConfig::smoke_test();
-        let base = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim)).unwrap();
-        let rev = run_contender(&ContenderRunSpec::new(w, ContenderKind::Revelator).with_sim(sim))
+        let base = RunSpec::new(w.clone()).with_sim(sim).run().unwrap();
+        let rev = RunSpec::new(w)
+            .with_engine(EngineSelect::Revelator)
+            .with_sim(sim)
+            .run()
             .unwrap();
         assert!(rev.prefetches_issued > 0, "speculative fetches must issue");
         // Walk latencies are untouched; the win is overlapped data fetch.
@@ -113,17 +114,12 @@ mod tests {
 
     #[test]
     fn contender_runs_are_deterministic() {
-        let spec = ContenderRunSpec::new(small(), ContenderKind::Victima)
+        let spec = RunSpec::new(small())
+            .with_engine(EngineSelect::Victima)
             .with_sim(SimConfig::smoke_test());
-        let a = run_contender(&spec).unwrap();
-        let b = run_contender(&spec).unwrap();
+        let a = spec.run().unwrap();
+        let b = spec.run().unwrap();
         assert_eq!(a.walks, b.walks);
         assert_eq!(a.cycles, b.cycles);
-    }
-
-    #[test]
-    fn colocated_label() {
-        let spec = ContenderRunSpec::new(small(), ContenderKind::Revelator).colocated();
-        assert_eq!(spec.label(), "Revelator coloc");
     }
 }

@@ -40,6 +40,12 @@ pub enum DriverError {
         /// The offending address.
         va: VirtAddr,
     },
+    /// The spec's engine/machine/knob combination is not one the simulator
+    /// models (e.g. a contender backend on a virtualized machine).
+    IncompatibleSpec {
+        /// What made the combination invalid.
+        reason: &'static str,
+    },
 }
 
 impl core::fmt::Display for DriverError {
@@ -51,6 +57,9 @@ impl core::fmt::Display for DriverError {
             DriverError::UntranslatablePage { va } => {
                 write!(f, "demand-paged address {va} failed to translate")
             }
+            DriverError::IncompatibleSpec { reason } => {
+                write!(f, "incompatible run spec: {reason}")
+            }
         }
     }
 }
@@ -59,7 +68,7 @@ impl std::error::Error for DriverError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DriverError::StreamEscapedVma { source, .. } => Some(source),
-            DriverError::UntranslatablePage { .. } => None,
+            DriverError::UntranslatablePage { .. } | DriverError::IncompatibleSpec { .. } => None,
         }
     }
 }

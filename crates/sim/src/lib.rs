@@ -1,33 +1,34 @@
 //! The simulation driver for the ASAP reproduction.
 //!
 //! Assembles a full machine — workload process (or VM), translation engine
-//! (native or nested MMU), optional SMT co-runner — runs a warmup window
-//! followed by a measurement window, and collects the statistics every
-//! paper table and figure is built from:
+//! (baseline, ASAP, or a contender backend), optional SMT co-runner — runs
+//! a warmup window followed by a measurement window, and collects the
+//! statistics every paper table and figure is built from:
 //!
-//! * [`run_scenario`] — the ONE generic driver loop, over any
+//! * [`RunSpec`] — the ONE unified run specification: `workload ×`
+//!   [`EngineSelect`] `×` [`MachineSelect`] `× knobs`, executed with
+//!   [`RunSpec::run`] (machine assembly is internal dispatch);
+//! * [`run_scenario`] — the one generic driver loop, over any
 //!   [`asap_core::TranslationEngine`];
-//! * [`run_native`] / [`run_virt`] / [`run_contender`] — thin wrappers
-//!   assembling the native (Figs. 3/8/9/11, Tables 1/2/6/7), virtualized
-//!   (Figs. 3/10/12, Table 1) and contender-backend (Victima/Revelator
-//!   head-to-head) machines for it;
-//! * [`scenarios`] — the registry naming every paper experiment as an
-//!   enumerable workload × engine × window cross product;
+//! * [`scenarios`] — the declarative registry naming every paper
+//!   experiment as a workload × engine × machine cross product;
 //! * [`parallel_map`] — deterministic fan-out of independent runs across
 //!   host threads;
-//! * [`Table`] / [`results_to_json`] — the markdown renderer and the
-//!   machine-readable `BENCH_results.json` emitter used by the experiment
-//!   binaries.
+//! * [`Table`] / [`results_to_json`] / [`BenchDoc`] — the markdown
+//!   renderer and the machine-readable `BENCH_results.json`
+//!   emitter/parser used by the `asap` CLI.
 //!
 //! # Examples
 //!
 //! ```
-//! use asap_sim::{NativeRunSpec, SimConfig};
+//! use asap_sim::{EngineSelect, RunSpec, SimConfig};
 //! use asap_workloads::WorkloadSpec;
 //!
-//! let spec = NativeRunSpec::baseline(WorkloadSpec::mcf())
-//!     .with_sim(SimConfig::smoke_test());
-//! let result = asap_sim::run_native(&spec).expect("well-formed spec");
+//! let result = RunSpec::new(WorkloadSpec::mcf())
+//!     .with_engine(EngineSelect::asap_p1_p2())
+//!     .with_sim(SimConfig::smoke_test())
+//!     .run()
+//!     .expect("well-formed spec");
 //! assert!(result.walks.count() > 0);
 //! assert!(result.walks.mean() > 0.0);
 //! ```
@@ -47,13 +48,10 @@ mod result;
 pub mod scenarios;
 mod virt;
 
-pub use config::{ContenderRunSpec, NativeRunSpec, SimConfig, VirtRunSpec};
-pub use contender::run_contender;
+pub use config::{EngineSelect, MachineSelect, RunSpec, SimConfig};
 pub use cycles::{CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
 pub use driver::{run_scenario, DriverError, RunMeta};
-pub use json::results_to_json;
-pub use native::run_native;
+pub use json::{results_to_json, BenchDoc, BenchRun, BenchScenario, JsonParseError};
 pub use parallel::parallel_map;
 pub use report::{fmt_cycles, fmt_pct, fmt_ratio, Table};
 pub use result::RunResult;
-pub use virt::run_virt;

@@ -1,19 +1,28 @@
-//! The native-execution driver: assembles a [`Mmu`] + [`Process`] machine
-//! and hands it to the generic [`run_scenario`] loop.
+//! Native machine assembly: builds a [`Mmu`] + `Process` for a unified
+//! [`RunSpec`] whose machine axis is native and whose engine axis is the
+//! baseline or ASAP, and hands it to the generic `run_scenario` loop.
+//! Reached only through [`RunSpec::run`]'s internal dispatch.
 
 use crate::driver::{run_scenario, DriverError, RunMeta};
-use crate::{NativeRunSpec, RunResult};
-use asap_core::{Mmu, MmuConfig, TranslationEngine};
+use crate::{EngineSelect, RunResult, RunSpec};
+use asap_core::{AsapHwConfig, Mmu, MmuConfig, TranslationEngine};
 use asap_os::{AsapOsConfig, Process};
 use asap_types::Asid;
-use asap_workloads::WorkloadSpec;
+
+/// The hardware prefetch levels the engine axis selects (baseline = off).
+fn hw_asap(spec: &RunSpec) -> AsapHwConfig {
+    match &spec.engine {
+        EngineSelect::Asap(cfg) => cfg.clone(),
+        _ => AsapHwConfig::off(),
+    }
+}
 
 /// Derives the OS-side ASAP configuration from the hardware levels: the OS
 /// reserves sorted regions exactly for the levels hardware will prefetch.
-fn os_asap(spec: &NativeRunSpec) -> AsapOsConfig {
-    if spec.asap.is_enabled() {
+fn os_asap(asap: &AsapHwConfig) -> AsapOsConfig {
+    if asap.is_enabled() {
         AsapOsConfig {
-            levels: spec.asap.levels.clone(),
+            levels: asap.levels.clone(),
             max_descriptors: 16,
             extension_failure_rate: 0.0,
         }
@@ -22,35 +31,24 @@ fn os_asap(spec: &NativeRunSpec) -> AsapOsConfig {
     }
 }
 
-fn effective_workload(spec: &NativeRunSpec) -> WorkloadSpec {
-    let mut w = spec.workload.clone();
-    if let Some(run) = spec.pt_scatter_run_override {
-        w.pt_scatter_run = run;
-    }
-    w
-}
-
-/// Runs one native configuration and returns its measurements.
+/// Runs one native baseline/ASAP configuration and returns its
+/// measurements.
 ///
 /// Builds the process (with the spec's paging mode threaded straight into
 /// the process configuration), workload stream and MMU, then delegates to
 /// [`run_scenario`].
-///
-/// # Errors
-///
-/// Returns a [`DriverError`] when the workload generates an address outside
-/// its VMAs or a touched page fails to translate (a misconfigured spec).
-pub fn run_native(spec: &NativeRunSpec) -> Result<RunResult, DriverError> {
-    let workload = effective_workload(spec);
+pub(crate) fn run_native(spec: &RunSpec) -> Result<RunResult, DriverError> {
+    let workload = spec.effective_workload();
+    let asap = hw_asap(spec);
     let seed = spec.sim.seed;
     let mut process = Process::new(
         workload
-            .process_config(Asid(1), os_asap(spec), seed)
+            .process_config(Asid(1), os_asap(&asap), seed)
             .with_paging_mode(spec.paging_mode),
     );
     let mut stream = workload.build_stream(&process, seed ^ 0x11);
     let mut mmu_config = MmuConfig::default()
-        .with_asap(spec.asap.clone())
+        .with_asap(asap)
         .with_pwc(spec.pwc.clone())
         .with_seed(seed);
     if spec.clustered_tlb {
@@ -70,15 +68,14 @@ pub fn run_native(spec: &NativeRunSpec) -> Result<RunResult, DriverError> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::scenarios::smoke_workload as small;
-    use crate::SimConfig;
+    use crate::{RunSpec, SimConfig};
     use asap_core::AsapHwConfig;
 
     #[test]
     fn baseline_run_produces_walks() {
-        let spec = NativeRunSpec::baseline(small()).with_sim(SimConfig::smoke_test());
-        let r = run_native(&spec).unwrap();
+        let spec = RunSpec::new(small()).with_sim(SimConfig::smoke_test());
+        let r = spec.run().unwrap();
         assert!(r.walks.count() > 100, "uniform random must miss TLBs");
         assert!(r.avg_walk_latency() > 0.0);
         assert_eq!(r.faults, 0);
@@ -89,13 +86,12 @@ mod tests {
     #[test]
     fn asap_reduces_walk_latency() {
         let sim = SimConfig::smoke_test();
-        let base = run_native(&NativeRunSpec::baseline(small()).with_sim(sim)).unwrap();
-        let p12 = run_native(
-            &NativeRunSpec::baseline(small())
-                .with_asap(AsapHwConfig::p1_p2())
-                .with_sim(sim),
-        )
-        .unwrap();
+        let base = RunSpec::new(small()).with_sim(sim).run().unwrap();
+        let p12 = RunSpec::new(small())
+            .with_asap(AsapHwConfig::p1_p2())
+            .with_sim(sim)
+            .run()
+            .unwrap();
         assert!(p12.prefetches_issued > 0);
         assert!(
             p12.avg_walk_latency() < base.avg_walk_latency(),
@@ -108,9 +104,12 @@ mod tests {
     #[test]
     fn colocation_increases_walk_latency() {
         let sim = SimConfig::smoke_test();
-        let iso = run_native(&NativeRunSpec::baseline(small()).with_sim(sim)).unwrap();
-        let coloc =
-            run_native(&NativeRunSpec::baseline(small()).colocated().with_sim(sim)).unwrap();
+        let iso = RunSpec::new(small()).with_sim(sim).run().unwrap();
+        let coloc = RunSpec::new(small())
+            .colocated()
+            .with_sim(sim)
+            .run()
+            .unwrap();
         assert!(
             coloc.avg_walk_latency() > iso.avg_walk_latency(),
             "coloc {} !> iso {}",
@@ -121,10 +120,10 @@ mod tests {
 
     #[test]
     fn perfect_tlb_run_has_no_walks() {
-        let spec = NativeRunSpec::baseline(small())
+        let spec = RunSpec::new(small())
             .perfect_tlb()
             .with_sim(SimConfig::smoke_test());
-        let r = run_native(&spec).unwrap();
+        let r = spec.run().unwrap();
         assert_eq!(r.walks.count(), 0);
         assert_eq!(r.walk_cycles, 0);
         assert!(r.cycles > 0);
@@ -132,19 +131,19 @@ mod tests {
 
     #[test]
     fn five_level_paging_threads_through_one_build() {
-        let spec = NativeRunSpec::baseline(small())
+        let spec = RunSpec::new(small())
             .five_level()
             .with_sim(SimConfig::smoke_test());
-        let r = run_native(&spec).unwrap();
+        let r = spec.run().unwrap();
         assert!(r.walks.count() > 100);
         assert_eq!(r.faults, 0);
     }
 
     #[test]
     fn runs_are_deterministic() {
-        let spec = NativeRunSpec::baseline(small()).with_sim(SimConfig::smoke_test());
-        let a = run_native(&spec).unwrap();
-        let b = run_native(&spec).unwrap();
+        let spec = RunSpec::new(small()).with_sim(SimConfig::smoke_test());
+        let a = spec.run().unwrap();
+        let b = spec.run().unwrap();
         assert_eq!(a.walks, b.walks);
         assert_eq!(a.cycles, b.cycles);
     }

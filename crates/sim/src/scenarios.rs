@@ -1,15 +1,27 @@
-//! The scenario registry: every paper experiment as a named, enumerable
-//! set of runs.
+//! The scenario registry: every paper experiment as a declarative,
+//! enumerable cross product.
 //!
-//! A [`Scenario`] is a named cross product of workload × engine
-//! configuration × simulation configuration. The registry ([`registry`])
-//! enumerates one scenario per paper experiment (fig2…fig12, table1…table7,
-//! the ablations) plus a `smoke` scenario covering the whole engine matrix
-//! at miniature scale for CI. Experiment harnesses resolve their runs here
-//! instead of hand-rolling spec lists, so adding a scenario is one registry
-//! entry — the drivers, parallel fan-out and reporting come for free.
+//! A [`Scenario`] is built with a small DSL instead of a hand-rolled run
+//! list: name a workload suite ([`Scenario::workloads`]), add labeled axes
+//! ([`Scenario::engines`], [`Scenario::machines`], [`Scenario::colocation`],
+//! or a generic [`Scenario::axis`]), and the cross product — with its
+//! per-run labels — is derived automatically. Labels are unique by
+//! construction: each axis rejects duplicate fragments at build time, and
+//! [`Scenario::runs`] verifies the composed (workload, variant) keys as a
+//! final gate, so a colliding join or shadowing row panics instead of
+//! silently producing ambiguous results. Hand-picked run lists (Table 1's
+//! mixed workloads, the CI engine matrix) use explicit [`Scenario::row`]
+//! entries instead.
+//!
+//! The registry ([`registry`]) enumerates one scenario per paper experiment
+//! (fig2…fig12, table1…table7, the ablations) plus the CI smoke set.
+//! Harnesses resolve runs here; rendering is selected by the scenario's
+//! [`RendererKind`] metadata, so adding a scenario is one registry entry —
+//! drivers, parallel fan-out, reporting and the CLI come for free.
 //!
 //! # Examples
+//!
+//! Running a registered scenario:
 //!
 //! ```
 //! use asap_sim::scenarios::{find, registry};
@@ -20,63 +32,67 @@
 //! let results = smoke.run(SimConfig::smoke_test());
 //! assert!(results.get("mc80", "native/baseline").walks.count() > 0);
 //! ```
+//!
+//! Declaring a new one (~10 lines — this is the whole recipe):
+//!
+//! ```
+//! use asap_sim::scenarios::Scenario;
+//! use asap_sim::{EngineSelect, SimConfig};
+//! use asap_workloads::WorkloadSpec;
+//!
+//! let sweep = Scenario::new("my_sweep", "ASAP vs baseline on redis/mcf")
+//!     .workloads([WorkloadSpec::redis(), WorkloadSpec::mcf()])
+//!     .engines([
+//!         ("Baseline", EngineSelect::Baseline),
+//!         ("ASAP", EngineSelect::asap_p1_p2()),
+//!     ])
+//!     .colocation();
+//! // 2 workloads × 2 engines × {isolation, coloc} = 8 labeled runs.
+//! assert_eq!(sweep.runs(SimConfig::smoke_test()).len(), 8);
+//! ```
 
 use crate::driver::DriverError;
-use crate::{
-    parallel_map, run_contender, run_native, run_virt, ContenderRunSpec, NativeRunSpec, RunResult,
-    SimConfig, VirtRunSpec,
-};
-use asap_contenders::ContenderKind;
+use crate::{parallel_map, EngineSelect, MachineSelect, RunResult, RunSpec, SimConfig};
 use asap_core::{AsapHwConfig, NestedAsapConfig};
 use asap_tlb::PwcConfig;
 use asap_types::ByteSize;
 use asap_workloads::WorkloadSpec;
 
-/// One run specification, native or virtualized — the unit the registry
-/// enumerates and the generic driver executes.
-#[derive(Debug, Clone)]
-pub enum RunSpec {
-    /// A native-execution run.
-    Native(NativeRunSpec),
-    /// A virtualized-execution run.
-    Virt(VirtRunSpec),
-    /// A contender-backend run (Victima/Revelator head-to-head).
-    Contender(ContenderRunSpec),
-}
-
-impl RunSpec {
-    /// Executes the run through the generic driver.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the driver's [`DriverError`] for a misconfigured spec.
-    pub fn run(&self) -> Result<RunResult, DriverError> {
-        match self {
-            RunSpec::Native(s) => run_native(s),
-            RunSpec::Virt(s) => run_virt(s),
-            RunSpec::Contender(s) => run_contender(s),
-        }
-    }
-
-    /// The workload's name.
-    #[must_use]
-    pub fn workload(&self) -> &'static str {
-        match self {
-            RunSpec::Native(s) => s.workload.name,
-            RunSpec::Virt(s) => s.workload.name,
-            RunSpec::Contender(s) => s.workload.name,
-        }
-    }
-
-    /// The configuration label.
-    #[must_use]
-    pub fn label(&self) -> String {
-        match self {
-            RunSpec::Native(s) => s.label(),
-            RunSpec::Virt(s) => s.label(),
-            RunSpec::Contender(s) => s.label(),
-        }
-    }
+/// Which renderer the experiment harness should use for a scenario's
+/// results — metadata, so new scenarios pick an existing presentation (or
+/// the default [`RendererKind::RunMatrix`]) without touching the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RendererKind {
+    /// One row per run: variant, walks, latency, cycles (the default).
+    RunMatrix,
+    /// Table 1's normalized walk-latency growth ladder.
+    Table1,
+    /// Figs. 2-style grid: walk fraction across the four machine scenarios.
+    WalkFractionGrid,
+    /// Figs. 3-style grid: walk latency across the four machine scenarios.
+    WalkLatencyGrid,
+    /// Table 2's analytic page-table census (no simulation runs).
+    PtCensus,
+    /// Fig. 8: native Baseline/P1/P1+P2 sweep, isolation + colocation.
+    AsapSweep,
+    /// Fig. 9: which hierarchy level served each walk request.
+    ServedBy,
+    /// Fig. 10: virtualized per-dimension ASAP sweep.
+    NestedAsapSweep,
+    /// Table 6: conservative speedup projection.
+    Projection,
+    /// Fig. 11 + Table 7: clustered TLB vs ASAP vs both.
+    ClusteredSynergy,
+    /// Fig. 12: virtualization over 2 MiB host pages.
+    HostHugePages,
+    /// PWC capacity ablation.
+    PwcAblation,
+    /// PT physical-layout (scatter) ablation.
+    ScatterAblation,
+    /// Five-level paging extension.
+    FiveLevelAblation,
+    /// Contender head-to-head (latency + cycles tables).
+    HeadToHead,
 }
 
 /// One named run within a scenario.
@@ -90,7 +106,9 @@ pub struct ScenarioRun {
     pub spec: RunSpec,
 }
 
-/// A named, enumerable experiment: workload × engine config × sim config.
+/// A named, enumerable experiment: a declarative cross product of
+/// workloads × labeled axes (plus optional explicit rows), with rendering
+/// and window metadata.
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// Registry key ("fig2", "table1", "ablation_pwc", ...).
@@ -100,14 +118,235 @@ pub struct Scenario {
     /// Whether the scenario belongs to the CI smoke set (small enough to
     /// run end-to-end on every `ci.sh` pass).
     pub smoke: bool,
-    builder: fn(SimConfig) -> Vec<ScenarioRun>,
+    /// Which renderer the harness should use for the results.
+    pub renderer: RendererKind,
+    windows: Option<SimConfig>,
+    workloads: Vec<WorkloadSpec>,
+    /// The derived cross product: (variant key, spec template). The
+    /// template's workload and windows are placeholders replaced at
+    /// enumeration time.
+    variants: Vec<(String, RunSpec)>,
+    /// Hand-picked rows (variant key, full spec); enumerated before the
+    /// cross product, in insertion order.
+    explicit: Vec<(String, RunSpec)>,
+}
+
+/// Joins two label fragments with `+`, eliding empty sides.
+fn join_label(a: &str, b: &str) -> String {
+    match (a.is_empty(), b.is_empty()) {
+        (true, _) => b.to_string(),
+        (_, true) => a.to_string(),
+        _ => format!("{a}+{b}"),
+    }
 }
 
 impl Scenario {
-    /// Enumerates the scenario's runs for the given window configuration.
+    /// Starts a scenario: native baseline runs, default renderer, no axes.
+    #[must_use]
+    pub fn new(name: &'static str, title: &'static str) -> Self {
+        Self {
+            name,
+            title,
+            smoke: false,
+            renderer: RendererKind::RunMatrix,
+            windows: None,
+            workloads: Vec::new(),
+            variants: Vec::new(),
+            explicit: Vec::new(),
+        }
+    }
+
+    /// Marks the scenario as part of the CI smoke set.
+    #[must_use]
+    pub fn ci_smoke(mut self) -> Self {
+        self.smoke = true;
+        self
+    }
+
+    /// Selects the renderer the harness should use.
+    #[must_use]
+    pub fn rendered_by(mut self, renderer: RendererKind) -> Self {
+        self.renderer = renderer;
+        self
+    }
+
+    /// Declares the scenario's own window configuration (the CI smoke
+    /// scenarios pin miniature windows here; paper scenarios leave it
+    /// unset and inherit the harness default).
+    #[must_use]
+    pub fn windows(mut self, sim: SimConfig) -> Self {
+        self.windows = Some(sim);
+        self
+    }
+
+    /// The scenario's declared windows, if any.
+    #[must_use]
+    pub fn default_windows(&self) -> Option<SimConfig> {
+        self.windows
+    }
+
+    /// The declared windows, or `fallback`.
+    #[must_use]
+    pub fn windows_or(&self, fallback: SimConfig) -> SimConfig {
+        self.windows.unwrap_or(fallback)
+    }
+
+    /// Declares the workload suite the axes cross against.
+    #[must_use]
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.workloads = workloads.into_iter().collect();
+        self
+    }
+
+    /// The declared workload suite (renderers use it for row order).
+    #[must_use]
+    pub fn workload_specs(&self) -> &[WorkloadSpec] {
+        &self.workloads
+    }
+
+    /// Adds a labeled axis: the existing variants are crossed with every
+    /// option, labels joined with `+` (empty fragments elided).
+    ///
+    /// # Panics
+    ///
+    /// Panics when two options share a label — per-axis fragments must be
+    /// unique so composed labels stay unique by construction.
+    #[must_use]
+    pub fn axis<L, F>(mut self, options: impl IntoIterator<Item = (L, F)>) -> Self
+    where
+        L: Into<String>,
+        F: Fn(RunSpec) -> RunSpec,
+    {
+        let options: Vec<(String, F)> = options.into_iter().map(|(l, f)| (l.into(), f)).collect();
+        for (i, (label, _)) in options.iter().enumerate() {
+            assert!(
+                !options[..i].iter().any(|(other, _)| other == label),
+                "scenario {}: duplicate axis label {label:?}",
+                self.name
+            );
+        }
+        let seed = self
+            .workloads
+            .first()
+            .cloned()
+            .unwrap_or_else(WorkloadSpec::mc80);
+        let base = if self.variants.is_empty() {
+            vec![(String::new(), RunSpec::new(seed))]
+        } else {
+            std::mem::take(&mut self.variants)
+        };
+        for (blabel, bspec) in base {
+            for (olabel, f) in &options {
+                self.variants
+                    .push((join_label(&blabel, olabel), f(bspec.clone())));
+            }
+        }
+        self
+    }
+
+    /// Applies an unlabeled transform to every variant (e.g. "this whole
+    /// scenario runs virtualized") without adding a label fragment.
+    #[must_use]
+    pub fn base<F: Fn(RunSpec) -> RunSpec>(self, f: F) -> Self {
+        self.axis([("", f)])
+    }
+
+    /// Sugar: an engine axis.
+    #[must_use]
+    pub fn engines(self, engines: impl IntoIterator<Item = (&'static str, EngineSelect)>) -> Self {
+        self.axis(
+            engines
+                .into_iter()
+                .map(|(l, e)| (l, move |s: RunSpec| s.with_engine(e.clone()))),
+        )
+    }
+
+    /// Sugar: a machine axis.
+    #[must_use]
+    pub fn machines(
+        self,
+        machines: impl IntoIterator<Item = (&'static str, MachineSelect)>,
+    ) -> Self {
+        self.axis(
+            machines
+                .into_iter()
+                .map(|(l, m)| (l, move |s: RunSpec| s.with_machine(m))),
+        )
+    }
+
+    /// Sugar: the isolation/colocation axis (§4).
+    #[must_use]
+    pub fn colocation(self) -> Self {
+        self.axis([
+            ("", (|s| s) as fn(RunSpec) -> RunSpec),
+            ("coloc", |s: RunSpec| s.colocated()),
+        ])
+    }
+
+    /// Adds one hand-picked row: the spec's own workload is the lookup
+    /// key. Explicit rows enumerate before the cross product, in
+    /// insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the (workload, variant) pair is already present.
+    #[must_use]
+    pub fn row(mut self, variant: impl Into<String>, spec: RunSpec) -> Self {
+        let variant = variant.into();
+        assert!(
+            !self
+                .explicit
+                .iter()
+                .any(|(v, s)| *v == variant && s.workload.name == spec.workload.name),
+            "scenario {}: duplicate row ({}, {variant})",
+            self.name,
+            spec.workload.name
+        );
+        self.explicit.push((variant, spec));
+        self
+    }
+
+    /// Enumerates the scenario's runs for the given window configuration:
+    /// explicit rows first, then the workload × axes cross product.
+    ///
+    /// # Panics
+    ///
+    /// Panics when two runs share a (workload, variant) key. Per-axis
+    /// fragment checks catch most collisions at construction; this final
+    /// gate also catches cross-axis joins that happen to collide (e.g.
+    /// `"A"+"B"` vs `"A+B"+""`) and explicit rows shadowing the cross
+    /// product, so duplicate keys can never reach the driver or the
+    /// results JSON.
     #[must_use]
     pub fn runs(&self, sim: SimConfig) -> Vec<ScenarioRun> {
-        (self.builder)(sim)
+        let mut out = Vec::new();
+        for (variant, spec) in &self.explicit {
+            out.push(ScenarioRun {
+                workload: spec.workload.name,
+                variant: variant.clone(),
+                spec: spec.clone().with_sim(sim),
+            });
+        }
+        for w in &self.workloads {
+            for (variant, template) in &self.variants {
+                out.push(ScenarioRun {
+                    workload: w.name,
+                    variant: variant.clone(),
+                    spec: template.clone().with_workload(w.clone()).with_sim(sim),
+                });
+            }
+        }
+        let mut keys = std::collections::HashSet::new();
+        for r in &out {
+            assert!(
+                keys.insert((r.workload, r.variant.as_str())),
+                "scenario {}: duplicate run key ({}, {})",
+                self.name,
+                r.workload,
+                r.variant
+            );
+        }
+        out
     }
 
     /// Executes every run across host threads and collects the results.
@@ -241,455 +480,253 @@ pub fn smoke_set() -> Vec<Scenario> {
 #[must_use]
 pub fn registry() -> Vec<Scenario> {
     vec![
-        Scenario {
-            name: "table1",
-            title: "Table 1: memcached walk-latency growth under scaling, colocation, virtualization",
-            smoke: false,
-            builder: table1_runs,
-        },
-        Scenario {
-            name: "fig2",
-            title: "Figure 2: fraction of execution time spent in page walks",
-            smoke: false,
-            builder: fig2_runs,
-        },
-        Scenario {
-            name: "fig3",
-            title: "Figure 3: average page-walk latency across the four scenarios",
-            smoke: false,
-            builder: fig3_runs,
-        },
-        Scenario {
-            name: "table2",
-            title: "Table 2: VMAs, PT pages and physical contiguity (analytic census, no sim runs)",
-            smoke: false,
-            builder: |_| Vec::new(),
-        },
-        Scenario {
-            name: "fig8",
-            title: "Figure 8: native walk latency, Baseline vs P1 vs P1+P2",
-            smoke: false,
-            builder: fig8_runs,
-        },
-        Scenario {
-            name: "fig9",
-            title: "Figure 9: walk requests served by each hierarchy level",
-            smoke: false,
-            builder: fig9_runs,
-        },
-        Scenario {
-            name: "fig10",
-            title: "Figure 10: virtualized walk latency across per-dimension ASAP configs",
-            smoke: false,
-            builder: fig10_runs,
-        },
-        Scenario {
-            name: "table6",
-            title: "Table 6: conservative performance projection",
-            smoke: false,
-            builder: table6_runs,
-        },
-        Scenario {
-            name: "fig11_table7",
-            title: "Fig. 11 + Table 7: clustered TLB vs ASAP vs both",
-            smoke: false,
-            builder: fig11_table7_runs,
-        },
-        Scenario {
-            name: "fig12",
-            title: "Figure 12: virtualization with 2 MiB host pages",
-            smoke: false,
-            builder: fig12_runs,
-        },
-        Scenario {
-            name: "ablation_pwc",
-            title: "Ablation (§5.1.1): PWC capacity doubling",
-            smoke: false,
-            builder: ablation_pwc_runs,
-        },
-        Scenario {
-            name: "ablation_scatter",
-            title: "Ablation: baseline sensitivity to PT physical layout",
-            smoke: false,
-            builder: ablation_scatter_runs,
-        },
-        Scenario {
-            name: "ablation_5level",
-            title: "Extension (§3.5): five-level page table",
-            smoke: false,
-            builder: ablation_5level_runs,
-        },
-        Scenario {
-            name: "contenders",
-            title: "Head-to-head: baseline vs ASAP vs Victima vs Revelator (native)",
-            smoke: false,
-            builder: contenders_runs,
-        },
-        Scenario {
-            name: "smoke",
-            title: "CI smoke: the full engine matrix (native/virt × baseline/ASAP/features) at miniature scale",
-            smoke: true,
-            builder: smoke_runs,
-        },
-        Scenario {
-            name: "contenders_smoke",
-            title: "CI smoke: the contender matrix (baseline/ASAP/Victima/Revelator) at miniature scale",
-            smoke: true,
-            builder: contenders_smoke_runs,
-        },
+        table1(),
+        fig2(),
+        fig3(),
+        table2(),
+        fig8(),
+        fig9(),
+        fig10(),
+        table6(),
+        fig11_table7(),
+        fig12(),
+        ablation_pwc(),
+        ablation_scatter(),
+        ablation_5level(),
+        contenders(),
+        smoke(),
+        contenders_smoke(),
     ]
 }
 
-fn native(w: WorkloadSpec, sim: SimConfig) -> NativeRunSpec {
-    NativeRunSpec::baseline(w).with_sim(sim)
-}
-
-fn virt(w: WorkloadSpec, sim: SimConfig) -> VirtRunSpec {
-    VirtRunSpec::baseline(w).with_sim(sim)
-}
-
-fn table1_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+fn table1() -> Scenario {
     let mc80 = WorkloadSpec::mc80;
-    vec![
-        ScenarioRun {
-            workload: mc80().name,
-            variant: "native".into(),
-            spec: RunSpec::Native(native(mc80(), sim)),
-        },
-        ScenarioRun {
-            workload: WorkloadSpec::mc400().name,
-            variant: "native".into(),
-            spec: RunSpec::Native(native(WorkloadSpec::mc400(), sim)),
-        },
-        ScenarioRun {
-            workload: mc80().name,
-            variant: "native+coloc".into(),
-            spec: RunSpec::Native(native(mc80(), sim).colocated()),
-        },
-        ScenarioRun {
-            workload: mc80().name,
-            variant: "virt".into(),
-            spec: RunSpec::Virt(virt(mc80(), sim)),
-        },
-        ScenarioRun {
-            workload: mc80().name,
-            variant: "virt+coloc".into(),
-            spec: RunSpec::Virt(virt(mc80(), sim).colocated()),
-        },
-    ]
+    Scenario::new(
+        "table1",
+        "Table 1: memcached walk-latency growth under scaling, colocation, virtualization",
+    )
+    .rendered_by(RendererKind::Table1)
+    .row("native", RunSpec::new(mc80()))
+    .row("native", RunSpec::new(WorkloadSpec::mc400()))
+    .row("native+coloc", RunSpec::new(mc80()).colocated())
+    .row("virt", RunSpec::new(mc80()).virt())
+    .row("virt+coloc", RunSpec::new(mc80()).virt().colocated())
 }
 
-/// The four execution scenarios of Figs. 2/3 for one workload.
-fn four_scenarios(w: &WorkloadSpec, sim: SimConfig) -> Vec<ScenarioRun> {
-    vec![
-        ScenarioRun {
-            workload: w.name,
-            variant: "native".into(),
-            spec: RunSpec::Native(native(w.clone(), sim)),
-        },
-        ScenarioRun {
-            workload: w.name,
-            variant: "native+coloc".into(),
-            spec: RunSpec::Native(native(w.clone(), sim).colocated()),
-        },
-        ScenarioRun {
-            workload: w.name,
-            variant: "virt".into(),
-            spec: RunSpec::Virt(virt(w.clone(), sim)),
-        },
-        ScenarioRun {
-            workload: w.name,
-            variant: "virt+coloc".into(),
-            spec: RunSpec::Virt(virt(w.clone(), sim).colocated()),
-        },
-    ]
+/// The four execution scenarios of Figs. 2/3: {native, virt} × {isolation,
+/// colocation}.
+fn four_machine_scenarios(s: Scenario) -> Scenario {
+    s.machines([
+        ("native", MachineSelect::Native),
+        ("virt", MachineSelect::virt()),
+    ])
+    .colocation()
 }
 
-fn fig2_runs(sim: SimConfig) -> Vec<ScenarioRun> {
-    WorkloadSpec::paper_suite_no_mc400()
-        .iter()
-        .flat_map(|w| four_scenarios(w, sim))
-        .collect()
+fn fig2() -> Scenario {
+    four_machine_scenarios(
+        Scenario::new(
+            "fig2",
+            "Figure 2: fraction of execution time spent in page walks",
+        )
+        .rendered_by(RendererKind::WalkFractionGrid)
+        .workloads(WorkloadSpec::paper_suite_no_mc400()),
+    )
 }
 
-fn fig3_runs(sim: SimConfig) -> Vec<ScenarioRun> {
-    WorkloadSpec::paper_suite()
-        .iter()
-        .flat_map(|w| four_scenarios(w, sim))
-        .collect()
+fn fig3() -> Scenario {
+    four_machine_scenarios(
+        Scenario::new(
+            "fig3",
+            "Figure 3: average page-walk latency across the four scenarios",
+        )
+        .rendered_by(RendererKind::WalkLatencyGrid)
+        .workloads(WorkloadSpec::paper_suite()),
+    )
 }
 
-fn fig8_runs(sim: SimConfig) -> Vec<ScenarioRun> {
-    let configs = [
-        ("Baseline", AsapHwConfig::off()),
-        ("P1", AsapHwConfig::p1()),
-        ("P1+P2", AsapHwConfig::p1_p2()),
-    ];
-    let mut runs = Vec::new();
-    for coloc in [false, true] {
-        for w in WorkloadSpec::paper_suite() {
-            for (key, asap) in &configs {
-                let mut s = native(w.clone(), sim).with_asap(asap.clone());
-                if coloc {
-                    s = s.colocated();
-                }
-                runs.push(ScenarioRun {
-                    workload: w.name,
-                    variant: if coloc {
-                        format!("{key}+coloc")
-                    } else {
-                        (*key).into()
-                    },
-                    spec: RunSpec::Native(s),
-                });
-            }
-        }
-    }
-    runs
+fn table2() -> Scenario {
+    Scenario::new(
+        "table2",
+        "Table 2: VMAs, PT pages and physical contiguity (analytic census, no sim runs)",
+    )
+    .rendered_by(RendererKind::PtCensus)
+    .workloads(WorkloadSpec::paper_suite())
 }
 
-fn fig9_runs(sim: SimConfig) -> Vec<ScenarioRun> {
-    let mut runs = Vec::new();
-    for (w, coloc) in [
-        (WorkloadSpec::mcf(), false),
-        (WorkloadSpec::redis(), false),
-        (WorkloadSpec::mcf(), true),
-        (WorkloadSpec::redis(), true),
-    ] {
-        let mut s = native(w.clone(), sim);
-        if coloc {
-            s = s.colocated();
-        }
-        runs.push(ScenarioRun {
-            workload: w.name,
-            variant: if coloc { "coloc" } else { "isolation" }.into(),
-            spec: RunSpec::Native(s),
-        });
-    }
-    runs
+fn fig8() -> Scenario {
+    Scenario::new(
+        "fig8",
+        "Figure 8: native walk latency, Baseline vs P1 vs P1+P2",
+    )
+    .rendered_by(RendererKind::AsapSweep)
+    .workloads(WorkloadSpec::paper_suite())
+    .engines([
+        ("Baseline", EngineSelect::Baseline),
+        ("P1", EngineSelect::Asap(AsapHwConfig::p1())),
+        ("P1+P2", EngineSelect::Asap(AsapHwConfig::p1_p2())),
+    ])
+    .colocation()
 }
 
-fn fig10_runs(sim: SimConfig) -> Vec<ScenarioRun> {
-    let configs: [(&str, NestedAsapConfig); 5] = [
-        ("Baseline", NestedAsapConfig::off()),
-        ("P1g", NestedAsapConfig::p1g()),
-        ("P1g+P2g", NestedAsapConfig::p1g_p2g()),
-        ("P1g+P1h", NestedAsapConfig::p1g_p1h()),
-        ("All", NestedAsapConfig::all()),
-    ];
-    let mut runs = Vec::new();
-    for coloc in [false, true] {
-        for w in WorkloadSpec::paper_suite() {
-            for (key, asap) in &configs {
-                let mut s = virt(w.clone(), sim).with_asap(asap.clone());
-                if coloc {
-                    s = s.colocated();
-                }
-                runs.push(ScenarioRun {
-                    workload: w.name,
-                    variant: if coloc {
-                        format!("{key}+coloc")
-                    } else {
-                        (*key).into()
-                    },
-                    spec: RunSpec::Virt(s),
-                });
-            }
-        }
-    }
-    runs
+fn fig9() -> Scenario {
+    Scenario::new(
+        "fig9",
+        "Figure 9: walk requests served by each hierarchy level",
+    )
+    .rendered_by(RendererKind::ServedBy)
+    .workloads([WorkloadSpec::mcf(), WorkloadSpec::redis()])
+    .axis([
+        ("isolation", (|s| s) as fn(RunSpec) -> RunSpec),
+        ("coloc", |s: RunSpec| s.colocated()),
+    ])
 }
 
-fn table6_runs(sim: SimConfig) -> Vec<ScenarioRun> {
-    let mut runs = Vec::new();
-    for w in WorkloadSpec::paper_suite()
-        .into_iter()
-        .filter(|w| !w.name.starts_with("mc"))
-    {
-        runs.push(ScenarioRun {
-            workload: w.name,
-            variant: "native".into(),
-            spec: RunSpec::Native(native(w.clone(), sim)),
-        });
-        runs.push(ScenarioRun {
-            workload: w.name,
-            variant: "native-perfect".into(),
-            spec: RunSpec::Native(native(w.clone(), sim).perfect_tlb()),
-        });
-        runs.push(ScenarioRun {
-            workload: w.name,
-            variant: "virt".into(),
-            spec: RunSpec::Virt(virt(w.clone(), sim)),
-        });
-        runs.push(ScenarioRun {
-            workload: w.name,
-            variant: "virt+asap".into(),
-            spec: RunSpec::Virt(virt(w.clone(), sim).with_asap(NestedAsapConfig::all())),
-        });
-    }
-    runs
+fn fig10() -> Scenario {
+    Scenario::new(
+        "fig10",
+        "Figure 10: virtualized walk latency across per-dimension ASAP configs",
+    )
+    .rendered_by(RendererKind::NestedAsapSweep)
+    .workloads(WorkloadSpec::paper_suite())
+    .base(|s| s.virt())
+    .engines([
+        ("Baseline", EngineSelect::Baseline),
+        ("P1g", EngineSelect::NestedAsap(NestedAsapConfig::p1g())),
+        (
+            "P1g+P2g",
+            EngineSelect::NestedAsap(NestedAsapConfig::p1g_p2g()),
+        ),
+        (
+            "P1g+P1h",
+            EngineSelect::NestedAsap(NestedAsapConfig::p1g_p1h()),
+        ),
+        ("All", EngineSelect::NestedAsap(NestedAsapConfig::all())),
+    ])
+    .colocation()
 }
 
-fn fig11_table7_runs(sim: SimConfig) -> Vec<ScenarioRun> {
-    let mut runs = Vec::new();
-    for w in WorkloadSpec::paper_suite() {
-        runs.push(ScenarioRun {
-            workload: w.name,
-            variant: "Baseline".into(),
-            spec: RunSpec::Native(native(w.clone(), sim)),
-        });
-        runs.push(ScenarioRun {
-            workload: w.name,
-            variant: "Clustered".into(),
-            spec: RunSpec::Native(native(w.clone(), sim).with_clustered_tlb()),
-        });
-        runs.push(ScenarioRun {
-            workload: w.name,
-            variant: "ASAP".into(),
-            spec: RunSpec::Native(native(w.clone(), sim).with_asap(AsapHwConfig::p1_p2())),
-        });
-        runs.push(ScenarioRun {
-            workload: w.name,
-            variant: "Clustered+ASAP".into(),
-            spec: RunSpec::Native(
-                native(w.clone(), sim)
-                    .with_asap(AsapHwConfig::p1_p2())
-                    .with_clustered_tlb(),
+fn table6() -> Scenario {
+    Scenario::new("table6", "Table 6: conservative performance projection")
+        .rendered_by(RendererKind::Projection)
+        .workloads(
+            WorkloadSpec::paper_suite()
+                .into_iter()
+                .filter(|w| !w.name.starts_with("mc")),
+        )
+        .axis([
+            ("native", (|s| s) as fn(RunSpec) -> RunSpec),
+            ("native-perfect", |s: RunSpec| s.perfect_tlb()),
+            ("virt", |s: RunSpec| s.virt()),
+            ("virt+asap", |s: RunSpec| {
+                s.virt().with_nested_asap(NestedAsapConfig::all())
+            }),
+        ])
+}
+
+fn fig11_table7() -> Scenario {
+    Scenario::new(
+        "fig11_table7",
+        "Fig. 11 + Table 7: clustered TLB vs ASAP vs both",
+    )
+    .rendered_by(RendererKind::ClusteredSynergy)
+    .workloads(WorkloadSpec::paper_suite())
+    .axis([
+        ("Baseline", (|s| s) as fn(RunSpec) -> RunSpec),
+        ("Clustered", |s: RunSpec| s.with_clustered_tlb()),
+        ("ASAP", |s: RunSpec| s.with_asap(AsapHwConfig::p1_p2())),
+        ("Clustered+ASAP", |s: RunSpec| {
+            s.with_asap(AsapHwConfig::p1_p2()).with_clustered_tlb()
+        }),
+    ])
+}
+
+fn fig12() -> Scenario {
+    Scenario::new("fig12", "Figure 12: virtualization with 2 MiB host pages")
+        .rendered_by(RendererKind::HostHugePages)
+        .workloads(WorkloadSpec::paper_suite())
+        .base(|s| s.host_2m_pages())
+        .engines([
+            ("Baseline", EngineSelect::Baseline),
+            (
+                "ASAP",
+                EngineSelect::NestedAsap(NestedAsapConfig::host_2m()),
             ),
-        });
-    }
-    runs
+        ])
+        .colocation()
 }
 
-fn fig12_runs(sim: SimConfig) -> Vec<ScenarioRun> {
-    let mut runs = Vec::new();
-    for w in WorkloadSpec::paper_suite() {
-        let mk = |asap: bool, coloc: bool| {
-            let mut s = virt(w.clone(), sim).host_2m_pages();
-            if asap {
-                s = s.with_asap(NestedAsapConfig::host_2m());
-            }
-            if coloc {
-                s = s.colocated();
-            }
-            RunSpec::Virt(s)
-        };
-        for (variant, asap, coloc) in [
-            ("Baseline", false, false),
-            ("ASAP", true, false),
-            ("Baseline+coloc", false, true),
-            ("ASAP+coloc", true, true),
-        ] {
-            runs.push(ScenarioRun {
-                workload: w.name,
-                variant: variant.into(),
-                spec: mk(asap, coloc),
-            });
-        }
-    }
-    runs
+fn ablation_pwc() -> Scenario {
+    Scenario::new("ablation_pwc", "Ablation (§5.1.1): PWC capacity doubling")
+        .rendered_by(RendererKind::PwcAblation)
+        .workloads(WorkloadSpec::paper_suite())
+        .axis([
+            ("default", (|s| s) as fn(RunSpec) -> RunSpec),
+            ("doubled", |s: RunSpec| {
+                s.with_pwc(PwcConfig::split_doubled())
+            }),
+        ])
 }
 
-fn ablation_pwc_runs(sim: SimConfig) -> Vec<ScenarioRun> {
-    let mut runs = Vec::new();
-    for w in WorkloadSpec::paper_suite() {
-        runs.push(ScenarioRun {
-            workload: w.name,
-            variant: "default".into(),
-            spec: RunSpec::Native(native(w.clone(), sim)),
-        });
-        runs.push(ScenarioRun {
-            workload: w.name,
-            variant: "doubled".into(),
-            spec: RunSpec::Native(native(w.clone(), sim).with_pwc(PwcConfig::split_doubled())),
-        });
-    }
-    runs
-}
-
-fn ablation_scatter_runs(sim: SimConfig) -> Vec<ScenarioRun> {
-    [1.0f64, 4.0, 23.2, 256.0]
-        .into_iter()
-        .map(|run| ScenarioRun {
-            workload: WorkloadSpec::mc80().name,
-            variant: format!("run={run:.1}"),
-            spec: RunSpec::Native(native(WorkloadSpec::mc80(), sim).with_pt_scatter_run(run)),
+fn ablation_scatter() -> Scenario {
+    Scenario::new(
+        "ablation_scatter",
+        "Ablation: baseline sensitivity to PT physical layout",
+    )
+    .rendered_by(RendererKind::ScatterAblation)
+    .workloads([WorkloadSpec::mc80()])
+    .axis([1.0f64, 4.0, 23.2, 256.0].map(|run| {
+        (format!("run={run:.1}"), move |s: RunSpec| {
+            s.with_pt_scatter_run(run)
         })
-        .collect()
+    }))
 }
 
-fn ablation_5level_runs(sim: SimConfig) -> Vec<ScenarioRun> {
-    let w = WorkloadSpec::mc400;
-    vec![
-        ScenarioRun {
-            workload: w().name,
-            variant: "4-level".into(),
-            spec: RunSpec::Native(native(w(), sim)),
-        },
-        ScenarioRun {
-            workload: w().name,
-            variant: "5-level".into(),
-            spec: RunSpec::Native(native(w(), sim).five_level()),
-        },
-        ScenarioRun {
-            workload: w().name,
-            variant: "5-level+ASAP".into(),
-            spec: RunSpec::Native(
-                native(w(), sim)
-                    .five_level()
-                    .with_asap(AsapHwConfig::p1_p2()),
-            ),
-        },
-    ]
+fn ablation_5level() -> Scenario {
+    Scenario::new("ablation_5level", "Extension (§3.5): five-level page table")
+        .rendered_by(RendererKind::FiveLevelAblation)
+        .workloads([WorkloadSpec::mc400()])
+        .axis([
+            ("4-level", (|s| s) as fn(RunSpec) -> RunSpec),
+            ("5-level", |s: RunSpec| s.five_level()),
+            ("5-level+ASAP", |s: RunSpec| {
+                s.five_level().with_asap(AsapHwConfig::p1_p2())
+            }),
+        ])
 }
 
-/// The four head-to-head variants of one workload: the two paper machines
+/// The engine axis of the head-to-head comparison: the two paper machines
 /// (baseline, ASAP P1+P2) and the two contender backends, all native, all
 /// over identical processes (ASAP's OS policy moves only PT pages, so data
 /// placement — and thus Revelator's hash accuracy — is unaffected).
-fn head_to_head(w: &WorkloadSpec, sim: SimConfig) -> Vec<ScenarioRun> {
-    let mut runs = vec![
-        ScenarioRun {
-            workload: w.name,
-            variant: "Baseline".into(),
-            spec: RunSpec::Native(native(w.clone(), sim)),
-        },
-        ScenarioRun {
-            workload: w.name,
-            variant: "ASAP".into(),
-            spec: RunSpec::Native(native(w.clone(), sim).with_asap(AsapHwConfig::p1_p2())),
-        },
-    ];
-    for kind in ContenderKind::ALL {
-        runs.push(ScenarioRun {
-            workload: w.name,
-            variant: kind.label().into(),
-            spec: RunSpec::Contender(ContenderRunSpec::new(w.clone(), kind).with_sim(sim)),
-        });
-    }
-    runs
-}
-
-/// The workloads of the head-to-head comparison: a pointer chaser with
-/// high physical contiguity (Revelator's best case), a zipfian server
-/// whose hot set exceeds S-TLB reach (Victima's best case), and the
-/// fragmented uniform sweep both degrade on.
-fn contender_suite() -> Vec<WorkloadSpec> {
-    vec![
-        WorkloadSpec::mcf(),
-        WorkloadSpec::redis(),
-        WorkloadSpec::mc80(),
+fn head_to_head_engines() -> [(&'static str, EngineSelect); 4] {
+    [
+        ("Baseline", EngineSelect::Baseline),
+        ("ASAP", EngineSelect::asap_p1_p2()),
+        ("Victima", EngineSelect::Victima),
+        ("Revelator", EngineSelect::Revelator),
     ]
 }
 
-fn contenders_runs(sim: SimConfig) -> Vec<ScenarioRun> {
-    contender_suite()
-        .iter()
-        .flat_map(|w| head_to_head(w, sim))
-        .collect()
+fn contenders() -> Scenario {
+    // The workloads of the head-to-head comparison: a pointer chaser with
+    // high physical contiguity (Revelator's best case), a zipfian server
+    // whose hot set exceeds S-TLB reach (Victima's best case), and the
+    // fragmented uniform sweep both degrade on.
+    Scenario::new(
+        "contenders",
+        "Head-to-head: baseline vs ASAP vs Victima vs Revelator (native)",
+    )
+    .rendered_by(RendererKind::HeadToHead)
+    .workloads([
+        WorkloadSpec::mcf(),
+        WorkloadSpec::redis(),
+        WorkloadSpec::mc80(),
+    ])
+    .engines(head_to_head_engines())
 }
 
-fn contenders_smoke_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+fn contenders_smoke() -> Scenario {
     // The same miniature redis variant the contender unit tests use: small
     // enough for CI, enough page reuse that both contender mechanisms
     // actually fire.
@@ -697,7 +734,15 @@ fn contenders_smoke_runs(sim: SimConfig) -> Vec<ScenarioRun> {
         footprint: ByteSize::mib(256),
         ..WorkloadSpec::redis()
     };
-    head_to_head(&w, sim)
+    Scenario::new(
+        "contenders_smoke",
+        "CI smoke: the contender matrix (baseline/ASAP/Victima/Revelator) at miniature scale",
+    )
+    .ci_smoke()
+    .windows(SimConfig::smoke_test())
+    .rendered_by(RendererKind::HeadToHead)
+    .workloads([w])
+    .engines(head_to_head_engines())
 }
 
 /// The miniature workload the smoke scenario (and the engine-parity test)
@@ -710,52 +755,42 @@ pub fn smoke_workload() -> WorkloadSpec {
     }
 }
 
-fn smoke_runs(sim: SimConfig) -> Vec<ScenarioRun> {
+fn smoke() -> Scenario {
     let w = smoke_workload;
-    let name = w().name;
-    let mk = |variant: &str, spec: RunSpec| ScenarioRun {
-        workload: name,
-        variant: variant.into(),
-        spec,
-    };
-    vec![
-        mk("native/baseline", RunSpec::Native(native(w(), sim))),
-        mk(
-            "native/asap",
-            RunSpec::Native(native(w(), sim).with_asap(AsapHwConfig::p1_p2())),
-        ),
-        mk(
-            "native/asap+clustered+coloc",
-            RunSpec::Native(
-                native(w(), sim)
-                    .with_asap(AsapHwConfig::p1_p2())
-                    .with_clustered_tlb()
-                    .colocated(),
-            ),
-        ),
-        mk(
-            "native/baseline+5level",
-            RunSpec::Native(native(w(), sim).five_level()),
-        ),
-        mk(
-            "native/perfect-tlb",
-            RunSpec::Native(native(w(), sim).perfect_tlb()),
-        ),
-        mk("virt/baseline", RunSpec::Virt(virt(w(), sim))),
-        mk(
-            "virt/asap",
-            RunSpec::Virt(virt(w(), sim).with_asap(NestedAsapConfig::all())),
-        ),
-        mk(
-            "virt/asap+host2m+coloc",
-            RunSpec::Virt(
-                virt(w(), sim)
-                    .with_asap(NestedAsapConfig::host_2m())
-                    .host_2m_pages()
-                    .colocated(),
-            ),
-        ),
-    ]
+    Scenario::new(
+        "smoke",
+        "CI smoke: the full engine matrix (native/virt × baseline/ASAP/features) at miniature scale",
+    )
+    .ci_smoke()
+    .windows(SimConfig::smoke_test())
+    .row("native/baseline", RunSpec::new(w()))
+    .row(
+        "native/asap",
+        RunSpec::new(w()).with_asap(AsapHwConfig::p1_p2()),
+    )
+    .row(
+        "native/asap+clustered+coloc",
+        RunSpec::new(w())
+            .with_asap(AsapHwConfig::p1_p2())
+            .with_clustered_tlb()
+            .colocated(),
+    )
+    .row("native/baseline+5level", RunSpec::new(w()).five_level())
+    .row("native/perfect-tlb", RunSpec::new(w()).perfect_tlb())
+    .row("virt/baseline", RunSpec::new(w()).virt())
+    .row(
+        "virt/asap",
+        RunSpec::new(w())
+            .virt()
+            .with_nested_asap(NestedAsapConfig::all()),
+    )
+    .row(
+        "virt/asap+host2m+coloc",
+        RunSpec::new(w())
+            .with_nested_asap(NestedAsapConfig::host_2m())
+            .host_2m_pages()
+            .colocated(),
+    )
 }
 
 #[cfg(test)]
@@ -793,7 +828,7 @@ mod tests {
     }
 
     #[test]
-    fn every_scenario_enumerates_unique_run_keys() {
+    fn every_scenario_enumerates_unique_valid_run_keys() {
         let sim = SimConfig::smoke_test();
         for s in registry() {
             let runs = s.runs(sim);
@@ -805,7 +840,65 @@ mod tests {
             keys.sort();
             keys.dedup();
             assert_eq!(keys.len(), n, "scenario {} has duplicate keys", s.name);
+            for r in &runs {
+                r.spec
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{}/{}/{}: {e}", s.name, r.workload, r.variant));
+            }
         }
+    }
+
+    #[test]
+    fn cross_product_matches_the_hand_rolled_shape() {
+        // fig8 = 7 workloads × 3 engines × {iso, coloc}; labels composed
+        // exactly as the pre-DSL registry spelled them by hand.
+        let s = find("fig8").unwrap();
+        let runs = s.runs(SimConfig::smoke_test());
+        assert_eq!(runs.len(), WorkloadSpec::paper_suite().len() * 6);
+        assert!(runs
+            .iter()
+            .any(|r| r.workload == "mcf" && r.variant == "P1+P2+coloc"));
+        assert!(runs
+            .iter()
+            .any(|r| r.workload == "mcf" && r.variant == "Baseline"));
+    }
+
+    #[test]
+    fn duplicate_axis_labels_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = Scenario::new("dup", "duplicate axis labels").axis([
+                ("same", (|s| s) as fn(RunSpec) -> RunSpec),
+                ("same", |s: RunSpec| s.colocated()),
+            ]);
+        });
+        assert!(caught.is_err(), "duplicate labels must be rejected");
+    }
+
+    #[test]
+    fn colliding_cross_axis_joins_panic_at_enumeration() {
+        // Both axes pass the per-axis check, but "A"+"B" == "A+B"+"".
+        let s = Scenario::new("collide", "cross-axis label collision")
+            .workloads([WorkloadSpec::mcf()])
+            .axis([
+                ("A", (|s| s) as fn(RunSpec) -> RunSpec),
+                ("A+B", |s: RunSpec| s.colocated()),
+            ])
+            .axis([
+                ("B", (|s| s) as fn(RunSpec) -> RunSpec),
+                ("", |s: RunSpec| s.perfect_tlb()),
+            ]);
+        let caught = std::panic::catch_unwind(|| s.runs(SimConfig::smoke_test()));
+        assert!(caught.is_err(), "colliding joined keys must be rejected");
+    }
+
+    #[test]
+    fn explicit_row_shadowing_the_cross_product_panics() {
+        let s = Scenario::new("shadow", "row shadows the cross product")
+            .workloads([WorkloadSpec::mcf()])
+            .engines([("Baseline", EngineSelect::Baseline)])
+            .row("Baseline", RunSpec::new(WorkloadSpec::mcf()));
+        let caught = std::panic::catch_unwind(|| s.runs(SimConfig::smoke_test()));
+        assert!(caught.is_err(), "shadowing rows must be rejected");
     }
 
     #[test]
@@ -842,5 +935,24 @@ mod tests {
             assert_eq!(a.variant, b.variant);
             assert_eq!(a.result.walks, b.result.walks);
         }
+    }
+
+    #[test]
+    fn smoke_scenarios_declare_their_windows() {
+        for s in smoke_set() {
+            assert_eq!(
+                s.default_windows(),
+                Some(SimConfig::smoke_test()),
+                "{} must pin miniature windows",
+                s.name
+            );
+        }
+        assert_eq!(find("fig3").unwrap().default_windows(), None);
+        let fallback = SimConfig::default();
+        assert_eq!(
+            find("smoke").unwrap().windows_or(fallback),
+            SimConfig::smoke_test()
+        );
+        assert_eq!(find("fig3").unwrap().windows_or(fallback), fallback);
     }
 }

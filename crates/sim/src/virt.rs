@@ -1,12 +1,22 @@
-//! The virtualized-execution driver: assembles a [`NestedMmu`] +
-//! [`VirtualMachine`] and hands it to the generic [`run_scenario`] loop.
+//! Virtualized machine assembly: builds a [`NestedMmu`] +
+//! `VirtualMachine` for a unified [`RunSpec`] whose machine axis is
+//! virtualized, and hands it to the generic `run_scenario` loop. Reached
+//! only through [`RunSpec::run`]'s internal dispatch.
 
 use crate::driver::{run_scenario, DriverError, RunMeta};
-use crate::{RunResult, VirtRunSpec};
-use asap_core::{NestedMmu, NestedMmuConfig, TranslationEngine};
+use crate::{EngineSelect, MachineSelect, RunResult, RunSpec};
+use asap_core::{NestedAsapConfig, NestedMmu, NestedMmuConfig, TranslationEngine};
 use asap_os::AsapOsConfig;
 use asap_types::{Asid, PageSize};
 use asap_virt::{EptConfig, VirtualMachine};
+
+/// The per-dimension prefetch levels the engine axis selects.
+fn nested_asap(spec: &RunSpec) -> NestedAsapConfig {
+    match &spec.engine {
+        EngineSelect::NestedAsap(cfg) => cfg.clone(),
+        _ => NestedAsapConfig::off(),
+    }
+}
 
 /// Runs one virtualized configuration and returns its measurements.
 ///
@@ -15,68 +25,63 @@ use asap_virt::{EptConfig, VirtualMachine};
 /// OS reserves sorted regions for the guest prefetch levels (negotiated
 /// with the hypervisor via the §3.6 vmcall protocol), and the hypervisor
 /// keeps the host PT levels sorted for the host prefetch levels.
-///
-/// # Errors
-///
-/// Returns a [`DriverError`] when the workload generates an address outside
-/// its VMAs or a touched page fails to translate (a misconfigured spec).
-pub fn run_virt(spec: &VirtRunSpec) -> Result<RunResult, DriverError> {
+pub(crate) fn run_virt(spec: &RunSpec) -> Result<RunResult, DriverError> {
+    let workload = spec.effective_workload();
+    let asap = nested_asap(spec);
+    let host_page_size = match spec.machine {
+        MachineSelect::Virt { host_page_size } => host_page_size,
+        MachineSelect::Native => unreachable!("dispatch sends only virt specs here"),
+    };
     let seed = spec.sim.seed;
-    let guest_asap = if spec.asap.guest.is_empty() {
+    let guest_asap = if asap.guest.is_empty() {
         AsapOsConfig::disabled()
     } else {
         AsapOsConfig {
-            levels: spec.asap.guest.clone(),
+            levels: asap.guest.clone(),
             max_descriptors: 16,
             extension_failure_rate: 0.0,
         }
     };
     let mut ept_config = EptConfig {
-        host_levels: spec.asap.host.clone(),
-        host_page_size: spec.host_page_size,
-        scatter_run: spec.workload.pt_scatter_run,
+        host_levels: asap.host.clone(),
+        host_page_size,
+        scatter_run: workload.pt_scatter_run,
         seed: seed ^ 0xE9,
     };
-    if spec.host_page_size == PageSize::Size2M {
+    if host_page_size == PageSize::Size2M {
         // With 2 MiB host pages the host PT has no PL1 level to reserve.
         ept_config
             .host_levels
             .retain(|l| *l != asap_types::PtLevel::Pl1);
     }
-    let guest_config = spec
-        .workload
+    let guest_config = workload
         .process_config(Asid(1), guest_asap, seed)
         .with_compact_phys();
     let mut vm = VirtualMachine::new(guest_config, ept_config);
-    let mut stream = spec.workload.build_stream(vm.guest(), seed ^ 0x11);
-    let mut mmu = NestedMmu::new(
-        NestedMmuConfig::default()
-            .with_asap(spec.asap.clone())
-            .with_seed(seed),
-    );
+    let mut stream = workload.build_stream(vm.guest(), seed ^ 0x11);
+    let mut mmu = NestedMmu::new(NestedMmuConfig::default().with_asap(asap).with_seed(seed));
     TranslationEngine::load_context(&mut mmu, &vm);
     let meta = RunMeta {
         workload: spec.workload.name,
         label: spec.label(),
         sim: spec.sim,
         colocated: spec.colocated,
-        perfect_tlb: false,
+        perfect_tlb: spec.perfect_tlb,
     };
     run_scenario(&mut mmu, &mut vm, stream.as_mut(), &meta)
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::scenarios::smoke_workload as small;
-    use crate::{run_native, NativeRunSpec, SimConfig};
+    use crate::{RunSpec, SimConfig};
     use asap_core::NestedAsapConfig;
 
     #[test]
     fn virtualization_multiplies_walk_latency() {
         let sim = SimConfig::smoke_test();
-        let native = run_native(&NativeRunSpec::baseline(small()).with_sim(sim)).unwrap();
-        let virt = run_virt(&VirtRunSpec::baseline(small()).with_sim(sim)).unwrap();
+        let native = RunSpec::new(small()).with_sim(sim).run().unwrap();
+        let virt = RunSpec::new(small()).virt().with_sim(sim).run().unwrap();
         // Table 1 / Fig. 3 shape: virt baseline is several times native.
         let ratio = virt.avg_walk_latency() / native.avg_walk_latency();
         assert!(
@@ -89,19 +94,19 @@ mod tests {
     #[test]
     fn full_asap_beats_guest_only() {
         let sim = SimConfig::smoke_test();
-        let base = run_virt(&VirtRunSpec::baseline(small()).with_sim(sim)).unwrap();
-        let p1g = run_virt(
-            &VirtRunSpec::baseline(small())
-                .with_asap(NestedAsapConfig::p1g())
-                .with_sim(sim),
-        )
-        .unwrap();
-        let all = run_virt(
-            &VirtRunSpec::baseline(small())
-                .with_asap(NestedAsapConfig::all())
-                .with_sim(sim),
-        )
-        .unwrap();
+        let base = RunSpec::new(small()).virt().with_sim(sim).run().unwrap();
+        let p1g = RunSpec::new(small())
+            .virt()
+            .with_nested_asap(NestedAsapConfig::p1g())
+            .with_sim(sim)
+            .run()
+            .unwrap();
+        let all = RunSpec::new(small())
+            .virt()
+            .with_nested_asap(NestedAsapConfig::all())
+            .with_sim(sim)
+            .run()
+            .unwrap();
         assert!(p1g.avg_walk_latency() < base.avg_walk_latency());
         assert!(
             all.avg_walk_latency() < p1g.avg_walk_latency(),
@@ -115,16 +120,22 @@ mod tests {
     #[test]
     fn host_2m_pages_shorten_baseline_walks() {
         let sim = SimConfig::smoke_test();
-        let b4k = run_virt(&VirtRunSpec::baseline(small()).with_sim(sim)).unwrap();
-        let b2m = run_virt(&VirtRunSpec::baseline(small()).host_2m_pages().with_sim(sim)).unwrap();
+        let b4k = RunSpec::new(small()).virt().with_sim(sim).run().unwrap();
+        let b2m = RunSpec::new(small())
+            .host_2m_pages()
+            .with_sim(sim)
+            .run()
+            .unwrap();
         assert!(b2m.avg_walk_latency() < b4k.avg_walk_latency());
     }
 
     #[test]
     fn virt_runs_are_deterministic() {
-        let spec = VirtRunSpec::baseline(small()).with_sim(SimConfig::smoke_test());
-        let a = run_virt(&spec).unwrap();
-        let b = run_virt(&spec).unwrap();
+        let spec = RunSpec::new(small())
+            .virt()
+            .with_sim(SimConfig::smoke_test());
+        let a = spec.run().unwrap();
+        let b = spec.run().unwrap();
         assert_eq!(a.walks, b.walks);
     }
 }

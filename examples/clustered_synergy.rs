@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example clustered_synergy`
 
 use asap::core::AsapHwConfig;
-use asap::sim::{run_native, NativeRunSpec, SimConfig, Table};
+use asap::sim::{RunSpec, SimConfig, Table};
 use asap::workloads::WorkloadSpec;
 
 fn main() {
@@ -26,26 +26,23 @@ fn main() {
         WorkloadSpec::canneal(),
         WorkloadSpec::mc80(),
     ] {
-        let base = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim)).unwrap();
-        let clustered = run_native(
-            &NativeRunSpec::baseline(w.clone())
-                .with_clustered_tlb()
-                .with_sim(sim),
-        )
-        .unwrap();
-        let asap = run_native(
-            &NativeRunSpec::baseline(w.clone())
-                .with_asap(AsapHwConfig::p1_p2())
-                .with_sim(sim),
-        )
-        .unwrap();
-        let both = run_native(
-            &NativeRunSpec::baseline(w.clone())
-                .with_clustered_tlb()
-                .with_asap(AsapHwConfig::p1_p2())
-                .with_sim(sim),
-        )
-        .unwrap();
+        let base = RunSpec::new(w.clone()).with_sim(sim).run().unwrap();
+        let clustered = RunSpec::new(w.clone())
+            .with_clustered_tlb()
+            .with_sim(sim)
+            .run()
+            .unwrap();
+        let asap = RunSpec::new(w.clone())
+            .with_asap(AsapHwConfig::p1_p2())
+            .with_sim(sim)
+            .run()
+            .unwrap();
+        let both = RunSpec::new(w.clone())
+            .with_clustered_tlb()
+            .with_asap(AsapHwConfig::p1_p2())
+            .with_sim(sim)
+            .run()
+            .unwrap();
         let pct =
             |r: &asap::sim::RunResult| format!("{:.1}%", r.walk_cycles_reduction_vs(&base) * 100.0);
         table.row(vec![w.name.into(), pct(&clustered), pct(&asap), pct(&both)]);

@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example five_level_future`
 
 use asap::core::AsapHwConfig;
-use asap::sim::{run_native, NativeRunSpec, SimConfig, Table};
+use asap::sim::{RunSpec, SimConfig, Table};
 use asap::workloads::WorkloadSpec;
 
 fn main() {
@@ -18,32 +18,27 @@ fn main() {
         vec!["config", "avg walk latency (cycles)"],
     );
     let runs = [
-        (
-            "4-level baseline",
-            NativeRunSpec::baseline(w.clone()).with_sim(sim),
-        ),
+        ("4-level baseline", RunSpec::new(w.clone()).with_sim(sim)),
         (
             "4-level ASAP P1+P2",
-            NativeRunSpec::baseline(w.clone())
+            RunSpec::new(w.clone())
                 .with_asap(AsapHwConfig::p1_p2())
                 .with_sim(sim),
         ),
         (
             "5-level baseline",
-            NativeRunSpec::baseline(w.clone())
-                .five_level()
-                .with_sim(sim),
+            RunSpec::new(w.clone()).five_level().with_sim(sim),
         ),
         (
             "5-level ASAP P1+P2",
-            NativeRunSpec::baseline(w)
+            RunSpec::new(w)
                 .five_level()
                 .with_asap(AsapHwConfig::p1_p2())
                 .with_sim(sim),
         ),
     ];
     for (name, spec) in runs {
-        let r = run_native(&spec).unwrap();
+        let r = spec.run().unwrap();
         table.row(vec![name.into(), format!("{:.1}", r.avg_walk_latency())]);
     }
     println!("{}", table.render());

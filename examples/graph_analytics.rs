@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example graph_analytics`
 
 use asap::core::{AsapHwConfig, NestedAsapConfig};
-use asap::sim::{run_native, run_virt, NativeRunSpec, SimConfig, Table, VirtRunSpec};
+use asap::sim::{RunSpec, SimConfig, Table};
 use asap::types::PtLevel;
 use asap::workloads::WorkloadSpec;
 
@@ -24,20 +24,19 @@ fn main() {
         ],
     );
     for w in [WorkloadSpec::bfs(), WorkloadSpec::pagerank()] {
-        let nb = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim)).unwrap();
-        let na = run_native(
-            &NativeRunSpec::baseline(w.clone())
-                .with_asap(AsapHwConfig::p1_p2())
-                .with_sim(sim),
-        )
-        .unwrap();
-        let vb = run_virt(&VirtRunSpec::baseline(w.clone()).with_sim(sim)).unwrap();
-        let va = run_virt(
-            &VirtRunSpec::baseline(w.clone())
-                .with_asap(NestedAsapConfig::all())
-                .with_sim(sim),
-        )
-        .unwrap();
+        let nb = RunSpec::new(w.clone()).with_sim(sim).run().unwrap();
+        let na = RunSpec::new(w.clone())
+            .with_asap(AsapHwConfig::p1_p2())
+            .with_sim(sim)
+            .run()
+            .unwrap();
+        let vb = RunSpec::new(w.clone()).virt().with_sim(sim).run().unwrap();
+        let va = RunSpec::new(w.clone())
+            .virt()
+            .with_nested_asap(NestedAsapConfig::all())
+            .with_sim(sim)
+            .run()
+            .unwrap();
         table.row(vec![
             w.name.into(),
             format!("{:.1}", nb.avg_walk_latency()),

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example memcached_colocation`
 
 use asap::core::AsapHwConfig;
-use asap::sim::{run_native, NativeRunSpec, SimConfig, Table};
+use asap::sim::{RunSpec, SimConfig, Table};
 use asap::workloads::WorkloadSpec;
 
 fn main() {
@@ -22,19 +22,17 @@ fn main() {
     ];
     let mut baselines = (0.0, 0.0);
     for (name, asap) in configs {
-        let iso = run_native(
-            &NativeRunSpec::baseline(WorkloadSpec::mc80())
-                .with_asap(asap.clone())
-                .with_sim(sim),
-        )
-        .unwrap();
-        let coloc = run_native(
-            &NativeRunSpec::baseline(WorkloadSpec::mc80())
-                .with_asap(asap)
-                .colocated()
-                .with_sim(sim),
-        )
-        .unwrap();
+        let iso = RunSpec::new(WorkloadSpec::mc80())
+            .with_asap(asap.clone())
+            .with_sim(sim)
+            .run()
+            .unwrap();
+        let coloc = RunSpec::new(WorkloadSpec::mc80())
+            .with_asap(asap)
+            .colocated()
+            .with_sim(sim)
+            .run()
+            .unwrap();
         if name == "Baseline" {
             baselines = (iso.avg_walk_latency(), coloc.avg_walk_latency());
         }

@@ -7,7 +7,7 @@
 
 use asap::core::NestedAsapConfig;
 use asap::os::{AsapOsConfig, VmaKind};
-use asap::sim::{run_virt, SimConfig, Table, VirtRunSpec};
+use asap::sim::{RunSpec, SimConfig, Table};
 use asap::types::Asid;
 use asap::virt::{Dim, EptConfig, VirtualMachine};
 use asap::workloads::WorkloadSpec;
@@ -56,12 +56,12 @@ fn main() {
     );
     let mut base = 0.0;
     for (name, asap) in configs {
-        let r = run_virt(
-            &VirtRunSpec::baseline(redis.clone())
-                .with_asap(asap)
-                .with_sim(sim),
-        )
-        .unwrap();
+        let r = RunSpec::new(redis.clone())
+            .virt()
+            .with_nested_asap(asap)
+            .with_sim(sim)
+            .run()
+            .unwrap();
         if name == "Baseline" {
             base = r.avg_walk_latency();
         }

@@ -2,7 +2,7 @@
 
 use asap::core::{AsapHwConfig, Mmu, MmuConfig, NestedAsapConfig, TranslationPath};
 use asap::os::{AsapOsConfig, Process, ProcessConfig, VmaKind};
-use asap::sim::{run_native, run_virt, NativeRunSpec, SimConfig, VirtRunSpec};
+use asap::sim::{RunSpec, SimConfig};
 use asap::types::{Asid, ByteSize, VirtAddr};
 use asap::workloads::WorkloadSpec;
 
@@ -18,7 +18,9 @@ fn small(w: WorkloadSpec) -> WorkloadSpec {
 #[test]
 fn all_workloads_run_natively() {
     for w in WorkloadSpec::paper_suite() {
-        let r = run_native(&NativeRunSpec::baseline(small(w)).with_sim(SimConfig::smoke_test()))
+        let r = RunSpec::new(small(w))
+            .with_sim(SimConfig::smoke_test())
+            .run()
             .unwrap();
         assert_eq!(r.faults, 0, "{}", r.workload);
         assert!(r.walks.count() > 0, "{} never walked", r.workload);
@@ -36,12 +38,15 @@ fn all_workloads_run_natively() {
 #[test]
 fn all_workloads_run_virtualized() {
     for w in WorkloadSpec::paper_suite() {
-        let native = run_native(
-            &NativeRunSpec::baseline(small(w.clone())).with_sim(SimConfig::smoke_test()),
-        )
-        .unwrap();
-        let virt =
-            run_virt(&VirtRunSpec::baseline(small(w)).with_sim(SimConfig::smoke_test())).unwrap();
+        let native = RunSpec::new(small(w.clone()))
+            .with_sim(SimConfig::smoke_test())
+            .run()
+            .unwrap();
+        let virt = RunSpec::new(small(w))
+            .virt()
+            .with_sim(SimConfig::smoke_test())
+            .run()
+            .unwrap();
         assert_eq!(virt.faults, 0, "{}", virt.workload);
         assert!(
             virt.avg_walk_latency() > native.avg_walk_latency(),
@@ -60,19 +65,17 @@ fn all_workloads_run_virtualized() {
 fn asap_orderings_hold() {
     let sim = SimConfig::smoke_test();
     let w = small(WorkloadSpec::mc80());
-    let base = run_native(&NativeRunSpec::baseline(w.clone()).with_sim(sim)).unwrap();
-    let p1 = run_native(
-        &NativeRunSpec::baseline(w.clone())
-            .with_asap(AsapHwConfig::p1())
-            .with_sim(sim),
-    )
-    .unwrap();
-    let p12 = run_native(
-        &NativeRunSpec::baseline(w)
-            .with_asap(AsapHwConfig::p1_p2())
-            .with_sim(sim),
-    )
-    .unwrap();
+    let base = RunSpec::new(w.clone()).with_sim(sim).run().unwrap();
+    let p1 = RunSpec::new(w.clone())
+        .with_asap(AsapHwConfig::p1())
+        .with_sim(sim)
+        .run()
+        .unwrap();
+    let p12 = RunSpec::new(w)
+        .with_asap(AsapHwConfig::p1_p2())
+        .with_sim(sim)
+        .run()
+        .unwrap();
     assert!(p1.avg_walk_latency() < base.avg_walk_latency());
     assert!(p12.avg_walk_latency() <= p1.avg_walk_latency() * 1.02);
 }
@@ -83,25 +86,25 @@ fn asap_orderings_hold() {
 fn nested_asap_ordering_holds() {
     let sim = SimConfig::smoke_test();
     let w = small(WorkloadSpec::mc80());
-    let base = run_virt(&VirtRunSpec::baseline(w.clone()).with_sim(sim)).unwrap();
-    let p1g = run_virt(
-        &VirtRunSpec::baseline(w.clone())
-            .with_asap(NestedAsapConfig::p1g())
-            .with_sim(sim),
-    )
-    .unwrap();
-    let p1g_p1h = run_virt(
-        &VirtRunSpec::baseline(w.clone())
-            .with_asap(NestedAsapConfig::p1g_p1h())
-            .with_sim(sim),
-    )
-    .unwrap();
-    let all = run_virt(
-        &VirtRunSpec::baseline(w)
-            .with_asap(NestedAsapConfig::all())
-            .with_sim(sim),
-    )
-    .unwrap();
+    let base = RunSpec::new(w.clone()).virt().with_sim(sim).run().unwrap();
+    let p1g = RunSpec::new(w.clone())
+        .virt()
+        .with_nested_asap(NestedAsapConfig::p1g())
+        .with_sim(sim)
+        .run()
+        .unwrap();
+    let p1g_p1h = RunSpec::new(w.clone())
+        .virt()
+        .with_nested_asap(NestedAsapConfig::p1g_p1h())
+        .with_sim(sim)
+        .run()
+        .unwrap();
+    let all = RunSpec::new(w)
+        .virt()
+        .with_nested_asap(NestedAsapConfig::all())
+        .with_sim(sim)
+        .run()
+        .unwrap();
     assert!(p1g.avg_walk_latency() < base.avg_walk_latency());
     assert!(p1g_p1h.avg_walk_latency() < p1g.avg_walk_latency());
     assert!(all.avg_walk_latency() <= p1g_p1h.avg_walk_latency() * 1.02);

@@ -1,0 +1,78 @@
+//! Registry invariants: the declarative scenario DSL must keep the
+//! registry sound by construction — unique scenario names, unique run
+//! labels within each scenario, and every scenario resolving to
+//! validatable specs without panicking.
+
+use asap::sim::scenarios::{registry, smoke_set};
+use asap::sim::SimConfig;
+use std::collections::HashSet;
+
+/// Every scenario name appears exactly once.
+#[test]
+fn scenario_names_are_unique() {
+    let mut seen = HashSet::new();
+    for s in registry() {
+        assert!(seen.insert(s.name), "duplicate scenario name {:?}", s.name);
+    }
+}
+
+/// Within one scenario, every generated (workload, variant) key is unique
+/// — the DSL's per-axis label-fragment uniqueness must compose.
+#[test]
+fn run_labels_are_unique_within_each_scenario() {
+    let sim = SimConfig::smoke_test();
+    for s in registry() {
+        let mut seen = HashSet::new();
+        for run in s.runs(sim) {
+            assert!(
+                seen.insert((run.workload, run.variant.clone())),
+                "scenario {}: duplicate run key ({}, {})",
+                s.name,
+                run.workload,
+                run.variant
+            );
+        }
+    }
+}
+
+/// Every scenario resolves: enumeration does not panic, every generated
+/// spec passes validation (so `run()` can never trip the incompatibility
+/// errors), and every run's label is derivable.
+#[test]
+fn every_scenario_resolves_to_valid_specs() {
+    let sim = SimConfig::smoke_test();
+    for s in registry() {
+        for run in s.runs(sim) {
+            run.spec
+                .validate()
+                .unwrap_or_else(|e| panic!("{}/{}/{}: {e}", s.name, run.workload, run.variant));
+            assert!(
+                !run.spec.label().is_empty(),
+                "{}/{}/{}: empty label",
+                s.name,
+                run.workload,
+                run.variant
+            );
+            assert_eq!(run.workload, run.spec.workload_name());
+        }
+    }
+}
+
+/// The CI smoke set is non-empty, miniature-windowed, and a strict subset
+/// of the registry.
+#[test]
+fn smoke_set_is_a_pinned_registry_subset() {
+    let names: HashSet<&str> = registry().iter().map(|s| s.name).collect();
+    let smoke = smoke_set();
+    assert!(!smoke.is_empty());
+    for s in &smoke {
+        assert!(names.contains(s.name));
+        assert_eq!(
+            s.default_windows(),
+            Some(SimConfig::smoke_test()),
+            "{}: smoke scenarios must pin the smoke windows (the committed \
+             BENCH_results.json depends on them)",
+            s.name
+        );
+    }
+}
