@@ -32,6 +32,11 @@ smoke() {
     echo "$list_output"
     echo "$list_output" | grep -q "^smoke " \
         || { echo "asap list does not name the smoke scenario"; exit 1; }
+    # The multi-core smoke scenario must stay in the drift-gated set: its
+    # per-core + aggregate rows in BENCH_results.json are what pin the
+    # shared-fabric timing model.
+    echo "$list_output" | grep -q "^smp_smoke " \
+        || { echo "asap list does not name the smp_smoke scenario"; exit 1; }
     # The registry's smoke scenarios through the real generic driver loop
     # — catches driver regressions unit tests miss. Deterministic: it
     # regenerates BENCH_results.json, and the gate below fails on any

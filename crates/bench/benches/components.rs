@@ -19,6 +19,30 @@ fn cache_hierarchy(c: &mut Criterion) {
             hier.access(CacheLineAddr::new(i % (1 << 20)))
         })
     });
+
+    // The SMP driver's inner step: min-clock core arbitration plus one
+    // explicitly-timed access through the shared fabric handle — the hot
+    // path every multi-core cycle goes through.
+    let fabric = asap_cache::SharedFabric::new(HierarchyConfig::broadwell_like());
+    let mut clocks = [0u64; 4];
+    let mut j = 0u64;
+    g.bench_function("fabric_arbitration", |b| {
+        b.iter(|| {
+            let port = clocks
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, t)| (**t, *i))
+                .map(|(i, _)| i)
+                .expect("four ports");
+            j = j.wrapping_add(0x9e37_79b9);
+            let r = fabric.access_at(
+                CacheLineAddr::new((j % (1 << 20)) | (port as u64) << 40),
+                clocks[port],
+            );
+            clocks[port] += r.latency + 3;
+            black_box(r)
+        })
+    });
     g.finish();
 }
 

@@ -13,6 +13,7 @@
 //!   --json <path>              # override the results JSON path
 //!   --quick                    # reduced windows (tier "quick"; ASAP_QUICK=1 also works)
 //!   --filter <substr>          # keep only scenarios whose name contains <substr>
+//!   --cores <n>                # run every spec at n cores (run command only)
 //! ```
 //!
 //! Exit status: 0 on success, 1 when any run reported a driver error (the
@@ -44,6 +45,10 @@ OPTIONS:
                           all: BENCH_results_full.json)
     --quick              reduced simulation windows (tier \"quick\")
     --filter <substr>    keep only scenarios whose name contains <substr>
+    --cores <n>          force every spec of a `run` command to n cores
+                         sharing the memory fabric (1..=8; smoke/all keep
+                         their registered core counts so committed
+                         baselines stay comparable)
     -h, --help           print this help
 ";
 
@@ -53,6 +58,7 @@ struct Cli {
     json: Option<String>,
     quick: bool,
     filter: Option<String>,
+    cores: Option<usize>,
 }
 
 fn usage_error(message: &str) -> ExitCode {
@@ -67,6 +73,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         json: None,
         quick: false,
         filter: None,
+        cores: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -79,6 +86,21 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 );
             }
             "--quick" => cli.quick = true,
+            "--cores" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| "--cores needs a count".to_string())?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--cores needs a number, got {n:?}"))?;
+                if n == 0 || n > asap_sim::MAX_CORES {
+                    return Err(format!(
+                        "--cores must be 1..={}, got {n}",
+                        asap_sim::MAX_CORES
+                    ));
+                }
+                cli.cores = Some(n);
+            }
             "--filter" => {
                 cli.filter = Some(
                     it.next()
@@ -189,7 +211,10 @@ fn cmd_run(cli: &Cli) -> ExitCode {
             }
         }
     }
-    let set = apply_filter(set, cli.filter.as_deref());
+    let mut set = apply_filter(set, cli.filter.as_deref());
+    if let Some(n) = cli.cores {
+        set = set.into_iter().map(|s| s.with_forced_cores(n)).collect();
+    }
     execute_and_report(&set, cli, None)
 }
 
@@ -200,6 +225,11 @@ fn cmd_smoke(cli: &Cli) -> ExitCode {
     // behaviour/perf-trajectory check. A filtered subset must never
     // overwrite the committed full-set baseline, so `--filter` drops the
     // default path (pass `--json` explicitly to keep a partial file).
+    if cli.cores.is_some() {
+        return usage_error(
+            "--cores applies to `run` only (smoke baselines pin their core counts)",
+        );
+    }
     let set = apply_filter(smoke_set(), cli.filter.as_deref());
     let default_json = if cli.filter.is_none() {
         Some("BENCH_results.json")
@@ -210,6 +240,11 @@ fn cmd_smoke(cli: &Cli) -> ExitCode {
 }
 
 fn cmd_all(cli: &Cli) -> ExitCode {
+    if cli.cores.is_some() {
+        return usage_error(
+            "--cores applies to `run` only (paper scenarios pin their core counts)",
+        );
+    }
     println!("# ASAP reproduction: all experiments\n");
     let set = apply_filter(paper_scenarios(), cli.filter.as_deref());
     // The default path deliberately differs from the committed smoke-tier

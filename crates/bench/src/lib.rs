@@ -190,7 +190,72 @@ pub fn render(scenario: &Scenario, results: &ScenarioResults) -> Vec<Table> {
         RendererKind::ScatterAblation => vec![render_scatter_ablation(results)],
         RendererKind::FiveLevelAblation => vec![render_five_level(results)],
         RendererKind::HeadToHead => render_head_to_head(results),
+        RendererKind::SmpScaling => vec![render_smp_scaling(scenario, results)],
     }
+}
+
+/// SMP scaling: every run contributes its per-core rows ("mc80@core0",
+/// ...) followed by its whole-machine aggregate row, so both per-core
+/// skew and the scaling trend across core counts are visible in one
+/// table.
+fn render_smp_scaling(scenario: &Scenario, r: &ScenarioResults) -> Table {
+    let mut t = Table::new(
+        scenario.title,
+        vec![
+            "workload",
+            "variant",
+            "walks",
+            "avg walk latency (cycles)",
+            "cycles",
+            "walk frac",
+        ],
+    );
+    let mut row = |workload: String, variant: &str, result: &RunResult, frac: f64| {
+        t.row(vec![
+            workload,
+            variant.into(),
+            result.walks.count().to_string(),
+            fmt_cycles(result.avg_walk_latency()),
+            result.cycles.to_string(),
+            fmt_pct(frac),
+        ]);
+    };
+    for run in &r.runs {
+        for core in &run.per_core {
+            row(
+                core.workload.clone(),
+                &run.variant,
+                core,
+                core.walk_fraction(),
+            );
+        }
+        if run.per_core.is_empty() {
+            let result = &run.result;
+            row(
+                run.workload.to_string(),
+                &run.variant,
+                result,
+                result.walk_fraction(),
+            );
+        } else {
+            // Aggregate fraction per *core*-cycle (summed walk cycles over
+            // summed per-core windows), not per wall cycle — the wall-clock
+            // ratio exceeds 1 as soon as several walkers run concurrently.
+            let core_cycles: u64 = run.per_core.iter().map(|c| c.cycles).sum();
+            let frac = if core_cycles == 0 {
+                0.0
+            } else {
+                run.result.walk_cycles as f64 / core_cycles as f64
+            };
+            row(
+                format!("{} (all cores)", run.result.workload),
+                &run.variant,
+                &run.result,
+                frac,
+            );
+        }
+    }
+    t
 }
 
 /// The default renderer: one row per run, engine-matrix style.

@@ -1,0 +1,259 @@
+//! The shared memory fabric of a (possibly multi-core) simulated machine.
+//!
+//! A [`CacheHierarchy`] owns an *internal* clock, which is the right model
+//! for a single in-order core but breaks down when several cores — each
+//! with its own notion of time — contend for one hierarchy. The
+//! [`MemoryFabric`] is the multi-core view: the same caches, MSHR file and
+//! (for a Victima-style backend) synthetic TLB-block lines, but with an
+//! **explicitly timed** API — every request carries the issuing core's
+//! local cycle count, and the fabric never keeps time of its own.
+//!
+//! [`SharedFabric`] is the handle cores actually hold: a cheaply clonable
+//! reference (`Rc<RefCell<_>>`) to one fabric. A run is simulated on a
+//! single host thread with deterministic core arbitration, so the shared
+//! mutable state needs no locking — the interior mutability only expresses
+//! that N per-core engines reference one memory system.
+//!
+//! # Examples
+//!
+//! ```
+//! use asap_cache::{HierarchyConfig, ServedBy, SharedFabric};
+//! use asap_types::CacheLineAddr;
+//!
+//! let fabric = SharedFabric::new(HierarchyConfig::broadwell_like());
+//! let core0 = fabric.clone(); // a second core's handle to the SAME caches
+//! let line = CacheLineAddr::new(0x40);
+//! assert_eq!(fabric.access_at(line, 0).served_by, ServedBy::Memory);
+//! // Core 0 finds the line core 1's miss just filled.
+//! assert_eq!(core0.access_at(line, 500).served_by, ServedBy::L1);
+//! assert_eq!(fabric.ports(), 2);
+//! ```
+
+use crate::{AccessResult, CacheHierarchy, HierarchyConfig, HierarchyStats, ServedBy};
+use asap_types::CacheLineAddr;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The shared memory-system layer all simulated cores reference: the
+/// three-level cache hierarchy, DRAM, the MSHR file, and any synthetic
+/// lines a backend installs (e.g. Victima TLB blocks). Purely
+/// explicitly-timed — callers pass their local clock on every request.
+#[derive(Debug, Clone)]
+pub struct MemoryFabric {
+    hierarchy: CacheHierarchy,
+}
+
+impl MemoryFabric {
+    /// Builds an empty fabric from `config`.
+    #[must_use]
+    pub fn new(config: HierarchyConfig) -> Self {
+        Self {
+            hierarchy: CacheHierarchy::new(config),
+        }
+    }
+
+    /// A demand access issued at the caller's local cycle `now`.
+    pub fn access_at(&mut self, line: CacheLineAddr, now: u64) -> AccessResult {
+        self.hierarchy.access_at(line, now)
+    }
+
+    /// A best-effort prefetch issued at `now`; `None` when dropped for
+    /// lack of an MSHR.
+    pub fn prefetch_at(&mut self, line: CacheLineAddr, now: u64) -> Option<u64> {
+        self.hierarchy.prefetch_at(line, now)
+    }
+
+    /// Residency probe that disturbs nothing (no fills, no stats).
+    #[must_use]
+    pub fn source_of(&self, line: CacheLineAddr) -> ServedBy {
+        self.hierarchy.source_of(line)
+    }
+
+    /// L1 hit latency (the floor for any demand access).
+    #[must_use]
+    pub fn l1_latency(&self) -> u64 {
+        self.hierarchy.l1_latency()
+    }
+
+    /// L2 hit latency — what a cache-resident TLB-block lookup costs.
+    #[must_use]
+    pub fn l2_latency(&self) -> u64 {
+        self.hierarchy.l2_latency()
+    }
+
+    /// DRAM latency.
+    #[must_use]
+    pub fn memory_latency(&self) -> u64 {
+        self.hierarchy.memory_latency()
+    }
+
+    /// Installs `line` into the L2 only (the Victima TLB-block insertion
+    /// path; see [`CacheHierarchy::l2_install`]).
+    pub fn l2_install(&mut self, line: CacheLineAddr) {
+        self.hierarchy.l2_install(line);
+    }
+
+    /// Probes the L2 for `line`, updating recency on a hit.
+    pub fn l2_lookup(&mut self, line: CacheLineAddr) -> bool {
+        self.hierarchy.l2_lookup(line)
+    }
+
+    /// Whether the L2 currently holds `line` (no side effects).
+    #[must_use]
+    pub fn l2_contains(&self, line: CacheLineAddr) -> bool {
+        self.hierarchy.l2_contains(line)
+    }
+
+    /// Invalidates a line everywhere.
+    pub fn invalidate(&mut self, line: CacheLineAddr) {
+        self.hierarchy.invalidate(line);
+    }
+
+    /// Accumulated hierarchy statistics (fabric-wide, across all cores).
+    #[must_use]
+    pub fn stats(&self) -> HierarchyStats {
+        *self.hierarchy.stats()
+    }
+
+    /// Resets the fabric-wide statistics without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.hierarchy.reset_stats();
+    }
+}
+
+/// A core's handle to the one [`MemoryFabric`] of its machine.
+///
+/// Clone one handle per core; all clones reference the same caches. The
+/// handle is single-threaded by design (`Rc`): a simulated machine lives
+/// on one host thread, and determinism comes from the driver's fixed
+/// arbitration order, not from locks.
+#[derive(Debug, Clone)]
+pub struct SharedFabric(Rc<RefCell<MemoryFabric>>);
+
+impl SharedFabric {
+    /// Builds a fresh fabric from `config` and returns the first handle.
+    #[must_use]
+    pub fn new(config: HierarchyConfig) -> Self {
+        MemoryFabric::new(config).into_shared()
+    }
+
+    /// How many handles (≈ attached cores) reference this fabric.
+    #[must_use]
+    pub fn ports(&self) -> usize {
+        Rc::strong_count(&self.0)
+    }
+
+    /// A demand access issued at the caller's local cycle `now`.
+    pub fn access_at(&self, line: CacheLineAddr, now: u64) -> AccessResult {
+        self.0.borrow_mut().access_at(line, now)
+    }
+
+    /// A best-effort prefetch issued at `now`; `None` when dropped.
+    pub fn prefetch_at(&self, line: CacheLineAddr, now: u64) -> Option<u64> {
+        self.0.borrow_mut().prefetch_at(line, now)
+    }
+
+    /// Residency probe that disturbs nothing.
+    #[must_use]
+    pub fn source_of(&self, line: CacheLineAddr) -> ServedBy {
+        self.0.borrow().source_of(line)
+    }
+
+    /// L1 hit latency.
+    #[must_use]
+    pub fn l1_latency(&self) -> u64 {
+        self.0.borrow().l1_latency()
+    }
+
+    /// L2 hit latency.
+    #[must_use]
+    pub fn l2_latency(&self) -> u64 {
+        self.0.borrow().l2_latency()
+    }
+
+    /// DRAM latency.
+    #[must_use]
+    pub fn memory_latency(&self) -> u64 {
+        self.0.borrow().memory_latency()
+    }
+
+    /// Installs `line` into the L2 only (Victima TLB-block insertion).
+    pub fn l2_install(&self, line: CacheLineAddr) {
+        self.0.borrow_mut().l2_install(line);
+    }
+
+    /// Probes the L2 for `line`, updating recency on a hit.
+    pub fn l2_lookup(&self, line: CacheLineAddr) -> bool {
+        self.0.borrow_mut().l2_lookup(line)
+    }
+
+    /// Whether the L2 currently holds `line`.
+    #[must_use]
+    pub fn l2_contains(&self, line: CacheLineAddr) -> bool {
+        self.0.borrow().l2_contains(line)
+    }
+
+    /// Invalidates a line everywhere.
+    pub fn invalidate(&self, line: CacheLineAddr) {
+        self.0.borrow_mut().invalidate(line);
+    }
+
+    /// Fabric-wide hierarchy statistics.
+    #[must_use]
+    pub fn stats(&self) -> HierarchyStats {
+        self.0.borrow().stats()
+    }
+
+    /// Resets the fabric-wide statistics.
+    pub fn reset_stats(&self) {
+        self.0.borrow_mut().reset_stats();
+    }
+}
+
+impl MemoryFabric {
+    /// Wraps the fabric in a shareable handle.
+    #[must_use]
+    pub fn into_shared(self) -> SharedFabric {
+        SharedFabric(Rc::new(RefCell::new(self)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HierarchyConfig;
+
+    #[test]
+    fn handles_share_one_hierarchy() {
+        let a = SharedFabric::new(HierarchyConfig::tiny_for_tests());
+        let b = a.clone();
+        assert_eq!(a.ports(), 2);
+        let line = CacheLineAddr::new(0x7);
+        assert_eq!(a.access_at(line, 0).served_by, ServedBy::Memory);
+        assert_eq!(b.access_at(line, 300).served_by, ServedBy::L1);
+        assert_eq!(b.stats().levels[0].hits, 1);
+    }
+
+    #[test]
+    fn fabric_is_explicitly_timed() {
+        // Two "cores" at different local times merge on the same MSHR.
+        let f = SharedFabric::new(HierarchyConfig::tiny_for_tests());
+        let line = CacheLineAddr::new(0x9);
+        let completion = f.prefetch_at(line, 0).expect("mshr available");
+        let r = f.access_at(line, completion / 2);
+        assert!(r.merged);
+        assert_eq!(r.latency, completion - completion / 2);
+    }
+
+    #[test]
+    fn block_line_api_reaches_the_l2() {
+        let f = SharedFabric::new(HierarchyConfig::tiny_for_tests());
+        let line = CacheLineAddr::new(1 << 62);
+        assert!(!f.l2_contains(line));
+        f.l2_install(line);
+        assert!(f.l2_contains(line));
+        assert!(f.l2_lookup(line));
+        f.invalidate(line);
+        assert!(!f.l2_contains(line));
+    }
+}

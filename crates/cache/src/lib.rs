@@ -15,7 +15,10 @@
 //!   prefetch requests in L1-D's MSHRs");
 //! * a three-level hierarchy plus DRAM ([`CacheHierarchy`]) with the paper's
 //!   Table 5 latencies, attributing every access to the level that served it
-//!   ([`ServedBy`], the raw material of the paper's Figure 9).
+//!   ([`ServedBy`], the raw material of the paper's Figure 9);
+//! * the shared, explicitly-timed multi-core view of that hierarchy
+//!   ([`MemoryFabric`] / [`SharedFabric`]) that N per-core translation
+//!   engines reference when simulating an SMP machine.
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@
 mod assoc;
 mod cache;
 mod config;
+mod fabric;
 mod hierarchy;
 mod mshr;
 mod replacement;
@@ -46,6 +50,7 @@ mod stats;
 pub use assoc::{Eviction, SetAssoc};
 pub use cache::Cache;
 pub use config::{CacheConfig, HierarchyConfig};
+pub use fabric::{MemoryFabric, SharedFabric};
 pub use hierarchy::{AccessKind, AccessResult, CacheHierarchy, ServedBy};
 pub use mshr::{MshrFile, MshrOutcome};
 pub use replacement::ReplacementKind;

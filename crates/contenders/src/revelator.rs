@@ -111,19 +111,30 @@ pub struct RevelatorMmu {
 }
 
 impl RevelatorMmu {
-    /// Builds the MMU from `config`.
+    /// Builds the MMU from `config`, with a private memory fabric (the
+    /// single-core machine).
     #[must_use]
     pub fn new(config: RevelatorConfig) -> Self {
+        let fabric = asap_cache::SharedFabric::new(config.hierarchy.clone());
+        Self::with_fabric(config, fabric)
+    }
+
+    /// Builds an MMU whose core attaches to an **existing** shared fabric —
+    /// one core of an SMP machine, whose speculative data fetches then
+    /// contend for MSHRs and cache ways with every other core.
+    /// `config.hierarchy` is ignored (the fabric already exists).
+    #[must_use]
+    pub fn with_fabric(config: RevelatorConfig, fabric: asap_cache::SharedFabric) -> Self {
         let RevelatorConfig {
             l1_tlb,
             l2_tlb,
             pwc,
-            hierarchy,
+            hierarchy: _,
             hash_cycles,
             seed,
         } = config;
         Self {
-            core: EngineCore::new(l1_tlb, l2_tlb, hierarchy, seed),
+            core: EngineCore::with_fabric(l1_tlb, l2_tlb, fabric, seed),
             pwc: PageWalkCaches::new(pwc, seed ^ 0x9C),
             hash_cycles,
             hint: None,
@@ -168,8 +179,7 @@ impl RevelatorMmu {
             Some(pa) => {
                 match self
                     .core
-                    .hierarchy
-                    .prefetch_at(pa.cache_line(), t0 + self.hash_cycles)
+                    .prefetch_line_at(pa.cache_line(), t0 + self.hash_cycles)
                 {
                     Some(_) => {
                         issued = 1;

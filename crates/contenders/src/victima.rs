@@ -121,19 +121,30 @@ pub struct VictimaMmu {
 }
 
 impl VictimaMmu {
-    /// Builds the MMU from `config`.
+    /// Builds the MMU from `config`, with a private memory fabric (the
+    /// single-core machine).
     #[must_use]
     pub fn new(config: VictimaConfig) -> Self {
+        let fabric = asap_cache::SharedFabric::new(config.hierarchy.clone());
+        Self::with_fabric(config, fabric)
+    }
+
+    /// Builds an MMU whose core attaches to an **existing** shared fabric —
+    /// one core of an SMP machine, whose TLB blocks then contend for the
+    /// *shared* L2 with every other core's data and blocks.
+    /// `config.hierarchy` is ignored (the fabric already exists).
+    #[must_use]
+    pub fn with_fabric(config: VictimaConfig, fabric: asap_cache::SharedFabric) -> Self {
         let VictimaConfig {
             l1_tlb,
             l2_tlb,
             pwc,
-            hierarchy,
+            hierarchy: _,
             predictor,
             seed,
         } = config;
         Self {
-            core: EngineCore::new(l1_tlb, l2_tlb, hierarchy, seed),
+            core: EngineCore::with_fabric(l1_tlb, l2_tlb, fabric, seed),
             pwc: PageWalkCaches::new(pwc, seed ^ 0x9C),
             predictor: PtwCostPredictor::new(predictor, seed ^ 0xB1),
             blocks: HashMap::new(),
@@ -162,7 +173,6 @@ impl VictimaMmu {
         let entry = *self.blocks.get(&(asid, block))?.get(sub)?;
         let entry = entry?;
         self.core
-            .hierarchy
             .l2_lookup(Self::block_line(asid, block))
             .then_some(entry)
     }
@@ -181,7 +191,7 @@ impl VictimaMmu {
         }
         let (block, sub) = Self::block_of(vpn);
         let line = Self::block_line(asid, block);
-        let resident = self.core.hierarchy.l2_contains(line);
+        let resident = self.core.l2_contains(line);
         let payload = self.blocks.entry((asid, block)).or_default();
         if !resident {
             // The line is not in the L2, so any shadowed payload was lost
@@ -190,7 +200,7 @@ impl VictimaMmu {
             *payload = [None; TLB_BLOCK_PAGES as usize];
         }
         payload[sub] = Some(entry);
-        self.core.hierarchy.l2_install(line);
+        self.core.l2_install(line);
         self.stats.blocks_installed += 1;
     }
 
@@ -214,7 +224,7 @@ impl VictimaMmu {
         }
         if let Some(entry) = self.block_lookup(asid, vpn) {
             self.stats.block_hits += 1;
-            let latency = self.core.hierarchy.l2_latency();
+            let latency = self.core.l2_latency();
             self.core.advance(latency);
             // Promote back into the TLBs; the displaced entry gets its own
             // shot at a block.

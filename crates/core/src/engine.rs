@@ -12,16 +12,18 @@
 //! * [`SimMachine`] — the software side an engine translates for (a
 //!   [`Process`] or a [`VirtualMachine`]): demand paging plus a
 //!   ground-truth translation used by perfect-TLB runs;
-//! * [`EngineCore`] — the plumbing both MMUs share (TLB fast path, cache
-//!   hierarchy and its clock, prefetch issue, walk-latency accounting), so
-//!   `mmu.rs` and `nested_mmu.rs` cannot drift apart.
+//! * [`EngineCore`] — the **per-core** plumbing both MMUs share (private
+//!   TLB fast path, local clock, prefetch issue, walk-latency accounting)
+//!   over a [`SharedFabric`] handle to the machine's one memory fabric, so
+//!   `mmu.rs` and `nested_mmu.rs` cannot drift apart and N cores can
+//!   contend for the same caches.
 //!
 //! A new translation backend (e.g. a cache-backed TLB à la Victima, or a
 //! speculative hashed scheme à la Revelator) plugs in by implementing
 //! [`TranslationEngine`], typically over an embedded [`EngineCore`].
 
 use crate::{prefetch_target, ServedByMatrix, ServedSource, WalkLatencyStats};
-use asap_cache::{AccessResult, CacheHierarchy, HierarchyConfig};
+use asap_cache::{AccessResult, HierarchyConfig, HierarchyStats, SharedFabric};
 use asap_os::{OsError, Process, VmaDescriptor};
 use asap_tlb::{TlbConfig, TlbEntry, TlbHierarchy, TlbLevel, TlbLookup, TlbStats};
 use asap_types::{Asid, CacheLineAddr, PhysAddr, PtLevel, VirtAddr, VirtPageNum};
@@ -156,19 +158,30 @@ pub trait TranslationEngine {
     fn stats_snapshot(&self) -> EngineStats;
 }
 
-/// The state and plumbing shared by every translation engine: the TLB
-/// hierarchy, the cache hierarchy with its clock, and walk accounting.
-/// Engines embed one and add their backend-specific structures (PWCs,
-/// range registers, clustered TLB, TLB-block stores, speculation units,
-/// ...). Public so out-of-crate backends (e.g. `asap-contenders`) build on
-/// the same plumbing as [`Mmu`](crate::Mmu)/[`NestedMmu`](crate::NestedMmu)
-/// instead of forking it.
+/// The **private, per-core** state and plumbing every translation engine
+/// embeds: the L1/L2 TLB hierarchy, the core's local clock, and walk
+/// accounting — plus a handle to the machine's **shared**
+/// [`MemoryFabric`](asap_cache::MemoryFabric) (caches, DRAM, MSHRs),
+/// which N cores of an SMP machine reference through cloned
+/// [`SharedFabric`] handles. Engines add their backend-specific private
+/// structures on top (PWCs, range registers, clustered TLB, TLB-block
+/// shadows, speculation units, ...). Public so out-of-crate backends
+/// (e.g. `asap-contenders`) build on the same plumbing as
+/// [`Mmu`](crate::Mmu)/[`NestedMmu`](crate::NestedMmu) instead of forking
+/// it.
+///
+/// Timing model: the core keeps its own cycle counter and stamps it onto
+/// every fabric request, so a single-core machine behaves exactly as when
+/// the hierarchy owned the clock, while multiple cores interleave their
+/// locally-timed requests over one fabric.
 #[derive(Debug)]
 pub struct EngineCore {
-    /// The L1/L2 TLB hierarchy (the fast path every engine shares).
+    /// The L1/L2 TLB hierarchy (per-core private fast path).
     pub tlbs: TlbHierarchy,
-    /// The cache hierarchy; its internal clock is the engine clock.
-    pub hierarchy: CacheHierarchy,
+    /// Handle to the shared memory fabric.
+    fabric: SharedFabric,
+    /// The core's local clock.
+    clock: u64,
     /// Walk-latency distribution over the current window.
     pub walk_stats: WalkLatencyStats,
     /// Walks that ended in a page fault.
@@ -176,7 +189,8 @@ pub struct EngineCore {
 }
 
 impl EngineCore {
-    /// Builds the shared core from TLB geometries and a hierarchy config.
+    /// Builds a single-core engine core: TLB geometries plus a private
+    /// memory fabric constructed from `hierarchy`.
     #[must_use]
     pub fn new(
         l1_tlb: TlbConfig,
@@ -184,12 +198,31 @@ impl EngineCore {
         hierarchy: HierarchyConfig,
         seed: u64,
     ) -> Self {
+        Self::with_fabric(l1_tlb, l2_tlb, SharedFabric::new(hierarchy), seed)
+    }
+
+    /// Builds a core over an **existing** fabric handle — the multi-core
+    /// path, where every core of the machine clones one [`SharedFabric`].
+    #[must_use]
+    pub fn with_fabric(
+        l1_tlb: TlbConfig,
+        l2_tlb: TlbConfig,
+        fabric: SharedFabric,
+        seed: u64,
+    ) -> Self {
         Self {
             tlbs: TlbHierarchy::new(l1_tlb, l2_tlb, seed),
-            hierarchy: CacheHierarchy::new(hierarchy),
+            fabric,
+            clock: 0,
             walk_stats: WalkLatencyStats::new(),
             walk_faults: 0,
         }
+    }
+
+    /// The core's handle to the shared memory fabric.
+    #[must_use]
+    pub fn fabric(&self) -> &SharedFabric {
+        &self.fabric
     }
 
     /// The TLB fast path: on a hit, charges the hit latency to the clock
@@ -206,7 +239,7 @@ impl EngineCore {
                     TlbLevel::L1 => 0,
                     TlbLevel::L2 => L2_TLB_HIT_CYCLES,
                 };
-                self.hierarchy.advance(latency);
+                self.clock += latency;
                 Some((level, latency, entry))
             }
             TlbLookup::Miss => None,
@@ -226,7 +259,7 @@ impl EngineCore {
     ) {
         for &level in levels {
             if let Some(target) = prefetch_target(desc, level, va) {
-                match self.hierarchy.prefetch_at(target.cache_line(), at) {
+                match self.fabric.prefetch_at(target.cache_line(), at) {
                     Some(_) => *issued = issued.saturating_add(1),
                     None => *dropped = dropped.saturating_add(1),
                 }
@@ -234,11 +267,18 @@ impl EngineCore {
         }
     }
 
-    /// One walker access to the cache hierarchy at walk-local time `t`:
+    /// Issues one best-effort prefetch for `line` at time `at` (a
+    /// backend-specific speculative fetch, e.g. Revelator's hashed data
+    /// address). Returns the completion cycle, or `None` when dropped.
+    pub fn prefetch_line_at(&mut self, line: CacheLineAddr, at: u64) -> Option<u64> {
+        self.fabric.prefetch_at(line, at)
+    }
+
+    /// One walker access to the shared fabric at walk-local time `t`:
     /// advances `t` by the access latency and classifies the serving
     /// source (merged with an in-flight prefetch or served by a level).
     pub fn walk_access(&mut self, line: CacheLineAddr, t: &mut u64) -> ServedSource {
-        let r = self.hierarchy.access_at(line, *t);
+        let r = self.fabric.access_at(line, *t);
         *t += r.latency;
         if r.merged {
             ServedSource::Merged(r.served_by)
@@ -248,43 +288,76 @@ impl EngineCore {
     }
 
     /// Closes out a walk that started at `t0` and ended at `t`: charges the
-    /// latency to the global clock, records it, and returns it.
+    /// latency to the core's clock, records it, and returns it.
     pub fn finish_walk(&mut self, t0: u64, t: u64) -> u64 {
         let latency = t - t0;
-        self.hierarchy.advance(latency);
+        self.clock += latency;
         self.walk_stats.record(latency);
         latency
     }
 
-    /// A demand data access through the hierarchy; advances the clock.
+    /// A demand data access through the fabric; advances the core's clock
+    /// past the access (serialized in-order execution).
     pub fn data_access(&mut self, pa: PhysAddr) -> AccessResult {
-        self.hierarchy.access(pa.cache_line())
+        let r = self.fabric.access_at(pa.cache_line(), self.clock);
+        self.clock += r.latency;
+        r
     }
 
     /// Cache pressure from the SMT co-runner (no cycles consumed here).
     pub fn corunner_access(&mut self, line: CacheLineAddr) {
-        let now = self.hierarchy.now();
-        let _ = self.hierarchy.access_at(line, now);
+        let _ = self.fabric.access_at(line, self.clock);
     }
 
-    /// The current cycle count.
+    /// L2 hit latency — what a cache-resident TLB-block lookup costs.
+    #[must_use]
+    pub fn l2_latency(&self) -> u64 {
+        self.fabric.l2_latency()
+    }
+
+    /// Installs `line` into the shared L2 only (Victima TLB-block path).
+    pub fn l2_install(&mut self, line: CacheLineAddr) {
+        self.fabric.l2_install(line);
+    }
+
+    /// Probes the shared L2 for `line`, updating recency on a hit.
+    pub fn l2_lookup(&mut self, line: CacheLineAddr) -> bool {
+        self.fabric.l2_lookup(line)
+    }
+
+    /// Whether the shared L2 currently holds `line` (no side effects).
+    #[must_use]
+    pub fn l2_contains(&self, line: CacheLineAddr) -> bool {
+        self.fabric.l2_contains(line)
+    }
+
+    /// Fabric-wide hierarchy statistics (shared across cores).
+    #[must_use]
+    pub fn hierarchy_stats(&self) -> HierarchyStats {
+        self.fabric.stats()
+    }
+
+    /// The core's current cycle count.
     #[must_use]
     pub fn now(&self) -> u64 {
-        self.hierarchy.now()
+        self.clock
     }
 
-    /// Advances the clock (non-memory work between accesses).
+    /// Advances the core's clock (non-memory work between accesses).
     pub fn advance(&mut self, cycles: u64) {
-        self.hierarchy.advance(cycles);
+        self.clock += cycles;
     }
 
-    /// Resets the shared statistics (TLBs, hierarchy, walk accounting),
-    /// keeping all cached state warm.
+    /// Resets the core-private statistics (TLBs, walk accounting) and the
+    /// fabric-wide hierarchy counters, keeping all cached state warm. On a
+    /// multi-core machine each core resets its own window; the shared
+    /// fabric counters (which feed no per-run result) simply restart from
+    /// the last core's reset.
     pub fn reset_stats(&mut self) {
         self.walk_stats = WalkLatencyStats::new();
         self.walk_faults = 0;
         self.tlbs.reset_stats();
-        self.hierarchy.reset_stats();
+        self.fabric.reset_stats();
     }
 }
 
@@ -349,5 +422,49 @@ mod tests {
         let (level, latency, _) = core.tlb_lookup(Asid(1), vpn).unwrap();
         assert_eq!(level, TlbLevel::L1);
         assert_eq!(latency, 0);
+    }
+
+    #[test]
+    fn cores_share_a_fabric_but_keep_private_clocks() {
+        let fabric = SharedFabric::new(HierarchyConfig::broadwell_like());
+        let mut a = EngineCore::with_fabric(
+            TlbConfig::l1_dtlb(),
+            TlbConfig::l2_stlb(),
+            fabric.clone(),
+            0,
+        );
+        let mut b = EngineCore::with_fabric(TlbConfig::l1_dtlb(), TlbConfig::l2_stlb(), fabric, 1);
+        let pa = PhysAddr::new(0x4_0000);
+        let first = a.data_access(pa);
+        let second = b.data_access(pa);
+        assert!(
+            second.latency < first.latency,
+            "core B must hit the line core A's miss filled"
+        );
+        assert_eq!(b.now(), second.latency, "clocks are per-core");
+        assert!(a.now() > b.now());
+        assert_eq!(a.fabric().ports(), 2);
+    }
+
+    #[test]
+    fn private_fabric_matches_the_old_internal_clock_model() {
+        // The clock-mirroring contract behind the engine-parity goldens: a
+        // single core stamping its local clock onto every fabric request
+        // reproduces the exact latencies of the hierarchy-owned clock.
+        let mut core = EngineCore::new(
+            TlbConfig::l1_dtlb(),
+            TlbConfig::l2_stlb(),
+            HierarchyConfig::tiny_for_tests(),
+            0,
+        );
+        let pa = PhysAddr::new(0x9000);
+        let miss = core.data_access(pa);
+        assert_eq!(miss.latency, 191);
+        assert_eq!(core.now(), 191);
+        let hit = core.data_access(pa);
+        assert_eq!(hit.latency, 4);
+        assert_eq!(core.now(), 195);
+        core.advance(5);
+        assert_eq!(core.now(), 200);
     }
 }

@@ -56,21 +56,31 @@ pub struct Mmu {
 }
 
 impl Mmu {
-    /// Builds an MMU from `config`.
+    /// Builds an MMU from `config`, with a private memory fabric (the
+    /// single-core machine).
     #[must_use]
     pub fn new(config: MmuConfig) -> Self {
+        let fabric = asap_cache::SharedFabric::new(config.hierarchy.clone());
+        Self::with_fabric(config, fabric)
+    }
+
+    /// Builds an MMU whose core attaches to an **existing** shared fabric —
+    /// one core of an SMP machine. `config.hierarchy` is ignored (the
+    /// fabric was already built from the machine-wide hierarchy config).
+    #[must_use]
+    pub fn with_fabric(config: MmuConfig, fabric: asap_cache::SharedFabric) -> Self {
         let MmuConfig {
             l1_tlb,
             l2_tlb,
             pwc,
-            hierarchy,
+            hierarchy: _,
             asap,
             range_registers,
             clustered_tlb,
             seed,
         } = config;
         Self {
-            core: EngineCore::new(l1_tlb, l2_tlb, hierarchy, seed),
+            core: EngineCore::with_fabric(l1_tlb, l2_tlb, fabric, seed),
             pwc: PageWalkCaches::new(pwc, seed ^ 0x9C),
             clustered: clustered_tlb.map(|c| ClusteredTlb::new(c, seed ^ 0xC7)),
             range_regs: RangeRegisterFile::new(range_registers),
@@ -266,10 +276,11 @@ impl Mmu {
         self.clustered.as_ref().map(ClusteredTlb::stats)
     }
 
-    /// Cache-hierarchy statistics.
+    /// Cache-hierarchy statistics (fabric-wide: shared across the cores of
+    /// an SMP machine).
     #[must_use]
-    pub fn hierarchy_stats(&self) -> &HierarchyStats {
-        self.core.hierarchy.stats()
+    pub fn hierarchy_stats(&self) -> HierarchyStats {
+        self.core.hierarchy_stats()
     }
 
     /// Walks that ended in a fault.

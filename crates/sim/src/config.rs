@@ -28,7 +28,7 @@
 //! ```
 
 use crate::driver::DriverError;
-use crate::RunResult;
+use crate::{RunOutput, RunResult};
 use asap_contenders::ContenderKind;
 use asap_core::{AsapHwConfig, NestedAsapConfig};
 use asap_tlb::PwcConfig;
@@ -188,8 +188,13 @@ impl MachineSelect {
     }
 }
 
-/// One run: `workload × engine × machine × knobs` — the unit the scenario
-/// registry enumerates and [`RunSpec::run`] executes.
+/// The most simulated cores one machine supports. Bounded well below the
+/// physical map's 64-ASID window budget; the fixed-priority arbitration
+/// model is not meant for larger fabrics.
+pub const MAX_CORES: usize = 8;
+
+/// One run: `workload × engine × machine × cores × knobs` — the unit the
+/// scenario registry enumerates and [`RunSpec::run`] executes.
 #[derive(Debug, Clone)]
 pub struct RunSpec {
     /// The workload preset.
@@ -198,7 +203,14 @@ pub struct RunSpec {
     pub engine: EngineSelect,
     /// Which machine the workload executes on.
     pub machine: MachineSelect,
-    /// Whether the SMT co-runner is active (§4 colocation).
+    /// How many cores share the memory fabric (1 = the classic paper
+    /// machine). At N > 1, core 0 runs the workload and cores 1..N run
+    /// either workload copies (isolation) or the co-runner workload
+    /// (colocation); native machines only.
+    pub cores: usize,
+    /// Whether the SMT co-runner is active (§4 colocation). At `cores = 1`
+    /// this is the legacy out-of-band line-injection shim; at `cores > 1`
+    /// the co-runner executes as a real core.
     pub colocated: bool,
     /// Enable the clustered TLB (§5.4.1; native baseline/ASAP only).
     pub clustered_tlb: bool,
@@ -225,6 +237,7 @@ impl RunSpec {
             workload,
             engine: EngineSelect::Baseline,
             machine: MachineSelect::Native,
+            cores: 1,
             colocated: false,
             clustered_tlb: false,
             perfect_tlb: false,
@@ -284,6 +297,13 @@ impl RunSpec {
     #[must_use]
     pub fn colocated(mut self) -> Self {
         self.colocated = true;
+        self
+    }
+
+    /// Simulates `cores` cores sharing one memory fabric.
+    #[must_use]
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
         self
     }
 
@@ -364,6 +384,9 @@ impl RunSpec {
         if self.colocated {
             parts.push("coloc".into());
         }
+        if self.cores > 1 {
+            parts.push(format!("{}c", self.cores));
+        }
         parts.join(" ")
     }
 
@@ -392,6 +415,15 @@ impl RunSpec {
             }
             _ => {}
         }
+        if self.cores == 0 {
+            return err("a machine needs at least one core");
+        }
+        if self.cores > MAX_CORES {
+            return err("the shared-fabric arbitration models at most 8 cores");
+        }
+        if self.cores > 1 && !self.machine.is_native() {
+            return err("multi-core simulation models native machines only");
+        }
         let contender = matches!(self.engine, EngineSelect::Victima | EngineSelect::Revelator);
         if self.clustered_tlb && (!self.machine.is_native() || contender) {
             return err("the clustered TLB is modeled only in the native baseline/ASAP MMU");
@@ -405,9 +437,9 @@ impl RunSpec {
         Ok(())
     }
 
-    /// Executes the run: validates the spec, assembles the machine the
-    /// engine/machine axes select, and drives it through the one generic
-    /// driver loop.
+    /// Executes the run and returns the aggregate measurements (for
+    /// multi-core runs, the whole-machine row; see [`RunSpec::run_split`]
+    /// for the per-core breakdown).
     ///
     /// # Errors
     ///
@@ -415,7 +447,24 @@ impl RunSpec {
     /// does not model, or the driver's error for a misconfigured
     /// workload/machine pairing.
     pub fn run(&self) -> Result<RunResult, DriverError> {
+        self.run_split().map(|o| o.aggregate)
+    }
+
+    /// Executes the run: validates the spec, assembles the machine the
+    /// engine/machine/cores axes select, and drives it through the one
+    /// generic driver loop. Multi-core specs return per-core rows plus
+    /// the merged aggregate; single-core specs return only the aggregate.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::IncompatibleSpec`] for a combination the simulator
+    /// does not model, or the driver's error for a misconfigured
+    /// workload/machine pairing.
+    pub fn run_split(&self) -> Result<RunOutput, DriverError> {
         self.validate()?;
+        if self.cores > 1 {
+            return crate::smp::run_smp(self);
+        }
         match (&self.machine, &self.engine) {
             (MachineSelect::Native, EngineSelect::Victima | EngineSelect::Revelator) => {
                 crate::contender::run_contender(self)
@@ -423,6 +472,7 @@ impl RunSpec {
             (MachineSelect::Native, _) => crate::native::run_native(self),
             (MachineSelect::Virt { .. }, _) => crate::virt::run_virt(self),
         }
+        .map(RunOutput::single)
     }
 }
 
@@ -490,6 +540,21 @@ mod tests {
     }
 
     #[test]
+    fn cores_axis_labels() {
+        let w = WorkloadSpec::mcf;
+        assert_eq!(RunSpec::new(w()).with_cores(1).label(), "Baseline");
+        assert_eq!(RunSpec::new(w()).with_cores(4).label(), "Baseline 4c");
+        assert_eq!(
+            RunSpec::new(w())
+                .with_asap(AsapHwConfig::p1_p2())
+                .colocated()
+                .with_cores(2)
+                .label(),
+            "P1+P2 coloc 2c"
+        );
+    }
+
+    #[test]
     fn validation_rejects_mismatched_axes() {
         let w = WorkloadSpec::mcf;
         let bad = [
@@ -503,6 +568,9 @@ mod tests {
             RunSpec::new(w())
                 .virt()
                 .with_pwc(asap_tlb::PwcConfig::split_doubled()),
+            RunSpec::new(w()).with_cores(0),
+            RunSpec::new(w()).with_cores(MAX_CORES + 1),
+            RunSpec::new(w()).virt().with_cores(2),
         ];
         for spec in bad {
             let err = spec.validate().unwrap_err();
@@ -532,6 +600,14 @@ mod tests {
             RunSpec::new(w())
                 .with_engine(EngineSelect::Revelator)
                 .colocated(),
+            RunSpec::new(w()).with_cores(4),
+            RunSpec::new(w()).with_cores(2).colocated(),
+            RunSpec::new(w())
+                .with_engine(EngineSelect::Victima)
+                .with_cores(2),
+            RunSpec::new(w())
+                .with_asap(AsapHwConfig::p1_p2())
+                .with_cores(MAX_CORES),
         ] {
             spec.validate().unwrap_or_else(|e| panic!("{spec:?}: {e}"));
         }

@@ -24,7 +24,7 @@ pub(crate) fn run_contender(spec: &RunSpec) -> Result<RunResult, DriverError> {
         Process::new(workload.process_config(Asid(1), AsapOsConfig::disabled(), seed));
     let mut stream = workload.build_stream(&process, seed ^ 0x11);
     let meta = RunMeta {
-        workload: spec.workload.name,
+        workload: spec.workload.name.into(),
         label: spec.label(),
         sim: spec.sim,
         colocated: spec.colocated,

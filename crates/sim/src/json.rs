@@ -173,7 +173,13 @@ pub struct BenchDoc {
 }
 
 impl BenchDoc {
-    /// Builds the document from executed scenario results.
+    /// Builds the document from executed scenario results. A multi-core
+    /// run contributes its per-core rows (workload "mc80@core0", ...)
+    /// followed by its aggregate row, named by the aggregate result
+    /// itself (the plain workload name, or "mc80+corunner" for colocated
+    /// SMP runs whose counters blend the neighbor's); a single-core run
+    /// contributes only the aggregate row, so documents for single-core
+    /// scenarios are unchanged by the cores axis.
     #[must_use]
     pub fn from_results(results: &[ScenarioResults], tier: &str) -> Self {
         Self {
@@ -186,7 +192,12 @@ impl BenchDoc {
                     runs: sc
                         .runs
                         .iter()
-                        .map(|r| BenchRun::from_result(&r.result, r.workload, &r.variant))
+                        .flat_map(|r| {
+                            r.per_core
+                                .iter()
+                                .chain(std::iter::once(&r.result))
+                                .map(|row| BenchRun::from_result(row, &row.workload, &r.variant))
+                        })
                         .collect(),
                 })
                 .collect(),
@@ -543,7 +554,7 @@ mod tests {
         let mut walks = WalkLatencyStats::new();
         walks.record(100);
         RunResult {
-            workload: "mc80",
+            workload: "mc80".into(),
             label: "Baseline \"quoted\"".into(),
             walks,
             served: ServedByMatrix::new(),
@@ -566,9 +577,41 @@ mod tests {
                 workload: "mc80",
                 variant: "native/baseline".into(),
                 result: result(),
+                per_core: Vec::new(),
             }],
             errors: Vec::new(),
         }]
+    }
+
+    #[test]
+    fn multi_core_runs_emit_per_core_rows_before_the_aggregate() {
+        let mut core0 = result();
+        core0.workload = "mc80@core0".into();
+        let mut core1 = result();
+        core1.workload = "mc80@core1".into();
+        let results = [ScenarioResults {
+            name: "smp_smoke",
+            runs: vec![ScenarioRunResult {
+                workload: "mc80",
+                variant: "Baseline+2c".into(),
+                result: result(),
+                per_core: vec![core0, core1],
+            }],
+            errors: Vec::new(),
+        }];
+        let doc = BenchDoc::from_results(&results, "smoke");
+        let rows: Vec<&str> = doc.scenarios[0]
+            .runs
+            .iter()
+            .map(|r| r.workload.as_str())
+            .collect();
+        assert_eq!(rows, ["mc80@core0", "mc80@core1", "mc80"]);
+        assert!(doc.scenarios[0]
+            .runs
+            .iter()
+            .all(|r| r.variant == "Baseline+2c"));
+        let json = doc.to_json();
+        assert_eq!(BenchDoc::parse(&json).unwrap().to_json(), json);
     }
 
     #[test]

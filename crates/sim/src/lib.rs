@@ -6,10 +6,12 @@
 //! statistics every paper table and figure is built from:
 //!
 //! * [`RunSpec`] — the ONE unified run specification: `workload ×`
-//!   [`EngineSelect`] `×` [`MachineSelect`] `× knobs`, executed with
-//!   [`RunSpec::run`] (machine assembly is internal dispatch);
-//! * [`run_scenario`] — the one generic driver loop, over any
-//!   [`asap_core::TranslationEngine`];
+//!   [`EngineSelect`] `×` [`MachineSelect`] `× cores × knobs`, executed
+//!   with [`RunSpec::run`] / [`RunSpec::run_split`] (machine assembly is
+//!   internal dispatch; `cores > 1` builds N engines over one shared
+//!   memory fabric and returns per-core plus aggregate rows);
+//! * [`run_cores`] / [`run_scenario`] — the one generic cycle-interleaved
+//!   driver loop, over any [`asap_core::TranslationEngine`];
 //! * [`scenarios`] — the declarative registry naming every paper
 //!   experiment as a workload × engine × machine cross product;
 //! * [`parallel_map`] — deterministic fan-out of independent runs across
@@ -46,12 +48,13 @@ mod parallel;
 mod report;
 mod result;
 pub mod scenarios;
+mod smp;
 mod virt;
 
-pub use config::{EngineSelect, MachineSelect, RunSpec, SimConfig};
+pub use config::{EngineSelect, MachineSelect, RunSpec, SimConfig, MAX_CORES};
 pub use cycles::{CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
-pub use driver::{run_scenario, DriverError, RunMeta};
+pub use driver::{run_cores, run_scenario, CoreSlot, DriverError, RunMeta};
 pub use json::{results_to_json, BenchDoc, BenchRun, BenchScenario, JsonParseError};
 pub use parallel::parallel_map;
 pub use report::{fmt_cycles, fmt_pct, fmt_ratio, Table};
-pub use result::RunResult;
+pub use result::{RunOutput, RunResult};

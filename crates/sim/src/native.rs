@@ -10,7 +10,7 @@ use asap_os::{AsapOsConfig, Process};
 use asap_types::Asid;
 
 /// The hardware prefetch levels the engine axis selects (baseline = off).
-fn hw_asap(spec: &RunSpec) -> AsapHwConfig {
+pub(crate) fn hw_asap(spec: &RunSpec) -> AsapHwConfig {
     match &spec.engine {
         EngineSelect::Asap(cfg) => cfg.clone(),
         _ => AsapHwConfig::off(),
@@ -19,7 +19,7 @@ fn hw_asap(spec: &RunSpec) -> AsapHwConfig {
 
 /// Derives the OS-side ASAP configuration from the hardware levels: the OS
 /// reserves sorted regions exactly for the levels hardware will prefetch.
-fn os_asap(asap: &AsapHwConfig) -> AsapOsConfig {
+pub(crate) fn os_asap(asap: &AsapHwConfig) -> AsapOsConfig {
     if asap.is_enabled() {
         AsapOsConfig {
             levels: asap.levels.clone(),
@@ -31,6 +31,20 @@ fn os_asap(asap: &AsapHwConfig) -> AsapOsConfig {
     }
 }
 
+/// The MMU configuration the spec's knobs select, seeded with `seed` (the
+/// per-core seed on SMP machines). Shared with the SMP assembly so a
+/// 1-core and an N-core machine build bit-identical per-core MMUs.
+pub(crate) fn mmu_config(spec: &RunSpec, seed: u64) -> MmuConfig {
+    let mut config = MmuConfig::default()
+        .with_asap(hw_asap(spec))
+        .with_pwc(spec.pwc.clone())
+        .with_seed(seed);
+    if spec.clustered_tlb {
+        config = config.with_clustered_tlb();
+    }
+    config
+}
+
 /// Runs one native baseline/ASAP configuration and returns its
 /// measurements.
 ///
@@ -39,25 +53,17 @@ fn os_asap(asap: &AsapHwConfig) -> AsapOsConfig {
 /// [`run_scenario`].
 pub(crate) fn run_native(spec: &RunSpec) -> Result<RunResult, DriverError> {
     let workload = spec.effective_workload();
-    let asap = hw_asap(spec);
     let seed = spec.sim.seed;
     let mut process = Process::new(
         workload
-            .process_config(Asid(1), os_asap(&asap), seed)
+            .process_config(Asid(1), os_asap(&hw_asap(spec)), seed)
             .with_paging_mode(spec.paging_mode),
     );
     let mut stream = workload.build_stream(&process, seed ^ 0x11);
-    let mut mmu_config = MmuConfig::default()
-        .with_asap(asap)
-        .with_pwc(spec.pwc.clone())
-        .with_seed(seed);
-    if spec.clustered_tlb {
-        mmu_config = mmu_config.with_clustered_tlb();
-    }
-    let mut mmu = Mmu::new(mmu_config);
+    let mut mmu = Mmu::new(mmu_config(spec, seed));
     TranslationEngine::load_context(&mut mmu, &process);
     let meta = RunMeta {
-        workload: spec.workload.name,
+        workload: spec.workload.name.into(),
         label: spec.label(),
         sim: spec.sim,
         colocated: spec.colocated,

@@ -5,8 +5,9 @@ use asap_core::{ServedByMatrix, WalkLatencyStats};
 /// Everything a paper table/figure needs from one simulated run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
-    /// The workload's name ("mcf", "mc80", ...).
-    pub workload: &'static str,
+    /// The workload's name ("mcf", "mc80", ...). Owned: per-core rows of a
+    /// multi-core run stamp composed names ("mc80@core0") without leaking.
+    pub workload: String,
     /// The configuration label ("Baseline", "P1+P2 coloc", ...).
     pub label: String,
     /// Walk-latency statistics over the measurement window.
@@ -86,6 +87,89 @@ impl RunResult {
     }
 }
 
+/// What one executed [`RunSpec`](crate::RunSpec) produces: the aggregate
+/// measurements plus, for multi-core runs, every core's own row.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The whole-machine measurements. For a single-core run this IS the
+    /// run's result; for N cores it merges walk/TLB/prefetch counters
+    /// across cores and takes the longest core window as the cycle count.
+    pub aggregate: RunResult,
+    /// Per-core rows ("mc80@core0", "corunner@core1", ...), in core order.
+    /// Empty for single-core runs.
+    pub per_core: Vec<RunResult>,
+}
+
+impl RunOutput {
+    /// Wraps a single-core result (no per-core breakdown).
+    #[must_use]
+    pub fn single(aggregate: RunResult) -> Self {
+        Self {
+            aggregate,
+            per_core: Vec::new(),
+        }
+    }
+
+    /// Builds the aggregate row of a multi-core run by merging `per_core`.
+    ///
+    /// Counters (walks, TLB misses, walk cycles, prefetches, faults,
+    /// instructions) sum across cores; `cycles` is the longest per-core
+    /// measurement window (the machine's wall-clock for the run). Note
+    /// that derived `walk_fraction` on the aggregate therefore measures
+    /// walker-busy *core*-cycles per machine wall cycle — a concurrency
+    /// number that legitimately exceeds 1 when several walkers overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty `per_core` slice (a harness bug).
+    #[must_use]
+    pub fn aggregate_of(workload: &str, per_core: Vec<RunResult>) -> Self {
+        let first = per_core.first().expect("at least one core");
+        let mut walks = asap_core::WalkLatencyStats::new();
+        let mut served = asap_core::ServedByMatrix::new();
+        let mut host_served: Option<asap_core::ServedByMatrix> = None;
+        let mut aggregate = RunResult {
+            workload: workload.to_string(),
+            label: first.label.clone(),
+            walks: asap_core::WalkLatencyStats::new(),
+            served,
+            host_served: None,
+            l2_tlb_misses: 0,
+            l2_tlb_accesses: 0,
+            instructions: 0,
+            cycles: 0,
+            walk_cycles: 0,
+            prefetches_issued: 0,
+            prefetches_dropped: 0,
+            faults: 0,
+        };
+        for core in &per_core {
+            walks.merge(&core.walks);
+            served.merge(&core.served);
+            if let Some(h) = &core.host_served {
+                host_served
+                    .get_or_insert_with(asap_core::ServedByMatrix::new)
+                    .merge(h);
+            }
+            aggregate.l2_tlb_misses += core.l2_tlb_misses;
+            aggregate.l2_tlb_accesses += core.l2_tlb_accesses;
+            aggregate.instructions += core.instructions;
+            aggregate.cycles = aggregate.cycles.max(core.cycles);
+            aggregate.walk_cycles += core.walk_cycles;
+            aggregate.prefetches_issued += core.prefetches_issued;
+            aggregate.prefetches_dropped += core.prefetches_dropped;
+            aggregate.faults += core.faults;
+        }
+        aggregate.walks = walks;
+        aggregate.served = served;
+        aggregate.host_served = host_served;
+        Self {
+            aggregate,
+            per_core,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,7 +178,7 @@ mod tests {
         let mut walks = WalkLatencyStats::new();
         walks.record(walk_cycles);
         RunResult {
-            workload: "test",
+            workload: "test".into(),
             label: "x".into(),
             walks,
             served: ServedByMatrix::new(),
@@ -118,5 +202,25 @@ mod tests {
         assert!((base.walk_fraction() - 0.2).abs() < 1e-12);
         assert!((asap.reduction_vs(&base) - 0.5).abs() < 1e-12);
         assert!((asap.walk_cycles_reduction_vs(&base) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_merges_counters_and_takes_the_longest_window() {
+        let mut a = result(200, 1000);
+        a.workload = "w@core0".into();
+        let mut b = result(100, 900);
+        b.workload = "w@core1".into();
+        let out = RunOutput::aggregate_of("w", vec![a, b]);
+        assert_eq!(out.aggregate.workload, "w");
+        assert_eq!(out.aggregate.walks.count(), 2);
+        assert_eq!(out.aggregate.walk_cycles, 300);
+        assert_eq!(out.aggregate.cycles, 1000, "longest core window wins");
+        assert_eq!(out.aggregate.l2_tlb_misses, 20);
+        assert_eq!(out.aggregate.instructions, 2000);
+        assert_eq!(out.per_core.len(), 2);
+        assert_eq!(out.per_core[0].workload, "w@core0");
+
+        let single = RunOutput::single(result(5, 50));
+        assert!(single.per_core.is_empty());
     }
 }

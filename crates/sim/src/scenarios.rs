@@ -93,6 +93,8 @@ pub enum RendererKind {
     FiveLevelAblation,
     /// Contender head-to-head (latency + cycles tables).
     HeadToHead,
+    /// SMP scaling: per-core + aggregate rows across core counts.
+    SmpScaling,
 }
 
 /// One named run within a scenario.
@@ -121,6 +123,9 @@ pub struct Scenario {
     /// Which renderer the harness should use for the results.
     pub renderer: RendererKind,
     windows: Option<SimConfig>,
+    /// When set, every enumerated spec runs at this core count regardless
+    /// of any `cores` axis — the CLI's `--cores` override.
+    forced_cores: Option<usize>,
     workloads: Vec<WorkloadSpec>,
     /// The derived cross product: (variant key, spec template). The
     /// template's workload and windows are placeholders replaced at
@@ -150,6 +155,7 @@ impl Scenario {
             smoke: false,
             renderer: RendererKind::RunMatrix,
             windows: None,
+            forced_cores: None,
             workloads: Vec::new(),
             variants: Vec::new(),
             explicit: Vec::new(),
@@ -283,6 +289,26 @@ impl Scenario {
         ])
     }
 
+    /// Sugar: a core-count axis ("1c", "2c", "4c", ...) over the shared
+    /// memory fabric.
+    #[must_use]
+    pub fn cores(self, counts: impl IntoIterator<Item = usize>) -> Self {
+        self.axis(
+            counts
+                .into_iter()
+                .map(|n| (format!("{n}c"), move |s: RunSpec| s.with_cores(n))),
+        )
+    }
+
+    /// Forces every enumerated run to `cores` cores, overriding any
+    /// `cores` axis (the CLI's `--cores` flag). Variant labels are NOT
+    /// rewritten — this is an execution override, not a new axis.
+    #[must_use]
+    pub fn with_forced_cores(mut self, cores: usize) -> Self {
+        self.forced_cores = Some(cores);
+        self
+    }
+
     /// Adds one hand-picked row: the spec's own workload is the lookup
     /// key. Explicit rows enumerate before the cross product, in
     /// insertion order.
@@ -319,12 +345,16 @@ impl Scenario {
     /// results JSON.
     #[must_use]
     pub fn runs(&self, sim: SimConfig) -> Vec<ScenarioRun> {
+        let force = |spec: RunSpec| match self.forced_cores {
+            Some(n) => spec.with_cores(n),
+            None => spec,
+        };
         let mut out = Vec::new();
         for (variant, spec) in &self.explicit {
             out.push(ScenarioRun {
                 workload: spec.workload.name,
                 variant: variant.clone(),
-                spec: spec.clone().with_sim(sim),
+                spec: force(spec.clone().with_sim(sim)),
             });
         }
         for w in &self.workloads {
@@ -332,7 +362,7 @@ impl Scenario {
                 out.push(ScenarioRun {
                     workload: w.name,
                     variant: variant.clone(),
-                    spec: template.clone().with_workload(w.clone()).with_sim(sim),
+                    spec: force(template.clone().with_workload(w.clone()).with_sim(sim)),
                 });
             }
         }
@@ -365,8 +395,11 @@ pub struct ScenarioRunResult {
     pub workload: &'static str,
     /// The variant key.
     pub variant: String,
-    /// The driver's measurements.
+    /// The aggregate (whole-machine) measurements.
     pub result: RunResult,
+    /// Per-core rows for multi-core runs ("mc80@core0", ...), in core
+    /// order; empty for single-core runs.
+    pub per_core: Vec<RunResult>,
 }
 
 /// A run the driver refused to execute (misconfigured spec), reported
@@ -426,6 +459,22 @@ impl ScenarioResults {
     pub fn is_complete(&self) -> bool {
         self.errors.is_empty()
     }
+
+    /// The per-core rows for (workload, variant) — empty for single-core
+    /// runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pair is not part of the scenario (same contract as
+    /// [`ScenarioResults::get`]).
+    #[must_use]
+    pub fn per_core(&self, workload: &str, variant: &str) -> &[RunResult] {
+        self.runs
+            .iter()
+            .find(|r| r.workload == workload && r.variant == variant)
+            .map(|r| r.per_core.as_slice())
+            .unwrap_or_else(|| panic!("scenario {}: no run ({workload}, {variant})", self.name))
+    }
 }
 
 /// Runs several scenarios as ONE flattened parallel fan-out (better load
@@ -437,7 +486,7 @@ pub fn run_scenarios(scenarios: &[Scenario], sim: SimConfig) -> Vec<ScenarioResu
         flat.extend(s.runs(sim).into_iter().map(|r| (i, r)));
     }
     let done = parallel_map(flat, |(i, run)| {
-        (i, run.workload, run.variant, run.spec.run())
+        (i, run.workload, run.variant, run.spec.run_split())
     });
     let mut out: Vec<ScenarioResults> = scenarios
         .iter()
@@ -449,10 +498,11 @@ pub fn run_scenarios(scenarios: &[Scenario], sim: SimConfig) -> Vec<ScenarioResu
         .collect();
     for (i, workload, variant, r) in done {
         match r {
-            Ok(result) => out[i].runs.push(ScenarioRunResult {
+            Ok(output) => out[i].runs.push(ScenarioRunResult {
                 workload,
                 variant,
-                result,
+                result: output.aggregate,
+                per_core: output.per_core,
             }),
             Err(error) => out[i].errors.push(ScenarioRunError {
                 workload,
@@ -494,8 +544,10 @@ pub fn registry() -> Vec<Scenario> {
         ablation_scatter(),
         ablation_5level(),
         contenders(),
+        smp_scaling(),
         smoke(),
         contenders_smoke(),
+        smp_smoke(),
     ]
 }
 
@@ -726,6 +778,49 @@ fn contenders() -> Scenario {
     .engines(head_to_head_engines())
 }
 
+fn smp_scaling() -> Scenario {
+    // How translation scales when cores genuinely contend for one memory
+    // fabric: the uniform sweep (maximum cache pressure), the zipfian
+    // server (Victima's block regime under shared-L2 pressure), and the
+    // graph traversal, each across every backend at 1/2/4 cores.
+    Scenario::new(
+        "smp_scaling",
+        "SMP scaling: walk latency and cycles as 1/2/4 cores share the memory fabric",
+    )
+    .rendered_by(RendererKind::SmpScaling)
+    .workloads([
+        WorkloadSpec::mc80(),
+        WorkloadSpec::redis(),
+        WorkloadSpec::bfs(),
+    ])
+    .engines(head_to_head_engines())
+    .cores([1, 2, 4])
+}
+
+fn smp_smoke() -> Scenario {
+    // CI-sized multi-core coverage: enough cores that fabric contention
+    // and per-core rows are exercised end-to-end on every ci.sh pass, and
+    // a coloc row so the co-runner-as-a-core path is drift-gated too.
+    Scenario::new(
+        "smp_smoke",
+        "CI smoke: multi-core fabric sharing (baseline/ASAP/Victima × 1/2 cores) at miniature scale",
+    )
+    .ci_smoke()
+    .windows(SimConfig::smoke_test())
+    .rendered_by(RendererKind::SmpScaling)
+    .workloads([smoke_workload()])
+    .engines([
+        ("Baseline", EngineSelect::Baseline),
+        ("ASAP", EngineSelect::asap_p1_p2()),
+        ("Victima", EngineSelect::Victima),
+    ])
+    .cores([1, 2])
+    .row(
+        "Baseline+coloc2c",
+        RunSpec::new(smoke_workload()).with_cores(2).colocated(),
+    )
+}
+
 fn contenders_smoke() -> Scenario {
     // The same miniature redis variant the contender unit tests use: small
     // enough for CI, enough page reuse that both contender mechanisms
@@ -820,8 +915,10 @@ mod tests {
             "ablation_scatter",
             "ablation_5level",
             "contenders",
+            "smp_scaling",
             "smoke",
             "contenders_smoke",
+            "smp_smoke",
         ] {
             assert!(find(expected).is_some(), "missing scenario {expected}");
         }
@@ -899,6 +996,35 @@ mod tests {
             .row("Baseline", RunSpec::new(WorkloadSpec::mcf()));
         let caught = std::panic::catch_unwind(|| s.runs(SimConfig::smoke_test()));
         assert!(caught.is_err(), "shadowing rows must be rejected");
+    }
+
+    #[test]
+    fn smp_smoke_scenario_produces_per_core_rows() {
+        let results = find("smp_smoke").unwrap().run(SimConfig::smoke_test());
+        // 3 engines × {1c, 2c} + the explicit coloc row.
+        assert_eq!(results.runs.len(), 7);
+        assert!(results.per_core("mc80", "Baseline+1c").is_empty());
+        let duo = results.per_core("mc80", "Baseline+2c");
+        assert_eq!(duo.len(), 2);
+        assert_eq!(duo[0].workload, "mc80@core0");
+        assert_eq!(duo[1].workload, "mc80@core1");
+        let coloc = results.per_core("mc80", "Baseline+coloc2c");
+        assert_eq!(coloc[1].workload, "corunner@core1");
+        // Contention is visible in the aggregate rows.
+        let solo = results.get("mc80", "Baseline+1c");
+        let pair = results.get("mc80", "Baseline+2c");
+        assert!(pair.avg_walk_latency() > solo.avg_walk_latency());
+    }
+
+    #[test]
+    fn forced_cores_override_every_run() {
+        let s = Scenario::new("forced", "forced-cores override")
+            .workloads([WorkloadSpec::mcf()])
+            .cores([1, 2])
+            .with_forced_cores(4);
+        for run in s.runs(SimConfig::smoke_test()) {
+            assert_eq!(run.spec.cores, 4, "{} not overridden", run.variant);
+        }
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! SMP machine assembly: builds N per-core engines over ONE shared
+//! [`SharedFabric`] for a unified [`RunSpec`] whose `cores` axis exceeds
+//! one, and hands them to the cycle-interleaved [`run_cores`] driver.
+//! Reached only through [`RunSpec::run_split`]'s internal dispatch.
+//!
+//! Core 0 always runs the spec's workload. Cores 1..N run workload copies
+//! (isolation — the homogeneous-scaling question) or, when the spec is
+//! colocated, the [`WorkloadSpec::corunner`] preset as a *real* core —
+//! replacing the single-core out-of-band line-injection shim with honest
+//! contention: the neighbor takes its own TLB misses and walks on the
+//! shared hierarchy.
+//!
+//! Every core gets its own process (distinct ASID, hence a disjoint
+//! physical window — see `asap_os::PhysMap`), its own derived seed, and a
+//! bit-identical per-core MMU configuration to the single-core machine's;
+//! only the fabric is shared.
+
+use crate::driver::{run_cores, CoreSlot, DriverError, RunMeta};
+use crate::native::{hw_asap, mmu_config, os_asap};
+use crate::{EngineSelect, RunOutput, RunResult, RunSpec};
+use asap_cache::{HierarchyConfig, SharedFabric};
+use asap_contenders::{RevelatorConfig, RevelatorMmu, VictimaConfig, VictimaMmu};
+use asap_core::{Mmu, TranslationEngine};
+use asap_os::Process;
+use asap_types::Asid;
+use asap_workloads::{BoxedStream, WorkloadSpec};
+
+/// Derives core `i`'s seed from the run seed. Core 0 keeps the run seed
+/// unchanged, so its process and stream are bit-identical to the
+/// single-core machine's — scaling comparisons vary only the contention.
+fn core_seed(seed: u64, core: usize) -> u64 {
+    seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Context-loads every engine, zips the per-core pieces into driver
+/// slots, and runs the interleaved loop.
+fn drive<E: TranslationEngine<Machine = Process>>(
+    mut engines: Vec<E>,
+    processes: &mut [Process],
+    streams: &mut [BoxedStream],
+    names: &[String],
+    meta: &RunMeta,
+) -> Result<Vec<RunResult>, DriverError> {
+    for (engine, process) in engines.iter_mut().zip(processes.iter()) {
+        TranslationEngine::load_context(engine, process);
+    }
+    let mut slots: Vec<CoreSlot<'_, E>> = engines
+        .iter_mut()
+        .zip(processes.iter_mut())
+        .zip(streams.iter_mut())
+        .zip(names)
+        .map(|(((engine, machine), stream), name)| CoreSlot {
+            engine,
+            machine,
+            stream: stream.as_mut(),
+            workload: name.clone(),
+            corunner: None,
+        })
+        .collect();
+    run_cores(&mut slots, meta)
+}
+
+/// Runs one multi-core configuration: N cores, one fabric, per-core plus
+/// aggregate measurements.
+pub(crate) fn run_smp(spec: &RunSpec) -> Result<RunOutput, DriverError> {
+    let n = spec.cores;
+    let seed = spec.sim.seed;
+    let base_workload = spec.effective_workload();
+    let core_workloads: Vec<WorkloadSpec> = (0..n)
+        .map(|i| {
+            if i == 0 || !spec.colocated {
+                base_workload.clone()
+            } else {
+                WorkloadSpec::corunner()
+            }
+        })
+        .collect();
+    let names: Vec<String> = core_workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| format!("{}@core{i}", w.name))
+        .collect();
+
+    // Every core runs the same OS policy (an SMP machine has one kernel):
+    // ASAP reservations exist exactly for the levels hardware prefetches.
+    let os = os_asap(&hw_asap(spec));
+    let mut processes: Vec<Process> = Vec::with_capacity(n);
+    let mut streams: Vec<BoxedStream> = Vec::with_capacity(n);
+    for (i, w) in core_workloads.iter().enumerate() {
+        let s = core_seed(seed, i);
+        let process = Process::new(
+            w.process_config(
+                Asid(1 + u16::try_from(i).expect("cores <= 8")),
+                os.clone(),
+                s,
+            )
+            .with_paging_mode(spec.paging_mode),
+        );
+        streams.push(w.build_stream(&process, s ^ 0x11));
+        processes.push(process);
+    }
+
+    let meta = RunMeta {
+        workload: spec.workload.name.into(),
+        label: spec.label(),
+        sim: spec.sim,
+        colocated: spec.colocated,
+        perfect_tlb: spec.perfect_tlb,
+    };
+    // The machine-wide fabric, built ONCE from the SAME hierarchy config
+    // the per-core engine constructor would use — one source of truth, so
+    // a 1-core and an N-core run of the same spec simulate the same
+    // memory system even if an engine config swaps its hierarchy.
+    let hierarchy: HierarchyConfig = match &spec.engine {
+        EngineSelect::Victima => VictimaConfig::default().hierarchy,
+        EngineSelect::Revelator => RevelatorConfig::default().hierarchy,
+        _ => mmu_config(spec, seed).hierarchy,
+    };
+    let fabric = SharedFabric::new(hierarchy);
+    let per_core = match &spec.engine {
+        EngineSelect::Victima => drive(
+            (0..n)
+                .map(|i| {
+                    VictimaMmu::with_fabric(
+                        VictimaConfig::default().with_seed(core_seed(seed, i)),
+                        fabric.clone(),
+                    )
+                })
+                .collect(),
+            &mut processes,
+            &mut streams,
+            &names,
+            &meta,
+        )?,
+        EngineSelect::Revelator => drive(
+            (0..n)
+                .map(|i| {
+                    RevelatorMmu::with_fabric(
+                        RevelatorConfig::default().with_seed(core_seed(seed, i)),
+                        fabric.clone(),
+                    )
+                })
+                .collect(),
+            &mut processes,
+            &mut streams,
+            &names,
+            &meta,
+        )?,
+        // Baseline / ASAP (nested engines are rejected by validation on
+        // native machines, and cores > 1 requires a native machine).
+        _ => drive(
+            (0..n)
+                .map(|i| Mmu::with_fabric(mmu_config(spec, core_seed(seed, i)), fabric.clone()))
+                .collect::<Vec<Mmu>>(),
+            &mut processes,
+            &mut streams,
+            &names,
+            &meta,
+        )?,
+    };
+    // A colocated aggregate blends the neighbor's counters into the row;
+    // compose the name so nobody reads the blend as the workload alone.
+    let aggregate_name = if spec.colocated {
+        format!("{}+corunner", spec.workload.name)
+    } else {
+        spec.workload.name.to_string()
+    };
+    Ok(RunOutput::aggregate_of(&aggregate_name, per_core))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::scenarios::smoke_workload as small;
+    use crate::{EngineSelect, RunSpec, SimConfig};
+    use asap_core::AsapHwConfig;
+
+    #[test]
+    fn smp_run_yields_per_core_and_aggregate_rows() {
+        let out = RunSpec::new(small())
+            .with_cores(2)
+            .with_sim(SimConfig::smoke_test())
+            .run_split()
+            .unwrap();
+        assert_eq!(out.per_core.len(), 2);
+        assert_eq!(out.per_core[0].workload, "mc80@core0");
+        assert_eq!(out.per_core[1].workload, "mc80@core1");
+        assert_eq!(out.aggregate.workload, "mc80");
+        assert_eq!(out.aggregate.label, "Baseline 2c");
+        for core in &out.per_core {
+            assert!(core.walks.count() > 100, "{} never walked", core.workload);
+            assert_eq!(core.faults, 0);
+            assert!(core.cycles > 0);
+        }
+        assert_eq!(
+            out.aggregate.walks.count(),
+            out.per_core.iter().map(|c| c.walks.count()).sum::<u64>()
+        );
+        assert_eq!(
+            out.aggregate.cycles,
+            out.per_core.iter().map(|c| c.cycles).max().unwrap()
+        );
+    }
+
+    #[test]
+    fn shared_fabric_contention_inflates_walk_latency() {
+        let sim = SimConfig::smoke_test();
+        let solo = RunSpec::new(small()).with_sim(sim).run().unwrap();
+        let quad = RunSpec::new(small())
+            .with_cores(4)
+            .with_sim(sim)
+            .run()
+            .unwrap();
+        assert!(
+            quad.avg_walk_latency() > solo.avg_walk_latency(),
+            "4-core {} !> 1-core {}",
+            quad.avg_walk_latency(),
+            solo.avg_walk_latency()
+        );
+    }
+
+    #[test]
+    fn smp_colocation_runs_the_corunner_as_a_real_core() {
+        let out = RunSpec::new(small())
+            .with_cores(2)
+            .colocated()
+            .with_sim(SimConfig::smoke_test())
+            .run_split()
+            .unwrap();
+        assert_eq!(out.per_core[0].workload, "mc80@core0");
+        assert_eq!(out.per_core[1].workload, "corunner@core1");
+        assert_eq!(
+            out.aggregate.workload, "mc80+corunner",
+            "a blended aggregate must not masquerade as the workload alone"
+        );
+        assert!(
+            out.per_core[1].walks.count() > 0,
+            "a real neighbor core takes real walks"
+        );
+    }
+
+    #[test]
+    fn smp_runs_are_deterministic() {
+        let spec = RunSpec::new(small())
+            .with_cores(2)
+            .with_sim(SimConfig::smoke_test());
+        let a = spec.run_split().unwrap();
+        let b = spec.run_split().unwrap();
+        assert_eq!(a.aggregate.walks, b.aggregate.walks);
+        assert_eq!(a.aggregate.cycles, b.aggregate.cycles);
+        for (x, y) in a.per_core.iter().zip(&b.per_core) {
+            assert_eq!(x.walks, y.walks);
+            assert_eq!(x.cycles, y.cycles);
+        }
+    }
+
+    #[test]
+    fn contender_engines_run_multi_core() {
+        let sim = SimConfig::smoke_test();
+        for engine in [
+            EngineSelect::Victima,
+            EngineSelect::Revelator,
+            EngineSelect::Asap(AsapHwConfig::p1_p2()),
+        ] {
+            let out = RunSpec::new(small())
+                .with_engine(engine.clone())
+                .with_cores(2)
+                .with_sim(sim)
+                .run_split()
+                .unwrap_or_else(|e| panic!("{engine:?}: {e}"));
+            assert_eq!(out.per_core.len(), 2);
+            assert_eq!(out.aggregate.faults, 0, "{engine:?}");
+            assert!(out.aggregate.walks.count() > 0, "{engine:?}");
+        }
+    }
+}

@@ -62,7 +62,7 @@ pub(crate) fn run_virt(spec: &RunSpec) -> Result<RunResult, DriverError> {
     let mut mmu = NestedMmu::new(NestedMmuConfig::default().with_asap(asap).with_seed(seed));
     TranslationEngine::load_context(&mut mmu, &vm);
     let meta = RunMeta {
-        workload: spec.workload.name,
+        workload: spec.workload.name.into(),
         label: spec.label(),
         sim: spec.sim,
         colocated: spec.colocated,

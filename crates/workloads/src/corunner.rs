@@ -12,6 +12,13 @@ use rand::{Rng, SeedableRng};
 /// process) and thrash the shared cache hierarchy; per the paper's
 /// methodology, TLB/PWC contention is *not* modelled, which makes ASAP
 /// estimates conservative.
+///
+/// **Compat shim.** This out-of-band line injector survives only for
+/// single-core `coloc` runs, whose statistics are pinned bit-identically
+/// by the committed engine-parity goldens and smoke-tier
+/// `BENCH_results.json`. Multi-core machines model the neighbor honestly
+/// instead: [`WorkloadSpec::corunner`](crate::WorkloadSpec::corunner)
+/// runs as an ordinary workload on its own core.
 #[derive(Debug, Clone)]
 pub struct CoRunner {
     footprint_lines: u64,

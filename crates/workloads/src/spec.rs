@@ -162,6 +162,28 @@ impl WorkloadSpec {
         }
     }
 
+    /// The memory-intensive SMT co-runner as an **ordinary schedulable
+    /// workload**: uniform random touches over a 32 GiB dataset (§4's
+    /// "one request to a random address per application access"). On a
+    /// multi-core machine the colocated neighbor runs this preset on its
+    /// own core — contending for the shared fabric with real TLB misses
+    /// and walks — instead of injecting raw cache lines out of band.
+    #[must_use]
+    pub fn corunner() -> Self {
+        Self {
+            name: "corunner",
+            footprint: ByteSize::gib(32),
+            big_vmas: 1,
+            libs: 0,
+            pattern: PatternKind::Uniform {
+                hot_fraction: 1.0,
+                seq_run: 1,
+            },
+            pt_scatter_run: 23.2,
+            data_cluster_fraction: 0.0,
+        }
+    }
+
     /// Redis with a 50 GB YCSB dataset, zipfian GETs.
     /// Table 2: 7 VMAs, 1 for 99%, 3555 regions / 44171 pages.
     #[must_use]

@@ -149,6 +149,46 @@ fn asap_is_architecturally_invisible_even_with_holes() {
     }
 }
 
+/// The SMP machine end to end: walk latency grows monotonically-ish with
+/// core count (shared-fabric contention), per-core rows line up with the
+/// aggregate, and every backend survives 4-way sharing without faults.
+#[test]
+fn smp_scaling_shape_holds() {
+    let sim = SimConfig::smoke_test();
+    let w = small(WorkloadSpec::mc80());
+    let lat = |cores: usize| {
+        RunSpec::new(w.clone())
+            .with_cores(cores)
+            .with_sim(sim)
+            .run()
+            .unwrap()
+            .avg_walk_latency()
+    };
+    let solo = lat(1);
+    let quad = lat(4);
+    assert!(
+        quad > solo,
+        "4-core contention must inflate walk latency: {quad} !> {solo}"
+    );
+
+    let out = RunSpec::new(w.clone())
+        .with_asap(AsapHwConfig::p1_p2())
+        .with_cores(4)
+        .with_sim(sim)
+        .run_split()
+        .unwrap();
+    assert_eq!(out.per_core.len(), 4);
+    assert_eq!(out.aggregate.faults, 0);
+    assert_eq!(
+        out.aggregate.walks.count(),
+        out.per_core.iter().map(|c| c.walks.count()).sum::<u64>()
+    );
+    for (i, core) in out.per_core.iter().enumerate() {
+        assert_eq!(core.workload, format!("mc80@core{i}"));
+        assert!(core.prefetches_issued > 0, "core {i} never prefetched");
+    }
+}
+
 /// The TLB path works across the facade: second access to the same page is
 /// a TLB hit with zero translation latency.
 #[test]

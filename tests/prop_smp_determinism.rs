@@ -1,0 +1,75 @@
+//! Property test for multi-core determinism: the SMP driver's fixed
+//! arbitration order (lowest local clock, ties by core index) plus seeded
+//! per-core state means the same seed and the same `RunSpec` must produce
+//! **identical** per-core and aggregate statistics on every execution —
+//! across 2- and 4-core machines, every engine backend, and both
+//! isolation and colocation (co-runner-as-a-core).
+
+use asap::sim::{EngineSelect, RunOutput, RunResult, RunSpec, SimConfig};
+use asap::types::ByteSize;
+use asap::workloads::WorkloadSpec;
+use proptest::prelude::*;
+
+/// Every counter a drift could hide in.
+fn snapshot(r: &RunResult) -> (String, u64, u64, u64, u64, u64, u64, u64, u64) {
+    (
+        r.workload.clone(),
+        r.walks.count(),
+        r.walks.total_cycles(),
+        r.cycles,
+        r.walk_cycles,
+        r.l2_tlb_misses,
+        r.l2_tlb_accesses,
+        r.prefetches_issued,
+        r.faults,
+    )
+}
+
+fn run(spec: &RunSpec) -> RunOutput {
+    spec.run_split().expect("well-formed SMP spec")
+}
+
+proptest! {
+    // Each case simulates 2 full multi-core windows; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn same_seed_and_spec_reproduce_per_core_and_aggregate_stats(
+        seed in 0u64..1_000_000,
+        cores in prop_oneof![Just(2usize), Just(4usize)],
+        engine_idx in 0usize..4,
+        coloc in prop_oneof![Just(false), Just(true)],
+    ) {
+        let workload = WorkloadSpec {
+            footprint: ByteSize::mib(256),
+            ..WorkloadSpec::mc80()
+        };
+        let engine = match engine_idx {
+            0 => EngineSelect::Baseline,
+            1 => EngineSelect::asap_p1_p2(),
+            2 => EngineSelect::Victima,
+            _ => EngineSelect::Revelator,
+        };
+        let sim = SimConfig {
+            warmup_accesses: 300,
+            measure_accesses: 1200,
+            seed,
+        };
+        let mut spec = RunSpec::new(workload)
+            .with_engine(engine)
+            .with_cores(cores)
+            .with_sim(sim);
+        if coloc {
+            spec = spec.colocated();
+        }
+        let a = run(&spec);
+        let b = run(&spec);
+        prop_assert_eq!(a.per_core.len(), cores);
+        prop_assert_eq!(snapshot(&a.aggregate), snapshot(&b.aggregate));
+        for (x, y) in a.per_core.iter().zip(&b.per_core) {
+            prop_assert_eq!(snapshot(x), snapshot(y));
+            // The full latency distribution, not just its aggregates.
+            prop_assert_eq!(&x.walks, &y.walks);
+        }
+    }
+}
