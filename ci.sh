@@ -42,7 +42,20 @@ smoke() {
     # regenerates BENCH_results.json, and the gate below fails on any
     # drift from the committed copy (the perf-trajectory check). A PR
     # that intentionally changes behaviour commits the regenerated file.
+    #
+    # The run is also a perf smoke: the batched hot path finishes the
+    # smoke set in well under a second, so a pass that blows through the
+    # (deliberately generous) ceiling means the inner loop regressed by
+    # an order of magnitude, not that the machine was busy.
+    smoke_t0=$(date +%s)
     run $ASAP smoke
+    smoke_elapsed=$(( $(date +%s) - smoke_t0 ))
+    smoke_ceiling="${ASAP_SMOKE_CEILING_S:-30}"
+    if (( smoke_elapsed > smoke_ceiling )); then
+        echo "perf smoke FAILED: asap smoke took ${smoke_elapsed}s (ceiling ${smoke_ceiling}s)"
+        exit 1
+    fi
+    echo "perf smoke: asap smoke finished in ${smoke_elapsed}s (ceiling ${smoke_ceiling}s)"
     # Compare against HEAD (not the index) so staged-but-uncommitted drift
     # still fails the gate.
     if git rev-parse --is-inside-work-tree >/dev/null 2>&1 \

@@ -99,6 +99,65 @@ fn page_walk(c: &mut Criterion) {
             Walker::walk(&mem, &pt, VirtAddr::new(i << 12).unwrap())
         })
     });
+
+    // The same table through the flat arena mirror — the descent the hot
+    // loop actually runs. Same stride as `software_walk`, so the two rows
+    // are directly comparable.
+    let mut mirror = asap_pt::FlatMirror::new(&pt);
+    mirror.rebuild(&mem, &pt);
+    let mut k = 0u64;
+    g.bench_function("flat_translate", |b| {
+        b.iter(|| {
+            k = (k + 97) % 4096;
+            mirror.translate(VirtAddr::new(k << 12).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn driver_loop(c: &mut Criterion) {
+    use asap_core::{Mmu, MmuConfig, TranslationEngine};
+    use asap_os::AsapOsConfig;
+    use asap_sim::{run_scenario, RunMeta, SimConfig};
+    use asap_types::ByteSize;
+    use asap_workloads::WorkloadSpec;
+
+    let mut g = c.benchmark_group("components/driver");
+    g.sample_size(10);
+
+    // One full batched smoke-window epoch (warmup + measure) through the
+    // single-core driver: the end-to-end per-access cost of the inner loop.
+    let w = WorkloadSpec {
+        footprint: ByteSize::mib(64),
+        ..WorkloadSpec::mc80()
+    };
+    let sim = SimConfig::smoke_test();
+    let mut process = w.build_process(Asid(9), AsapOsConfig::disabled(), sim.seed);
+    let mut mmu = Mmu::new(MmuConfig::default().with_seed(sim.seed));
+    TranslationEngine::load_context(&mut mmu, &process);
+    let meta = RunMeta {
+        workload: "bench".into(),
+        label: "bench".into(),
+        sim,
+        colocated: false,
+        perfect_tlb: false,
+    };
+    g.bench_function("batched_epoch", |b| {
+        b.iter(|| {
+            let mut stream = w.build_stream(&process, sim.seed ^ 0x11);
+            run_scenario(&mut mmu, &mut process, stream.as_mut(), &meta).unwrap()
+        })
+    });
+
+    // Snapshot-and-reset of the engine's plain-counter statistics — the
+    // bulk "flush" the driver performs once per measurement window.
+    g.bench_function("stats_flush", |b| {
+        b.iter(|| {
+            let snap = mmu.stats_snapshot();
+            mmu.reset_stats();
+            black_box(snap)
+        })
+    });
     g.finish();
 }
 
@@ -220,6 +279,7 @@ criterion_group!(
     cache_hierarchy,
     tlb_lookup,
     page_walk,
+    driver_loop,
     allocators,
     contender_hot_paths,
     workload_gen

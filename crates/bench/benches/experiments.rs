@@ -13,6 +13,7 @@ fn bench_sim() -> SimConfig {
         warmup_accesses: 2_000,
         measure_accesses: 6_000,
         seed: 42,
+        ..SimConfig::default()
     }
 }
 

@@ -35,6 +35,7 @@ pub fn sim_config(quick: bool) -> SimConfig {
             warmup_accesses: 5_000,
             measure_accesses: 20_000,
             seed: 42,
+            ..SimConfig::default()
         }
     } else {
         SimConfig::default()
@@ -825,6 +826,7 @@ mod tests {
             warmup_accesses: 100,
             measure_accesses: 300,
             seed: 42,
+            ..SimConfig::default()
         };
         let scenarios = registry();
         let all = run_scenarios(&scenarios, sim);

@@ -4,7 +4,7 @@
 //! the simulator: data caches, L1/L2 TLBs, page-walk caches and the clustered
 //! TLB all wrap [`SetAssoc`] with their own tag and payload types.
 
-use crate::replacement::{policy_rng, SetPolicy};
+use crate::replacement::{policy_rng, PolicyState};
 use crate::ReplacementKind;
 use rand::rngs::SmallRng;
 
@@ -23,17 +23,17 @@ struct Way<K, V> {
     value: V,
 }
 
-#[derive(Debug, Clone)]
-struct Set<K, V> {
-    ways: Vec<Option<Way<K, V>>>,
-    policy: SetPolicy,
-}
-
 /// A set-associative array mapping tags `K` to payloads `V`.
 ///
 /// The caller chooses the set for each operation (different structures index
 /// with different address bits), while `SetAssoc` owns way management,
 /// replacement and eviction.
+///
+/// Storage is a single set-major arena (`slots[set * ways + w]`) plus one
+/// structure-wide replacement-state array, rather than a `Vec` of per-set
+/// `Vec`s: a lookup touches one contiguous run of ways with no per-set
+/// pointer chase, which is what the simulator's hot loop spends most of its
+/// time doing.
 ///
 /// # Examples
 ///
@@ -50,9 +50,11 @@ struct Set<K, V> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SetAssoc<K, V> {
-    sets: Vec<Set<K, V>>,
+    slots: Vec<Option<Way<K, V>>>,
+    num_sets: usize,
     ways: usize,
     clock: u64,
+    policy: PolicyState,
     rng: SmallRng,
 }
 
@@ -70,16 +72,12 @@ impl<K: Eq + Copy, V> SetAssoc<K, V> {
     pub fn new(num_sets: usize, ways: usize, policy: ReplacementKind, seed: u64) -> Self {
         assert!(num_sets > 0, "need at least one set");
         assert!(ways > 0, "need at least one way");
-        let sets = (0..num_sets)
-            .map(|_| Set {
-                ways: (0..ways).map(|_| None).collect(),
-                policy: SetPolicy::new(policy, ways),
-            })
-            .collect();
         Self {
-            sets,
+            slots: (0..num_sets * ways).map(|_| None).collect(),
+            num_sets,
             ways,
             clock: 0,
+            policy: PolicyState::new(policy, num_sets, ways),
             rng: policy_rng(seed),
         }
     }
@@ -87,7 +85,7 @@ impl<K: Eq + Copy, V> SetAssoc<K, V> {
     /// Number of sets.
     #[must_use]
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.num_sets
     }
 
     /// Associativity.
@@ -99,7 +97,7 @@ impl<K: Eq + Copy, V> SetAssoc<K, V> {
     /// Total capacity in entries.
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.num_sets * self.ways
     }
 
     /// Looks up `key` in `set`, updating recency on a hit.
@@ -110,12 +108,14 @@ impl<K: Eq + Copy, V> SetAssoc<K, V> {
     pub fn lookup(&mut self, set: usize, key: &K) -> Option<&V> {
         self.clock += 1;
         let clock = self.clock;
-        let s = &mut self.sets[set];
-        for (w, slot) in s.ways.iter().enumerate() {
-            if let Some(way) = slot {
+        let base = set * self.ways;
+        let ways = self.ways;
+        assert!(set < self.num_sets, "set {set} out of range");
+        for w in 0..ways {
+            if let Some(way) = &self.slots[base + w] {
                 if way.key == *key {
-                    s.policy.touch(w, clock);
-                    return s.ways[w].as_ref().map(|way| &way.value);
+                    self.policy.touch(set, ways, w, clock);
+                    return self.slots[base + w].as_ref().map(|way| &way.value);
                 }
             }
         }
@@ -126,12 +126,14 @@ impl<K: Eq + Copy, V> SetAssoc<K, V> {
     pub fn lookup_mut(&mut self, set: usize, key: &K) -> Option<&mut V> {
         self.clock += 1;
         let clock = self.clock;
-        let s = &mut self.sets[set];
-        for (w, slot) in s.ways.iter().enumerate() {
-            if let Some(way) = slot {
+        let base = set * self.ways;
+        let ways = self.ways;
+        assert!(set < self.num_sets, "set {set} out of range");
+        for w in 0..ways {
+            if let Some(way) = &self.slots[base + w] {
                 if way.key == *key {
-                    s.policy.touch(w, clock);
-                    return s.ways[w].as_mut().map(|way| &mut way.value);
+                    self.policy.touch(set, ways, w, clock);
+                    return self.slots[base + w].as_mut().map(|way| &mut way.value);
                 }
             }
         }
@@ -141,8 +143,8 @@ impl<K: Eq + Copy, V> SetAssoc<K, V> {
     /// Checks for `key` in `set` without updating replacement state.
     #[must_use]
     pub fn probe(&self, set: usize, key: &K) -> Option<&V> {
-        self.sets[set]
-            .ways
+        let base = set * self.ways;
+        self.slots[base..base + self.ways]
             .iter()
             .flatten()
             .find(|way| way.key == *key)
@@ -157,31 +159,32 @@ impl<K: Eq + Copy, V> SetAssoc<K, V> {
         self.clock += 1;
         let clock = self.clock;
         let ways = self.ways;
-        let s = &mut self.sets[set];
+        let base = set * ways;
+        assert!(set < self.num_sets, "set {set} out of range");
         // Hit: replace in place.
-        for (w, slot) in s.ways.iter_mut().enumerate() {
-            if let Some(way) = slot {
+        for w in 0..ways {
+            if let Some(way) = &mut self.slots[base + w] {
                 if way.key == key {
                     way.value = value;
-                    s.policy.touch(w, clock);
+                    self.policy.touch(set, ways, w, clock);
                     return None;
                 }
             }
         }
         // Free way.
-        for (w, slot) in s.ways.iter_mut().enumerate() {
-            if slot.is_none() {
-                *slot = Some(Way { key, value });
-                s.policy.touch(w, clock);
+        for w in 0..ways {
+            if self.slots[base + w].is_none() {
+                self.slots[base + w] = Some(Way { key, value });
+                self.policy.touch(set, ways, w, clock);
                 return None;
             }
         }
         // Evict.
-        let victim = s.policy.victim(ways, &mut self.rng);
-        let old = s.ways[victim]
+        let victim = self.policy.victim(set, ways, &mut self.rng);
+        let old = self.slots[base + victim]
             .replace(Way { key, value })
             .expect("victim way occupied in a full set");
-        s.policy.touch(victim, clock);
+        self.policy.touch(set, ways, victim, clock);
         Some(Eviction {
             key: old.key,
             value: old.value,
@@ -190,8 +193,8 @@ impl<K: Eq + Copy, V> SetAssoc<K, V> {
 
     /// Removes `key` from `set`, returning its payload if present.
     pub fn invalidate(&mut self, set: usize, key: &K) -> Option<V> {
-        let s = &mut self.sets[set];
-        for slot in s.ways.iter_mut() {
+        let base = set * self.ways;
+        for slot in &mut self.slots[base..base + self.ways] {
             if slot.as_ref().is_some_and(|way| way.key == *key) {
                 return slot.take().map(|way| way.value);
             }
@@ -201,20 +204,15 @@ impl<K: Eq + Copy, V> SetAssoc<K, V> {
 
     /// Clears every entry.
     pub fn flush(&mut self) {
-        for s in &mut self.sets {
-            for slot in &mut s.ways {
-                *slot = None;
-            }
+        for slot in &mut self.slots {
+            *slot = None;
         }
     }
 
     /// Number of valid entries across all sets.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.ways.iter().flatten().count())
-            .sum()
+        self.slots.iter().flatten().count()
     }
 
     /// Whether the structure holds no entries.
@@ -225,24 +223,21 @@ impl<K: Eq + Copy, V> SetAssoc<K, V> {
 
     /// Iterates over `(set, key, value)` for all valid entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &K, &V)> {
-        self.sets.iter().enumerate().flat_map(|(i, s)| {
-            s.ways
-                .iter()
-                .flatten()
-                .map(move |way| (i, &way.key, &way.value))
-        })
+        let ways = self.ways;
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, slot)| slot.as_ref().map(|way| (i / ways, &way.key, &way.value)))
     }
 
     /// Removes all entries failing `keep`, returning how many were dropped.
     pub fn retain(&mut self, mut keep: impl FnMut(&K, &V) -> bool) -> usize {
         let mut dropped = 0;
-        for s in &mut self.sets {
-            for slot in &mut s.ways {
-                if let Some(way) = slot {
-                    if !keep(&way.key, &way.value) {
-                        *slot = None;
-                        dropped += 1;
-                    }
+        for slot in &mut self.slots {
+            if let Some(way) = slot {
+                if !keep(&way.key, &way.value) {
+                    *slot = None;
+                    dropped += 1;
                 }
             }
         }
@@ -341,5 +336,21 @@ mod tests {
         assert_eq!(c.num_sets(), 4);
         assert_eq!(c.ways(), 2);
         assert_eq!(c.capacity(), 8);
+    }
+
+    #[test]
+    fn sets_are_independent_in_flat_layout() {
+        // Fill two adjacent sets and verify each set's LRU decisions ignore
+        // the other's state (guards the set-major slot/stamp indexing).
+        let mut c = small();
+        c.insert(0, 1, 1);
+        c.insert(1, 2, 2);
+        c.insert(0, 3, 3);
+        c.insert(1, 4, 4);
+        c.lookup(0, &1); // refresh set 0's key 1; set 1 untouched
+        let ev0 = c.insert(0, 5, 5).unwrap();
+        assert_eq!(ev0.key, 3);
+        let ev1 = c.insert(1, 6, 6).unwrap();
+        assert_eq!(ev1.key, 2, "set 1 LRU order unaffected by set 0 traffic");
     }
 }

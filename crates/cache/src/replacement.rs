@@ -29,38 +29,49 @@ impl core::fmt::Display for ReplacementKind {
     }
 }
 
-/// Per-set replacement state; one instance per set.
+/// Structure-wide replacement state, flattened across all sets: one
+/// contiguous stamp array (LRU) or bit array (tree-PLRU) instead of a heap
+/// allocation per set, so the hot lookup/insert paths touch a single cache
+/// line per set rather than chasing a per-set `Vec`.
+///
+/// Decisions are bit-identical to the old per-set representation: each
+/// set's state occupies its own `set * ways ..` slice (LRU) or `bits[set]`
+/// word (tree-PLRU), and the victim/touch logic over that slice is
+/// unchanged.
 #[derive(Debug, Clone)]
-pub(crate) enum SetPolicy {
+pub(crate) enum PolicyState {
     Lru { stamps: Vec<u64> },
-    TreePlru { bits: u64, ways: usize },
+    TreePlru { bits: Vec<u64> },
     Random,
 }
 
-impl SetPolicy {
-    pub(crate) fn new(kind: ReplacementKind, ways: usize) -> Self {
+impl PolicyState {
+    pub(crate) fn new(kind: ReplacementKind, num_sets: usize, ways: usize) -> Self {
         match kind {
-            ReplacementKind::Lru => SetPolicy::Lru {
-                stamps: vec![0; ways],
+            ReplacementKind::Lru => PolicyState::Lru {
+                stamps: vec![0; num_sets * ways],
             },
             ReplacementKind::TreePlru => {
                 assert!(
                     ways.is_power_of_two(),
                     "tree-PLRU requires power-of-two associativity, got {ways}"
                 );
-                SetPolicy::TreePlru { bits: 0, ways }
+                PolicyState::TreePlru {
+                    bits: vec![0; num_sets],
+                }
             }
-            ReplacementKind::Random => SetPolicy::Random,
+            ReplacementKind::Random => PolicyState::Random,
         }
     }
 
-    /// Records a use of `way` at logical time `stamp`.
-    pub(crate) fn touch(&mut self, way: usize, stamp: u64) {
+    /// Records a use of `way` in `set` at logical time `stamp`.
+    pub(crate) fn touch(&mut self, set: usize, ways: usize, way: usize, stamp: u64) {
         match self {
-            SetPolicy::Lru { stamps } => stamps[way] = stamp,
-            SetPolicy::TreePlru { bits, ways } => {
+            PolicyState::Lru { stamps } => stamps[set * ways + way] = stamp,
+            PolicyState::TreePlru { bits } => {
                 // Walk from the root, flipping each internal node away from
                 // the touched way.
+                let bits = &mut bits[set];
                 let mut node = 1usize;
                 let levels = ways.trailing_zeros();
                 for level in (0..levels).rev() {
@@ -73,20 +84,21 @@ impl SetPolicy {
                     node = node * 2 + bit;
                 }
             }
-            SetPolicy::Random => {}
+            PolicyState::Random => {}
         }
     }
 
-    /// Chooses a victim way among `ways` candidates.
-    pub(crate) fn victim(&self, ways: usize, rng: &mut SmallRng) -> usize {
+    /// Chooses a victim way in `set` among `ways` candidates.
+    pub(crate) fn victim(&self, set: usize, ways: usize, rng: &mut SmallRng) -> usize {
         match self {
-            SetPolicy::Lru { stamps } => stamps
+            PolicyState::Lru { stamps } => stamps[set * ways..(set + 1) * ways]
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, s)| **s)
                 .map(|(w, _)| w)
                 .expect("non-empty set"),
-            SetPolicy::TreePlru { bits, ways } => {
+            PolicyState::TreePlru { bits } => {
+                let bits = bits[set];
                 let mut node = 1usize;
                 let levels = ways.trailing_zeros();
                 let mut way = 0usize;
@@ -97,7 +109,7 @@ impl SetPolicy {
                 }
                 way
             }
-            SetPolicy::Random => rng.gen_range(0..ways),
+            PolicyState::Random => rng.gen_range(0..ways),
         }
     }
 }
@@ -114,40 +126,42 @@ mod tests {
 
     #[test]
     fn lru_picks_least_recent() {
-        let mut p = SetPolicy::new(ReplacementKind::Lru, 4);
+        let mut p = PolicyState::new(ReplacementKind::Lru, 2, 4);
         let mut rng = policy_rng(0);
         for (way, t) in [(0, 10), (1, 5), (2, 20), (3, 15)] {
-            p.touch(way, t);
+            p.touch(1, 4, way, t);
         }
-        assert_eq!(p.victim(4, &mut rng), 1);
-        p.touch(1, 30);
-        assert_eq!(p.victim(4, &mut rng), 0);
+        assert_eq!(p.victim(1, 4, &mut rng), 1);
+        p.touch(1, 4, 1, 30);
+        assert_eq!(p.victim(1, 4, &mut rng), 0);
+        // The untouched set 0 is independent: all-zero stamps pick way 0.
+        assert_eq!(p.victim(0, 4, &mut rng), 0);
     }
 
     #[test]
     fn tree_plru_avoids_recent() {
-        let mut p = SetPolicy::new(ReplacementKind::TreePlru, 4);
+        let mut p = PolicyState::new(ReplacementKind::TreePlru, 1, 4);
         let mut rng = policy_rng(0);
         // After touching way 0, the victim must not be way 0.
-        p.touch(0, 1);
-        assert_ne!(p.victim(4, &mut rng), 0);
+        p.touch(0, 4, 0, 1);
+        assert_ne!(p.victim(0, 4, &mut rng), 0);
         // Touch everything; victim is still a valid way.
         for w in 0..4 {
-            p.touch(w, 2);
+            p.touch(0, 4, w, 2);
         }
-        assert!(p.victim(4, &mut rng) < 4);
+        assert!(p.victim(0, 4, &mut rng) < 4);
     }
 
     #[test]
     fn tree_plru_cycles_through_all_ways() {
         // Repeatedly touching the current victim must visit every way.
-        let mut p = SetPolicy::new(ReplacementKind::TreePlru, 8);
+        let mut p = PolicyState::new(ReplacementKind::TreePlru, 1, 8);
         let mut rng = policy_rng(0);
         let mut seen = std::collections::HashSet::new();
         for t in 0..8 {
-            let v = p.victim(8, &mut rng);
+            let v = p.victim(0, 8, &mut rng);
             seen.insert(v);
-            p.touch(v, t);
+            p.touch(0, 8, v, t);
         }
         assert_eq!(seen.len(), 8, "PLRU failed to cycle: {seen:?}");
     }
@@ -155,19 +169,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "power-of-two")]
     fn tree_plru_rejects_non_power_of_two() {
-        let _ = SetPolicy::new(ReplacementKind::TreePlru, 6);
+        let _ = PolicyState::new(ReplacementKind::TreePlru, 1, 6);
     }
 
     #[test]
     fn random_is_deterministic_per_seed() {
-        let p = SetPolicy::new(ReplacementKind::Random, 8);
+        let p = PolicyState::new(ReplacementKind::Random, 1, 8);
         let seq1: Vec<_> = {
             let mut rng = policy_rng(7);
-            (0..16).map(|_| p.victim(8, &mut rng)).collect()
+            (0..16).map(|_| p.victim(0, 8, &mut rng)).collect()
         };
         let seq2: Vec<_> = {
             let mut rng = policy_rng(7);
-            (0..16).map(|_| p.victim(8, &mut rng)).collect()
+            (0..16).map(|_| p.victim(0, 8, &mut rng)).collect()
         };
         assert_eq!(seq1, seq2);
         assert!(seq1.iter().all(|w| *w < 8));

@@ -199,8 +199,7 @@ impl RevelatorMmu {
             &mut self.core,
             &mut self.pwc,
             &mut self.served,
-            machine.mem(),
-            machine.page_table(),
+            machine.flat_mirror(),
             asid,
             va,
         );

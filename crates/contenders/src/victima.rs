@@ -246,8 +246,7 @@ impl VictimaMmu {
             &mut self.core,
             &mut self.pwc,
             &mut self.served,
-            machine.mem(),
-            machine.page_table(),
+            machine.flat_mirror(),
             asid,
             va,
         );

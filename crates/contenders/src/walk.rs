@@ -8,7 +8,7 @@
 //! so the two backends cannot drift apart.
 
 use asap_core::{EngineCore, ServedByMatrix};
-use asap_pt::{PageTable, SimPhysMem, Translation, Walker};
+use asap_pt::{Translation, WalkSource};
 use asap_tlb::PageWalkCaches;
 use asap_types::{Asid, PtLevel, VirtAddr};
 
@@ -29,28 +29,27 @@ pub(crate) fn verified_walk(
     core: &mut EngineCore,
     pwc: &mut PageWalkCaches,
     served: &mut ServedByMatrix,
-    mem: &SimPhysMem,
-    pt: &PageTable,
+    src: &dyn WalkSource,
     asid: Asid,
     va: VirtAddr,
 ) -> VerifiedWalk {
     let t0 = core.now();
     let pwc_hit = pwc.lookup(asid, va);
-    let start_level = pwc_hit.map_or(pt.mode().root_level(), |h| h.next_level);
+    let start_level = pwc_hit.map_or(src.mode().root_level(), |h| h.next_level);
 
-    let trace = Walker::walk(mem, pt, va);
+    let trace = src.walk_fixed(va);
     let mut t = t0 + pwc.latency();
-    for step in &trace.steps {
+    for step in trace.steps() {
         if step.level.depth() > start_level.depth() {
             served.record(step.level, asap_core::ServedSource::Pwc);
             continue;
         }
-        let src = core.walk_access(step.entry_addr.cache_line(), &mut t);
-        served.record(step.level, src);
+        let served_by = core.walk_access(step.entry_addr.cache_line(), &mut t);
+        served.record(step.level, served_by);
     }
     let latency = core.finish_walk(t0, t);
 
-    for step in &trace.steps {
+    for step in trace.steps() {
         if step.level != PtLevel::Pl1 && step.entry.is_present() && !step.entry.is_large_leaf() {
             pwc.fill(asid, va, step.level, step.entry.frame());
         }

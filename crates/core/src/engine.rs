@@ -115,7 +115,11 @@ impl SimMachine for VirtualMachine {
     }
 
     fn reference_translate(&mut self, va: VirtAddr) -> Option<PhysAddr> {
-        self.nested_walk(va).data_hpa()
+        // Equivalent to `self.nested_walk(va).data_hpa()`: `touch` backs the
+        // guest node chain and data page in the EPT up front, so composing
+        // the two per-dimension translations never needs a lazy host fill.
+        let gpa = self.guest().translate(va)?.phys_addr(va);
+        self.ept().translate(gpa)
     }
 }
 

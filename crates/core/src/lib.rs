@@ -67,7 +67,7 @@ pub use engine::{
     EngineCore, EngineOutcome, EngineStats, SimMachine, TranslationEngine, TranslationPath,
     L2_TLB_HIT_CYCLES,
 };
-pub use mmu::{AccessOutcome, Mmu, WalkReport};
+pub use mmu::{AccessOutcome, Mmu, WalkReport, WalkSources};
 pub use nested_mmu::{NestedAccessOutcome, NestedMmu, NestedPath, NestedWalkReport};
 pub use prefetcher::prefetch_target;
 pub use range_regs::RangeRegisterFile;

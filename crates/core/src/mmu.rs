@@ -6,9 +6,82 @@ use crate::{
 };
 use asap_cache::HierarchyStats;
 use asap_os::Process;
-use asap_pt::{PageTable, SimPhysMem, Walker};
+use asap_pt::{PageTable, RadixSource, SimPhysMem, Translation, WalkSource, MAX_WALK_DEPTH};
 use asap_tlb::{ClusteredTlb, PageWalkCaches, TlbEntry, TlbLevel, TlbStats};
 use asap_types::{Asid, CacheLineAddr, PageSize, PhysAddr, PtLevel, VirtAddr};
+
+/// Per-level serving sources of one walk (root first): the fixed-capacity,
+/// allocation-free twin of a `Vec<(PtLevel, ServedSource)>` — a walk visits
+/// at most [`MAX_WALK_DEPTH`] levels.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkSources {
+    items: [(PtLevel, ServedSource); MAX_WALK_DEPTH],
+    len: u8,
+}
+
+impl WalkSources {
+    const FILLER: (PtLevel, ServedSource) = (PtLevel::Pl1, ServedSource::Pwc);
+
+    /// An empty source list.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            items: [Self::FILLER; MAX_WALK_DEPTH],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, level: PtLevel, src: ServedSource) {
+        self.items[usize::from(self.len)] = (level, src);
+        self.len += 1;
+    }
+
+    /// The recorded `(level, source)` pairs, root first.
+    #[must_use]
+    pub fn as_slice(&self) -> &[(PtLevel, ServedSource)] {
+        &self.items[..usize::from(self.len)]
+    }
+
+    /// Iterates over the recorded pairs.
+    pub fn iter(&self) -> core::slice::Iter<'_, (PtLevel, ServedSource)> {
+        self.as_slice().iter()
+    }
+
+    /// Number of recorded levels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Whether no level was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Default for WalkSources {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartialEq for WalkSources {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for WalkSources {}
+
+impl<'a> IntoIterator for &'a WalkSources {
+    type Item = &'a (PtLevel, ServedSource);
+    type IntoIter = core::slice::Iter<'a, (PtLevel, ServedSource)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
 
 /// Details of one page walk.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,7 +89,7 @@ pub struct WalkReport {
     /// Walk latency in cycles (the paper's headline metric).
     pub latency: u64,
     /// Per-level serving source, root first.
-    pub sources: Vec<(PtLevel, ServedSource)>,
+    pub sources: WalkSources,
     /// ASAP prefetches issued for this walk.
     pub prefetches_issued: u8,
     /// ASAP prefetches dropped for lack of an MSHR.
@@ -109,6 +182,19 @@ impl Mmu {
         va: VirtAddr,
         cluster: Option<&dyn ClusterSource>,
     ) -> AccessOutcome {
+        self.translate_via(&RadixSource { mem, pt }, asid, va, cluster)
+    }
+
+    /// [`Mmu::translate`] over any [`WalkSource`] — the hot path hands a
+    /// [`asap_pt::FlatMirror`] here; the radix table is the cold-path /
+    /// reference source.
+    pub fn translate_via(
+        &mut self,
+        src: &dyn WalkSource,
+        asid: Asid,
+        va: VirtAddr,
+        cluster: Option<&dyn ClusterSource>,
+    ) -> AccessOutcome {
         let vpn = va.page_number();
         if let Some((level, latency, entry)) = self.core.tlb_lookup(asid, vpn) {
             let path = match level {
@@ -135,13 +221,11 @@ impl Mmu {
                 };
             }
         }
-        let report = self.walk(mem, pt, asid, va, cluster);
+        let (report, translation) = self.walk(src, asid, va, cluster);
         let latency = report.latency;
-        let phys = if report.fault {
-            None
-        } else {
-            pt.translate(mem, va).map(|t| t.phys_addr(va))
-        };
+        // The walk trace already carries the ground-truth translation — no
+        // second table descent needed.
+        let phys = translation.map(|t| t.phys_addr(va));
         AccessOutcome {
             path: TranslationPath::Walk,
             latency,
@@ -153,12 +237,11 @@ impl Mmu {
     /// The TLB-miss path: prefetch issue + walk timeline (Fig. 4b).
     fn walk(
         &mut self,
-        mem: &SimPhysMem,
-        pt: &PageTable,
+        src: &dyn WalkSource,
         asid: Asid,
         va: VirtAddr,
         cluster: Option<&dyn ClusterSource>,
-    ) -> WalkReport {
+    ) -> (WalkReport, Option<Translation>) {
         let t0 = self.core.now();
 
         // ASAP: range-register check in parallel with walker activation; on
@@ -182,37 +265,38 @@ impl Mmu {
         // The walker starts with a PWC probe; the deepest hit decides where
         // the radix-tree traversal resumes.
         let pwc_hit = self.pwc.lookup(asid, va);
-        let start_level = pwc_hit.map_or(pt.mode().root_level(), |h| h.next_level);
+        let start_level = pwc_hit.map_or(src.mode().root_level(), |h| h.next_level);
 
         // Ground truth: the full node trace. The timing model below elides
         // the PWC-covered prefix and charges the hierarchy for the rest,
         // merging with in-flight prefetches where they overlap.
-        let trace = Walker::walk(mem, pt, va);
-        let mut sources = Vec::with_capacity(trace.steps.len());
+        let trace = src.walk_fixed(va);
+        let mut sources = WalkSources::new();
         let mut t = t0 + self.pwc.latency();
-        for step in &trace.steps {
+        for step in trace.steps() {
             if step.level.depth() > start_level.depth() {
-                sources.push((step.level, ServedSource::Pwc));
+                sources.push(step.level, ServedSource::Pwc);
                 self.served.record(step.level, ServedSource::Pwc);
                 continue;
             }
-            let src = self.core.walk_access(step.entry_addr.cache_line(), &mut t);
-            sources.push((step.level, src));
-            self.served.record(step.level, src);
+            let served = self.core.walk_access(step.entry_addr.cache_line(), &mut t);
+            sources.push(step.level, served);
+            self.served.record(step.level, served);
         }
         let latency = self.core.finish_walk(t0, t);
 
         // Fills: PWC entries for intermediate levels, TLB (and clustered
         // TLB) for the leaf. Only a completed walk installs translations —
         // prefetched data is never consumed architecturally (§3.1).
-        for step in &trace.steps {
+        for step in trace.steps() {
             if step.level != PtLevel::Pl1 && step.entry.is_present() && !step.entry.is_large_leaf()
             {
                 self.pwc.fill(asid, va, step.level, step.entry.frame());
             }
         }
         let fault = trace.is_fault();
-        if let Some(tr) = trace.translation() {
+        let translation = trace.translation();
+        if let Some(tr) = translation {
             self.core
                 .tlbs
                 .fill(asid, vpn_of(va), TlbEntry::new(tr.frame, tr.size));
@@ -224,13 +308,16 @@ impl Mmu {
         } else {
             self.core.walk_faults += 1;
         }
-        WalkReport {
-            latency,
-            sources,
-            prefetches_issued,
-            prefetches_dropped,
-            fault,
-        }
+        (
+            WalkReport {
+                latency,
+                sources,
+                prefetches_issued,
+                prefetches_dropped,
+                fault,
+            },
+            translation,
+        )
     }
 
     /// A demand data access (the application's own load/store reaching the
@@ -324,13 +411,9 @@ impl TranslationEngine for Mmu {
             .clustered
             .is_some()
             .then_some(&*machine as &dyn ClusterSource);
-        let out = self.translate(
-            machine.mem(),
-            machine.page_table(),
-            machine.asid(),
-            va,
-            cluster,
-        );
+        // Hot path: walk the process's flat mirror instead of the radix
+        // table. The differential tests pin the two to identical traces.
+        let out = self.translate_via(machine.flat_mirror(), machine.asid(), va, cluster);
         EngineOutcome {
             path: out.path,
             latency: out.latency,
@@ -618,7 +701,9 @@ mod tests {
     #[test]
     fn engine_trait_matches_inherent_translation() {
         // The trait surface must be a pure view over the inherent API: the
-        // same access sequence through both yields identical outcomes.
+        // same access sequence through both yields identical outcomes. This
+        // doubles as the MMU-level differential — the inherent path walks
+        // the radix table, the trait path walks the flat mirror.
         let mut p1 = process(AsapOsConfig::pl1_and_pl2());
         let mut p2 = process(AsapOsConfig::pl1_and_pl2());
         let vas: Vec<VirtAddr> = (0..16).map(|i| heap_va(&p1, i * 0x3000)).collect();

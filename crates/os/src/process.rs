@@ -7,7 +7,9 @@ use crate::{
 };
 use asap_alloc::{ScatterAllocator, ScatterConfig};
 use asap_pt::Translation;
-use asap_pt::{PageTable, PtCensus, PteFlags, SimPhysMem, WalkTrace, Walker};
+use asap_pt::{
+    FixedWalk, FlatMirror, PageTable, PtCensus, PteFlags, SimPhysMem, WalkSource, WalkTrace,
+};
 use asap_types::{Asid, ByteSize, PageSize, PagingMode, PhysFrameNum, VirtAddr, VirtPageNum};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -136,6 +138,9 @@ pub struct Process {
     mem: SimPhysMem,
     vmas: VmaTree,
     pt: PageTable,
+    /// Derived flat index over `pt` (re-synced after every map); the radix
+    /// table in `mem` stays the ground truth.
+    flat: FlatMirror,
     reservations: ReservationSet,
     scatter: ScatterAllocator,
     data_layout: DataPageLayout,
@@ -177,6 +182,7 @@ impl Process {
         };
         let mut mem = SimPhysMem::new();
         let pt = PageTable::new(config.paging_mode, &mut mem, &mut rebased);
+        let flat = FlatMirror::new(&pt);
 
         let mut reservations = ReservationSet::new(phys);
         let mut data_index_base = Vec::with_capacity(ids.len());
@@ -198,6 +204,7 @@ impl Process {
             mem,
             vmas,
             pt,
+            flat,
             reservations,
             scatter,
             data_layout: DataPageLayout::new(
@@ -261,7 +268,7 @@ impl Process {
     ///
     /// [`OsError::Segfault`] if `va` lies outside every VMA.
     pub fn touch(&mut self, va: VirtAddr) -> Result<TouchOutcome, OsError> {
-        if self.pt.translate(&self.mem, va).is_some() {
+        if self.flat.is_mapped(va) {
             return Ok(TouchOutcome::AlreadyMapped);
         }
         let vma = *self.vmas.find(va).ok_or(OsError::Segfault(va))?;
@@ -289,6 +296,7 @@ impl Process {
                 PteFlags::user_data(),
             )
             .expect("fault on unmapped page cannot double-map");
+        self.flat.sync_va(&self.mem, &self.pt, va.page_base());
         self.faults += 1;
         Ok(TouchOutcome::Faulted)
     }
@@ -296,13 +304,25 @@ impl Process {
     /// Translates `va` if mapped (no side effects).
     #[must_use]
     pub fn translate(&self, va: VirtAddr) -> Option<Translation> {
-        self.pt.translate(&self.mem, va)
+        self.flat.translate(va)
     }
 
     /// Performs a full software page walk, returning the node trace.
     #[must_use]
     pub fn walk(&self, va: VirtAddr) -> WalkTrace {
-        Walker::walk(&self.mem, &self.pt, va)
+        self.flat.walk_fixed(va).to_trace()
+    }
+
+    /// [`Process::walk`] without the heap allocation (the hot-path form).
+    #[must_use]
+    pub fn walk_fixed(&self, va: VirtAddr) -> FixedWalk {
+        self.flat.walk_fixed(va)
+    }
+
+    /// The flat walk index mirroring this process' page table.
+    #[must_use]
+    pub fn flat_mirror(&self) -> &FlatMirror {
+        &self.flat
     }
 
     /// Grows the heap VMA to `new_end` (`brk`), extending reservations; a
@@ -336,7 +356,7 @@ impl Process {
         let base_vpn = va.page_number().raw() & !7;
         core::array::from_fn(|i| {
             let nva = VirtAddr::new_unchecked((base_vpn + i as u64) << 12);
-            self.pt.translate(&self.mem, nva).map(|t| t.frame)
+            self.flat.translate(nva).map(|t| t.frame)
         })
     }
 

@@ -2,16 +2,18 @@
 
 use crate::Pte;
 use asap_types::ENTRIES_PER_TABLE;
-use std::collections::BTreeMap;
 
 /// Threshold (in populated entries) at which a frame's representation is
-/// promoted from a sorted map to a dense 512-entry array.
+/// promoted from a sorted vector to a dense 512-entry array.
 const DENSE_THRESHOLD: usize = 64;
 
 #[derive(Debug, Clone)]
 enum Repr {
-    /// Few populated entries: sorted map keyed by table index.
-    Sparse(BTreeMap<u16, u64>),
+    /// Few populated entries: `(index, raw)` pairs sorted by index. Binary
+    /// search over one or two contiguous cache lines beats a pointer-chasing
+    /// tree at these sizes, and the demand-fault path reads/writes entries
+    /// constantly while datasets page in.
+    Sparse(Vec<(u16, u64)>),
     /// Densely populated: full array (absent entries are raw zero, i.e.
     /// not-present, exactly as on hardware).
     Dense(Box<[u64; 512]>),
@@ -47,7 +49,7 @@ impl PtFrame {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            repr: Repr::Sparse(BTreeMap::new()),
+            repr: Repr::Sparse(Vec::new()),
         }
     }
 
@@ -60,7 +62,9 @@ impl PtFrame {
     pub fn read(&self, index: u64) -> Pte {
         assert!(index < ENTRIES_PER_TABLE, "table index out of range");
         let raw = match &self.repr {
-            Repr::Sparse(map) => map.get(&(index as u16)).copied().unwrap_or(0),
+            Repr::Sparse(pairs) => pairs
+                .binary_search_by_key(&(index as u16), |&(i, _)| i)
+                .map_or(0, |pos| pairs[pos].1),
             Repr::Dense(arr) => arr[index as usize],
         };
         Pte::from_raw(raw)
@@ -77,13 +81,23 @@ impl PtFrame {
     pub fn write(&mut self, index: u64, pte: Pte) {
         assert!(index < ENTRIES_PER_TABLE, "table index out of range");
         match &mut self.repr {
-            Repr::Sparse(map) => {
-                if pte.raw() == 0 {
-                    map.remove(&(index as u16));
-                } else {
-                    map.insert(index as u16, pte.raw());
-                    if map.len() > DENSE_THRESHOLD {
-                        self.promote();
+            Repr::Sparse(pairs) => {
+                let key = index as u16;
+                match pairs.binary_search_by_key(&key, |&(i, _)| i) {
+                    Ok(pos) => {
+                        if pte.raw() == 0 {
+                            pairs.remove(pos);
+                        } else {
+                            pairs[pos].1 = pte.raw();
+                        }
+                    }
+                    Err(pos) => {
+                        if pte.raw() != 0 {
+                            pairs.insert(pos, (key, pte.raw()));
+                            if pairs.len() > DENSE_THRESHOLD {
+                                self.promote();
+                            }
+                        }
                     }
                 }
             }
@@ -92,9 +106,9 @@ impl PtFrame {
     }
 
     fn promote(&mut self) {
-        if let Repr::Sparse(map) = &self.repr {
+        if let Repr::Sparse(pairs) = &self.repr {
             let mut arr = Box::new([0u64; 512]);
-            for (&i, &raw) in map {
+            for &(i, raw) in pairs {
                 arr[i as usize] = raw;
             }
             self.repr = Repr::Dense(arr);
@@ -105,7 +119,7 @@ impl PtFrame {
     #[must_use]
     pub fn populated(&self) -> usize {
         match &self.repr {
-            Repr::Sparse(map) => map.len(),
+            Repr::Sparse(pairs) => pairs.len(),
             Repr::Dense(arr) => arr.iter().filter(|raw| **raw != 0).count(),
         }
     }
@@ -119,9 +133,10 @@ impl PtFrame {
     /// Iterates `(index, pte)` over present entries in index order.
     pub fn iter_present(&self) -> Box<dyn Iterator<Item = (u64, Pte)> + '_> {
         match &self.repr {
-            Repr::Sparse(map) => Box::new(
-                map.iter()
-                    .map(|(&i, &raw)| (u64::from(i), Pte::from_raw(raw))),
+            Repr::Sparse(pairs) => Box::new(
+                pairs
+                    .iter()
+                    .map(|&(i, raw)| (u64::from(i), Pte::from_raw(raw))),
             ),
             Repr::Dense(arr) => Box::new(
                 arr.iter()

@@ -44,6 +44,8 @@
 mod census;
 mod entry;
 mod error;
+mod fast_hash;
+mod flat;
 mod frame;
 mod phys_mem;
 mod table;
@@ -52,9 +54,11 @@ mod walker;
 pub use census::{ContigStats, PtCensus};
 pub use entry::{Pte, PteFlags};
 pub use error::PtError;
+pub use fast_hash::{FastBuildHasher, FastHasher, FastMap};
+pub use flat::{FlatMirror, RadixSource, WalkSource};
 pub use frame::PtFrame;
 pub use phys_mem::SimPhysMem;
 pub use table::{BumpNodeAllocator, PageTable, PtNodeAllocator, Translation};
-pub use walker::{WalkOutcome, WalkStep, WalkTrace, Walker};
+pub use walker::{FixedWalk, WalkOutcome, WalkStep, WalkTrace, Walker, MAX_WALK_DEPTH};
 
 pub use asap_types::PagingMode;

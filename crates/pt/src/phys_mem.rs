@@ -1,8 +1,8 @@
 //! Sparse simulated physical memory for page-table pages.
 
+use crate::fast_hash::FastMap;
 use crate::{PtFrame, Pte};
 use asap_types::{PhysAddr, PhysFrameNum, PTE_SIZE};
-use std::collections::HashMap;
 
 /// Simulated machine memory, materializing only the frames that hold
 /// page-table pages.
@@ -26,7 +26,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SimPhysMem {
-    frames: HashMap<u64, PtFrame>,
+    frames: FastMap<u64, PtFrame>,
 }
 
 impl SimPhysMem {

@@ -85,6 +85,9 @@ pub struct PageTable {
 }
 
 impl PageTable {
+    /// Entries per page-table node (512 on x86-64: 4 KiB / 8-byte PTEs).
+    pub const ENTRIES_PER_NODE: usize = 512;
+
     /// Allocates a root node and returns an empty page table.
     pub fn new(mode: PagingMode, mem: &mut SimPhysMem, alloc: &mut dyn PtNodeAllocator) -> Self {
         let root = alloc.alloc_node(mode.root_level(), VirtAddr::new_unchecked(0));

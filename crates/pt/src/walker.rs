@@ -9,6 +9,9 @@
 use crate::{PageTable, Pte, SimPhysMem, Translation};
 use asap_types::{PageSize, PhysAddr, PtLevel, VirtAddr};
 
+/// The deepest walk any paging mode performs (5-level paging).
+pub const MAX_WALK_DEPTH: usize = 5;
+
 /// One node access performed by the walker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalkStep {
@@ -70,6 +73,96 @@ impl WalkTrace {
     }
 }
 
+/// A walk record with inline step storage: the allocation-free twin of
+/// [`WalkTrace`], used on the simulator hot path where a per-walk `Vec`
+/// would dominate the cost of the walk itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedWalk {
+    va: VirtAddr,
+    steps: [WalkStep; MAX_WALK_DEPTH],
+    len: u8,
+    outcome: WalkOutcome,
+}
+
+impl FixedWalk {
+    const FILLER: WalkStep = WalkStep {
+        level: PtLevel::Pl1,
+        entry_addr: PhysAddr::new(0),
+        entry: Pte::not_present(),
+    };
+
+    /// An empty walk that faulted before touching any node (VA outside the
+    /// paging mode's range).
+    #[must_use]
+    pub(crate) fn empty_fault(va: VirtAddr, level: PtLevel) -> Self {
+        Self {
+            va,
+            steps: [Self::FILLER; MAX_WALK_DEPTH],
+            len: 0,
+            outcome: WalkOutcome::Fault { level },
+        }
+    }
+
+    pub(crate) fn push(&mut self, step: WalkStep) {
+        self.steps[self.len as usize] = step;
+        self.len += 1;
+    }
+
+    pub(crate) fn set_outcome(&mut self, outcome: WalkOutcome) {
+        self.outcome = outcome;
+    }
+
+    /// The virtual address that triggered the walk.
+    #[must_use]
+    pub fn va(&self) -> VirtAddr {
+        self.va
+    }
+
+    /// Node accesses in walk order (root first), as in [`WalkTrace::steps`].
+    #[must_use]
+    pub fn steps(&self) -> &[WalkStep] {
+        &self.steps[..self.len as usize]
+    }
+
+    /// How the walk ended.
+    #[must_use]
+    pub fn outcome(&self) -> WalkOutcome {
+        self.outcome
+    }
+
+    /// The translation if the walk succeeded.
+    #[must_use]
+    pub fn translation(&self) -> Option<Translation> {
+        match self.outcome {
+            WalkOutcome::Mapped(t) => Some(t),
+            WalkOutcome::Fault { .. } => None,
+        }
+    }
+
+    /// The step that accessed `level`, if the walk got that far.
+    #[must_use]
+    pub fn step_at(&self, level: PtLevel) -> Option<&WalkStep> {
+        self.steps().iter().find(|s| s.level == level)
+    }
+
+    /// Whether the walk faulted.
+    #[must_use]
+    pub fn is_fault(&self) -> bool {
+        matches!(self.outcome, WalkOutcome::Fault { .. })
+    }
+
+    /// The heap-allocated [`WalkTrace`] equivalent, for cold paths that
+    /// store or transform traces.
+    #[must_use]
+    pub fn to_trace(&self) -> WalkTrace {
+        WalkTrace {
+            va: self.va,
+            steps: self.steps().to_vec(),
+            outcome: self.outcome,
+        }
+    }
+}
+
 /// The page-walker state machine.
 ///
 /// Stateless: hardware walkers keep their state in flight, and every walk
@@ -100,55 +193,42 @@ impl Walker {
     /// Walks the page table for `va`, recording every node access.
     #[must_use]
     pub fn walk(mem: &SimPhysMem, pt: &PageTable, va: VirtAddr) -> WalkTrace {
-        let mut steps = Vec::with_capacity(pt.mode().depth() as usize);
+        Self::walk_fixed(mem, pt, va).to_trace()
+    }
+
+    /// [`Walker::walk`] without the heap allocation: the hot-path form.
+    #[must_use]
+    pub fn walk_fixed(mem: &SimPhysMem, pt: &PageTable, va: VirtAddr) -> FixedWalk {
+        let mut walk = FixedWalk::empty_fault(va, pt.mode().root_level());
         if !pt.mode().contains(va) {
-            return WalkTrace {
-                va,
-                steps,
-                outcome: WalkOutcome::Fault {
-                    level: pt.mode().root_level(),
-                },
-            };
+            return walk;
         }
         let mut node = pt.root();
         for level in pt.mode().levels() {
             let entry_addr = PageTable::entry_addr(node, level, va);
             let entry = mem.read_entry(entry_addr);
-            steps.push(WalkStep {
+            walk.push(WalkStep {
                 level,
                 entry_addr,
                 entry,
             });
             if !entry.is_present() {
-                return WalkTrace {
-                    va,
-                    steps,
-                    outcome: WalkOutcome::Fault { level },
-                };
+                walk.set_outcome(WalkOutcome::Fault { level });
+                return walk;
             }
             if level == PtLevel::Pl1 || entry.is_large_leaf() {
-                let size = match PageSize::from_leaf_level(level) {
-                    Some(s) => s,
-                    None => {
-                        // PS bit at PL4/PL5 is architecturally reserved;
-                        // treat as a fault.
-                        return WalkTrace {
-                            va,
-                            steps,
-                            outcome: WalkOutcome::Fault { level },
-                        };
-                    }
+                // A PS bit at PL4/PL5 is architecturally reserved;
+                // from_leaf_level is None there and the walk faults.
+                let outcome = match PageSize::from_leaf_level(level) {
+                    Some(size) => WalkOutcome::Mapped(Translation {
+                        frame: entry.frame(),
+                        size,
+                        flags: entry.flags(),
+                    }),
+                    None => WalkOutcome::Fault { level },
                 };
-                let t = Translation {
-                    frame: entry.frame(),
-                    size,
-                    flags: entry.flags(),
-                };
-                return WalkTrace {
-                    va,
-                    steps,
-                    outcome: WalkOutcome::Mapped(t),
-                };
+                walk.set_outcome(outcome);
+                return walk;
             }
             node = entry.frame();
         }

@@ -44,6 +44,11 @@ pub struct SimConfig {
     pub measure_accesses: u64,
     /// Deterministic seed for the whole run.
     pub seed: u64,
+    /// Force per-access arbitration in the multi-core driver instead of
+    /// the batched schedule. The two produce identical statistics (pinned
+    /// by the `prop_smp_determinism` batching oracle); lockstep exists as
+    /// the oracle's reference schedule and differs only in wall-clock.
+    pub lockstep: bool,
 }
 
 impl Default for SimConfig {
@@ -52,6 +57,7 @@ impl Default for SimConfig {
             warmup_accesses: 40_000,
             measure_accesses: 160_000,
             seed: 42,
+            lockstep: false,
         }
     }
 }
@@ -64,6 +70,7 @@ impl SimConfig {
             warmup_accesses: 1_000,
             measure_accesses: 4_000,
             seed: 42,
+            lockstep: false,
         }
     }
 

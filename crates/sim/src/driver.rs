@@ -159,57 +159,50 @@ pub fn run_cores<E: TranslationEngine>(
     let total = meta.sim.warmup_accesses + meta.sim.measure_accesses;
     let mut accounting = vec![CoreAccounting::default(); cores.len()];
     loop {
-        // Fixed arbitration order at each cycle boundary: lowest local
-        // clock first, ties by core index.
-        let mut next: Option<(u64, usize)> = None;
+        // Fixed arbitration order at each batch boundary: lowest local
+        // clock first, ties by core index. `best` is the winner; `bound`
+        // is the runner-up's key, the point where the winner would lose
+        // the next arbitration.
+        let mut best: Option<(u64, usize)> = None;
+        let mut bound: Option<(u64, usize)> = None;
         for (i, core) in cores.iter().enumerate() {
             if accounting[i].accesses_done == total {
                 continue;
             }
-            let now = core.engine.now();
-            if next.is_none() || now < next.expect("checked").0 {
-                next = Some((now, i));
+            let key = (core.engine.now(), i);
+            match best {
+                None => best = Some(key),
+                Some(b) if key < b => {
+                    bound = best;
+                    best = Some(key);
+                }
+                _ => {
+                    if bound.map_or(true, |r| key < r) {
+                        bound = Some(key);
+                    }
+                }
             }
         }
-        let Some((_, i)) = next else { break };
-        let core = &mut cores[i];
-        let acct = &mut accounting[i];
-        if acct.accesses_done == meta.sim.warmup_accesses {
-            core.engine.reset_stats();
-            *acct = CoreAccounting {
-                accesses_done: acct.accesses_done,
-                window_start_cycle: core.engine.now(),
-                ..CoreAccounting::default()
-            };
-        }
-        let va = core.stream.next_va();
-        // OS demand paging happens off the measured path (a faulting access
-        // costs microseconds of OS work either way; the paper's walk-latency
-        // metric covers successful walks).
-        core.machine
-            .demand_page(va)
-            .map_err(|source| DriverError::StreamEscapedVma { va, source })?;
-        let pa = if meta.perfect_tlb {
-            core.machine
-                .reference_translate(va)
-                .ok_or(DriverError::UntranslatablePage { va })?
-        } else {
-            let outcome = core.engine.translate_access(core.machine, va);
-            if outcome.path == TranslationPath::Walk {
-                acct.walk_cycles += outcome.latency;
-                acct.prefetches_issued += u64::from(outcome.prefetches_issued);
-                acct.prefetches_dropped += u64::from(outcome.prefetches_dropped);
+        let Some((_, i)) = best else { break };
+        // Batch: the winning core keeps issuing until it would lose the
+        // next arbitration (its clock, which only moves forward, passes
+        // the runner-up's) or it finishes. No other core's clock moves
+        // while it runs, so this replays exactly the per-access lockstep
+        // schedule without rescanning all cores per access; the lockstep
+        // knob forces a rescan after every access as the oracle's
+        // reference schedule.
+        loop {
+            step_core(&mut cores[i], &mut accounting[i], meta)?;
+            if accounting[i].accesses_done == total {
+                break;
             }
-            outcome.phys.ok_or(DriverError::UntranslatablePage { va })?
-        };
-        let _ = core.engine.data_access(pa);
-        core.engine.advance(CPU_WORK_CYCLES_PER_ACCESS);
-        if let Some(co) = core.corunner.as_mut() {
-            for line in co.next_lines() {
-                core.engine.corunner_access(line);
+            if meta.sim.lockstep {
+                break;
+            }
+            if bound.is_some_and(|r| (cores[i].engine.now(), i) >= r) {
+                break;
             }
         }
-        acct.accesses_done += 1;
     }
 
     Ok(cores
@@ -234,6 +227,55 @@ pub fn run_cores<E: TranslationEngine>(
             }
         })
         .collect())
+}
+
+/// One core's next application reference: warmup-boundary stats reset,
+/// demand paging, translation, the data access, and the co-runner burst.
+fn step_core<E: TranslationEngine>(
+    core: &mut CoreSlot<'_, E>,
+    acct: &mut CoreAccounting,
+    meta: &RunMeta,
+) -> Result<(), DriverError> {
+    if acct.accesses_done == meta.sim.warmup_accesses {
+        core.engine.reset_stats();
+        *acct = CoreAccounting {
+            accesses_done: acct.accesses_done,
+            window_start_cycle: core.engine.now(),
+            ..CoreAccounting::default()
+        };
+    }
+    let va = core.stream.next_va();
+    // OS demand paging happens off the measured path (a faulting access
+    // costs microseconds of OS work either way; the paper's walk-latency
+    // metric covers successful walks).
+    core.machine
+        .demand_page(va)
+        .map_err(|source| DriverError::StreamEscapedVma { va, source })?;
+    let pa = if meta.perfect_tlb {
+        core.machine
+            .reference_translate(va)
+            .ok_or(DriverError::UntranslatablePage { va })?
+    } else {
+        let outcome = core.engine.translate_access(core.machine, va);
+        if outcome.path == TranslationPath::Walk {
+            acct.walk_cycles += outcome.latency;
+            acct.prefetches_issued += u64::from(outcome.prefetches_issued);
+            acct.prefetches_dropped += u64::from(outcome.prefetches_dropped);
+        }
+        outcome.phys.ok_or(DriverError::UntranslatablePage { va })?
+    };
+    let _ = core.engine.data_access(pa);
+    core.engine.advance(CPU_WORK_CYCLES_PER_ACCESS);
+    if let Some(co) = core.corunner.as_mut() {
+        // Drawn one line at a time — the burst is per-access hot path, so
+        // no `Vec` is collected; the RNG draw order matches the old
+        // collected form exactly.
+        for _ in 0..co.burst() {
+            core.engine.corunner_access(co.next_line());
+        }
+    }
+    acct.accesses_done += 1;
+    Ok(())
 }
 
 /// Runs one **single-core** scenario over any translation engine — the

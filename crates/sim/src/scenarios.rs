@@ -1044,6 +1044,7 @@ mod tests {
             warmup_accesses: 200,
             measure_accesses: 500,
             seed: 42,
+            ..SimConfig::default()
         };
         let set: Vec<Scenario> = registry()
             .into_iter()

@@ -2,7 +2,10 @@
 
 use crate::HostPtMap;
 use asap_alloc::{FrameAllocator, ScatterAllocator, ScatterConfig};
-use asap_pt::{PageTable, PtCensus, PtNodeAllocator, PteFlags, SimPhysMem, WalkTrace, Walker};
+use asap_pt::{
+    FixedWalk, FlatMirror, PageTable, PtCensus, PtNodeAllocator, PteFlags, SimPhysMem, WalkSource,
+    WalkTrace,
+};
 use asap_types::{PageSize, PagingMode, PhysAddr, PhysFrameNum, PtLevel, VirtAddr, INDEX_BITS};
 
 /// Configuration of the host dimension.
@@ -79,6 +82,9 @@ impl EptConfig {
 pub struct Ept {
     mem: SimPhysMem,
     table: PageTable,
+    /// Derived flat index over `table` (re-synced after every fault-in);
+    /// the radix table in `mem` stays the ground truth.
+    flat: FlatMirror,
     scatter: ScatterAllocator,
     config: EptConfig,
     faults: u64,
@@ -99,9 +105,11 @@ impl Ept {
             scatter: &mut scatter,
         };
         let table = PageTable::new(PagingMode::FourLevel, &mut mem, &mut placer);
+        let flat = FlatMirror::new(&table);
         Self {
             mem,
             table,
+            flat,
             scatter,
             config,
             faults: 0,
@@ -128,7 +136,7 @@ impl Ept {
     /// faulting in an identity mapping at the configured host page size.
     pub fn ensure_mapped(&mut self, gpa: PhysAddr) {
         let va = Self::gpa_as_va(gpa);
-        if self.table.translate(&self.mem, va).is_some() {
+        if self.flat.is_mapped(va) {
             return;
         }
         let size = self.config.host_page_size;
@@ -148,6 +156,7 @@ impl Ept {
                 PteFlags::user_data(),
             )
             .expect("EPT fault-in cannot double-map");
+        self.flat.sync_va(&self.mem, &self.table, va_base);
         self.faults += 1;
     }
 
@@ -155,14 +164,26 @@ impl Ept {
     #[must_use]
     pub fn translate(&self, gpa: PhysAddr) -> Option<PhysAddr> {
         let va = Self::gpa_as_va(gpa);
-        self.table.translate(&self.mem, va).map(|t| t.phys_addr(va))
+        self.flat.translate(va).map(|t| t.phys_addr(va))
     }
 
     /// Walks the host table for `gpa`, returning the node trace (one 1D
     /// walk of the 2D sequence).
     #[must_use]
     pub fn walk(&self, gpa: PhysAddr) -> WalkTrace {
-        Walker::walk(&self.mem, &self.table, Self::gpa_as_va(gpa))
+        self.walk_fixed(gpa).to_trace()
+    }
+
+    /// [`Ept::walk`] without the heap allocation (the hot-path form).
+    #[must_use]
+    pub fn walk_fixed(&self, gpa: PhysAddr) -> FixedWalk {
+        self.flat.walk_fixed(Self::gpa_as_va(gpa))
+    }
+
+    /// The flat walk index mirroring the nested table.
+    #[must_use]
+    pub fn flat_mirror(&self) -> &FlatMirror {
+        &self.flat
     }
 
     /// Base host-physical address of the reserved host region for `level`,

@@ -1,8 +1,8 @@
 //! The two-dimensional page walk (paper Fig. 7).
 
 use crate::Ept;
-use asap_pt::{PageTable, Pte, SimPhysMem, Translation};
-use asap_types::{PhysAddr, PhysFrameNum, PtLevel, VirtAddr};
+use asap_pt::{Pte, Translation, WalkSource};
+use asap_types::{PhysAddr, PtLevel, VirtAddr};
 
 /// Which dimension an access belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,30 +115,26 @@ pub struct NestedWalker;
 impl NestedWalker {
     /// Performs the 2D walk of Fig. 7 for `va`.
     ///
-    /// `guest_mem`/`guest_pt` hold the guest's page table (addressed by
-    /// guest-physical addresses); `ept` supplies and lazily extends the
-    /// host dimension.
+    /// `guest` supplies the guest-dimension walk (the radix tables or the
+    /// process' flat mirror — equivalent by the differential harness);
+    /// `ept` supplies and lazily extends the host dimension.
     #[must_use]
-    pub fn walk(
-        guest_mem: &SimPhysMem,
-        guest_pt: &PageTable,
-        ept: &mut Ept,
-        va: VirtAddr,
-    ) -> NestedWalkTrace {
+    pub fn walk(guest: &dyn WalkSource, ept: &mut Ept, va: VirtAddr) -> NestedWalkTrace {
         let mut steps = Vec::with_capacity(24);
-        let mut g_node: PhysFrameNum = guest_pt.root();
-        if !guest_pt.mode().contains(va) {
+        if !guest.mode().contains(va) {
             return NestedWalkTrace {
                 va,
                 steps,
                 outcome: NestedOutcome::GuestFault {
-                    level: guest_pt.mode().root_level(),
+                    level: guest.mode().root_level(),
                 },
             };
         }
-        for g_level in guest_pt.mode().levels() {
+        let gwalk = guest.walk_fixed(va);
+        for gstep in gwalk.steps() {
+            let g_level = gstep.level;
             // Guest-physical address of the gPT entry to read.
-            let entry_gpa = PageTable::entry_addr(g_node, g_level, va);
+            let entry_gpa = gstep.entry_addr;
             // 1D host walk translating that gPA (accesses 1-4, 6-9, ...).
             let Some(entry_hpa) = Self::host_1d(ept, entry_gpa, Some(g_level), &mut steps) else {
                 return NestedWalkTrace {
@@ -150,7 +146,7 @@ impl NestedWalker {
                 };
             };
             // The gPT node read itself (access 5, 10, 15, 20).
-            let entry = guest_mem.read_entry(entry_gpa);
+            let entry = gstep.entry;
             steps.push(NestedStep {
                 dim: Dim::Guest,
                 level: g_level,
@@ -169,13 +165,13 @@ impl NestedWalker {
             if g_level == PtLevel::Pl1 || entry.is_large_leaf() {
                 let size =
                     asap_types::PageSize::from_leaf_level(g_level).expect("leaf at PL1/PL2/PL3");
-                let guest = Translation {
+                let guest_t = Translation {
                     frame: entry.frame(),
                     size,
                     flags: entry.flags(),
                 };
                 // Final host walk for the data address (accesses 21-24).
-                let data_gpa = guest.phys_addr(va);
+                let data_gpa = guest_t.phys_addr(va);
                 let Some(data_hpa) = Self::host_1d(ept, data_gpa, None, &mut steps) else {
                     return NestedWalkTrace {
                         va,
@@ -188,10 +184,12 @@ impl NestedWalker {
                 return NestedWalkTrace {
                     va,
                     steps,
-                    outcome: NestedOutcome::Mapped { guest, data_hpa },
+                    outcome: NestedOutcome::Mapped {
+                        guest: guest_t,
+                        data_hpa,
+                    },
                 };
             }
-            g_node = entry.frame();
         }
         unreachable!("guest walk terminates at PL1 or a leaf");
     }
@@ -205,8 +203,8 @@ impl NestedWalker {
         steps: &mut Vec<NestedStep>,
     ) -> Option<PhysAddr> {
         ept.ensure_mapped(gpa);
-        let trace = ept.walk(gpa);
-        for s in &trace.steps {
+        let trace = ept.walk_fixed(gpa);
+        for s in trace.steps() {
             steps.push(NestedStep {
                 dim: Dim::Host,
                 level: s.level,
@@ -226,6 +224,7 @@ mod tests {
     use super::*;
     use crate::EptConfig;
     use asap_os::{AsapOsConfig, Process, ProcessConfig, VmaKind};
+    use asap_pt::RadixSource;
     use asap_types::{Asid, ByteSize};
 
     fn setup(guest_asap: AsapOsConfig, ept_cfg: EptConfig) -> (Process, Ept, VirtAddr) {
@@ -244,7 +243,14 @@ mod tests {
     #[test]
     fn full_2d_walk_is_24_accesses() {
         let (guest, mut ept, va) = setup(AsapOsConfig::disabled(), EptConfig::default());
-        let trace = NestedWalker::walk(guest.mem(), guest.page_table(), &mut ept, va);
+        let trace = NestedWalker::walk(
+            &RadixSource {
+                mem: guest.mem(),
+                pt: guest.page_table(),
+            },
+            &mut ept,
+            va,
+        );
         assert!(trace.is_mapped());
         assert_eq!(trace.steps.len(), 24);
         assert_eq!(trace.guest_steps().count(), 4);
@@ -269,7 +275,14 @@ mod tests {
             AsapOsConfig::disabled(),
             EptConfig::default().host_2m_pages(),
         );
-        let trace = NestedWalker::walk(guest.mem(), guest.page_table(), &mut ept, va);
+        let trace = NestedWalker::walk(
+            &RadixSource {
+                mem: guest.mem(),
+                pt: guest.page_table(),
+            },
+            &mut ept,
+            va,
+        );
         assert!(trace.is_mapped());
         // 5 host walks of 3 steps + 4 guest reads = 19 accesses
         // (the paper: 2 MiB host pages eliminate "up to five long-latency
@@ -280,7 +293,14 @@ mod tests {
     #[test]
     fn data_hpa_is_identity_backed() {
         let (guest, mut ept, va) = setup(AsapOsConfig::disabled(), EptConfig::default());
-        let trace = NestedWalker::walk(guest.mem(), guest.page_table(), &mut ept, va);
+        let trace = NestedWalker::walk(
+            &RadixSource {
+                mem: guest.mem(),
+                pt: guest.page_table(),
+            },
+            &mut ept,
+            va,
+        );
         let data_gpa = guest.translate(va).unwrap().phys_addr(va);
         assert_eq!(trace.data_hpa(), Some(data_gpa));
     }
@@ -290,7 +310,14 @@ mod tests {
         let (guest, mut ept, va) = setup(AsapOsConfig::disabled(), EptConfig::default());
         // An address sharing the PL4/PL3/PL2 chain but with no PL1 mapping.
         let cousin = VirtAddr::new(va.raw() ^ 0x1000).unwrap();
-        let trace = NestedWalker::walk(guest.mem(), guest.page_table(), &mut ept, cousin);
+        let trace = NestedWalker::walk(
+            &RadixSource {
+                mem: guest.mem(),
+                pt: guest.page_table(),
+            },
+            &mut ept,
+            cousin,
+        );
         assert_eq!(
             trace.outcome,
             NestedOutcome::GuestFault {
@@ -321,7 +348,14 @@ mod tests {
         let pl1_base = desc.pl1_base.unwrap();
         for region in [0u64, 2, 3] {
             let va = VirtAddr::new(heap.start().raw() + region * (2 << 20)).unwrap();
-            let trace = NestedWalker::walk(guest.mem(), guest.page_table(), &mut ept, va);
+            let trace = NestedWalker::walk(
+                &RadixSource {
+                    mem: guest.mem(),
+                    pt: guest.page_table(),
+                },
+                &mut ept,
+                va,
+            );
             let gpt_pl1 = trace
                 .guest_steps()
                 .find(|s| s.level == PtLevel::Pl1)

@@ -44,8 +44,11 @@ impl VirtualMachine {
     /// Propagates guest [`OsError`]s (e.g. segfaults outside every VMA).
     pub fn touch(&mut self, va: VirtAddr) -> Result<TouchOutcome, OsError> {
         let outcome = self.guest.touch(va)?;
-        let trace = self.guest.walk(va);
-        for step in &trace.steps {
+        if outcome == TouchOutcome::AlreadyMapped {
+            return Ok(outcome);
+        }
+        let trace = self.guest.walk_fixed(va);
+        for step in trace.steps() {
             self.ept.ensure_mapped(step.entry_addr);
         }
         if let Some(t) = trace.translation() {
@@ -57,7 +60,7 @@ impl VirtualMachine {
     /// Performs the full 2D walk for `va` (Fig. 7).
     #[must_use]
     pub fn nested_walk(&mut self, va: VirtAddr) -> NestedWalkTrace {
-        NestedWalker::walk(self.guest.mem(), self.guest.page_table(), &mut self.ept, va)
+        NestedWalker::walk(self.guest.flat_mirror(), &mut self.ept, va)
     }
 
     /// The guest's ASAP VMA descriptors. Thanks to the §3.6 vmcall

@@ -55,12 +55,12 @@ impl CoRunner {
         Self::new(32 << 30, 24, seed)
     }
 
-    /// The lines touched by the co-runner during one application operation.
-    pub fn next_lines(&mut self) -> Vec<CacheLineAddr> {
-        let base = PhysMap::corunner_base().base_addr().raw() >> asap_types::CACHE_LINE_SHIFT;
-        (0..self.burst)
-            .map(|_| CacheLineAddr::new(base + self.rng.gen_range(0..self.footprint_lines)))
-            .collect()
+    /// Lines injected per application operation. Drivers draw this many
+    /// [`CoRunner::next_line`] calls per access instead of collecting a
+    /// `Vec` — the burst is on the per-access hot path.
+    #[must_use]
+    pub fn burst(&self) -> usize {
+        self.burst
     }
 
     /// The next single random line touched by the co-runner.

@@ -1,9 +1,15 @@
-//! Property test for multi-core determinism: the SMP driver's fixed
+//! Property tests for multi-core determinism: the SMP driver's fixed
 //! arbitration order (lowest local clock, ties by core index) plus seeded
 //! per-core state means the same seed and the same `RunSpec` must produce
 //! **identical** per-core and aggregate statistics on every execution —
 //! across 2- and 4-core machines, every engine backend, and both
 //! isolation and colocation (co-runner-as-a-core).
+//!
+//! The second property is the **batching oracle**: the driver's default
+//! batched schedule (the arbitration winner runs until its clock passes
+//! the runner-up's) must be statistic-identical to per-access lockstep
+//! arbitration at 1, 2 and 4 cores — batching changes wall-clock only,
+//! never a counter.
 
 use asap::sim::{EngineSelect, RunOutput, RunResult, RunSpec, SimConfig};
 use asap::types::ByteSize;
@@ -54,6 +60,7 @@ proptest! {
             warmup_accesses: 300,
             measure_accesses: 1200,
             seed,
+            ..SimConfig::default()
         };
         let mut spec = RunSpec::new(workload)
             .with_engine(engine)
@@ -69,6 +76,49 @@ proptest! {
         for (x, y) in a.per_core.iter().zip(&b.per_core) {
             prop_assert_eq!(snapshot(x), snapshot(y));
             // The full latency distribution, not just its aggregates.
+            prop_assert_eq!(&x.walks, &y.walks);
+        }
+    }
+
+    #[test]
+    fn batched_schedule_matches_lockstep_oracle(
+        seed in 0u64..1_000_000,
+        cores in prop_oneof![Just(1usize), Just(2usize), Just(4usize)],
+        engine_idx in 0usize..4,
+        coloc in prop_oneof![Just(false), Just(true)],
+    ) {
+        let workload = WorkloadSpec {
+            footprint: ByteSize::mib(256),
+            ..WorkloadSpec::mc80()
+        };
+        let engine = match engine_idx {
+            0 => EngineSelect::Baseline,
+            1 => EngineSelect::asap_p1_p2(),
+            2 => EngineSelect::Victima,
+            _ => EngineSelect::Revelator,
+        };
+        let sim = SimConfig {
+            warmup_accesses: 300,
+            measure_accesses: 1200,
+            seed,
+            lockstep: false,
+        };
+        let mut spec = RunSpec::new(workload)
+            .with_engine(engine)
+            .with_cores(cores)
+            .with_sim(sim);
+        if coloc {
+            spec = spec.colocated();
+        }
+        let batched = run(&spec);
+        spec.sim.lockstep = true;
+        let lockstep = run(&spec);
+        prop_assert_eq!(
+            snapshot(&batched.aggregate),
+            snapshot(&lockstep.aggregate)
+        );
+        for (x, y) in batched.per_core.iter().zip(&lockstep.per_core) {
+            prop_assert_eq!(snapshot(x), snapshot(y));
             prop_assert_eq!(&x.walks, &y.walks);
         }
     }
