@@ -37,6 +37,19 @@ smoke() {
     # shared-fabric timing model.
     echo "$list_output" | grep -q "^smp_smoke " \
         || { echo "asap list does not name the smp_smoke scenario"; exit 1; }
+    # Likewise the NUMA smoke scenario: its rows pin the split-fabric
+    # interconnect-hop model (window homing, per-core node assignment).
+    echo "$list_output" | grep -q "^numa_smoke " \
+        || { echo "asap list does not name the numa_smoke scenario"; exit 1; }
+    # The full-tier results file is scratch output, never a baseline: it
+    # must stay git-ignored and untracked (PR 2 declared it ignored, PR 7
+    # enforces it).
+    if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+        if git ls-files --error-unmatch BENCH_results_full.json >/dev/null 2>&1; then
+            echo "BENCH_results_full.json is tracked; it must stay git-ignored scratch"
+            exit 1
+        fi
+    fi
     # The registry's smoke scenarios through the real generic driver loop
     # — catches driver regressions unit tests miss. Deterministic: it
     # regenerates BENCH_results.json, and the gate below fails on any
@@ -80,6 +93,23 @@ run cargo build --release
 run cargo test -q
 run cargo doc --no-deps --quiet
 smoke
+
+# Scale-out gate: the quick-tier smp_scaling sweep covers every backend
+# at 1..=64 cores. The event-queue scheduler keeps arbitration O(log n),
+# so the whole sweep — 32- and 64-core rows included — must fit a fixed
+# wall-clock ceiling; blowing it means scheduling cost started growing
+# with core count again (the `components/arbitration` criterion group
+# has the per-epoch microbench view of the same property). No --json:
+# quick-tier numbers must never touch the committed smoke baseline.
+scale_t0=$(date +%s)
+run $ASAP run smp_scaling --quick
+scale_elapsed=$(( $(date +%s) - scale_t0 ))
+scale_ceiling="${ASAP_SMP_SCALING_CEILING_S:-600}"
+if (( scale_elapsed > scale_ceiling )); then
+    echo "scale-out gate FAILED: smp_scaling --quick took ${scale_elapsed}s (ceiling ${scale_ceiling}s)"
+    exit 1
+fi
+echo "scale-out gate: smp_scaling --quick finished in ${scale_elapsed}s (ceiling ${scale_ceiling}s)"
 
 echo
 echo "ci.sh: all gates passed"

@@ -46,6 +46,42 @@ fn cache_hierarchy(c: &mut Criterion) {
     g.finish();
 }
 
+fn arbitration_scaling(c: &mut Criterion) {
+    use asap_sim::sched::{linear_scan, EventQueue};
+
+    // The scheduler's per-epoch cost as the core count grows: one
+    // arbitration round = pick the minimum-clock core, advance it by a
+    // pseudo-random burst, reinsert. The heap rows should stay near-flat
+    // (O(log n)); the linear_scan rows are the O(n) contrast — the cost
+    // the old driver paid at every epoch.
+    let mut g = c.benchmark_group("components/arbitration");
+    let burst = |clock: u64, i: usize| clock + 40 + ((clock >> 3) ^ i as u64) % 191;
+    for n in [1usize, 2, 4, 8, 16, 32, 64] {
+        let mut queue = EventQueue::with_capacity(n);
+        for i in 0..n {
+            queue.push((i as u64, i));
+        }
+        g.bench_function(format!("event_queue/{n}"), |b| {
+            b.iter(|| {
+                let (clock, i) = queue.pop().expect("queue stays full");
+                queue.push((burst(clock, i), i));
+                black_box(queue.peek())
+            })
+        });
+
+        let mut clocks: Vec<u64> = (0..n as u64).collect();
+        g.bench_function(format!("linear_scan/{n}"), |b| {
+            b.iter(|| {
+                let (best, _) = linear_scan(clocks.iter().enumerate().map(|(i, t)| (*t, i)));
+                let (clock, i) = best.expect("at least one core");
+                clocks[i] = burst(clock, i);
+                black_box(clocks[i])
+            })
+        });
+    }
+    g.finish();
+}
+
 fn tlb_lookup(c: &mut Criterion) {
     let mut g = c.benchmark_group("components/tlb");
     let mut tlb = Tlb::new(TlbConfig::l2_stlb(), 0);
@@ -277,6 +313,7 @@ fn workload_gen(c: &mut Criterion) {
 criterion_group!(
     components,
     cache_hierarchy,
+    arbitration_scaling,
     tlb_lookup,
     page_walk,
     driver_loop,

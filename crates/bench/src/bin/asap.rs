@@ -14,6 +14,7 @@
 //!   --quick                    # reduced windows (tier "quick"; ASAP_QUICK=1 also works)
 //!   --filter <substr>          # keep only scenarios whose name contains <substr>
 //!   --cores <n>                # run every spec at n cores (run command only)
+//!   --numa <n>                 # run every spec across n NUMA nodes (run command only)
 //! ```
 //!
 //! Exit status: 0 on success, 1 when any run reported a driver error (the
@@ -46,9 +47,12 @@ OPTIONS:
     --quick              reduced simulation windows (tier \"quick\")
     --filter <substr>    keep only scenarios whose name contains <substr>
     --cores <n>          force every spec of a `run` command to n cores
-                         sharing the memory fabric (1..=8; smoke/all keep
+                         sharing the memory fabric (1..=64; smoke/all keep
                          their registered core counts so committed
                          baselines stay comparable)
+    --numa <n>           force every spec of a `run` command across n NUMA
+                         nodes (1..=8, native multi-core runs only;
+                         smoke/all keep their registered topology)
     -h, --help           print this help
 ";
 
@@ -59,6 +63,7 @@ struct Cli {
     quick: bool,
     filter: Option<String>,
     cores: Option<usize>,
+    numa: Option<usize>,
 }
 
 fn usage_error(message: &str) -> ExitCode {
@@ -74,6 +79,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         quick: false,
         filter: None,
         cores: None,
+        numa: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -100,6 +106,21 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     ));
                 }
                 cli.cores = Some(n);
+            }
+            "--numa" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| "--numa needs a count".to_string())?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--numa needs a number, got {n:?}"))?;
+                if n == 0 || n > asap_sim::MAX_NUMA_NODES {
+                    return Err(format!(
+                        "--numa must be 1..={}, got {n}",
+                        asap_sim::MAX_NUMA_NODES
+                    ));
+                }
+                cli.numa = Some(n);
             }
             "--filter" => {
                 cli.filter = Some(
@@ -215,6 +236,9 @@ fn cmd_run(cli: &Cli) -> ExitCode {
     if let Some(n) = cli.cores {
         set = set.into_iter().map(|s| s.with_forced_cores(n)).collect();
     }
+    if let Some(n) = cli.numa {
+        set = set.into_iter().map(|s| s.with_forced_numa(n)).collect();
+    }
     execute_and_report(&set, cli, None)
 }
 
@@ -225,9 +249,9 @@ fn cmd_smoke(cli: &Cli) -> ExitCode {
     // behaviour/perf-trajectory check. A filtered subset must never
     // overwrite the committed full-set baseline, so `--filter` drops the
     // default path (pass `--json` explicitly to keep a partial file).
-    if cli.cores.is_some() {
+    if cli.cores.is_some() || cli.numa.is_some() {
         return usage_error(
-            "--cores applies to `run` only (smoke baselines pin their core counts)",
+            "--cores/--numa apply to `run` only (smoke baselines pin their topology)",
         );
     }
     let set = apply_filter(smoke_set(), cli.filter.as_deref());
@@ -240,9 +264,9 @@ fn cmd_smoke(cli: &Cli) -> ExitCode {
 }
 
 fn cmd_all(cli: &Cli) -> ExitCode {
-    if cli.cores.is_some() {
+    if cli.cores.is_some() || cli.numa.is_some() {
         return usage_error(
-            "--cores applies to `run` only (paper scenarios pin their core counts)",
+            "--cores/--numa apply to `run` only (paper scenarios pin their topology)",
         );
     }
     println!("# ASAP reproduction: all experiments\n");

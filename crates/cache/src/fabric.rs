@@ -14,6 +14,14 @@
 //! mutable state needs no locking — the interior mutability only expresses
 //! that N per-core engines reference one memory system.
 //!
+//! The fabric can further be split into **NUMA nodes**
+//! ([`MemoryFabric::configure_numa`]): physical windows register a home
+//! node round-robin, each core's handle carries its node
+//! ([`SharedFabric::for_node`]), and a DRAM-served access whose home
+//! differs from the requester's pays an interconnect hop on top of the
+//! memory latency. Unconfigured (the default), nothing changes — the
+//! uniform-memory timing is bit-identical to the pre-NUMA fabric.
+//!
 //! # Examples
 //!
 //! ```
@@ -34,6 +42,71 @@ use asap_types::CacheLineAddr;
 use std::cell::RefCell;
 use std::rc::Rc;
 
+/// Interconnect-hop latency in cycles a DRAM access pays when the line's
+/// home node differs from the requesting core's: remote DRAM at
+/// `191 + 120 = 311` cycles against 191 local, the ~1.6× remote/local
+/// ratio of a two-socket machine.
+pub const NUMA_HOP_CYCLES: u64 = 120;
+
+/// NUMA topology parameters for a [`MemoryFabric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NumaConfig {
+    /// Number of memory nodes (>= 2; a single node is simply uniform
+    /// memory, i.e. no topology at all).
+    pub nodes: usize,
+    /// Extra cycles a DRAM-served access pays when the line's home node
+    /// differs from the requester's.
+    pub hop_cycles: u64,
+}
+
+impl NumaConfig {
+    /// A symmetric topology of `nodes` nodes at the default hop latency.
+    #[must_use]
+    pub fn symmetric(nodes: usize) -> Self {
+        Self {
+            nodes,
+            hop_cycles: NUMA_HOP_CYCLES,
+        }
+    }
+}
+
+/// DRAM-service counters split by locality (managed windows only; lines
+/// outside every registered window — e.g. the legacy co-runner stream or
+/// Victima's synthetic block lines — are treated as node-local).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NumaStats {
+    /// DRAM serves whose home node matched the requester's.
+    pub local_dram: u64,
+    /// DRAM serves that paid the interconnect hop.
+    pub remote_dram: u64,
+}
+
+/// The NUMA side of the fabric: the topology, the physical windows with
+/// their home nodes (kept sorted and disjoint for binary search), the
+/// round-robin cursor the next registered window is assigned with, and the
+/// locality counters.
+#[derive(Debug, Clone)]
+struct NumaState {
+    config: NumaConfig,
+    /// `(start_line, end_line, home_node)`, sorted by start.
+    windows: Vec<(u64, u64, usize)>,
+    next_node: usize,
+    stats: NumaStats,
+}
+
+impl NumaState {
+    /// The home node of `line`, if it falls inside a registered window.
+    fn home_node(&self, line: CacheLineAddr) -> Option<usize> {
+        let addr = line.raw();
+        let idx = self
+            .windows
+            .partition_point(|&(start, _, _)| start <= addr)
+            .checked_sub(1)?;
+        let (_, end, node) = self.windows[idx];
+        (addr < end).then_some(node)
+    }
+}
+
 /// The shared memory-system layer all simulated cores reference: the
 /// three-level cache hierarchy, DRAM, the MSHR file, and any synthetic
 /// lines a backend installs (e.g. Victima TLB blocks). Purely
@@ -41,6 +114,9 @@ use std::rc::Rc;
 #[derive(Debug, Clone)]
 pub struct MemoryFabric {
     hierarchy: CacheHierarchy,
+    /// `None` until [`MemoryFabric::configure_numa`] — the uniform-memory
+    /// fast path stays byte-identical to the pre-NUMA fabric.
+    numa: Option<NumaState>,
 }
 
 impl MemoryFabric {
@@ -49,12 +125,84 @@ impl MemoryFabric {
     pub fn new(config: HierarchyConfig) -> Self {
         Self {
             hierarchy: CacheHierarchy::new(config),
+            numa: None,
         }
+    }
+
+    /// Spreads the fabric's DRAM over `config.nodes` memory nodes. Windows
+    /// registered afterwards with [`MemoryFabric::assign_window`] receive
+    /// home nodes round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than two nodes — a one-node "topology" is uniform
+    /// memory and must stay on the unconfigured fast path.
+    pub fn configure_numa(&mut self, config: NumaConfig) {
+        assert!(config.nodes >= 2, "a NUMA topology needs at least 2 nodes");
+        self.numa = Some(NumaState {
+            config,
+            windows: Vec::new(),
+            next_node: 0,
+            stats: NumaStats::default(),
+        });
+    }
+
+    /// Registers a physical window of `lines` cache lines starting at
+    /// `start_line` and assigns it the next home node round-robin,
+    /// returning that node. Models default first-touch-free page placement
+    /// at datacenter scale: allocation classes spread across sockets, so
+    /// every core ends up with a deterministic mix of local and remote
+    /// windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a prior [`MemoryFabric::configure_numa`], or when
+    /// the window overlaps one already registered.
+    pub fn assign_window(&mut self, start_line: CacheLineAddr, lines: u64) -> usize {
+        let numa = self.numa.as_mut().expect("configure_numa first");
+        let node = numa.next_node;
+        numa.next_node = (numa.next_node + 1) % numa.config.nodes;
+        let start = start_line.raw();
+        let end = start + lines;
+        let idx = numa.windows.partition_point(|&(s, _, _)| s < start);
+        let disjoint = (idx == 0 || numa.windows[idx - 1].1 <= start)
+            && (idx == numa.windows.len() || end <= numa.windows[idx].0);
+        assert!(disjoint, "NUMA windows must be disjoint");
+        numa.windows.insert(idx, (start, end, node));
+        node
+    }
+
+    /// The home node of `line`, when NUMA is configured and the line falls
+    /// in a registered window.
+    #[must_use]
+    pub fn home_node(&self, line: CacheLineAddr) -> Option<usize> {
+        self.numa.as_ref().and_then(|n| n.home_node(line))
     }
 
     /// A demand access issued at the caller's local cycle `now`.
     pub fn access_at(&mut self, line: CacheLineAddr, now: u64) -> AccessResult {
-        self.hierarchy.access_at(line, now)
+        self.access_from(line, now, 0)
+    }
+
+    /// A demand access issued at `now` by a core on `node`. When the line
+    /// is served by DRAM and homed on a different node, the interconnect
+    /// hop is added to the reported latency; merged accesses ride the fill
+    /// already in flight and pay nothing extra.
+    pub fn access_from(&mut self, line: CacheLineAddr, now: u64, node: usize) -> AccessResult {
+        let mut r = self.hierarchy.access_at(line, now);
+        if let Some(numa) = self.numa.as_mut() {
+            if r.served_by == ServedBy::Memory && !r.merged {
+                if let Some(home) = numa.home_node(line) {
+                    if home == node {
+                        numa.stats.local_dram += 1;
+                    } else {
+                        numa.stats.remote_dram += 1;
+                        r.latency += numa.config.hop_cycles;
+                    }
+                }
+            }
+        }
+        r
     }
 
     /// A best-effort prefetch issued at `now`; `None` when dropped for
@@ -115,9 +263,18 @@ impl MemoryFabric {
         *self.hierarchy.stats()
     }
 
+    /// DRAM locality counters (zero until NUMA is configured).
+    #[must_use]
+    pub fn numa_stats(&self) -> NumaStats {
+        self.numa.as_ref().map(|n| n.stats).unwrap_or_default()
+    }
+
     /// Resets the fabric-wide statistics without touching contents.
     pub fn reset_stats(&mut self) {
         self.hierarchy.reset_stats();
+        if let Some(numa) = self.numa.as_mut() {
+            numa.stats = NumaStats::default();
+        }
     }
 }
 
@@ -127,8 +284,16 @@ impl MemoryFabric {
 /// handle is single-threaded by design (`Rc`): a simulated machine lives
 /// on one host thread, and determinism comes from the driver's fixed
 /// arbitration order, not from locks.
+///
+/// Each handle also carries the NUMA node its core sits on (node 0 until
+/// [`SharedFabric::for_node`]), so engines stay topology-oblivious: they
+/// call [`SharedFabric::access_at`] as always, and the handle stamps the
+/// requester's node onto the request.
 #[derive(Debug, Clone)]
-pub struct SharedFabric(Rc<RefCell<MemoryFabric>>);
+pub struct SharedFabric {
+    fabric: Rc<RefCell<MemoryFabric>>,
+    node: usize,
+}
 
 impl SharedFabric {
     /// Builds a fresh fabric from `config` and returns the first handle.
@@ -140,81 +305,138 @@ impl SharedFabric {
     /// How many handles (≈ attached cores) reference this fabric.
     #[must_use]
     pub fn ports(&self) -> usize {
-        Rc::strong_count(&self.0)
+        Rc::strong_count(&self.fabric)
     }
 
-    /// A demand access issued at the caller's local cycle `now`.
+    /// A handle to the same fabric for a core on `node` — what the SMP
+    /// assembly passes to each engine constructor on a NUMA machine.
+    #[must_use]
+    pub fn for_node(&self, node: usize) -> Self {
+        Self {
+            fabric: Rc::clone(&self.fabric),
+            node,
+        }
+    }
+
+    /// The NUMA node this handle's requests are stamped with.
+    #[must_use]
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Spreads the fabric's DRAM over NUMA nodes (see
+    /// [`MemoryFabric::configure_numa`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than two nodes.
+    pub fn configure_numa(&self, config: NumaConfig) {
+        self.fabric.borrow_mut().configure_numa(config);
+    }
+
+    /// Registers a physical window and returns its round-robin home node
+    /// (see [`MemoryFabric::assign_window`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics without a prior [`SharedFabric::configure_numa`] or on an
+    /// overlapping window.
+    pub fn assign_window(&self, start_line: CacheLineAddr, lines: u64) -> usize {
+        self.fabric.borrow_mut().assign_window(start_line, lines)
+    }
+
+    /// The home node of `line`, when registered.
+    #[must_use]
+    pub fn home_node(&self, line: CacheLineAddr) -> Option<usize> {
+        self.fabric.borrow().home_node(line)
+    }
+
+    /// A demand access issued at the caller's local cycle `now`, stamped
+    /// with this handle's node.
     pub fn access_at(&self, line: CacheLineAddr, now: u64) -> AccessResult {
-        self.0.borrow_mut().access_at(line, now)
+        self.fabric.borrow_mut().access_from(line, now, self.node)
     }
 
-    /// A best-effort prefetch issued at `now`; `None` when dropped.
+    /// A best-effort prefetch issued at `now`; `None` when dropped. The
+    /// reported completion never includes an interconnect hop: a prefetch
+    /// that lands hides the remote latency entirely (that is the point of
+    /// prefetching); a demand access that misses it still pays the hop
+    /// through [`SharedFabric::access_at`].
     pub fn prefetch_at(&self, line: CacheLineAddr, now: u64) -> Option<u64> {
-        self.0.borrow_mut().prefetch_at(line, now)
+        self.fabric.borrow_mut().prefetch_at(line, now)
     }
 
     /// Residency probe that disturbs nothing.
     #[must_use]
     pub fn source_of(&self, line: CacheLineAddr) -> ServedBy {
-        self.0.borrow().source_of(line)
+        self.fabric.borrow().source_of(line)
     }
 
     /// L1 hit latency.
     #[must_use]
     pub fn l1_latency(&self) -> u64 {
-        self.0.borrow().l1_latency()
+        self.fabric.borrow().l1_latency()
     }
 
     /// L2 hit latency.
     #[must_use]
     pub fn l2_latency(&self) -> u64 {
-        self.0.borrow().l2_latency()
+        self.fabric.borrow().l2_latency()
     }
 
     /// DRAM latency.
     #[must_use]
     pub fn memory_latency(&self) -> u64 {
-        self.0.borrow().memory_latency()
+        self.fabric.borrow().memory_latency()
     }
 
     /// Installs `line` into the L2 only (Victima TLB-block insertion).
     pub fn l2_install(&self, line: CacheLineAddr) {
-        self.0.borrow_mut().l2_install(line);
+        self.fabric.borrow_mut().l2_install(line);
     }
 
     /// Probes the L2 for `line`, updating recency on a hit.
     pub fn l2_lookup(&self, line: CacheLineAddr) -> bool {
-        self.0.borrow_mut().l2_lookup(line)
+        self.fabric.borrow_mut().l2_lookup(line)
     }
 
     /// Whether the L2 currently holds `line`.
     #[must_use]
     pub fn l2_contains(&self, line: CacheLineAddr) -> bool {
-        self.0.borrow().l2_contains(line)
+        self.fabric.borrow().l2_contains(line)
     }
 
     /// Invalidates a line everywhere.
     pub fn invalidate(&self, line: CacheLineAddr) {
-        self.0.borrow_mut().invalidate(line);
+        self.fabric.borrow_mut().invalidate(line);
     }
 
     /// Fabric-wide hierarchy statistics.
     #[must_use]
     pub fn stats(&self) -> HierarchyStats {
-        self.0.borrow().stats()
+        self.fabric.borrow().stats()
+    }
+
+    /// Fabric-wide DRAM locality counters.
+    #[must_use]
+    pub fn numa_stats(&self) -> NumaStats {
+        self.fabric.borrow().numa_stats()
     }
 
     /// Resets the fabric-wide statistics.
     pub fn reset_stats(&self) {
-        self.0.borrow_mut().reset_stats();
+        self.fabric.borrow_mut().reset_stats();
     }
 }
 
 impl MemoryFabric {
-    /// Wraps the fabric in a shareable handle.
+    /// Wraps the fabric in a shareable handle (node 0).
     #[must_use]
     pub fn into_shared(self) -> SharedFabric {
-        SharedFabric(Rc::new(RefCell::new(self)))
+        SharedFabric {
+            fabric: Rc::new(RefCell::new(self)),
+            node: 0,
+        }
     }
 }
 
@@ -243,6 +465,72 @@ mod tests {
         let r = f.access_at(line, completion / 2);
         assert!(r.merged);
         assert_eq!(r.latency, completion - completion / 2);
+    }
+
+    #[test]
+    fn remote_dram_pays_the_interconnect_hop() {
+        let f = SharedFabric::new(HierarchyConfig::tiny_for_tests());
+        f.configure_numa(NumaConfig::symmetric(2));
+        // Two windows: round-robin puts the first on node 0, second on 1.
+        assert_eq!(f.assign_window(CacheLineAddr::new(0), 1 << 20), 0);
+        assert_eq!(f.assign_window(CacheLineAddr::new(1 << 20), 1 << 20), 1);
+        let core1 = f.for_node(1);
+        assert_eq!(core1.node(), 1);
+        assert_eq!(f.node(), 0);
+
+        let local = CacheLineAddr::new(0x40); // homed on node 0
+        let remote = CacheLineAddr::new((1 << 20) + 0x40); // homed on node 1
+        assert_eq!(f.home_node(local), Some(0));
+        assert_eq!(f.home_node(remote), Some(1));
+        // Node 0 touching its own window: plain DRAM latency.
+        let r = f.access_at(local, 0);
+        assert_eq!(r.served_by, ServedBy::Memory);
+        assert_eq!(r.latency, f.memory_latency());
+        // Node 0 touching node 1's window: DRAM + hop.
+        let r = f.access_at(remote, 0);
+        assert_eq!(r.latency, f.memory_latency() + NUMA_HOP_CYCLES);
+        // Node 1 touching its own window's next line: local again.
+        let r = core1.access_at(CacheLineAddr::new((1 << 20) + 0x80), 0);
+        assert_eq!(r.latency, f.memory_latency());
+        assert_eq!(
+            f.numa_stats(),
+            NumaStats {
+                local_dram: 2,
+                remote_dram: 1
+            }
+        );
+        // Cache hits never pay the hop, wherever the line is homed.
+        let r = f.access_at(remote, 10_000);
+        assert_ne!(r.served_by, ServedBy::Memory);
+        assert_eq!(f.numa_stats().remote_dram, 1);
+        // Unregistered lines (co-runner traffic, synthetic blocks) are
+        // node-local by definition.
+        assert_eq!(f.home_node(CacheLineAddr::new(1 << 40)), None);
+        f.reset_stats();
+        assert_eq!(f.numa_stats(), NumaStats::default());
+    }
+
+    #[test]
+    fn merged_accesses_ride_the_inflight_fill_without_a_hop() {
+        let f = SharedFabric::new(HierarchyConfig::tiny_for_tests());
+        f.configure_numa(NumaConfig::symmetric(2));
+        f.assign_window(CacheLineAddr::new(0), 1 << 20);
+        f.assign_window(CacheLineAddr::new(1 << 20), 1 << 20);
+        let remote = CacheLineAddr::new((1 << 20) + 0x40);
+        let completion = f.prefetch_at(remote, 0).expect("mshr available");
+        let r = f.access_at(remote, completion / 2);
+        assert!(r.merged);
+        assert_eq!(r.latency, completion - completion / 2);
+        assert_eq!(f.numa_stats(), NumaStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_numa_windows_are_rejected() {
+        let f = SharedFabric::new(HierarchyConfig::tiny_for_tests());
+        f.configure_numa(NumaConfig::symmetric(2));
+        f.assign_window(CacheLineAddr::new(0), 1 << 20);
+        f.assign_window(CacheLineAddr::new(1 << 10), 1 << 20);
     }
 
     #[test]

@@ -50,7 +50,7 @@ mod stats;
 pub use assoc::{Eviction, SetAssoc};
 pub use cache::Cache;
 pub use config::{CacheConfig, HierarchyConfig};
-pub use fabric::{MemoryFabric, SharedFabric};
+pub use fabric::{MemoryFabric, NumaConfig, NumaStats, SharedFabric, NUMA_HOP_CYCLES};
 pub use hierarchy::{AccessKind, AccessResult, CacheHierarchy, ServedBy};
 pub use mshr::{MshrFile, MshrOutcome};
 pub use replacement::ReplacementKind;

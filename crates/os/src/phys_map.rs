@@ -34,8 +34,11 @@ pub struct PhysMap {
 }
 
 impl PhysMap {
-    /// Maximum ASIDs supported by the sparse-host window arithmetic.
-    pub const MAX_ASIDS: u16 = 64;
+    /// Maximum ASIDs supported by the sparse-host window arithmetic: at
+    /// 128, the last scattered-data window ends exactly at the co-runner
+    /// window's base (`3 << 38`), and every window still fits the 40-bit
+    /// PFN field — headroom for a 64-core machine plus the kernel ASID.
+    pub const MAX_ASIDS: u16 = 128;
 
     /// Frames available for scattered page-table pages, per process.
     pub const PT_WINDOW_FRAMES: u64 = 1 << 22; // 16 GiB of PT space
@@ -138,6 +141,28 @@ impl PhysMap {
     pub fn corunner_base() -> PhysFrameNum {
         PhysFrameNum::new(3 << 38)
     }
+
+    /// Every window of this map as `(base, frames)`, in a fixed order:
+    /// scattered PT, ASAP reservations, clustered data, scattered data.
+    /// This is the enumeration the NUMA fabric assembly registers home
+    /// nodes for — all physical frames a process can touch live in one of
+    /// these four ranges.
+    #[must_use]
+    pub fn windows(&self) -> [(PhysFrameNum, u64); 4] {
+        [
+            (self.pt_scatter_base(), Self::PT_WINDOW_FRAMES),
+            (self.reservation_base(), Self::RESERVATION_WINDOW_FRAMES),
+            (self.data_clustered_base(), Self::DATA_WINDOW_FRAMES),
+            (
+                self.data_scattered_base(),
+                if self.is_compact() {
+                    1 << 30
+                } else {
+                    Self::DATA_WINDOW_FRAMES
+                },
+            ),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -146,7 +171,7 @@ mod tests {
 
     fn sparse_windows() -> Vec<(u64, u64, String)> {
         let mut windows: Vec<(u64, u64, String)> = Vec::new();
-        for a in [0u16, 1, 7, 63] {
+        for a in [0u16, 1, 7, 63, 127] {
             let m = PhysMap::new(Asid(a));
             windows.push((
                 m.pt_scatter_base().raw(),
@@ -243,5 +268,23 @@ mod tests {
     #[should_panic(expected = "window budget")]
     fn oversized_asid_rejected() {
         let _ = PhysMap::new(Asid(PhysMap::MAX_ASIDS));
+    }
+
+    #[test]
+    fn windows_accessor_matches_the_bases() {
+        let m = PhysMap::new(Asid(5));
+        let w = m.windows();
+        assert_eq!(w[0], (m.pt_scatter_base(), PhysMap::PT_WINDOW_FRAMES));
+        assert_eq!(
+            w[1],
+            (m.reservation_base(), PhysMap::RESERVATION_WINDOW_FRAMES)
+        );
+        assert_eq!(w[2], (m.data_clustered_base(), PhysMap::DATA_WINDOW_FRAMES));
+        assert_eq!(w[3], (m.data_scattered_base(), PhysMap::DATA_WINDOW_FRAMES));
+        // The 64-core machine's highest ASID still fits the PFN field.
+        let top = PhysMap::new(Asid(PhysMap::MAX_ASIDS - 1));
+        for (base, frames) in top.windows() {
+            assert!(base.raw() + frames <= 1 << 40);
+        }
     }
 }

@@ -195,10 +195,16 @@ impl MachineSelect {
     }
 }
 
-/// The most simulated cores one machine supports. Bounded well below the
-/// physical map's 64-ASID window budget; the fixed-priority arbitration
-/// model is not meant for larger fabrics.
-pub const MAX_CORES: usize = 8;
+/// The most simulated cores one machine supports. The event-queue
+/// scheduler arbitrates in O(log n), so the bound is no longer the
+/// scheduler — it is the physical map's 128-ASID window budget (each core
+/// gets its own ASID starting at 1, plus headroom for the kernel and
+/// co-runner windows).
+pub const MAX_CORES: usize = 64;
+
+/// The most NUMA nodes the interconnect model supports — a datacenter
+/// socket count, not a scheduling limit.
+pub const MAX_NUMA_NODES: usize = 8;
 
 /// One run: `workload × engine × machine × cores × knobs` — the unit the
 /// scenario registry enumerates and [`RunSpec::run`] executes.
@@ -215,6 +221,12 @@ pub struct RunSpec {
     /// either workload copies (isolation) or the co-runner workload
     /// (colocation); native machines only.
     pub cores: usize,
+    /// How many NUMA nodes the memory fabric spans (1 = uniform memory,
+    /// the classic paper machine). At N > 1, cores and their physical
+    /// windows are assigned to nodes round-robin and DRAM accesses whose
+    /// home node differs from the requesting core's pay an interconnect
+    /// hop; native multi-core machines only.
+    pub numa_nodes: usize,
     /// Whether the SMT co-runner is active (§4 colocation). At `cores = 1`
     /// this is the legacy out-of-band line-injection shim; at `cores > 1`
     /// the co-runner executes as a real core.
@@ -245,6 +257,7 @@ impl RunSpec {
             engine: EngineSelect::Baseline,
             machine: MachineSelect::Native,
             cores: 1,
+            numa_nodes: 1,
             colocated: false,
             clustered_tlb: false,
             perfect_tlb: false,
@@ -311,6 +324,14 @@ impl RunSpec {
     #[must_use]
     pub fn with_cores(mut self, cores: usize) -> Self {
         self.cores = cores;
+        self
+    }
+
+    /// Spreads the memory fabric over `nodes` NUMA nodes (remote-node DRAM
+    /// pays an interconnect hop).
+    #[must_use]
+    pub fn with_numa_nodes(mut self, nodes: usize) -> Self {
+        self.numa_nodes = nodes;
         self
     }
 
@@ -394,6 +415,9 @@ impl RunSpec {
         if self.cores > 1 {
             parts.push(format!("{}c", self.cores));
         }
+        if self.numa_nodes > 1 {
+            parts.push(format!("{}n", self.numa_nodes));
+        }
         parts.join(" ")
     }
 
@@ -426,10 +450,22 @@ impl RunSpec {
             return err("a machine needs at least one core");
         }
         if self.cores > MAX_CORES {
-            return err("the shared-fabric arbitration models at most 8 cores");
+            return err("the physical map's ASID windows support at most 64 cores");
         }
         if self.cores > 1 && !self.machine.is_native() {
             return err("multi-core simulation models native machines only");
+        }
+        if self.numa_nodes == 0 {
+            return err("a memory fabric needs at least one NUMA node");
+        }
+        if self.numa_nodes > MAX_NUMA_NODES {
+            return err("the interconnect model supports at most 8 NUMA nodes");
+        }
+        if self.numa_nodes > 1 && !self.machine.is_native() {
+            return err("NUMA simulation models native machines only");
+        }
+        if self.numa_nodes > self.cores {
+            return err("every NUMA node needs at least one core (numa_nodes <= cores)");
         }
         let contender = matches!(self.engine, EngineSelect::Victima | EngineSelect::Revelator);
         if self.clustered_tlb && (!self.machine.is_native() || contender) {
@@ -559,6 +595,51 @@ mod tests {
                 .label(),
             "P1+P2 coloc 2c"
         );
+        assert_eq!(
+            RunSpec::new(w()).with_cores(16).with_numa_nodes(4).label(),
+            "Baseline 16c 4n"
+        );
+        assert_eq!(
+            RunSpec::new(w()).with_numa_nodes(1).with_cores(64).label(),
+            "Baseline 64c"
+        );
+    }
+
+    /// The 64-core boundary: `MAX_CORES` itself validates, one past it is
+    /// a typed error naming the new limit, and multi-core (and NUMA) stay
+    /// native-only.
+    #[test]
+    fn core_and_numa_limits() {
+        let w = WorkloadSpec::mcf;
+        assert_eq!(MAX_CORES, 64);
+        RunSpec::new(w()).with_cores(MAX_CORES).validate().unwrap();
+        let over = RunSpec::new(w()).with_cores(MAX_CORES + 1).validate();
+        assert_eq!(
+            over.unwrap_err(),
+            DriverError::IncompatibleSpec {
+                reason: "the physical map's ASID windows support at most 64 cores"
+            }
+        );
+        assert!(RunSpec::new(w()).virt().with_cores(2).validate().is_err());
+        RunSpec::new(w())
+            .with_cores(MAX_NUMA_NODES)
+            .with_numa_nodes(MAX_NUMA_NODES)
+            .validate()
+            .unwrap();
+        for bad in [
+            RunSpec::new(w()).with_cores(2).with_numa_nodes(0),
+            RunSpec::new(w())
+                .with_cores(MAX_CORES)
+                .with_numa_nodes(MAX_NUMA_NODES + 1),
+            RunSpec::new(w()).with_numa_nodes(2), // 2 nodes need >= 2 cores
+            RunSpec::new(w()).with_cores(2).with_numa_nodes(4),
+            RunSpec::new(w()).virt().with_numa_nodes(2),
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(DriverError::IncompatibleSpec { .. })),
+                "{bad:?} should be incompatible"
+            );
+        }
     }
 
     #[test]
@@ -615,6 +696,11 @@ mod tests {
             RunSpec::new(w())
                 .with_asap(AsapHwConfig::p1_p2())
                 .with_cores(MAX_CORES),
+            RunSpec::new(w()).with_cores(4).with_numa_nodes(2),
+            RunSpec::new(w())
+                .with_engine(EngineSelect::Victima)
+                .with_cores(8)
+                .with_numa_nodes(4),
         ] {
             spec.validate().unwrap_or_else(|e| panic!("{spec:?}: {e}"));
         }

@@ -4,7 +4,11 @@
 //! [`run_cores`] models N in-order cores over one shared memory fabric:
 //! at every step the ready core with the *lowest local clock* (ties broken
 //! by core index, so arbitration order is fixed and results are
-//! seed-reproducible) issues its next application reference, which is
+//! seed-reproducible) issues its next application reference. The winner is
+//! found through the [`sched::EventQueue`] min-heap — O(log n) per
+//! scheduling epoch, so arbitration cost stays near-flat out to 64 cores —
+//! while `SimConfig::lockstep` rescans linearly per access as the oracle
+//! schedule. Each reference is
 //! (1) demand-paged by the OS if new, (2) translated by that core's engine
 //! (or resolved for free in perfect-TLB mode), (3) performed as a data
 //! access through the shared hierarchy, with fixed non-memory work in
@@ -22,7 +26,7 @@
 //! [`DriverError`] instead of a panic, so one bad run in a `parallel_map`
 //! fan-out reports cleanly instead of aborting the whole batch.
 
-use crate::{RunResult, SimConfig, CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
+use crate::{sched, RunResult, SimConfig, CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
 use asap_core::{SimMachine, TranslationEngine, TranslationPath};
 use asap_os::OsError;
 use asap_types::VirtAddr;
@@ -140,69 +144,33 @@ struct CoreAccounting {
 ///
 /// Arbitration is deterministic: at each step the unfinished core with the
 /// lowest local clock issues its next reference; ties resolve to the
-/// lowest core index. Every engine must already be constructed (over one
-/// shared fabric for N > 1) and context-loaded.
+/// lowest core index. The batched path schedules from an
+/// [`sched::EventQueue`] (O(log n) per epoch); `meta.sim.lockstep` instead
+/// rescans every core per access with [`sched::linear_scan`] — an
+/// independent implementation of the same order that serves as the oracle
+/// schedule. Every engine must already be constructed (over one shared
+/// fabric for N > 1) and context-loaded.
 ///
 /// # Errors
 ///
 /// Returns a [`DriverError`] when any core's workload generates an address
-/// outside its VMAs or a touched page fails to translate.
-///
-/// # Panics
-///
-/// Panics when called with no cores (a harness bug, not a scenario error).
+/// outside its VMAs, a touched page fails to translate, or the slot list
+/// is empty (a machine needs at least one core).
 pub fn run_cores<E: TranslationEngine>(
     cores: &mut [CoreSlot<'_, E>],
     meta: &RunMeta,
 ) -> Result<Vec<RunResult>, DriverError> {
-    assert!(!cores.is_empty(), "a machine needs at least one core");
+    if cores.is_empty() {
+        return Err(DriverError::IncompatibleSpec {
+            reason: "a machine needs at least one core",
+        });
+    }
     let total = meta.sim.warmup_accesses + meta.sim.measure_accesses;
     let mut accounting = vec![CoreAccounting::default(); cores.len()];
-    loop {
-        // Fixed arbitration order at each batch boundary: lowest local
-        // clock first, ties by core index. `best` is the winner; `bound`
-        // is the runner-up's key, the point where the winner would lose
-        // the next arbitration.
-        let mut best: Option<(u64, usize)> = None;
-        let mut bound: Option<(u64, usize)> = None;
-        for (i, core) in cores.iter().enumerate() {
-            if accounting[i].accesses_done == total {
-                continue;
-            }
-            let key = (core.engine.now(), i);
-            match best {
-                None => best = Some(key),
-                Some(b) if key < b => {
-                    bound = best;
-                    best = Some(key);
-                }
-                _ => {
-                    if bound.map_or(true, |r| key < r) {
-                        bound = Some(key);
-                    }
-                }
-            }
-        }
-        let Some((_, i)) = best else { break };
-        // Batch: the winning core keeps issuing until it would lose the
-        // next arbitration (its clock, which only moves forward, passes
-        // the runner-up's) or it finishes. No other core's clock moves
-        // while it runs, so this replays exactly the per-access lockstep
-        // schedule without rescanning all cores per access; the lockstep
-        // knob forces a rescan after every access as the oracle's
-        // reference schedule.
-        loop {
-            step_core(&mut cores[i], &mut accounting[i], meta)?;
-            if accounting[i].accesses_done == total {
-                break;
-            }
-            if meta.sim.lockstep {
-                break;
-            }
-            if bound.is_some_and(|r| (cores[i].engine.now(), i) >= r) {
-                break;
-            }
-        }
+    if meta.sim.lockstep {
+        run_lockstep(cores, &mut accounting, total, meta)?;
+    } else {
+        run_event_queue(cores, &mut accounting, total, meta)?;
     }
 
     Ok(cores
@@ -227,6 +195,68 @@ pub fn run_cores<E: TranslationEngine>(
             }
         })
         .collect())
+}
+
+/// The batched scheduler: a binary min-heap keyed by `(local_clock,
+/// core_idx)`. The winner pops, bursts until its key passes the new heap
+/// top (the runner-up at pop time), and re-pushes — O(log n) arbitration
+/// per epoch instead of the old O(n) rescan. Because only the popped
+/// core's clock moves while it runs, every resident key always equals its
+/// core's current `(now, idx)` and the pop order replays the per-access
+/// linear-scan schedule exactly (the `prop_smp_determinism` oracle); with
+/// one core the bound is `None` and the loop degenerates into the classic
+/// run-to-completion single-core driver.
+fn run_event_queue<E: TranslationEngine>(
+    cores: &mut [CoreSlot<'_, E>],
+    accounting: &mut [CoreAccounting],
+    total: u64,
+    meta: &RunMeta,
+) -> Result<(), DriverError> {
+    let mut queue = sched::EventQueue::with_capacity(cores.len());
+    if total > 0 {
+        for (i, core) in cores.iter().enumerate() {
+            queue.push((core.engine.now(), i));
+        }
+    }
+    while let Some((_, i)) = queue.pop() {
+        let bound = queue.peek();
+        loop {
+            step_core(&mut cores[i], &mut accounting[i], meta)?;
+            if accounting[i].accesses_done == total {
+                break;
+            }
+            let key = (cores[i].engine.now(), i);
+            if bound.is_some_and(|b| key >= b) {
+                queue.push(key);
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The per-access oracle schedule: rescan every unfinished core with the
+/// PR-6 [`sched::linear_scan`] after each access. Statistically identical
+/// to [`run_event_queue`] (pinned by `prop_smp_determinism`); kept as a
+/// genuinely independent implementation of the arbitration order, not a
+/// special case of the heap path.
+fn run_lockstep<E: TranslationEngine>(
+    cores: &mut [CoreSlot<'_, E>],
+    accounting: &mut [CoreAccounting],
+    total: u64,
+    meta: &RunMeta,
+) -> Result<(), DriverError> {
+    loop {
+        let ready = cores
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| accounting[*i].accesses_done < total)
+            .map(|(i, core)| (core.engine.now(), i));
+        let (best, _) = sched::linear_scan(ready);
+        let Some((_, i)) = best else { break };
+        step_core(&mut cores[i], &mut accounting[i], meta)?;
+    }
+    Ok(())
 }
 
 /// One core's next application reference: warmup-boundary stats reset,
@@ -408,6 +438,20 @@ mod tests {
             other => panic!("expected StreamEscapedVma, got {other:?}"),
         }
         assert!(err.to_string().contains("escaped"));
+    }
+
+    /// No cores is a typed spec error now, not a panic — a `parallel_map`
+    /// fan-out reports it like any other misconfiguration.
+    #[test]
+    fn zero_cores_is_a_spec_error_not_a_panic() {
+        let mut slots: [CoreSlot<'_, Mmu>; 0] = [];
+        let err = run_cores(&mut slots, &meta(SimConfig::smoke_test())).unwrap_err();
+        assert_eq!(
+            err,
+            DriverError::IncompatibleSpec {
+                reason: "a machine needs at least one core"
+            }
+        );
     }
 
     /// Two cores over one fabric: the multi-core loop yields one result

@@ -48,10 +48,11 @@ mod parallel;
 mod report;
 mod result;
 pub mod scenarios;
+pub mod sched;
 mod smp;
 mod virt;
 
-pub use config::{EngineSelect, MachineSelect, RunSpec, SimConfig, MAX_CORES};
+pub use config::{EngineSelect, MachineSelect, RunSpec, SimConfig, MAX_CORES, MAX_NUMA_NODES};
 pub use cycles::{CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
 pub use driver::{run_cores, run_scenario, CoreSlot, DriverError, RunMeta};
 pub use json::{results_to_json, BenchDoc, BenchRun, BenchScenario, JsonParseError};

@@ -126,6 +126,9 @@ pub struct Scenario {
     /// When set, every enumerated spec runs at this core count regardless
     /// of any `cores` axis — the CLI's `--cores` override.
     forced_cores: Option<usize>,
+    /// When set, every enumerated spec runs over this many NUMA nodes
+    /// regardless of any `numa` axis — the CLI's `--numa` override.
+    forced_numa: Option<usize>,
     workloads: Vec<WorkloadSpec>,
     /// The derived cross product: (variant key, spec template). The
     /// template's workload and windows are placeholders replaced at
@@ -156,6 +159,7 @@ impl Scenario {
             renderer: RendererKind::RunMatrix,
             windows: None,
             forced_cores: None,
+            forced_numa: None,
             workloads: Vec::new(),
             variants: Vec::new(),
             explicit: Vec::new(),
@@ -300,12 +304,33 @@ impl Scenario {
         )
     }
 
+    /// Sugar: a NUMA-node axis ("1n", "2n", "4n", ...) splitting the
+    /// memory fabric across nodes.
+    #[must_use]
+    pub fn numa(self, counts: impl IntoIterator<Item = usize>) -> Self {
+        self.axis(
+            counts
+                .into_iter()
+                .map(|n| (format!("{n}n"), move |s: RunSpec| s.with_numa_nodes(n))),
+        )
+    }
+
     /// Forces every enumerated run to `cores` cores, overriding any
     /// `cores` axis (the CLI's `--cores` flag). Variant labels are NOT
     /// rewritten — this is an execution override, not a new axis.
     #[must_use]
     pub fn with_forced_cores(mut self, cores: usize) -> Self {
         self.forced_cores = Some(cores);
+        self
+    }
+
+    /// Forces every enumerated run onto `nodes` NUMA nodes, overriding
+    /// any `numa` axis (the CLI's `--numa` flag). Same contract as
+    /// [`Scenario::with_forced_cores`]: an execution override, labels
+    /// untouched.
+    #[must_use]
+    pub fn with_forced_numa(mut self, nodes: usize) -> Self {
+        self.forced_numa = Some(nodes);
         self
     }
 
@@ -345,9 +370,15 @@ impl Scenario {
     /// results JSON.
     #[must_use]
     pub fn runs(&self, sim: SimConfig) -> Vec<ScenarioRun> {
-        let force = |spec: RunSpec| match self.forced_cores {
-            Some(n) => spec.with_cores(n),
-            None => spec,
+        let force = |spec: RunSpec| {
+            let spec = match self.forced_cores {
+                Some(n) => spec.with_cores(n),
+                None => spec,
+            };
+            match self.forced_numa {
+                Some(n) => spec.with_numa_nodes(n),
+                None => spec,
+            }
         };
         let mut out = Vec::new();
         for (variant, spec) in &self.explicit {
@@ -545,9 +576,11 @@ pub fn registry() -> Vec<Scenario> {
         ablation_5level(),
         contenders(),
         smp_scaling(),
+        numa_scaling(),
         smoke(),
         contenders_smoke(),
         smp_smoke(),
+        numa_smoke(),
     ]
 }
 
@@ -782,10 +815,13 @@ fn smp_scaling() -> Scenario {
     // How translation scales when cores genuinely contend for one memory
     // fabric: the uniform sweep (maximum cache pressure), the zipfian
     // server (Victima's block regime under shared-L2 pressure), and the
-    // graph traversal, each across every backend at 1/2/4 cores.
+    // graph traversal, each across every backend from 1 to 64 cores. The
+    // top of the range is what the event-queue scheduler buys: arbitration
+    // stays O(log n), so the 64-core rows cost per-core work, not
+    // per-epoch scans.
     Scenario::new(
         "smp_scaling",
-        "SMP scaling: walk latency and cycles as 1/2/4 cores share the memory fabric",
+        "SMP scaling: walk latency and cycles as 1..=64 cores share the memory fabric",
     )
     .rendered_by(RendererKind::SmpScaling)
     .workloads([
@@ -794,7 +830,26 @@ fn smp_scaling() -> Scenario {
         WorkloadSpec::bfs(),
     ])
     .engines(head_to_head_engines())
-    .cores([1, 2, 4])
+    .cores([1, 2, 4, 8, 16, 32, 64])
+}
+
+fn numa_scaling() -> Scenario {
+    // Splitting one 16-core fabric across 1/2/4/8 NUMA nodes: every
+    // remote-node DRAM fill pays the interconnect hop, so walk latency
+    // grows with node count and ASAP's prefetches (which hide the hop by
+    // landing early) matter more, not less, on bigger machines.
+    Scenario::new(
+        "numa_scaling",
+        "NUMA scaling: 16-core walk latency as the fabric splits across 1/2/4/8 nodes",
+    )
+    .rendered_by(RendererKind::SmpScaling)
+    .workloads([WorkloadSpec::mc80(), WorkloadSpec::redis()])
+    .engines([
+        ("Baseline", EngineSelect::Baseline),
+        ("ASAP", EngineSelect::asap_p1_p2()),
+    ])
+    .base(|s| s.with_cores(16))
+    .numa([1, 2, 4, 8])
 }
 
 fn smp_smoke() -> Scenario {
@@ -819,6 +874,28 @@ fn smp_smoke() -> Scenario {
         "Baseline+coloc2c",
         RunSpec::new(smoke_workload()).with_cores(2).colocated(),
     )
+}
+
+fn numa_smoke() -> Scenario {
+    // CI-sized NUMA coverage: the same miniature workload on a 4-core
+    // fabric, UMA vs 2 nodes, so window homing, hop charging, and the
+    // per-core node labels are drift-gated on every ci.sh pass. Appended
+    // at the END of the registry so pre-existing BENCH_results.json
+    // blocks keep their byte positions.
+    Scenario::new(
+        "numa_smoke",
+        "CI smoke: NUMA fabric splitting (baseline/ASAP × 4 cores × 1/2 nodes) at miniature scale",
+    )
+    .ci_smoke()
+    .windows(SimConfig::smoke_test())
+    .rendered_by(RendererKind::SmpScaling)
+    .workloads([smoke_workload()])
+    .engines([
+        ("Baseline", EngineSelect::Baseline),
+        ("ASAP", EngineSelect::asap_p1_p2()),
+    ])
+    .base(|s| s.with_cores(4))
+    .numa([1, 2])
 }
 
 fn contenders_smoke() -> Scenario {
@@ -916,9 +993,11 @@ mod tests {
             "ablation_5level",
             "contenders",
             "smp_scaling",
+            "numa_scaling",
             "smoke",
             "contenders_smoke",
             "smp_smoke",
+            "numa_smoke",
         ] {
             assert!(find(expected).is_some(), "missing scenario {expected}");
         }
@@ -1025,6 +1104,39 @@ mod tests {
         for run in s.runs(SimConfig::smoke_test()) {
             assert_eq!(run.spec.cores, 4, "{} not overridden", run.variant);
         }
+    }
+
+    #[test]
+    fn forced_numa_overrides_every_run() {
+        let s = Scenario::new("forced-numa", "forced-numa override")
+            .workloads([WorkloadSpec::mcf()])
+            .base(|s| s.with_cores(4))
+            .numa([1, 2])
+            .with_forced_numa(4);
+        for run in s.runs(SimConfig::smoke_test()) {
+            assert_eq!(run.spec.numa_nodes, 4, "{} not overridden", run.variant);
+        }
+    }
+
+    #[test]
+    fn numa_smoke_scenario_splits_the_fabric() {
+        let results = find("numa_smoke").unwrap().run(SimConfig::smoke_test());
+        // 2 engines × {1n, 2n}, all at 4 cores.
+        assert_eq!(results.runs.len(), 4);
+        assert!(results.is_complete());
+        // UMA rows keep the plain per-core names; split rows carry the
+        // round-robin node assignment in theirs.
+        let uma = results.per_core("mc80", "Baseline+1n");
+        assert_eq!(uma[0].workload, "mc80@core0");
+        let split = results.per_core("mc80", "Baseline+2n");
+        assert_eq!(split.len(), 4);
+        assert_eq!(split[0].workload, "mc80@core0n0");
+        assert_eq!(split[1].workload, "mc80@core1n1");
+        // Remote-node fills pay the interconnect hop: same machine,
+        // strictly slower walks once the fabric splits.
+        let flat = results.get("mc80", "Baseline+1n");
+        let numa = results.get("mc80", "Baseline+2n");
+        assert!(numa.avg_walk_latency() > flat.avg_walk_latency());
     }
 
     #[test]

@@ -14,15 +14,23 @@
 //! physical window — see `asap_os::PhysMap`), its own derived seed, and a
 //! bit-identical per-core MMU configuration to the single-core machine's;
 //! only the fabric is shared.
+//!
+//! When the spec's `numa_nodes` axis exceeds one, this module also lays
+//! the NUMA topology: cores go to nodes round-robin by index, and every
+//! process window registers a DRAM home node round-robin in core-major
+//! order, so each core ends up with a deterministic mix of local and
+//! remote windows. The engines stay topology-oblivious — each one simply
+//! receives a [`SharedFabric::for_node`] handle stamped with its core's
+//! node.
 
 use crate::driver::{run_cores, CoreSlot, DriverError, RunMeta};
 use crate::native::{hw_asap, mmu_config, os_asap};
 use crate::{EngineSelect, RunOutput, RunResult, RunSpec};
-use asap_cache::{HierarchyConfig, SharedFabric};
+use asap_cache::{HierarchyConfig, NumaConfig, SharedFabric};
 use asap_contenders::{RevelatorConfig, RevelatorMmu, VictimaConfig, VictimaMmu};
 use asap_core::{Mmu, TranslationEngine};
-use asap_os::Process;
-use asap_types::Asid;
+use asap_os::{PhysMap, Process};
+use asap_types::{Asid, CacheLineAddr};
 use asap_workloads::{BoxedStream, WorkloadSpec};
 
 /// Derives core `i`'s seed from the run seed. Core 0 keeps the run seed
@@ -30,6 +38,17 @@ use asap_workloads::{BoxedStream, WorkloadSpec};
 /// single-core machine's — scaling comparisons vary only the contention.
 fn core_seed(seed: u64, core: usize) -> u64 {
     seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Core `i`'s ASID: the kernel keeps ASID 0, cores count up from 1.
+fn core_asid(core: usize) -> Asid {
+    Asid(1 + u16::try_from(core).expect("cores <= 64"))
+}
+
+/// The first cache line of a physical frame (a 4 KiB frame spans 64
+/// lines).
+fn frame_line(frame: asap_types::PhysFrameNum) -> CacheLineAddr {
+    CacheLineAddr::new(frame.raw() << 6)
 }
 
 /// Context-loads every engine, zips the per-core pieces into driver
@@ -75,10 +94,20 @@ pub(crate) fn run_smp(spec: &RunSpec) -> Result<RunOutput, DriverError> {
             }
         })
         .collect();
+    // Cores go to NUMA nodes round-robin; at one node (uniform memory)
+    // everything below degenerates to the pre-NUMA assembly bit-for-bit.
+    let nodes = spec.numa_nodes;
+    let core_node = |i: usize| i % nodes;
     let names: Vec<String> = core_workloads
         .iter()
         .enumerate()
-        .map(|(i, w)| format!("{}@core{i}", w.name))
+        .map(|(i, w)| {
+            if nodes > 1 {
+                format!("{}@core{i}n{}", w.name, core_node(i))
+            } else {
+                format!("{}@core{i}", w.name)
+            }
+        })
         .collect();
 
     // Every core runs the same OS policy (an SMP machine has one kernel):
@@ -89,12 +118,8 @@ pub(crate) fn run_smp(spec: &RunSpec) -> Result<RunOutput, DriverError> {
     for (i, w) in core_workloads.iter().enumerate() {
         let s = core_seed(seed, i);
         let process = Process::new(
-            w.process_config(
-                Asid(1 + u16::try_from(i).expect("cores <= 8")),
-                os.clone(),
-                s,
-            )
-            .with_paging_mode(spec.paging_mode),
+            w.process_config(core_asid(i), os.clone(), s)
+                .with_paging_mode(spec.paging_mode),
         );
         streams.push(w.build_stream(&process, s ^ 0x11));
         processes.push(process);
@@ -117,13 +142,30 @@ pub(crate) fn run_smp(spec: &RunSpec) -> Result<RunOutput, DriverError> {
         _ => mmu_config(spec, seed).hierarchy,
     };
     let fabric = SharedFabric::new(hierarchy);
+    if nodes > 1 {
+        // The NUMA layout: every process window registers a home node
+        // round-robin in core-major order (core 0's four windows first,
+        // then core 1's, ...), so window k lands on node k % N — a
+        // deterministic model of allocation classes spreading across
+        // sockets rather than following their core. Each core therefore
+        // sees a fixed mix of local and remote windows (half remote at 2
+        // nodes, three quarters at 4), and page-table windows land remote
+        // for most cores — exactly the traffic that stresses walk latency
+        // at rack scale.
+        fabric.configure_numa(NumaConfig::symmetric(nodes));
+        for i in 0..n {
+            for (base, frames) in PhysMap::new(core_asid(i)).windows() {
+                fabric.assign_window(frame_line(base), frames << 6);
+            }
+        }
+    }
     let per_core = match &spec.engine {
         EngineSelect::Victima => drive(
             (0..n)
                 .map(|i| {
                     VictimaMmu::with_fabric(
                         VictimaConfig::default().with_seed(core_seed(seed, i)),
-                        fabric.clone(),
+                        fabric.for_node(core_node(i)),
                     )
                 })
                 .collect(),
@@ -137,7 +179,7 @@ pub(crate) fn run_smp(spec: &RunSpec) -> Result<RunOutput, DriverError> {
                 .map(|i| {
                     RevelatorMmu::with_fabric(
                         RevelatorConfig::default().with_seed(core_seed(seed, i)),
-                        fabric.clone(),
+                        fabric.for_node(core_node(i)),
                     )
                 })
                 .collect(),
@@ -150,7 +192,12 @@ pub(crate) fn run_smp(spec: &RunSpec) -> Result<RunOutput, DriverError> {
         // native machines, and cores > 1 requires a native machine).
         _ => drive(
             (0..n)
-                .map(|i| Mmu::with_fabric(mmu_config(spec, core_seed(seed, i)), fabric.clone()))
+                .map(|i| {
+                    Mmu::with_fabric(
+                        mmu_config(spec, core_seed(seed, i)),
+                        fabric.for_node(core_node(i)),
+                    )
+                })
                 .collect::<Vec<Mmu>>(),
             &mut processes,
             &mut streams,
@@ -236,6 +283,59 @@ mod tests {
             out.per_core[1].walks.count() > 0,
             "a real neighbor core takes real walks"
         );
+    }
+
+    /// The NUMA axis end-to-end: per-core rows name their nodes, the
+    /// label gains the node fragment, and interconnect hops inflate both
+    /// walk latency and cycles against the uniform-memory run of the same
+    /// core count.
+    #[test]
+    fn numa_hops_inflate_walk_latency() {
+        let sim = SimConfig::smoke_test();
+        let uma = RunSpec::new(small())
+            .with_cores(4)
+            .with_sim(sim)
+            .run_split()
+            .unwrap();
+        let spec = RunSpec::new(small())
+            .with_cores(4)
+            .with_numa_nodes(2)
+            .with_sim(sim);
+        let numa = spec.run_split().unwrap();
+        assert_eq!(numa.per_core[0].workload, "mc80@core0n0");
+        assert_eq!(numa.per_core[1].workload, "mc80@core1n1");
+        assert_eq!(numa.per_core[2].workload, "mc80@core2n0");
+        assert_eq!(numa.aggregate.label, "Baseline 4c 2n");
+        assert!(
+            numa.aggregate.avg_walk_latency() > uma.aggregate.avg_walk_latency(),
+            "2-node walk latency {} !> uniform {}",
+            numa.aggregate.avg_walk_latency(),
+            uma.aggregate.avg_walk_latency()
+        );
+        assert!(numa.aggregate.cycles > uma.aggregate.cycles);
+        // Same seed, same topology: bit-identical on a re-run.
+        let again = spec.run_split().unwrap();
+        assert_eq!(numa.aggregate.walks, again.aggregate.walks);
+        assert_eq!(numa.aggregate.cycles, again.aggregate.cycles);
+    }
+
+    /// More nodes, more remote windows: walk latency grows monotonically
+    /// across the node-count axis at a fixed core count.
+    #[test]
+    fn walk_latency_grows_with_node_count() {
+        let sim = SimConfig::smoke_test();
+        let at = |nodes: usize| {
+            RunSpec::new(small())
+                .with_cores(4)
+                .with_numa_nodes(nodes)
+                .with_sim(sim)
+                .run()
+                .unwrap()
+                .avg_walk_latency()
+        };
+        let (n1, n2, n4) = (at(1), at(2), at(4));
+        assert!(n2 > n1, "{n2} !> {n1}");
+        assert!(n4 > n2, "{n4} !> {n2}");
     }
 
     #[test]

@@ -9,8 +9,15 @@
 //! batched schedule (the arbitration winner runs until its clock passes
 //! the runner-up's) must be statistic-identical to per-access lockstep
 //! arbitration at 1, 2 and 4 cores — batching changes wall-clock only,
-//! never a counter.
+//! never a counter. Since the batched path arbitrates through the binary
+//! heap ([`asap::sim::sched::EventQueue`]) and the lockstep path rescans
+//! linearly ([`asap::sim::sched::linear_scan`]), this oracle is also the
+//! end-to-end heap-vs-scan equivalence check; the third property pins the
+//! same equivalence at the scheduler level over arbitrary synthetic
+//! clocks, and the sampled high-core-count cases extend the oracle to 16
+//! and 32 cores across all four backends.
 
+use asap::sim::sched::{linear_scan, EventQueue};
 use asap::sim::{EngineSelect, RunOutput, RunResult, RunSpec, SimConfig};
 use asap::types::ByteSize;
 use asap::workloads::WorkloadSpec;
@@ -120,6 +127,76 @@ proptest! {
         for (x, y) in batched.per_core.iter().zip(&lockstep.per_core) {
             prop_assert_eq!(snapshot(x), snapshot(y));
             prop_assert_eq!(&x.walks, &y.walks);
+        }
+    }
+
+    // Scheduler-level equivalence over arbitrary clocks: popping the heap
+    // and advancing the winner must visit cores in exactly the order a
+    // fresh linear scan would pick at every step. Only the popped core's
+    // clock ever moves, so the two disagree only if the heap itself is
+    // wrong — no driver, engine, or workload in the loop.
+    #[test]
+    fn heap_schedule_replays_the_linear_scan_schedule(
+        clocks in proptest::collection::vec(0u64..10_000, 1..=64),
+        bursts in proptest::collection::vec(1u64..500, 512),
+    ) {
+        let n = clocks.len();
+        let mut queue = EventQueue::with_capacity(n);
+        for (i, &t) in clocks.iter().enumerate() {
+            queue.push((t, i));
+        }
+        let mut scan_clocks = clocks;
+        for burst in bursts {
+            let heap_pick = queue.pop().expect("queue stays full");
+            let (scan_pick, _) =
+                linear_scan(scan_clocks.iter().enumerate().map(|(i, t)| (*t, i)));
+            prop_assert_eq!(Some(heap_pick), scan_pick);
+            let (clock, i) = heap_pick;
+            prop_assert_eq!(clock, scan_clocks[i]);
+            scan_clocks[i] += burst;
+            queue.push((scan_clocks[i], i));
+        }
+        prop_assert_eq!(queue.len(), n);
+    }
+}
+
+/// The batching oracle at the core counts the heap was built for: 16 and
+/// 32 cores, one sampled case per backend. Proptest would re-simulate
+/// these expensive machines per case; a fixed sample keeps the coverage
+/// without the wall-clock bill.
+#[test]
+fn high_core_counts_match_the_lockstep_oracle() {
+    for (cores, engine, seed) in [
+        (16, EngineSelect::Baseline, 11u64),
+        (16, EngineSelect::asap_p1_p2(), 12),
+        (32, EngineSelect::Victima, 13),
+        (32, EngineSelect::Revelator, 14),
+    ] {
+        let workload = WorkloadSpec {
+            footprint: ByteSize::mib(64),
+            ..WorkloadSpec::mc80()
+        };
+        let sim = SimConfig {
+            seed,
+            ..SimConfig::smoke_test()
+        };
+        let spec = RunSpec::new(workload)
+            .with_engine(engine)
+            .with_cores(cores)
+            .with_sim(sim);
+        let batched = run(&spec);
+        let mut lockstep_spec = spec;
+        lockstep_spec.sim.lockstep = true;
+        let lockstep = run(&lockstep_spec);
+        assert_eq!(batched.per_core.len(), cores);
+        assert_eq!(
+            snapshot(&batched.aggregate),
+            snapshot(&lockstep.aggregate),
+            "{cores}-core aggregate drift"
+        );
+        for (x, y) in batched.per_core.iter().zip(&lockstep.per_core) {
+            assert_eq!(snapshot(x), snapshot(y), "{cores}-core per-core drift");
+            assert_eq!(x.walks, y.walks);
         }
     }
 }
