@@ -70,14 +70,27 @@ smoke() {
     fi
     echo "perf smoke: asap smoke finished in ${smoke_elapsed}s (ceiling ${smoke_ceiling}s)"
     # Compare against HEAD (not the index) so staged-but-uncommitted drift
-    # still fails the gate.
+    # still fails the gate. `asap smoke` runs with telemetry disabled
+    # (the CLI rejects --trace/--metrics/--profile on smoke), so this is
+    # also the zero-observer-effect assertion: the telemetry layer being
+    # compiled in must reproduce BENCH_results.json byte-identically.
     if git rev-parse --is-inside-work-tree >/dev/null 2>&1 \
         && git cat-file -e HEAD:BENCH_results.json 2>/dev/null; then
         run git diff --exit-code HEAD -- BENCH_results.json
+        echo "observer-effect gate: telemetry-off smoke reproduced BENCH_results.json byte-identically"
     else
         echo
         echo "WARNING: trajectory check skipped (BENCH_results.json not in HEAD)"
     fi
+    # Trace-schema round-trip gate: a traced run must emit Chrome
+    # trace-event JSON that parses under the canonical grammar and
+    # re-emits byte-identically (`asap trace-check`), so the --trace
+    # output Perfetto consumes can never silently drift from the parser.
+    trace_tmp="$(mktemp -t asap-trace.XXXXXX.json)"
+    trap 'rm -f "$trace_tmp"' EXIT
+    run $ASAP run numa_smoke --trace "$trace_tmp"
+    run $ASAP trace-check "$trace_tmp"
+    rm -f "$trace_tmp"
 }
 
 if [[ "${1:-}" == "--quick" ]]; then

@@ -25,7 +25,9 @@ use asap_bench::{
     execute_scenarios, paper_scenarios, render, report_errors, results_tier, sim_config,
     write_results_json,
 };
-use asap_sim::scenarios::{find, registry, smoke_set, Scenario};
+use asap_sim::scenarios::{find, registry, smoke_set, Scenario, ScenarioResults};
+use asap_sim::{Table, TelemetryConfig};
+use asap_telemetry::{chrome, ChromeEvent, PhaseProfile};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -39,6 +41,7 @@ COMMANDS:
     run <scenario>...    run the named scenarios and print their tables
     smoke                run the CI smoke set and write BENCH_results.json
     all                  run every paper scenario and write BENCH_results_full.json
+    trace-check <path>   validate a --trace file: parse + byte-identical re-emit
 
 OPTIONS:
     --json <path>        override the results JSON path
@@ -53,6 +56,14 @@ OPTIONS:
     --numa <n>           force every spec of a `run` command across n NUMA
                          nodes (1..=8, native multi-core runs only;
                          smoke/all keep their registered topology)
+    --trace <path>       record per-access events and write a Chrome
+                         trace-event JSON (open at ui.perfetto.dev; `run`
+                         only — the committed smoke baseline must stay
+                         telemetry-free)
+    --metrics <path>     write a metrics snapshot covering every run's
+                         engine/hierarchy/NUMA counters (`run` only)
+    --profile            print the simulator self-profile phase table
+                         (`run` only)
     -h, --help           print this help
 ";
 
@@ -64,6 +75,19 @@ struct Cli {
     filter: Option<String>,
     cores: Option<usize>,
     numa: Option<usize>,
+    trace: Option<String>,
+    metrics: Option<String>,
+    profile: bool,
+}
+
+impl Cli {
+    fn telemetry(&self) -> TelemetryConfig {
+        TelemetryConfig {
+            trace: self.trace.is_some(),
+            metrics: self.metrics.is_some(),
+            profile: self.profile,
+        }
+    }
 }
 
 fn usage_error(message: &str) -> ExitCode {
@@ -80,6 +104,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         filter: None,
         cores: None,
         numa: None,
+        trace: None,
+        metrics: None,
+        profile: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -122,6 +149,21 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 }
                 cli.numa = Some(n);
             }
+            "--trace" => {
+                cli.trace = Some(
+                    it.next()
+                        .ok_or_else(|| "--trace needs a path".to_string())?
+                        .clone(),
+                );
+            }
+            "--metrics" => {
+                cli.metrics = Some(
+                    it.next()
+                        .ok_or_else(|| "--metrics needs a path".to_string())?
+                        .clone(),
+                );
+            }
+            "--profile" => cli.profile = true,
             "--filter" => {
                 cli.filter = Some(
                     it.next()
@@ -158,6 +200,33 @@ fn apply_filter(set: Vec<Scenario>, filter: Option<&str>) -> Vec<Scenario> {
     }
 }
 
+/// Summarizes a scenario's run axes as `cores × numa-nodes × engines`
+/// (e.g. `1c 1n 5e`, or `1-8c` when a sweep spans several core counts).
+fn axis_summary(runs: &[asap_sim::scenarios::ScenarioRun]) -> String {
+    if runs.is_empty() {
+        return "analytic".into();
+    }
+    let span = |values: Vec<usize>| {
+        let lo = values.iter().copied().min().unwrap_or(1);
+        let hi = values.iter().copied().max().unwrap_or(1);
+        if lo == hi {
+            hi.to_string()
+        } else {
+            format!("{lo}-{hi}")
+        }
+    };
+    let cores = span(runs.iter().map(|r| r.spec.cores).collect());
+    let numa = span(runs.iter().map(|r| r.spec.numa_nodes).collect());
+    let mut engines: Vec<String> = Vec::new();
+    for r in runs {
+        let e = format!("{:?}", r.spec.engine);
+        if !engines.contains(&e) {
+            engines.push(e);
+        }
+    }
+    format!("{cores}c {numa}n {}e", engines.len())
+}
+
 fn cmd_list(cli: &Cli) -> ExitCode {
     let set = apply_filter(registry(), cli.filter.as_deref());
     if set.is_empty() {
@@ -165,11 +234,142 @@ fn cmd_list(cli: &Cli) -> ExitCode {
         return ExitCode::from(1);
     }
     for s in &set {
-        let runs = s.runs(s.windows_or(sim_config(cli.quick))).len();
+        let runs = s.runs(s.windows_or(sim_config(cli.quick)));
         let tag = if s.smoke { "smoke" } else { "     " };
-        println!("{:<18} {:>3} runs  {}  {}", s.name, runs, tag, s.title);
+        println!(
+            "{:<18} {:>3} runs  [{:>9}]  {}  {}",
+            s.name,
+            runs.len(),
+            axis_summary(&runs),
+            tag,
+            s.title
+        );
     }
     ExitCode::SUCCESS
+}
+
+/// Flattens every traced run into Chrome trace events: one process per
+/// run (named `scenario/workload/variant`), tid 0 the scheduler
+/// arbitration track, tid `core + 1` each simulated core's timeline.
+fn chrome_events(results: &[ScenarioResults]) -> Vec<ChromeEvent> {
+    let mut out = Vec::new();
+    let mut pid = 0u32;
+    for res in results {
+        for run in &res.runs {
+            let Some(t) = &run.telemetry else { continue };
+            if t.cores.is_empty() && t.sched.is_empty() {
+                continue;
+            }
+            pid += 1;
+            out.push(ChromeEvent::process_name(
+                pid,
+                &format!("{}/{}/{}", res.name, run.workload, run.variant),
+            ));
+            if !t.sched.is_empty() {
+                out.push(ChromeEvent::thread_name(pid, 0, "scheduler"));
+                for e in &t.sched {
+                    out.push(ChromeEvent::from_trace(pid, 0, e));
+                }
+            }
+            for core in &t.cores {
+                let tid = core.core + 1;
+                out.push(ChromeEvent::thread_name(pid, tid, &core.label));
+                if core.dropped > 0 {
+                    eprintln!(
+                        "trace: {}/{}/{} core {} dropped {} events (ring full)",
+                        res.name, run.workload, run.variant, core.core, core.dropped
+                    );
+                }
+                for e in &core.events {
+                    out.push(ChromeEvent::from_trace(pid, tid, e));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders every collected metrics snapshot as one JSON document:
+/// `{"runs": [{"scenario", "workload", "variant", "metrics": [...]}]}`.
+fn metrics_json(results: &[ScenarioResults]) -> String {
+    use asap_telemetry::metrics::escape;
+    use std::fmt::Write as _;
+    let mut entries = Vec::new();
+    for res in results {
+        for run in &res.runs {
+            let Some(t) = &run.telemetry else { continue };
+            if t.metrics.is_empty() {
+                continue;
+            }
+            let mut s = String::new();
+            let _ = write!(
+                s,
+                "    {{\"scenario\": \"{}\", \"workload\": \"{}\", \"variant\": \"{}\", \
+                 \"metrics\": {}}}",
+                escape(res.name),
+                escape(run.workload),
+                escape(&run.variant),
+                t.metrics.to_json(4)
+            );
+            entries.push(s);
+        }
+    }
+    format!("{{\n  \"runs\": [\n{}\n  ]\n}}\n", entries.join(",\n"))
+}
+
+/// The `--profile` phase table: wall-clock split per run plus a totals
+/// row, with the measure-window simulation rate (accesses/s).
+fn profile_table(results: &[ScenarioResults]) -> Table {
+    let ms = |d: std::time::Duration| format!("{:.1}ms", d.as_secs_f64() * 1e3);
+    let mut t = Table::new(
+        "Simulator self-profile (wall clock per phase)",
+        vec!["run", "setup", "warmup", "measure", "flush", "accesses/s"],
+    );
+    let mut total = PhaseProfile::default();
+    for res in results {
+        for run in &res.runs {
+            let Some(p) = run.telemetry.as_ref().and_then(|t| t.profile) else {
+                continue;
+            };
+            total.merge(&p);
+            t.row(vec![
+                format!("{}/{}/{}", res.name, run.workload, run.variant),
+                ms(p.setup),
+                ms(p.warmup),
+                ms(p.measure),
+                ms(p.flush),
+                format!("{:.0}", p.accesses_per_sec()),
+            ]);
+        }
+    }
+    t.row(vec![
+        "TOTAL".into(),
+        ms(total.setup),
+        ms(total.warmup),
+        ms(total.measure),
+        ms(total.flush),
+        format!("{:.0}", total.accesses_per_sec()),
+    ]);
+    t
+}
+
+/// Writes the telemetry artifacts the CLI flags asked for. Only `run`
+/// accepts the flags, so this is a no-op for `smoke`/`all`.
+fn emit_telemetry(cli: &Cli, results: &[ScenarioResults]) -> Result<(), String> {
+    if let Some(path) = cli.trace.as_deref() {
+        let json = chrome::to_json(&chrome_events(results));
+        std::fs::write(path, &json).map_err(|e| format!("failed to write {path}: {e}"))?;
+        eprintln!("wrote {path} (open at ui.perfetto.dev)");
+    }
+    if let Some(path) = cli.metrics.as_deref() {
+        std::fs::write(path, metrics_json(results))
+            .map_err(|e| format!("failed to write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if cli.profile {
+        println!("{}", profile_table(results).render());
+    }
+    Ok(())
 }
 
 /// Runs a scenario set, prints every rendered table, reports errors, and
@@ -203,6 +403,10 @@ fn execute_and_report(set: &[Scenario], cli: &Cli, default_json: Option<&str>) -
     }
     if failures > 0 {
         eprintln!("{failures} run(s) failed; results JSON not written");
+        return ExitCode::from(1);
+    }
+    if let Err(message) = emit_telemetry(cli, &results) {
+        eprintln!("{message}");
         return ExitCode::from(1);
     }
     if let Some(path) = cli.json.as_deref().or(default_json) {
@@ -239,7 +443,46 @@ fn cmd_run(cli: &Cli) -> ExitCode {
     if let Some(n) = cli.numa {
         set = set.into_iter().map(|s| s.with_forced_numa(n)).collect();
     }
+    let telemetry = cli.telemetry();
+    if telemetry.any() {
+        set = set
+            .into_iter()
+            .map(|s| s.with_telemetry(telemetry))
+            .collect();
+    }
     execute_and_report(&set, cli, None)
+}
+
+/// `asap trace-check <path>`: the CI round-trip gate. A valid trace file
+/// parses under the canonical Chrome-trace grammar and re-emits
+/// byte-identically.
+fn cmd_trace_check(cli: &Cli) -> ExitCode {
+    let [path] = cli.names.as_slice() else {
+        return usage_error("`trace-check` needs exactly one path");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("asap: failed to read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let events = match chrome::parse(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("asap: {path} is not canonical Chrome trace JSON: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if chrome::to_json(&events) != text {
+        eprintln!("asap: {path} parsed but did not re-emit byte-identically");
+        return ExitCode::from(1);
+    }
+    println!(
+        "{path}: {} events, round-trips byte-identically",
+        events.len()
+    );
+    ExitCode::SUCCESS
 }
 
 fn cmd_smoke(cli: &Cli) -> ExitCode {
@@ -252,6 +495,12 @@ fn cmd_smoke(cli: &Cli) -> ExitCode {
     if cli.cores.is_some() || cli.numa.is_some() {
         return usage_error(
             "--cores/--numa apply to `run` only (smoke baselines pin their topology)",
+        );
+    }
+    if cli.telemetry().any() {
+        return usage_error(
+            "--trace/--metrics/--profile apply to `run` only (the committed smoke \
+             baseline is produced with telemetry off)",
         );
     }
     let set = apply_filter(smoke_set(), cli.filter.as_deref());
@@ -268,6 +517,9 @@ fn cmd_all(cli: &Cli) -> ExitCode {
         return usage_error(
             "--cores/--numa apply to `run` only (paper scenarios pin their topology)",
         );
+    }
+    if cli.telemetry().any() {
+        return usage_error("--trace/--metrics/--profile apply to `run` only");
     }
     println!("# ASAP reproduction: all experiments\n");
     let set = apply_filter(paper_scenarios(), cli.filter.as_deref());
@@ -293,6 +545,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&cli),
         "smoke" => cmd_smoke(&cli),
         "all" => cmd_all(&cli),
+        "trace-check" => cmd_trace_check(&cli),
         other => usage_error(&format!("unknown command {other:?}")),
     }
 }

@@ -81,6 +81,21 @@ pub struct NumaStats {
     pub remote_dram: u64,
 }
 
+impl asap_telemetry::Collect for NumaStats {
+    fn collect(&self, prefix: &str, out: &mut asap_telemetry::MetricSet) {
+        out.counter(
+            format!("{prefix}local_dram_total"),
+            "DRAM serves whose home node matched the requester's",
+            self.local_dram,
+        );
+        out.counter(
+            format!("{prefix}remote_dram_total"),
+            "DRAM serves that paid the interconnect hop",
+            self.remote_dram,
+        );
+    }
+}
+
 /// The NUMA side of the fabric: the topology, the physical windows with
 /// their home nodes (kept sorted and disjoint for binary search), the
 /// round-robin cursor the next registered window is assigned with, and the
@@ -522,6 +537,44 @@ mod tests {
         assert!(r.merged);
         assert_eq!(r.latency, completion - completion / 2);
         assert_eq!(f.numa_stats(), NumaStats::default());
+    }
+
+    #[test]
+    fn cross_node_merge_charges_neither_dram_counter() {
+        // Core 1 prefetches a line homed on node 0; core 0 — for which
+        // that line is LOCAL — demand-accesses it mid-flight and merges
+        // on the MSHR. Only one DRAM transaction ever happens, and it is
+        // a prefetch fill, so the merged demand must increment neither
+        // local_dram nor remote_dram and pay no hop. A later genuinely
+        // remote demand still counts, proving the counters are armed.
+        let f = SharedFabric::new(HierarchyConfig::tiny_for_tests());
+        f.configure_numa(NumaConfig::symmetric(2));
+        f.assign_window(CacheLineAddr::new(0), 1 << 20);
+        f.assign_window(CacheLineAddr::new(1 << 20), 1 << 20);
+        let core1 = f.for_node(1);
+        let local = CacheLineAddr::new(0x40); // homed on node 0
+
+        let completion = core1.prefetch_at(local, 0).expect("mshr available");
+        let merged = f.access_at(local, completion / 2);
+        assert!(merged.merged);
+        assert_eq!(merged.latency, completion - completion / 2);
+        assert_eq!(
+            f.numa_stats(),
+            NumaStats::default(),
+            "merged demand over a prefetch fill counts no DRAM locality"
+        );
+
+        let remote = CacheLineAddr::new((1 << 20) + 0x40); // homed on node 1
+        let demand = f.access_at(remote, 0);
+        assert_eq!(demand.served_by, ServedBy::Memory);
+        assert_eq!(demand.latency, f.memory_latency() + NUMA_HOP_CYCLES);
+        assert_eq!(
+            f.numa_stats(),
+            NumaStats {
+                local_dram: 0,
+                remote_dram: 1
+            }
+        );
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Cache statistics counters.
 
+use asap_telemetry::{Collect, MetricSet};
+
 /// Hit/miss/fill counters for a single cache level.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -52,6 +54,59 @@ pub struct HierarchyStats {
     pub prefetches_dropped: u64,
     /// Demand accesses that merged with an in-flight prefetch MSHR.
     pub mshr_merges: u64,
+}
+
+impl Collect for CacheStats {
+    fn collect(&self, prefix: &str, out: &mut MetricSet) {
+        out.counter(
+            format!("{prefix}hits_total"),
+            "demand lookups that hit",
+            self.hits,
+        );
+        out.counter(
+            format!("{prefix}misses_total"),
+            "demand lookups that missed",
+            self.misses,
+        );
+        out.counter(
+            format!("{prefix}fills_total"),
+            "lines installed",
+            self.fills,
+        );
+        out.counter(
+            format!("{prefix}evictions_total"),
+            "lines evicted by fills",
+            self.evictions,
+        );
+    }
+}
+
+impl Collect for HierarchyStats {
+    fn collect(&self, prefix: &str, out: &mut MetricSet) {
+        for (stats, level) in self.levels.iter().zip(["l1", "l2", "l3"]) {
+            stats.collect(&format!("{prefix}{level}_"), out);
+        }
+        out.counter(
+            format!("{prefix}memory_accesses_total"),
+            "accesses ultimately served by DRAM",
+            self.memory_accesses,
+        );
+        out.counter(
+            format!("{prefix}prefetch_fills_total"),
+            "prefetch fills requested",
+            self.prefetch_fills,
+        );
+        out.counter(
+            format!("{prefix}prefetches_dropped_total"),
+            "prefetches dropped for lack of a free MSHR",
+            self.prefetches_dropped,
+        );
+        out.counter(
+            format!("{prefix}mshr_merges_total"),
+            "demand accesses merged with an in-flight prefetch MSHR",
+            self.mshr_merges,
+        );
+    }
 }
 
 #[cfg(test)]

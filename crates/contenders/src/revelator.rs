@@ -97,6 +97,41 @@ impl RevelatorStats {
     }
 }
 
+impl asap_telemetry::Collect for RevelatorStats {
+    fn collect(&self, prefix: &str, out: &mut asap_telemetry::MetricSet) {
+        out.counter(
+            format!("{prefix}speculations_issued_total"),
+            "speculative data fetches issued",
+            self.speculations_issued,
+        );
+        out.counter(
+            format!("{prefix}speculations_dropped_total"),
+            "speculative fetches dropped for lack of an MSHR",
+            self.speculations_dropped,
+        );
+        out.counter(
+            format!("{prefix}verified_correct_total"),
+            "guesses the verifying walk confirmed",
+            self.verified_correct,
+        );
+        out.counter(
+            format!("{prefix}mispredicted_total"),
+            "guesses the verifying walk refuted",
+            self.mispredicted,
+        );
+        out.counter(
+            format!("{prefix}declined_total"),
+            "TLB misses with no published window covering the address",
+            self.declined,
+        );
+        out.gauge(
+            format!("{prefix}accuracy"),
+            "fraction of verified speculations that were correct",
+            self.accuracy(),
+        );
+    }
+}
+
 /// The Revelator-style translation machine: stock TLBs, PWCs and walker,
 /// plus the hash unit that overlaps a speculative data fetch with the
 /// verifying walk.
@@ -279,6 +314,21 @@ impl TranslationEngine for RevelatorMmu {
             l2_tlb: *self.core.tlbs.l2_stats(),
             walk_faults: self.core.walk_faults,
         }
+    }
+
+    fn set_tracer(&mut self, sink: asap_telemetry::TraceSink) {
+        self.core.set_tracer(sink);
+    }
+
+    fn take_tracer(&mut self) -> Option<asap_telemetry::TraceSink> {
+        self.core.take_tracer()
+    }
+
+    fn collect_metrics(&self, prefix: &str, out: &mut asap_telemetry::MetricSet) {
+        use asap_telemetry::Collect;
+        self.stats_snapshot().collect(prefix, out);
+        self.core.collect_fabric_metrics(prefix, out);
+        self.stats.collect(&format!("{prefix}revelator_"), out);
     }
 }
 

@@ -105,6 +105,31 @@ pub struct VictimaStats {
     pub predictor_rejections: u64,
 }
 
+impl asap_telemetry::Collect for VictimaStats {
+    fn collect(&self, prefix: &str, out: &mut asap_telemetry::MetricSet) {
+        out.counter(
+            format!("{prefix}block_hits_total"),
+            "S-TLB misses served from a cache-resident TLB block",
+            self.block_hits,
+        );
+        out.counter(
+            format!("{prefix}block_misses_total"),
+            "S-TLB misses whose block probe missed",
+            self.block_misses,
+        );
+        out.counter(
+            format!("{prefix}blocks_installed_total"),
+            "blocks installed into the L2 on S-TLB evictions",
+            self.blocks_installed,
+        );
+        out.counter(
+            format!("{prefix}predictor_rejections_total"),
+            "evictions the cost predictor declined to insert",
+            self.predictor_rejections,
+        );
+    }
+}
+
 /// The Victima-style translation machine: stock TLBs, PWCs and walker,
 /// plus the TLB-block path between the S-TLB and the walk.
 #[derive(Debug)]
@@ -226,6 +251,10 @@ impl VictimaMmu {
             self.stats.block_hits += 1;
             let latency = self.core.l2_latency();
             self.core.advance(latency);
+            let now = self.core.now();
+            if let Some(t) = self.core.tracer_mut() {
+                t.record(now, asap_telemetry::TraceEventKind::TlbHit { level: 3 });
+            }
             // Promote back into the TLBs; the displaced entry gets its own
             // shot at a block.
             if let Some((v_asid, v_vpn, v_entry)) =
@@ -323,6 +352,21 @@ impl TranslationEngine for VictimaMmu {
             l2_tlb: *self.core.tlbs.l2_stats(),
             walk_faults: self.core.walk_faults,
         }
+    }
+
+    fn set_tracer(&mut self, sink: asap_telemetry::TraceSink) {
+        self.core.set_tracer(sink);
+    }
+
+    fn take_tracer(&mut self) -> Option<asap_telemetry::TraceSink> {
+        self.core.take_tracer()
+    }
+
+    fn collect_metrics(&self, prefix: &str, out: &mut asap_telemetry::MetricSet) {
+        use asap_telemetry::Collect;
+        self.stats_snapshot().collect(prefix, out);
+        self.core.collect_fabric_metrics(prefix, out);
+        self.stats.collect(&format!("{prefix}victima_"), out);
     }
 }
 

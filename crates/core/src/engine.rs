@@ -23,8 +23,9 @@
 //! [`TranslationEngine`], typically over an embedded [`EngineCore`].
 
 use crate::{prefetch_target, ServedByMatrix, ServedSource, WalkLatencyStats};
-use asap_cache::{AccessResult, HierarchyConfig, HierarchyStats, SharedFabric};
+use asap_cache::{AccessResult, HierarchyConfig, HierarchyStats, ServedBy, SharedFabric};
 use asap_os::{OsError, Process, VmaDescriptor};
+use asap_telemetry::{Collect, MetricSet, TraceEventKind, TraceSink};
 use asap_tlb::{TlbConfig, TlbEntry, TlbHierarchy, TlbLevel, TlbLookup, TlbStats};
 use asap_types::{Asid, CacheLineAddr, PhysAddr, PtLevel, VirtAddr, VirtPageNum};
 use asap_virt::VirtualMachine;
@@ -80,6 +81,27 @@ pub struct EngineStats {
     pub l2_tlb: TlbStats,
     /// Walks that ended in a page fault.
     pub walk_faults: u64,
+}
+
+impl Collect for EngineStats {
+    fn collect(&self, prefix: &str, out: &mut MetricSet) {
+        out.counter(
+            format!("{prefix}walks_total"),
+            "page walks performed",
+            self.walks.count(),
+        );
+        out.counter(
+            format!("{prefix}walk_faults_total"),
+            "walks that ended in a page fault",
+            self.walk_faults,
+        );
+        self.walks.collect(&format!("{prefix}walk_"), out);
+        self.l2_tlb.collect(&format!("{prefix}tlb_l2_"), out);
+        self.served.collect(prefix, out);
+        if let Some(host) = &self.host_served {
+            host.collect(&format!("{prefix}host_"), out);
+        }
+    }
 }
 
 /// The software machine an engine translates for: it owns the page tables
@@ -160,6 +182,26 @@ pub trait TranslationEngine {
 
     /// An owned snapshot of the current statistics.
     fn stats_snapshot(&self) -> EngineStats;
+
+    /// Installs a trace sink recording this engine's per-access events.
+    /// The default ignores it, so backends without tracing support stay
+    /// valid; engines embedding an [`EngineCore`] delegate to it.
+    fn set_tracer(&mut self, sink: TraceSink) {
+        let _ = sink;
+    }
+
+    /// Removes and returns the installed trace sink, if any.
+    fn take_tracer(&mut self) -> Option<TraceSink> {
+        None
+    }
+
+    /// Contributes this engine's statistics to a metrics snapshot under
+    /// `prefix`. The default contributes nothing; engines embedding an
+    /// [`EngineCore`] collect their [`EngineStats`] plus the shared-fabric
+    /// counters, and backends append their mechanism-specific rows.
+    fn collect_metrics(&self, prefix: &str, out: &mut MetricSet) {
+        let _ = (prefix, out);
+    }
 }
 
 /// The **private, per-core** state and plumbing every translation engine
@@ -190,6 +232,10 @@ pub struct EngineCore {
     pub walk_stats: WalkLatencyStats,
     /// Walks that ended in a page fault.
     pub walk_faults: u64,
+    /// The optional event tracer. `None` in every default configuration,
+    /// so the recording hooks below are never-taken branches unless a run
+    /// explicitly installs a sink — the zero-cost-when-off contract.
+    tracer: Option<Box<TraceSink>>,
 }
 
 impl EngineCore {
@@ -220,7 +266,35 @@ impl EngineCore {
             clock: 0,
             walk_stats: WalkLatencyStats::new(),
             walk_faults: 0,
+            tracer: None,
         }
+    }
+
+    /// Installs an event tracer; subsequent translations record into it.
+    pub fn set_tracer(&mut self, sink: TraceSink) {
+        self.tracer = Some(Box::new(sink));
+    }
+
+    /// Removes and returns the tracer (the end-of-run harvest).
+    pub fn take_tracer(&mut self) -> Option<TraceSink> {
+        self.tracer.take().map(|b| *b)
+    }
+
+    /// Contributes the shared-fabric statistics — the cache hierarchy
+    /// levels and the DRAM locality counters — to a metrics snapshot.
+    /// Engines call this from their `collect_metrics` after their own
+    /// [`EngineStats`] so every backend emits the same fabric names.
+    pub fn collect_fabric_metrics(&self, prefix: &str, out: &mut MetricSet) {
+        self.hierarchy_stats().collect(prefix, out);
+        self.fabric()
+            .numa_stats()
+            .collect(&format!("{prefix}numa_"), out);
+    }
+
+    /// The installed tracer, for engines recording backend-specific
+    /// events (clustered-TLB hits, TLB-block hits, speculation).
+    pub fn tracer_mut(&mut self) -> Option<&mut TraceSink> {
+        self.tracer.as_deref_mut()
     }
 
     /// The core's handle to the shared memory fabric.
@@ -244,6 +318,13 @@ impl EngineCore {
                     TlbLevel::L2 => L2_TLB_HIT_CYCLES,
                 };
                 self.clock += latency;
+                if let Some(t) = &mut self.tracer {
+                    let tlb_level = match level {
+                        TlbLevel::L1 => 1,
+                        TlbLevel::L2 => 2,
+                    };
+                    t.record(self.clock, TraceEventKind::TlbHit { level: tlb_level });
+                }
                 Some((level, latency, entry))
             }
             TlbLookup::Miss => None,
@@ -263,9 +344,18 @@ impl EngineCore {
     ) {
         for &level in levels {
             if let Some(target) = prefetch_target(desc, level, va) {
-                match self.fabric.prefetch_at(target.cache_line(), at) {
-                    Some(_) => *issued = issued.saturating_add(1),
-                    None => *dropped = dropped.saturating_add(1),
+                let kind = match self.fabric.prefetch_at(target.cache_line(), at) {
+                    Some(_) => {
+                        *issued = issued.saturating_add(1);
+                        TraceEventKind::PrefetchIssue
+                    }
+                    None => {
+                        *dropped = dropped.saturating_add(1);
+                        TraceEventKind::PrefetchDrop
+                    }
+                };
+                if let Some(t) = &mut self.tracer {
+                    t.record(at, kind);
                 }
             }
         }
@@ -275,15 +365,39 @@ impl EngineCore {
     /// backend-specific speculative fetch, e.g. Revelator's hashed data
     /// address). Returns the completion cycle, or `None` when dropped.
     pub fn prefetch_line_at(&mut self, line: CacheLineAddr, at: u64) -> Option<u64> {
-        self.fabric.prefetch_at(line, at)
+        let done = self.fabric.prefetch_at(line, at);
+        if let Some(t) = &mut self.tracer {
+            t.record(
+                at,
+                if done.is_some() {
+                    TraceEventKind::PrefetchIssue
+                } else {
+                    TraceEventKind::PrefetchDrop
+                },
+            );
+        }
+        done
     }
 
     /// One walker access to the shared fabric at walk-local time `t`:
     /// advances `t` by the access latency and classifies the serving
     /// source (merged with an in-flight prefetch or served by a level).
     pub fn walk_access(&mut self, line: CacheLineAddr, t: &mut u64) -> ServedSource {
+        let issued_at = *t;
         let r = self.fabric.access_at(line, *t);
         *t += r.latency;
+        if let Some(tracer) = &mut self.tracer {
+            if r.merged {
+                tracer.record(issued_at, TraceEventKind::MshrMerge);
+            } else if r.served_by == ServedBy::Memory
+                && self
+                    .fabric
+                    .home_node(line)
+                    .is_some_and(|home| home != self.fabric.node())
+            {
+                tracer.record(issued_at, TraceEventKind::NumaHop);
+            }
+        }
         if r.merged {
             ServedSource::Merged(r.served_by)
         } else {
@@ -297,6 +411,9 @@ impl EngineCore {
         let latency = t - t0;
         self.clock += latency;
         self.walk_stats.record(latency);
+        if let Some(tracer) = &mut self.tracer {
+            tracer.record(t0, TraceEventKind::Walk { latency });
+        }
         latency
     }
 

@@ -213,6 +213,10 @@ impl Mmu {
                 let entry = TlbEntry::new(frame, PageSize::Size4K);
                 self.core.tlbs.fill(asid, vpn, entry);
                 self.core.advance(crate::L2_TLB_HIT_CYCLES);
+                let now = self.core.now();
+                if let Some(t) = self.core.tracer_mut() {
+                    t.record(now, asap_telemetry::TraceEventKind::TlbHit { level: 3 });
+                }
                 return AccessOutcome {
                     path: TranslationPath::ClusteredTlb,
                     latency: crate::L2_TLB_HIT_CYCLES,
@@ -451,6 +455,20 @@ impl TranslationEngine for Mmu {
             l2_tlb: *self.core.tlbs.l2_stats(),
             walk_faults: self.core.walk_faults,
         }
+    }
+
+    fn set_tracer(&mut self, sink: asap_telemetry::TraceSink) {
+        self.core.set_tracer(sink);
+    }
+
+    fn take_tracer(&mut self) -> Option<asap_telemetry::TraceSink> {
+        self.core.take_tracer()
+    }
+
+    fn collect_metrics(&self, prefix: &str, out: &mut asap_telemetry::MetricSet) {
+        use asap_telemetry::Collect;
+        self.stats_snapshot().collect(prefix, out);
+        self.core.collect_fabric_metrics(prefix, out);
     }
 }
 

@@ -375,6 +375,20 @@ impl TranslationEngine for NestedMmu {
             walk_faults: self.core.walk_faults,
         }
     }
+
+    fn set_tracer(&mut self, sink: asap_telemetry::TraceSink) {
+        self.core.set_tracer(sink);
+    }
+
+    fn take_tracer(&mut self) -> Option<asap_telemetry::TraceSink> {
+        self.core.take_tracer()
+    }
+
+    fn collect_metrics(&self, prefix: &str, out: &mut asap_telemetry::MetricSet) {
+        use asap_telemetry::Collect;
+        self.stats_snapshot().collect(prefix, out);
+        self.core.collect_fabric_metrics(prefix, out);
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Walk statistics: latency distributions and the Fig. 9 served-by matrix.
 
 use asap_cache::ServedBy;
+use asap_telemetry::{Collect, HistogramSnapshot, MetricSet};
 use asap_types::PtLevel;
 
 /// Where one page-walk request was served from.
@@ -97,6 +98,32 @@ impl ServedByMatrix {
     }
 }
 
+impl Collect for ServedByMatrix {
+    fn collect(&self, prefix: &str, out: &mut MetricSet) {
+        // Only levels that saw requests get metrics: a 4-level run emits
+        // no pl5 rows, a native run no host rows, keeping snapshots tight.
+        for level in [
+            PtLevel::Pl5,
+            PtLevel::Pl4,
+            PtLevel::Pl3,
+            PtLevel::Pl2,
+            PtLevel::Pl1,
+        ] {
+            if self.total(level) == 0 {
+                continue;
+            }
+            let depth = level.depth();
+            for (column, name) in ["pwc", "l1", "l2", "llc", "mem"].iter().enumerate() {
+                out.counter(
+                    format!("{prefix}served_pl{depth}_{name}_total"),
+                    "walk requests served per (PT level, source)",
+                    self.count(level, column),
+                );
+            }
+        }
+    }
+}
+
 /// Aggregate walk-latency statistics.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct WalkLatencyStats {
@@ -185,6 +212,13 @@ impl WalkLatencyStats {
         self.max
     }
 
+    /// The raw power-of-two bucket counts (bucket `i` covers
+    /// `[2^i, 2^(i+1))`).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; 16] {
+        &self.buckets
+    }
+
     /// Merges another set of statistics.
     pub fn merge(&mut self, other: &Self) {
         if other.count == 0 {
@@ -197,6 +231,22 @@ impl WalkLatencyStats {
         for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *b += ob;
         }
+    }
+}
+
+impl Collect for WalkLatencyStats {
+    fn collect(&self, prefix: &str, out: &mut MetricSet) {
+        out.histogram(
+            format!("{prefix}latency_cycles"),
+            "page-walk latency distribution (power-of-two buckets)",
+            HistogramSnapshot {
+                count: self.count(),
+                total: self.total_cycles(),
+                min: self.min(),
+                max: self.max(),
+                buckets: self.buckets().to_vec(),
+            },
+        );
     }
 }
 
@@ -279,5 +329,73 @@ mod tests {
         assert_eq!(ServedSource::Cache(ServedBy::L1).column(), 1);
         assert_eq!(ServedSource::Merged(ServedBy::Memory).column(), 4);
         assert_eq!(ServedSource::Merged(ServedBy::Memory).to_string(), "Mem*");
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        let s = WalkLatencyStats::new();
+        assert_eq!(s.percentile(0.0), 0);
+        assert_eq!(s.percentile(0.5), 0);
+        assert_eq!(s.percentile(1.0), 0);
+    }
+
+    #[test]
+    fn percentile_extremes_on_a_single_bucket() {
+        // All samples land in bucket 6 ([64, 128)); every percentile —
+        // including the degenerate p=0.0, whose ceil-target of 0 is
+        // satisfied by the first bucket scanned with `seen >= target` —
+        // reports that bucket's upper bound.
+        let mut s = WalkLatencyStats::new();
+        for _ in 0..10 {
+            s.record(100);
+        }
+        assert_eq!(s.percentile(1.0), 128);
+        assert_eq!(s.percentile(0.5), 128);
+        assert_eq!(s.percentile(0.0), 2, "p=0 hits the first bucket bound");
+        // Out-of-range p clamps rather than panicking or overshooting.
+        assert_eq!(s.percentile(-1.0), s.percentile(0.0));
+        assert_eq!(s.percentile(2.0), s.percentile(1.0));
+    }
+
+    #[test]
+    fn percentile_p1_spans_to_the_top_bucket() {
+        let mut s = WalkLatencyStats::new();
+        s.record(3); // bucket 1: [2, 4)
+        s.record(1000); // bucket 9: [512, 1024)
+        assert_eq!(s.percentile(0.5), 4);
+        assert_eq!(s.percentile(1.0), 1024);
+        // A sample beyond the last bucket range still lands in bucket 15,
+        // so the reported tail is that bucket's upper bound.
+        s.record(1 << 20);
+        assert_eq!(s.percentile(1.0), 1 << 16);
+    }
+
+    #[test]
+    fn collect_emits_histogram_and_served_rows() {
+        use asap_telemetry::MetricValue;
+        let mut s = WalkLatencyStats::new();
+        s.record(100);
+        let mut out = MetricSet::new();
+        s.collect("walk_", &mut out);
+        let m = out.get("walk_latency_cycles").expect("registered");
+        match &m.value {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 1);
+                assert_eq!(h.total, 100);
+                assert_eq!(h.buckets.len(), 16);
+                assert_eq!(h.buckets[6], 1);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+
+        let mut matrix = ServedByMatrix::new();
+        matrix.record(PtLevel::Pl2, ServedSource::Merged(ServedBy::Memory));
+        let mut out = MetricSet::new();
+        matrix.collect("engine_", &mut out);
+        assert!(out.get("engine_served_pl2_mem_total").is_some());
+        assert!(
+            out.get("engine_served_pl1_mem_total").is_none(),
+            "levels without requests stay out of the snapshot"
+        );
     }
 }

@@ -31,6 +31,7 @@ use crate::driver::DriverError;
 use crate::{RunOutput, RunResult};
 use asap_contenders::ContenderKind;
 use asap_core::{AsapHwConfig, NestedAsapConfig};
+use asap_telemetry::TelemetryConfig;
 use asap_tlb::PwcConfig;
 use asap_types::{PageSize, PagingMode, PtLevel};
 use asap_workloads::WorkloadSpec;
@@ -244,6 +245,10 @@ pub struct RunSpec {
     pub pt_scatter_run_override: Option<f64>,
     /// Window configuration.
     pub sim: SimConfig,
+    /// Telemetry switches (event tracing / metrics snapshot / simulator
+    /// self-profile). All off by default, in which case every hook in the
+    /// engines and the driver compiles to a never-taken branch.
+    pub telemetry: TelemetryConfig,
 }
 
 impl RunSpec {
@@ -265,6 +270,7 @@ impl RunSpec {
             paging_mode: PagingMode::FourLevel,
             pt_scatter_run_override: None,
             sim: SimConfig::default(),
+            telemetry: TelemetryConfig::off(),
         }
     }
 
@@ -374,6 +380,13 @@ impl RunSpec {
     #[must_use]
     pub fn with_sim(mut self, sim: SimConfig) -> Self {
         self.sim = sim;
+        self
+    }
+
+    /// Sets the telemetry switches (tracing / metrics / self-profile).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -515,7 +528,6 @@ impl RunSpec {
             (MachineSelect::Native, _) => crate::native::run_native(self),
             (MachineSelect::Virt { .. }, _) => crate::virt::run_virt(self),
         }
-        .map(RunOutput::single)
     }
 }
 

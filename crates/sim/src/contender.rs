@@ -3,12 +3,34 @@
 //! contender backend, and hands it to the generic `run_scenario` loop.
 //! Reached only through [`RunSpec::run`]'s internal dispatch.
 
-use crate::driver::{run_scenario, DriverError, RunMeta};
-use crate::{EngineSelect, RunResult, RunSpec};
+use crate::driver::{run_scenario_observed, DriverError, RunMeta};
+use crate::observe::RunObserver;
+use crate::{EngineSelect, RunOutput, RunSpec};
 use asap_contenders::{RevelatorConfig, RevelatorMmu, VictimaConfig, VictimaMmu};
 use asap_core::TranslationEngine;
 use asap_os::{AsapOsConfig, Process};
 use asap_types::Asid;
+use asap_workloads::BoxedStream;
+
+/// Context-loads one contender engine, drives it, and harvests its
+/// telemetry — the shared tail of both contender arms.
+fn drive_one<E: TranslationEngine<Machine = Process>>(
+    mut mmu: E,
+    process: &mut Process,
+    stream: &mut BoxedStream,
+    meta: &RunMeta,
+    mut obs: RunObserver,
+) -> Result<RunOutput, DriverError> {
+    TranslationEngine::load_context(&mut mmu, process);
+    obs.arm(std::slice::from_mut(&mut mmu));
+    let result = run_scenario_observed(&mut mmu, process, stream.as_mut(), meta, obs.driver_mut())?;
+    let telemetry = obs.finish(
+        std::slice::from_mut(&mut mmu),
+        std::slice::from_ref(&meta.workload),
+        meta.sim.measure_accesses,
+    );
+    Ok(RunOutput::single(result).with_telemetry(telemetry))
+}
 
 /// Runs one contender configuration and returns its measurements.
 ///
@@ -17,7 +39,8 @@ use asap_types::Asid;
 /// publishes — so the process is always built with ASAP disabled, making
 /// the comparison against the registry's baseline runs apples-to-apples
 /// (identical data placement, identical page tables).
-pub(crate) fn run_contender(spec: &RunSpec) -> Result<RunResult, DriverError> {
+pub(crate) fn run_contender(spec: &RunSpec) -> Result<RunOutput, DriverError> {
+    let obs = RunObserver::begin(spec.telemetry);
     let workload = spec.effective_workload();
     let seed = spec.sim.seed;
     let mut process =
@@ -31,16 +54,20 @@ pub(crate) fn run_contender(spec: &RunSpec) -> Result<RunResult, DriverError> {
         perfect_tlb: spec.perfect_tlb,
     };
     match spec.engine {
-        EngineSelect::Victima => {
-            let mut mmu = VictimaMmu::new(VictimaConfig::default().with_seed(seed));
-            TranslationEngine::load_context(&mut mmu, &process);
-            run_scenario(&mut mmu, &mut process, stream.as_mut(), &meta)
-        }
-        EngineSelect::Revelator => {
-            let mut mmu = RevelatorMmu::new(RevelatorConfig::default().with_seed(seed));
-            TranslationEngine::load_context(&mut mmu, &process);
-            run_scenario(&mut mmu, &mut process, stream.as_mut(), &meta)
-        }
+        EngineSelect::Victima => drive_one(
+            VictimaMmu::new(VictimaConfig::default().with_seed(seed)),
+            &mut process,
+            &mut stream,
+            &meta,
+            obs,
+        ),
+        EngineSelect::Revelator => drive_one(
+            RevelatorMmu::new(RevelatorConfig::default().with_seed(seed)),
+            &mut process,
+            &mut stream,
+            &meta,
+            obs,
+        ),
         _ => unreachable!("dispatch sends only contender specs here"),
     }
 }

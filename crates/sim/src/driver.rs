@@ -29,8 +29,10 @@
 use crate::{sched, RunResult, SimConfig, CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
 use asap_core::{SimMachine, TranslationEngine, TranslationPath};
 use asap_os::OsError;
+use asap_telemetry::{TraceEvent, TraceEventKind, TraceSink};
 use asap_types::VirtAddr;
 use asap_workloads::{AccessStream, CoRunner};
+use std::time::{Duration, Instant};
 
 /// A scenario misconfiguration detected while driving a run. These are
 /// *harness* errors (bad workload/machine pairings), not simulated
@@ -128,6 +130,58 @@ pub struct CoreSlot<'a, E: TranslationEngine> {
     pub corunner: Option<CoRunner>,
 }
 
+/// Observation hooks for one driver invocation: the scheduler's
+/// arbitration events (a per-event-core trace track) and the
+/// warmup/measure wall-clock split for the simulator self-profile.
+///
+/// Machine assemblies construct one only when the spec enables telemetry;
+/// [`run_cores`] itself passes `None`, so with telemetry off every hook
+/// compiles to a never-taken `Option` branch on the hot path.
+#[derive(Debug)]
+pub struct DriverObserver {
+    /// Arbitration events across every core (`record_for` stamps the
+    /// popped/pushed core explicitly). `None` when only profiling.
+    sched: Option<TraceSink>,
+    started: Instant,
+    /// When the last core crossed its warmup boundary — the machine-wide
+    /// warmup/measure split (per-core boundaries differ under skew; the
+    /// last crossing is when the whole machine is measuring).
+    warmup_ended: Option<Instant>,
+}
+
+impl DriverObserver {
+    /// Starts observing now; `trace` additionally records the scheduler's
+    /// arbitration events.
+    #[must_use]
+    pub fn new(trace: bool) -> Self {
+        Self {
+            sched: trace.then(TraceSink::default),
+            started: Instant::now(),
+            warmup_ended: None,
+        }
+    }
+
+    fn sched_event(&mut self, ts: u64, core: usize, kind: TraceEventKind) {
+        if let Some(s) = self.sched.as_mut() {
+            s.record_for(ts, core as u32, kind);
+        }
+    }
+
+    fn warmup_boundary(&mut self) {
+        self.warmup_ended = Some(Instant::now());
+    }
+
+    /// Consumes the observer: the scheduler events plus the (warmup,
+    /// measure) wall-clock split.
+    #[must_use]
+    pub fn finish(self) -> (Vec<TraceEvent>, Duration, Duration) {
+        let end = Instant::now();
+        let boundary = self.warmup_ended.unwrap_or(self.started);
+        let sched = self.sched.map(|s| s.events()).unwrap_or_default();
+        (sched, boundary - self.started, end - boundary)
+    }
+}
+
 /// Per-core window accounting the driver keeps outside the engines.
 #[derive(Debug, Clone, Copy, Default)]
 struct CoreAccounting {
@@ -160,6 +214,21 @@ pub fn run_cores<E: TranslationEngine>(
     cores: &mut [CoreSlot<'_, E>],
     meta: &RunMeta,
 ) -> Result<Vec<RunResult>, DriverError> {
+    run_cores_observed(cores, meta, None)
+}
+
+/// [`run_cores`] with observation hooks: `Some` records scheduler events
+/// and the warmup/measure wall split into the observer; `None` is the
+/// plain driver with every hook branch never taken.
+///
+/// # Errors
+///
+/// Same contract as [`run_cores`].
+pub fn run_cores_observed<E: TranslationEngine>(
+    cores: &mut [CoreSlot<'_, E>],
+    meta: &RunMeta,
+    obs: Option<&mut DriverObserver>,
+) -> Result<Vec<RunResult>, DriverError> {
     if cores.is_empty() {
         return Err(DriverError::IncompatibleSpec {
             reason: "a machine needs at least one core",
@@ -168,9 +237,9 @@ pub fn run_cores<E: TranslationEngine>(
     let total = meta.sim.warmup_accesses + meta.sim.measure_accesses;
     let mut accounting = vec![CoreAccounting::default(); cores.len()];
     if meta.sim.lockstep {
-        run_lockstep(cores, &mut accounting, total, meta)?;
+        run_lockstep(cores, &mut accounting, total, meta, obs)?;
     } else {
-        run_event_queue(cores, &mut accounting, total, meta)?;
+        run_event_queue(cores, &mut accounting, total, meta, obs)?;
     }
 
     Ok(cores
@@ -211,6 +280,7 @@ fn run_event_queue<E: TranslationEngine>(
     accounting: &mut [CoreAccounting],
     total: u64,
     meta: &RunMeta,
+    mut obs: Option<&mut DriverObserver>,
 ) -> Result<(), DriverError> {
     let mut queue = sched::EventQueue::with_capacity(cores.len());
     if total > 0 {
@@ -218,16 +288,22 @@ fn run_event_queue<E: TranslationEngine>(
             queue.push((core.engine.now(), i));
         }
     }
-    while let Some((_, i)) = queue.pop() {
+    while let Some((ts, i)) = queue.pop() {
+        if let Some(o) = obs.as_deref_mut() {
+            o.sched_event(ts, i, TraceEventKind::ArbPop);
+        }
         let bound = queue.peek();
         loop {
-            step_core(&mut cores[i], &mut accounting[i], meta)?;
+            step_core(&mut cores[i], &mut accounting[i], meta, obs.as_deref_mut())?;
             if accounting[i].accesses_done == total {
                 break;
             }
             let key = (cores[i].engine.now(), i);
             if bound.is_some_and(|b| key >= b) {
                 queue.push(key);
+                if let Some(o) = obs.as_deref_mut() {
+                    o.sched_event(key.0, i, TraceEventKind::ArbPush);
+                }
                 break;
             }
         }
@@ -245,6 +321,7 @@ fn run_lockstep<E: TranslationEngine>(
     accounting: &mut [CoreAccounting],
     total: u64,
     meta: &RunMeta,
+    mut obs: Option<&mut DriverObserver>,
 ) -> Result<(), DriverError> {
     loop {
         let ready = cores
@@ -253,8 +330,11 @@ fn run_lockstep<E: TranslationEngine>(
             .filter(|(i, _)| accounting[*i].accesses_done < total)
             .map(|(i, core)| (core.engine.now(), i));
         let (best, _) = sched::linear_scan(ready);
-        let Some((_, i)) = best else { break };
-        step_core(&mut cores[i], &mut accounting[i], meta)?;
+        let Some((ts, i)) = best else { break };
+        if let Some(o) = obs.as_deref_mut() {
+            o.sched_event(ts, i, TraceEventKind::ArbPop);
+        }
+        step_core(&mut cores[i], &mut accounting[i], meta, obs.as_deref_mut())?;
     }
     Ok(())
 }
@@ -265,8 +345,12 @@ fn step_core<E: TranslationEngine>(
     core: &mut CoreSlot<'_, E>,
     acct: &mut CoreAccounting,
     meta: &RunMeta,
+    obs: Option<&mut DriverObserver>,
 ) -> Result<(), DriverError> {
     if acct.accesses_done == meta.sim.warmup_accesses {
+        if let Some(o) = obs {
+            o.warmup_boundary();
+        }
         core.engine.reset_stats();
         *acct = CoreAccounting {
             accesses_done: acct.accesses_done,
@@ -329,6 +413,21 @@ pub fn run_scenario<E: TranslationEngine>(
     stream: &mut dyn AccessStream,
     meta: &RunMeta,
 ) -> Result<RunResult, DriverError> {
+    run_scenario_observed(engine, machine, stream, meta, None)
+}
+
+/// [`run_scenario`] with observation hooks (see [`run_cores_observed`]).
+///
+/// # Errors
+///
+/// Same contract as [`run_scenario`].
+pub fn run_scenario_observed<E: TranslationEngine>(
+    engine: &mut E,
+    machine: &mut E::Machine,
+    stream: &mut dyn AccessStream,
+    meta: &RunMeta,
+    obs: Option<&mut DriverObserver>,
+) -> Result<RunResult, DriverError> {
     let corunner = meta
         .colocated
         .then(|| CoRunner::memory_intensive(meta.sim.seed ^ 0xC0));
@@ -339,7 +438,7 @@ pub fn run_scenario<E: TranslationEngine>(
         workload: meta.workload.clone(),
         corunner,
     }];
-    Ok(run_cores(&mut slots, meta)?
+    Ok(run_cores_observed(&mut slots, meta, obs)?
         .pop()
         .expect("one core in, one result out"))
 }

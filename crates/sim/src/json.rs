@@ -127,6 +127,30 @@ impl BenchRun {
     }
 }
 
+/// One run the driver refused to execute, as emitted into the document —
+/// machine-readable fan-out failures (satellite of the telemetry layer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchError {
+    /// The workload's name.
+    pub workload: String,
+    /// The variant key within the scenario.
+    pub variant: String,
+    /// The driver's error, rendered.
+    pub error: String,
+}
+
+impl BenchError {
+    fn emit(&self, out: &mut String, indent: &str) {
+        let _ = write!(
+            out,
+            "{indent}{{\"workload\": \"{}\", \"variant\": \"{}\", \"error\": \"{}\"}}",
+            escape(&self.workload),
+            escape(&self.variant),
+            escape(&self.error)
+        );
+    }
+}
+
 /// One scenario's parsed rows.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchScenario {
@@ -134,6 +158,10 @@ pub struct BenchScenario {
     pub scenario: String,
     /// The emitted runs, in registry order.
     pub runs: Vec<BenchRun>,
+    /// Runs the driver rejected with a typed error, in registry order.
+    /// Emitted (and parsed) only when non-empty, so documents of healthy
+    /// sweeps are byte-identical to the pre-`errors` schema.
+    pub errors: Vec<BenchError>,
 }
 
 /// A parsed (or about-to-be-emitted) `BENCH_results.json` document.
@@ -199,6 +227,15 @@ impl BenchDoc {
                                 .map(|row| BenchRun::from_result(row, &row.workload, &r.variant))
                         })
                         .collect(),
+                    errors: sc
+                        .errors
+                        .iter()
+                        .map(|e| BenchError {
+                            workload: e.workload.into(),
+                            variant: e.variant.clone(),
+                            error: e.error.to_string(),
+                        })
+                        .collect(),
                 })
                 .collect(),
         }
@@ -222,7 +259,16 @@ impl BenchDoc {
                 r.emit(&mut s, "      ");
                 s.push_str(if j + 1 < sc.runs.len() { ",\n" } else { "\n" });
             }
-            s.push_str("    ]}");
+            if sc.errors.is_empty() {
+                s.push_str("    ]}");
+            } else {
+                s.push_str("    ], \"errors\": [\n");
+                for (j, e) in sc.errors.iter().enumerate() {
+                    e.emit(&mut s, "      ");
+                    s.push_str(if j + 1 < sc.errors.len() { ",\n" } else { "\n" });
+                }
+                s.push_str("    ]}");
+            }
             s.push_str(if i + 1 < self.scenarios.len() {
                 ",\n"
             } else {
@@ -449,8 +495,44 @@ impl<'a> Parser<'a> {
             }
             self.expect(']')?;
         }
+        let mut errors = Vec::new();
+        if self.eat(',') {
+            self.key("errors")?;
+            self.expect('[')?;
+            if !self.eat(']') {
+                loop {
+                    errors.push(self.error_entry()?);
+                    if !self.eat(',') {
+                        break;
+                    }
+                }
+                self.expect(']')?;
+            }
+        }
         self.expect('}')?;
-        Ok(BenchScenario { scenario, runs })
+        Ok(BenchScenario {
+            scenario,
+            runs,
+            errors,
+        })
+    }
+
+    fn error_entry(&mut self) -> Result<BenchError, JsonParseError> {
+        self.expect('{')?;
+        self.key("workload")?;
+        let workload = self.string()?;
+        self.expect(',')?;
+        self.key("variant")?;
+        let variant = self.string()?;
+        self.expect(',')?;
+        self.key("error")?;
+        let error = self.string()?;
+        self.expect('}')?;
+        Ok(BenchError {
+            workload,
+            variant,
+            error,
+        })
     }
 
     fn run(&mut self) -> Result<BenchRun, JsonParseError> {
@@ -578,6 +660,7 @@ mod tests {
                 variant: "native/baseline".into(),
                 result: result(),
                 per_core: Vec::new(),
+                telemetry: None,
             }],
             errors: Vec::new(),
         }]
@@ -596,6 +679,7 @@ mod tests {
                 variant: "Baseline+2c".into(),
                 result: result(),
                 per_core: vec![core0, core1],
+                telemetry: None,
             }],
             errors: Vec::new(),
         }];
@@ -655,6 +739,31 @@ mod tests {
         assert_eq!(run.walks, 1);
         assert!((run.avg_walk_latency - 100.0).abs() < 1e-12);
         assert_eq!(doc.to_json(), json, "re-emit must be byte-identical");
+    }
+
+    #[test]
+    fn failed_runs_surface_in_an_errors_array() {
+        use crate::scenarios::ScenarioRunError;
+        use crate::DriverError;
+        let mut results = sample();
+        results[0].errors.push(ScenarioRunError {
+            workload: "mc80",
+            variant: "Baseline+99c".into(),
+            error: DriverError::IncompatibleSpec {
+                reason: "cores exceed MAX_CORES",
+            },
+        });
+        let json = results_to_json(&results, "smoke");
+        assert!(json.contains("], \"errors\": [\n"));
+        assert!(json.contains("\"variant\": \"Baseline+99c\""));
+        let doc = BenchDoc::parse(&json).unwrap();
+        assert_eq!(doc.scenarios[0].errors.len(), 1);
+        assert_eq!(doc.scenarios[0].errors[0].workload, "mc80");
+        assert_eq!(doc.to_json(), json, "re-emit must be byte-identical");
+        // A healthy sweep emits no errors key at all, so pre-`errors`
+        // documents (and the committed BENCH_results.json) are unchanged.
+        let clean = results_to_json(&sample(), "smoke");
+        assert!(!clean.contains("errors"));
     }
 
     #[test]

@@ -44,6 +44,7 @@ mod cycles;
 mod driver;
 mod json;
 mod native;
+mod observe;
 mod parallel;
 mod report;
 mod result;
@@ -52,10 +53,14 @@ pub mod sched;
 mod smp;
 mod virt;
 
+pub use asap_telemetry::{RunTelemetry, TelemetryConfig};
 pub use config::{EngineSelect, MachineSelect, RunSpec, SimConfig, MAX_CORES, MAX_NUMA_NODES};
 pub use cycles::{CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
-pub use driver::{run_cores, run_scenario, CoreSlot, DriverError, RunMeta};
-pub use json::{results_to_json, BenchDoc, BenchRun, BenchScenario, JsonParseError};
+pub use driver::{
+    run_cores, run_cores_observed, run_scenario, run_scenario_observed, CoreSlot, DriverError,
+    DriverObserver, RunMeta,
+};
+pub use json::{results_to_json, BenchDoc, BenchError, BenchRun, BenchScenario, JsonParseError};
 pub use parallel::parallel_map;
 pub use report::{fmt_cycles, fmt_pct, fmt_ratio, Table};
 pub use result::{RunOutput, RunResult};

@@ -3,8 +3,9 @@
 //! baseline or ASAP, and hands it to the generic `run_scenario` loop.
 //! Reached only through [`RunSpec::run`]'s internal dispatch.
 
-use crate::driver::{run_scenario, DriverError, RunMeta};
-use crate::{EngineSelect, RunResult, RunSpec};
+use crate::driver::{run_scenario_observed, DriverError, RunMeta};
+use crate::observe::RunObserver;
+use crate::{EngineSelect, RunOutput, RunSpec};
 use asap_core::{AsapHwConfig, Mmu, MmuConfig, TranslationEngine};
 use asap_os::{AsapOsConfig, Process};
 use asap_types::Asid;
@@ -51,7 +52,8 @@ pub(crate) fn mmu_config(spec: &RunSpec, seed: u64) -> MmuConfig {
 /// Builds the process (with the spec's paging mode threaded straight into
 /// the process configuration), workload stream and MMU, then delegates to
 /// [`run_scenario`].
-pub(crate) fn run_native(spec: &RunSpec) -> Result<RunResult, DriverError> {
+pub(crate) fn run_native(spec: &RunSpec) -> Result<RunOutput, DriverError> {
+    let mut obs = RunObserver::begin(spec.telemetry);
     let workload = spec.effective_workload();
     let seed = spec.sim.seed;
     let mut process = Process::new(
@@ -69,7 +71,20 @@ pub(crate) fn run_native(spec: &RunSpec) -> Result<RunResult, DriverError> {
         colocated: spec.colocated,
         perfect_tlb: spec.perfect_tlb,
     };
-    run_scenario(&mut mmu, &mut process, stream.as_mut(), &meta)
+    obs.arm(std::slice::from_mut(&mut mmu));
+    let result = run_scenario_observed(
+        &mut mmu,
+        &mut process,
+        stream.as_mut(),
+        &meta,
+        obs.driver_mut(),
+    )?;
+    let telemetry = obs.finish(
+        std::slice::from_mut(&mut mmu),
+        std::slice::from_ref(&meta.workload),
+        meta.sim.measure_accesses,
+    );
+    Ok(RunOutput::single(result).with_telemetry(telemetry))
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Results of one run.
 
 use asap_core::{ServedByMatrix, WalkLatencyStats};
+use asap_telemetry::RunTelemetry;
 
 /// Everything a paper table/figure needs from one simulated run.
 #[derive(Debug, Clone)]
@@ -98,6 +99,9 @@ pub struct RunOutput {
     /// Per-core rows ("mc80@core0", "corunner@core1", ...), in core order.
     /// Empty for single-core runs.
     pub per_core: Vec<RunResult>,
+    /// Telemetry harvested from the run — `Some` only when the spec
+    /// enabled tracing, metrics or profiling.
+    pub telemetry: Option<RunTelemetry>,
 }
 
 impl RunOutput {
@@ -107,7 +111,15 @@ impl RunOutput {
         Self {
             aggregate,
             per_core: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches harvested telemetry.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Option<RunTelemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Builds the aggregate row of a multi-core run by merging `per_core`.
@@ -166,6 +178,7 @@ impl RunOutput {
         Self {
             aggregate,
             per_core,
+            telemetry: None,
         }
     }
 }

@@ -54,6 +54,7 @@
 use crate::driver::DriverError;
 use crate::{parallel_map, EngineSelect, MachineSelect, RunResult, RunSpec, SimConfig};
 use asap_core::{AsapHwConfig, NestedAsapConfig};
+use asap_telemetry::{RunTelemetry, TelemetryConfig};
 use asap_tlb::PwcConfig;
 use asap_types::ByteSize;
 use asap_workloads::WorkloadSpec;
@@ -129,6 +130,9 @@ pub struct Scenario {
     /// When set, every enumerated spec runs over this many NUMA nodes
     /// regardless of any `numa` axis — the CLI's `--numa` override.
     forced_numa: Option<usize>,
+    /// Telemetry switches applied to every enumerated spec — the CLI's
+    /// `--trace`/`--metrics`/`--profile` flags. Off by default.
+    telemetry: TelemetryConfig,
     workloads: Vec<WorkloadSpec>,
     /// The derived cross product: (variant key, spec template). The
     /// template's workload and windows are placeholders replaced at
@@ -160,6 +164,7 @@ impl Scenario {
             windows: None,
             forced_cores: None,
             forced_numa: None,
+            telemetry: TelemetryConfig::off(),
             workloads: Vec::new(),
             variants: Vec::new(),
             explicit: Vec::new(),
@@ -334,6 +339,16 @@ impl Scenario {
         self
     }
 
+    /// Enables telemetry on every enumerated run (the CLI's
+    /// `--trace`/`--metrics`/`--profile` flags). Same contract as
+    /// [`Scenario::with_forced_cores`]: an execution override, labels
+    /// untouched.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Adds one hand-picked row: the spec's own workload is the lookup
     /// key. Explicit rows enumerate before the cross product, in
     /// insertion order.
@@ -371,6 +386,7 @@ impl Scenario {
     #[must_use]
     pub fn runs(&self, sim: SimConfig) -> Vec<ScenarioRun> {
         let force = |spec: RunSpec| {
+            let spec = spec.with_telemetry(self.telemetry);
             let spec = match self.forced_cores {
                 Some(n) => spec.with_cores(n),
                 None => spec,
@@ -431,6 +447,8 @@ pub struct ScenarioRunResult {
     /// Per-core rows for multi-core runs ("mc80@core0", ...), in core
     /// order; empty for single-core runs.
     pub per_core: Vec<RunResult>,
+    /// Telemetry harvested from the run, when the scenario enabled any.
+    pub telemetry: Option<RunTelemetry>,
 }
 
 /// A run the driver refused to execute (misconfigured spec), reported
@@ -534,6 +552,7 @@ pub fn run_scenarios(scenarios: &[Scenario], sim: SimConfig) -> Vec<ScenarioResu
                 variant,
                 result: output.aggregate,
                 per_core: output.per_core,
+                telemetry: output.telemetry,
             }),
             Err(error) => out[i].errors.push(ScenarioRunError {
                 workload,

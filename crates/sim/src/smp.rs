@@ -23,13 +23,15 @@
 //! receives a [`SharedFabric::for_node`] handle stamped with its core's
 //! node.
 
-use crate::driver::{run_cores, CoreSlot, DriverError, RunMeta};
+use crate::driver::{run_cores_observed, CoreSlot, DriverError, RunMeta};
 use crate::native::{hw_asap, mmu_config, os_asap};
+use crate::observe::RunObserver;
 use crate::{EngineSelect, RunOutput, RunResult, RunSpec};
 use asap_cache::{HierarchyConfig, NumaConfig, SharedFabric};
 use asap_contenders::{RevelatorConfig, RevelatorMmu, VictimaConfig, VictimaMmu};
 use asap_core::{Mmu, TranslationEngine};
 use asap_os::{PhysMap, Process};
+use asap_telemetry::RunTelemetry;
 use asap_types::{Asid, CacheLineAddr};
 use asap_workloads::{BoxedStream, WorkloadSpec};
 
@@ -52,17 +54,20 @@ fn frame_line(frame: asap_types::PhysFrameNum) -> CacheLineAddr {
 }
 
 /// Context-loads every engine, zips the per-core pieces into driver
-/// slots, and runs the interleaved loop.
+/// slots, runs the interleaved loop, and harvests the machine's
+/// telemetry.
 fn drive<E: TranslationEngine<Machine = Process>>(
     mut engines: Vec<E>,
     processes: &mut [Process],
     streams: &mut [BoxedStream],
     names: &[String],
     meta: &RunMeta,
-) -> Result<Vec<RunResult>, DriverError> {
+    mut obs: RunObserver,
+) -> Result<(Vec<RunResult>, Option<RunTelemetry>), DriverError> {
     for (engine, process) in engines.iter_mut().zip(processes.iter()) {
         TranslationEngine::load_context(engine, process);
     }
+    obs.arm(&mut engines);
     let mut slots: Vec<CoreSlot<'_, E>> = engines
         .iter_mut()
         .zip(processes.iter_mut())
@@ -76,12 +81,16 @@ fn drive<E: TranslationEngine<Machine = Process>>(
             corunner: None,
         })
         .collect();
-    run_cores(&mut slots, meta)
+    let per_core = run_cores_observed(&mut slots, meta, obs.driver_mut())?;
+    drop(slots);
+    let telemetry = obs.finish(&mut engines, names, meta.sim.measure_accesses);
+    Ok((per_core, telemetry))
 }
 
 /// Runs one multi-core configuration: N cores, one fabric, per-core plus
 /// aggregate measurements.
 pub(crate) fn run_smp(spec: &RunSpec) -> Result<RunOutput, DriverError> {
+    let obs = RunObserver::begin(spec.telemetry);
     let n = spec.cores;
     let seed = spec.sim.seed;
     let base_workload = spec.effective_workload();
@@ -159,7 +168,7 @@ pub(crate) fn run_smp(spec: &RunSpec) -> Result<RunOutput, DriverError> {
             }
         }
     }
-    let per_core = match &spec.engine {
+    let (per_core, telemetry) = match &spec.engine {
         EngineSelect::Victima => drive(
             (0..n)
                 .map(|i| {
@@ -173,6 +182,7 @@ pub(crate) fn run_smp(spec: &RunSpec) -> Result<RunOutput, DriverError> {
             &mut streams,
             &names,
             &meta,
+            obs,
         )?,
         EngineSelect::Revelator => drive(
             (0..n)
@@ -187,6 +197,7 @@ pub(crate) fn run_smp(spec: &RunSpec) -> Result<RunOutput, DriverError> {
             &mut streams,
             &names,
             &meta,
+            obs,
         )?,
         // Baseline / ASAP (nested engines are rejected by validation on
         // native machines, and cores > 1 requires a native machine).
@@ -203,6 +214,7 @@ pub(crate) fn run_smp(spec: &RunSpec) -> Result<RunOutput, DriverError> {
             &mut streams,
             &names,
             &meta,
+            obs,
         )?,
     };
     // A colocated aggregate blends the neighbor's counters into the row;
@@ -212,7 +224,7 @@ pub(crate) fn run_smp(spec: &RunSpec) -> Result<RunOutput, DriverError> {
     } else {
         spec.workload.name.to_string()
     };
-    Ok(RunOutput::aggregate_of(&aggregate_name, per_core))
+    Ok(RunOutput::aggregate_of(&aggregate_name, per_core).with_telemetry(telemetry))
 }
 
 #[cfg(test)]

@@ -3,8 +3,9 @@
 //! virtualized, and hands it to the generic `run_scenario` loop. Reached
 //! only through [`RunSpec::run`]'s internal dispatch.
 
-use crate::driver::{run_scenario, DriverError, RunMeta};
-use crate::{EngineSelect, MachineSelect, RunResult, RunSpec};
+use crate::driver::{run_scenario_observed, DriverError, RunMeta};
+use crate::observe::RunObserver;
+use crate::{EngineSelect, MachineSelect, RunOutput, RunSpec};
 use asap_core::{NestedAsapConfig, NestedMmu, NestedMmuConfig, TranslationEngine};
 use asap_os::AsapOsConfig;
 use asap_types::{Asid, PageSize};
@@ -25,7 +26,8 @@ fn nested_asap(spec: &RunSpec) -> NestedAsapConfig {
 /// OS reserves sorted regions for the guest prefetch levels (negotiated
 /// with the hypervisor via the §3.6 vmcall protocol), and the hypervisor
 /// keeps the host PT levels sorted for the host prefetch levels.
-pub(crate) fn run_virt(spec: &RunSpec) -> Result<RunResult, DriverError> {
+pub(crate) fn run_virt(spec: &RunSpec) -> Result<RunOutput, DriverError> {
+    let mut obs = RunObserver::begin(spec.telemetry);
     let workload = spec.effective_workload();
     let asap = nested_asap(spec);
     let host_page_size = match spec.machine {
@@ -68,7 +70,15 @@ pub(crate) fn run_virt(spec: &RunSpec) -> Result<RunResult, DriverError> {
         colocated: spec.colocated,
         perfect_tlb: spec.perfect_tlb,
     };
-    run_scenario(&mut mmu, &mut vm, stream.as_mut(), &meta)
+    obs.arm(std::slice::from_mut(&mut mmu));
+    let result =
+        run_scenario_observed(&mut mmu, &mut vm, stream.as_mut(), &meta, obs.driver_mut())?;
+    let telemetry = obs.finish(
+        std::slice::from_mut(&mut mmu),
+        std::slice::from_ref(&meta.workload),
+        meta.sim.measure_accesses,
+    );
+    Ok(RunOutput::single(result).with_telemetry(telemetry))
 }
 
 #[cfg(test)]

@@ -1,0 +1,91 @@
+//! The simulator self-profile: where the driver's wall-clock time goes,
+//! split into the phases every run shares (setup, warmup, measure,
+//! stats-flush), plus the simulation rate achieved in the measure window.
+
+use std::time::Duration;
+
+/// Wall-clock phase split of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Process/page-table/engine construction and context load.
+    pub setup: Duration,
+    /// The warmup window of the driver loop.
+    pub warmup: Duration,
+    /// The measurement window of the driver loop.
+    pub measure: Duration,
+    /// Stats snapshotting and result assembly.
+    pub flush: Duration,
+    /// Accesses simulated in the measure window (all cores).
+    pub measure_accesses: u64,
+}
+
+impl PhaseProfile {
+    /// Total wall-clock across all phases.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.setup + self.warmup + self.measure + self.flush
+    }
+
+    /// Simulated accesses per wall-clock second in the measure window
+    /// (the epochs/s figure for the ROADMAP speed work).
+    #[must_use]
+    pub fn accesses_per_sec(&self) -> f64 {
+        let secs = self.measure.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.measure_accesses as f64 / secs
+        }
+    }
+
+    /// Accumulates another run's profile (for scenario-level totals).
+    pub fn merge(&mut self, other: &Self) {
+        self.setup += other.setup;
+        self.warmup += other.warmup;
+        self.measure += other.measure;
+        self.flush += other.flush;
+        self.measure_accesses += other.measure_accesses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_rate() {
+        let p = PhaseProfile {
+            setup: Duration::from_millis(5),
+            warmup: Duration::from_millis(10),
+            measure: Duration::from_millis(100),
+            flush: Duration::from_millis(1),
+            measure_accesses: 50_000,
+        };
+        assert_eq!(p.total(), Duration::from_millis(116));
+        assert!((p.accesses_per_sec() - 500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_measure_window_has_zero_rate() {
+        assert_eq!(PhaseProfile::default().accesses_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PhaseProfile {
+            setup: Duration::from_millis(1),
+            measure_accesses: 10,
+            ..PhaseProfile::default()
+        };
+        let b = PhaseProfile {
+            setup: Duration::from_millis(2),
+            measure: Duration::from_millis(3),
+            measure_accesses: 20,
+            ..PhaseProfile::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.setup, Duration::from_millis(3));
+        assert_eq!(a.measure, Duration::from_millis(3));
+        assert_eq!(a.measure_accesses, 30);
+    }
+}

@@ -1,0 +1,239 @@
+//! The structured event tracer: a fixed-capacity ring buffer of simulated
+//! events, cheap enough to sit inside the translation hot path behind an
+//! `Option` that is `None` when tracing is off.
+
+/// What happened. Timestamps are simulated cycles; `Walk` is the only
+/// *spanning* event (it carries a duration), everything else is an
+/// instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A TLB hit at the given level (1 = L1, 2 = L2, 3 = clustered/block).
+    TlbHit {
+        /// TLB level that hit.
+        level: u8,
+    },
+    /// A completed page walk; `ts` is the walk start, `latency` its span.
+    Walk {
+        /// Walk latency in cycles (the event's duration).
+        latency: u64,
+    },
+    /// An ASAP prefetch issued to the hierarchy.
+    PrefetchIssue,
+    /// An ASAP prefetch dropped for lack of an MSHR.
+    PrefetchDrop,
+    /// A demand walk access merged with an in-flight prefetch MSHR.
+    MshrMerge,
+    /// A DRAM access served by a remote NUMA node (paid the hop penalty).
+    NumaHop,
+    /// The event-queue scheduler popped this core as the arbitration
+    /// winner.
+    ArbPop,
+    /// The scheduler pushed the core back into the event queue.
+    ArbPush,
+}
+
+impl TraceEventKind {
+    /// The Perfetto-visible event name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceEventKind::TlbHit { level: 1 } => "tlb_hit_l1",
+            TraceEventKind::TlbHit { level: 2 } => "tlb_hit_l2",
+            TraceEventKind::TlbHit { .. } => "tlb_hit_other",
+            TraceEventKind::Walk { .. } => "walk",
+            TraceEventKind::PrefetchIssue => "prefetch_issue",
+            TraceEventKind::PrefetchDrop => "prefetch_drop",
+            TraceEventKind::MshrMerge => "mshr_merge",
+            TraceEventKind::NumaHop => "numa_hop",
+            TraceEventKind::ArbPop => "arb_pop",
+            TraceEventKind::ArbPush => "arb_push",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated cycle the event happened at (walk: started at).
+    pub ts: u64,
+    /// The core the event belongs to.
+    pub core: u32,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// Default ring capacity: enough for the tail of a full measurement
+/// window without letting a 64-core fig-scale run balloon memory.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// A fixed-capacity ring buffer of [`TraceEvent`]s. When full, the oldest
+/// events are overwritten; [`TraceSink::recorded`] keeps the true total so
+/// exporters can report how much was dropped.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    /// Next slot to overwrite once the buffer is full.
+    head: usize,
+    recorded: u64,
+    core: u32,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl TraceSink {
+    /// Creates a sink holding at most `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            recorded: 0,
+            core: 0,
+        }
+    }
+
+    /// Sets the core id stamped on subsequently recorded events.
+    #[must_use]
+    pub fn for_core(mut self, core: u32) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// The core id this sink stamps.
+    #[must_use]
+    pub fn core(&self) -> u32 {
+        self.core
+    }
+
+    /// Records one event at simulated cycle `ts`, stamped with this
+    /// sink's core id.
+    pub fn record(&mut self, ts: u64, kind: TraceEventKind) {
+        self.record_for(ts, self.core, kind);
+    }
+
+    /// Records one event for an explicit core — for shared tracks (the
+    /// scheduler's arbitration timeline) where a single sink observes
+    /// every core.
+    pub fn record_for(&mut self, ts: u64, core: u32, kind: TraceEventKind) {
+        self.recorded += 1;
+        let event = TraceEvent { ts, core, kind };
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to ring overwrite.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.events.len() as u64
+    }
+
+    /// The retained events in chronological (recording) order.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        out
+    }
+
+    /// Consumes the sink into a [`CoreTrace`] labelled `label`.
+    #[must_use]
+    pub fn into_core_trace(self, label: String) -> CoreTrace {
+        CoreTrace {
+            core: self.core,
+            label,
+            dropped: self.dropped(),
+            events: self.events(),
+        }
+    }
+}
+
+/// The harvested trace of one simulated core.
+#[derive(Debug, Clone)]
+pub struct CoreTrace {
+    /// The core id (thread id in the Chrome trace).
+    pub core: u32,
+    /// Human-readable track label (workload@core).
+    pub label: String,
+    /// Retained events, chronological.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overwrite.
+    pub dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_below_capacity() {
+        let mut sink = TraceSink::new(8).for_core(3);
+        sink.record(1, TraceEventKind::TlbHit { level: 1 });
+        sink.record(2, TraceEventKind::Walk { latency: 10 });
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].ts, 1);
+        assert_eq!(events[1].kind, TraceEventKind::Walk { latency: 10 });
+        assert!(events.iter().all(|e| e.core == 3));
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut sink = TraceSink::new(4);
+        for ts in 0..10u64 {
+            sink.record(ts, TraceEventKind::ArbPop);
+        }
+        assert_eq!(sink.recorded(), 10);
+        assert_eq!(sink.dropped(), 6);
+        let ts: Vec<u64> = sink.events().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, [6, 7, 8, 9], "keeps the newest, chronological");
+    }
+
+    #[test]
+    fn into_core_trace_carries_everything() {
+        let mut sink = TraceSink::new(2).for_core(1);
+        for ts in 0..3u64 {
+            sink.record(ts, TraceEventKind::MshrMerge);
+        }
+        let trace = sink.into_core_trace("mc80@core1".into());
+        assert_eq!(trace.core, 1);
+        assert_eq!(trace.label, "mc80@core1");
+        assert_eq!(trace.dropped, 1);
+        assert_eq!(trace.events.len(), 2);
+    }
+
+    #[test]
+    fn record_for_stamps_explicit_cores() {
+        let mut sink = TraceSink::new(4).for_core(0);
+        sink.record_for(5, 2, TraceEventKind::ArbPop);
+        sink.record(6, TraceEventKind::ArbPush);
+        let events = sink.events();
+        assert_eq!(events[0].core, 2);
+        assert_eq!(events[1].core, 0, "record() keeps the sink's own core");
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(TraceEventKind::TlbHit { level: 1 }.name(), "tlb_hit_l1");
+        assert_eq!(TraceEventKind::TlbHit { level: 2 }.name(), "tlb_hit_l2");
+        assert_eq!(TraceEventKind::Walk { latency: 5 }.name(), "walk");
+        assert_eq!(TraceEventKind::NumaHop.name(), "numa_hop");
+    }
+}

@@ -1,5 +1,7 @@
 //! TLB statistics.
 
+use asap_telemetry::{Collect, MetricSet};
+
 /// Hit/miss/fill counters for one TLB structure.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TlbStats {
@@ -38,6 +40,32 @@ impl TlbStats {
         } else {
             self.misses as f64 * 1000.0 / instructions as f64
         }
+    }
+}
+
+impl Collect for TlbStats {
+    fn collect(&self, prefix: &str, out: &mut MetricSet) {
+        out.counter(format!("{prefix}hits_total"), "lookups that hit", self.hits);
+        out.counter(
+            format!("{prefix}misses_total"),
+            "lookups that missed",
+            self.misses,
+        );
+        out.counter(
+            format!("{prefix}fills_total"),
+            "entries installed",
+            self.fills,
+        );
+        out.counter(
+            format!("{prefix}evictions_total"),
+            "entries evicted by fills",
+            self.evictions,
+        );
+        out.gauge(
+            format!("{prefix}miss_ratio"),
+            "miss ratio",
+            self.miss_ratio(),
+        );
     }
 }
 
