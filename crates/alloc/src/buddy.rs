@@ -1,8 +1,8 @@
 //! A binary buddy allocator in the style of Linux's page allocator.
 
 use crate::AllocError;
-use asap_types::PhysFrameNum;
-use std::collections::{BTreeSet, HashMap};
+use asap_types::{FastMap, PhysFrameNum};
+use std::collections::BTreeSet;
 
 /// Largest supported order: an order-10 block is 1024 frames = 4 MiB, the
 /// Linux `MAX_ORDER` for most configurations of the era the paper targets.
@@ -38,7 +38,7 @@ pub struct BuddyAllocator {
     /// Free block start offsets (relative to `base`), per order.
     free_lists: Vec<BTreeSet<u64>>,
     /// Currently allocated blocks: start offset -> order.
-    allocated: HashMap<u64, u32>,
+    allocated: FastMap<u64, u32>,
     free_frames: u64,
 }
 
@@ -58,7 +58,7 @@ impl BuddyAllocator {
             base: base.raw(),
             num_frames,
             free_lists: vec![BTreeSet::new(); (MAX_ORDER + 1) as usize],
-            allocated: HashMap::new(),
+            allocated: FastMap::default(),
             free_frames: num_frames,
         };
         // Tile the range greedily with the largest aligned blocks.

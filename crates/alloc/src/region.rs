@@ -7,8 +7,7 @@
 //! pages) the OS places individual PT pages *out of line* — a "hole" in the
 //! reserved region. Walks through holes are correct but see no acceleration.
 
-use asap_types::PhysFrameNum;
-use std::collections::HashMap;
+use asap_types::{FastMap, PhysFrameNum};
 
 /// Result of attempting to extend a reservation (§3.7.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,7 +44,7 @@ pub enum RegionExtendOutcome {
 pub struct ContiguousReservation {
     base: PhysFrameNum,
     len: u64,
-    holes: HashMap<u64, PhysFrameNum>,
+    holes: FastMap<u64, PhysFrameNum>,
 }
 
 impl ContiguousReservation {
@@ -55,7 +54,7 @@ impl ContiguousReservation {
         Self {
             base,
             len,
-            holes: HashMap::new(),
+            holes: FastMap::default(),
         }
     }
 

@@ -14,10 +14,10 @@
 //! clustered-TLB comparison (§5.4.1, Table 7) keys on.
 
 use crate::{AllocError, FrameAllocator};
+use asap_types::FastSet;
 use asap_types::PhysFrameNum;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
 
 /// Configuration for [`ScatterAllocator`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,7 +72,7 @@ impl ScatterConfig {
 pub struct ScatterAllocator {
     config: ScatterConfig,
     rng: SmallRng,
-    used: HashSet<u64>,
+    used: FastSet<u64>,
     run_next: u64,
     run_remaining: u64,
     allocated: u64,
@@ -91,7 +91,7 @@ impl ScatterAllocator {
         Self {
             rng: SmallRng::seed_from_u64(config.seed),
             config,
-            used: HashSet::new(),
+            used: FastSet::default(),
             run_next: 0,
             run_remaining: 0,
             allocated: 0,
@@ -170,6 +170,7 @@ impl FrameAllocator for ScatterAllocator {
 mod tests {
     use super::*;
     use asap_pt_test_util::contiguity;
+    use std::collections::HashSet;
 
     fn draw(config: ScatterConfig, n: usize) -> Vec<u64> {
         let mut a = ScatterAllocator::new(config);

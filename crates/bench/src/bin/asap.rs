@@ -25,9 +25,11 @@ use asap_bench::{
     execute_scenarios, paper_scenarios, render, report_errors, results_tier, sim_config,
     write_results_json,
 };
+use asap_core::NestedAsapConfig;
 use asap_sim::scenarios::{find, registry, smoke_set, Scenario, ScenarioResults};
-use asap_sim::{Table, TelemetryConfig};
+use asap_sim::{EngineSelect, RunSpec, SimConfig, Table, TelemetryConfig};
 use asap_telemetry::{chrome, ChromeEvent, PhaseProfile};
+use asap_workloads::WorkloadSpec;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -42,6 +44,10 @@ COMMANDS:
     smoke                run the CI smoke set and write BENCH_results.json
     all                  run every paper scenario and write BENCH_results_full.json
     trace-check <path>   validate a --trace file: parse + byte-identical re-emit
+    metrics-manifest [path]
+                         regenerate the committed metric-name manifest
+                         (default METRICS.json) from live runs of every
+                         backend; --check verifies instead of writing
 
 OPTIONS:
     --json <path>        override the results JSON path
@@ -64,6 +70,9 @@ OPTIONS:
                          engine/hierarchy/NUMA counters (`run` only)
     --profile            print the simulator self-profile phase table
                          (`run` only)
+    --check              with metrics-manifest: fail (exit 1) if the
+                         committed manifest differs from a regeneration
+                         instead of rewriting it
     -h, --help           print this help
 ";
 
@@ -78,6 +87,7 @@ struct Cli {
     trace: Option<String>,
     metrics: Option<String>,
     profile: bool,
+    check: bool,
 }
 
 impl Cli {
@@ -107,6 +117,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         trace: None,
         metrics: None,
         profile: false,
+        check: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -164,6 +175,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 );
             }
             "--profile" => cli.profile = true,
+            "--check" => cli.check = true,
             "--filter" => {
                 cli.filter = Some(
                     it.next()
@@ -530,6 +542,111 @@ fn cmd_all(cli: &Cli) -> ExitCode {
     execute_and_report(&set, cli, Some("BENCH_results_full.json"))
 }
 
+/// The covering spec matrix for the metric-name manifest: every backend
+/// and machine shape that composes a distinct metric namespace. Windows
+/// are tiny — metric *names* do not depend on how long the run was, only
+/// on which collectors the machine assembly wires up.
+fn manifest_specs() -> Vec<RunSpec> {
+    let metrics_on = TelemetryConfig {
+        trace: false,
+        metrics: true,
+        profile: false,
+    };
+    let spec = |engine| {
+        RunSpec::new(WorkloadSpec::mcf())
+            .with_engine(engine)
+            .with_sim(SimConfig::smoke_test())
+            .with_telemetry(metrics_on)
+    };
+    vec![
+        // Native baseline: the core engine/walk/TLB/hierarchy namespaces.
+        spec(EngineSelect::Baseline),
+        // Native ASAP: adds the served-by-prefetch-depth breakdown.
+        spec(EngineSelect::asap_p1_p2()),
+        // Five-level paging: extends that breakdown to `served_pl5_*`.
+        spec(EngineSelect::asap_p1_p2()).five_level(),
+        // Virtualized 2D walks: the `host_*` namespace.
+        spec(EngineSelect::NestedAsap(NestedAsapConfig::all())).virt(),
+        // Contenders: `victima_*` / `revelator_*`.
+        spec(EngineSelect::Victima),
+        spec(EngineSelect::Revelator),
+        // Multi-core over two NUMA nodes: `core{i}_*` and `numa_*`.
+        spec(EngineSelect::Baseline)
+            .with_cores(2)
+            .with_numa_nodes(2),
+    ]
+}
+
+/// `asap metrics-manifest [path] [--check]`: regenerate (or verify) the
+/// committed manifest of every metric name the backends can emit — the
+/// ground truth the `metric-names` rule of `asap-lint` diffs the code
+/// against.
+fn cmd_metrics_manifest(cli: &Cli) -> ExitCode {
+    let path = match cli.names.as_slice() {
+        [] => "METRICS.json",
+        [path] => path.as_str(),
+        _ => return usage_error("`metrics-manifest` takes at most one path"),
+    };
+    let mut names: Vec<String> = Vec::new();
+    for spec in manifest_specs() {
+        let output = match spec.run_split() {
+            Ok(output) => output,
+            Err(e) => {
+                eprintln!("asap: manifest spec {} failed: {e}", spec.label());
+                return ExitCode::from(1);
+            }
+        };
+        let Some(telemetry) = output.telemetry else {
+            eprintln!("asap: manifest spec {} produced no telemetry", spec.label());
+            return ExitCode::from(1);
+        };
+        names.extend(telemetry.metrics.iter().map(|m| m.name.clone()));
+    }
+    names.sort();
+    names.dedup();
+    let mut rendered = String::from("[\n");
+    for (i, name) in names.iter().enumerate() {
+        rendered.push_str("  \"");
+        rendered.push_str(name);
+        rendered.push('"');
+        if i + 1 != names.len() {
+            rendered.push(',');
+        }
+        rendered.push('\n');
+    }
+    rendered.push_str("]\n");
+    if cli.check {
+        match std::fs::read_to_string(path) {
+            Ok(committed) if committed == rendered => {
+                println!("{path}: {} metric names, matches live runs", names.len());
+                ExitCode::SUCCESS
+            }
+            Ok(_) => {
+                eprintln!(
+                    "asap: {path} differs from a live regeneration — \
+                     run `asap metrics-manifest` and commit the result"
+                );
+                ExitCode::from(1)
+            }
+            Err(e) => {
+                eprintln!("asap: failed to read {path}: {e}");
+                ExitCode::from(1)
+            }
+        }
+    } else {
+        match std::fs::write(path, &rendered) {
+            Ok(()) => {
+                eprintln!("wrote {path} ({} metric names)", names.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("asap: failed to write {path}: {e}");
+                ExitCode::from(1)
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse(&args) {
@@ -546,6 +663,7 @@ fn main() -> ExitCode {
         "smoke" => cmd_smoke(&cli),
         "all" => cmd_all(&cli),
         "trace-check" => cmd_trace_check(&cli),
+        "metrics-manifest" => cmd_metrics_manifest(&cli),
         other => usage_error(&format!("unknown command {other:?}")),
     }
 }

@@ -122,11 +122,23 @@ pub fn execute_scenarios(set: &[Scenario], fallback: SimConfig) -> Vec<ScenarioR
 /// Prints every collected driver error to stderr and returns how many
 /// there were — the CLI exits non-zero when this is not 0, so a failed
 /// run in a fan-out can never hide behind a green exit.
+///
+/// Diagnostics are lint-style — `file:line: error: …` — where the anchor
+/// is the source line that raised the [`DriverError`] (captured with
+/// `#[track_caller]`), so a violation in a terminal or CI log is clickable
+/// straight into the driver/spec code that rejected the run.
 pub fn report_errors<'a>(all: impl IntoIterator<Item = &'a ScenarioResults>) -> usize {
     let mut count = 0;
     for results in all {
         for e in &results.errors {
-            eprintln!("{}/{}/{}: {}", results.name, e.workload, e.variant, e.error);
+            eprintln!(
+                "{}: error: {}/{}/{}: {}",
+                e.error.anchor(),
+                results.name,
+                e.workload,
+                e.variant,
+                e.error
+            );
             count += 1;
         }
     }
@@ -886,9 +898,7 @@ mod tests {
             errors: vec![ScenarioRunError {
                 workload: "mc80",
                 variant: "native/baseline".into(),
-                error: DriverError::IncompatibleSpec {
-                    reason: "test error",
-                },
+                error: DriverError::incompatible_spec("test error"),
             }],
             ..complete
         };

@@ -203,6 +203,7 @@ impl MemoryFabric {
     /// is served by DRAM and homed on a different node, the interconnect
     /// hop is added to the reported latency; merged accesses ride the fill
     /// already in flight and pay nothing extra.
+    // asap-lint: hot-path
     pub fn access_from(&mut self, line: CacheLineAddr, now: u64, node: usize) -> AccessResult {
         let mut r = self.hierarchy.access_at(line, now);
         if let Some(numa) = self.numa.as_mut() {
@@ -368,6 +369,7 @@ impl SharedFabric {
 
     /// A demand access issued at the caller's local cycle `now`, stamped
     /// with this handle's node.
+    // asap-lint: hot-path
     pub fn access_at(&self, line: CacheLineAddr, now: u64) -> AccessResult {
         self.fabric.borrow_mut().access_from(line, now, self.node)
     }

@@ -33,8 +33,8 @@ use asap_core::{
 };
 use asap_os::Process;
 use asap_tlb::{PageWalkCaches, PwcConfig, TlbConfig, TlbEntry, TlbLevel};
+use asap_types::FastMap;
 use asap_types::{Asid, CacheLineAddr, PageSize, PhysAddr, VirtAddr, VirtPageNum};
-use std::collections::HashMap;
 
 /// Translations per TLB block: eight 8-byte entries fill one 64-byte line,
 /// covering eight virtually contiguous 4 KiB pages.
@@ -140,7 +140,7 @@ pub struct VictimaMmu {
     /// Shadow payloads of installed blocks, keyed by (ASID, block index).
     /// Residency is decided by the L2 cache; this map only supplies the
     /// translations for lines that are still resident.
-    blocks: HashMap<(Asid, u64), [Option<TlbEntry>; TLB_BLOCK_PAGES as usize]>,
+    blocks: FastMap<(Asid, u64), [Option<TlbEntry>; TLB_BLOCK_PAGES as usize]>,
     served: ServedByMatrix,
     stats: VictimaStats,
 }
@@ -172,7 +172,7 @@ impl VictimaMmu {
             core: EngineCore::with_fabric(l1_tlb, l2_tlb, fabric, seed),
             pwc: PageWalkCaches::new(pwc, seed ^ 0x9C),
             predictor: PtwCostPredictor::new(predictor, seed ^ 0xB1),
-            blocks: HashMap::new(),
+            blocks: FastMap::default(),
             served: ServedByMatrix::new(),
             stats: VictimaStats::default(),
         }

@@ -1,0 +1,53 @@
+//! Diagnostics: the one violation shape every rule produces.
+
+use std::fmt;
+
+/// A single rule violation, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (one of [`crate::rules::RULE_NAMES`]).
+    pub rule: &'static str,
+    /// Human-readable description of what tripped.
+    pub message: String,
+}
+
+impl Violation {
+    /// Builds a violation.
+    #[must_use]
+    pub fn new(path: &str, line: usize, rule: &'static str, message: String) -> Self {
+        Self {
+            path: path.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    /// Renders in the `file:line: rule: message` shape editors and CI logs
+    /// can jump from — the same anchor format `DriverError::anchor` and
+    /// the bench error reporter use.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_anchor_shaped() {
+        let v = Violation::new("crates/x/src/a.rs", 7, "panic-freedom", "x".into());
+        assert_eq!(v.to_string(), "crates/x/src/a.rs:7: panic-freedom: x");
+    }
+}

@@ -1,0 +1,203 @@
+//! `asap-lint`: invariant-enforcing static analysis for the ASAP
+//! reproduction workspace.
+//!
+//! The simulator's correctness claims lean on properties the compiler
+//! does not check: runs are a pure function of the seed (determinism),
+//! the translation inner loops never allocate (hot-path freedom), library
+//! code surfaces errors instead of panicking, and metric names — the
+//! public telemetry contract — never drift silently. This crate walks
+//! every `crates/*/src/**/*.rs` file with a hand-rolled token scanner
+//! ([`scan`]), applies the rule registry ([`rules`] + [`metrics`]), and
+//! gates the result against a committed ratchet baseline ([`ratchet`])
+//! whose per-rule counts may only decrease. `ci.sh` runs the binary in
+//! both full and `--quick` modes.
+//!
+//! Zero dependencies by design: the gate builds in seconds and can never
+//! be broken by the crates it polices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod metrics;
+pub mod ratchet;
+pub mod rules;
+pub mod scan;
+
+use diag::Violation;
+use ratchet::Baseline;
+use scan::FileScan;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The committed baseline file name, relative to the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.toml";
+/// The committed metric-name manifest, relative to the workspace root.
+pub const MANIFEST_FILE: &str = "METRICS.json";
+
+/// The outcome of one full workspace pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every violation found, in path order.
+    pub violations: Vec<Violation>,
+    /// Violation count per rule (every registry rule present, 0 included).
+    pub counts: BTreeMap<&'static str, usize>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Gate messages against `baseline`; empty means the gate passes.
+    #[must_use]
+    pub fn gate(&self, baseline: &Baseline) -> Vec<String> {
+        baseline.gate(&self.counts, rules::RULE_NAMES)
+    }
+
+    /// The baseline that would make this report pass exactly.
+    #[must_use]
+    pub fn as_baseline(&self) -> Baseline {
+        Baseline {
+            counts: self
+                .counts
+                .iter()
+                .map(|(rule, count)| ((*rule).to_string(), *count))
+                .collect(),
+        }
+    }
+}
+
+/// Lists every Rust source file the lint covers: `crates/*/src/**/*.rs`,
+/// sorted, workspace-relative with forward slashes. Integration-test and
+/// vendor trees are deliberately out of scope.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk.
+pub fn source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut stack = vec![crates_dir];
+    while let Some(dir) = stack.pop() {
+        let entries = match fs::read_dir(&dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                // Keep only files under a `src/` directory of some crate.
+                let rel = path.strip_prefix(root).unwrap_or(&path);
+                if rel.components().any(|c| c.as_os_str() == "src") {
+                    out.push(path);
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for c in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&c.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+/// Runs the full pass: scan every source file, apply every rule, check
+/// the metric manifest.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; a missing or malformed `METRICS.json`
+/// is a violation, not an error.
+pub fn run(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for rule in rules::RULE_NAMES {
+        report.counts.insert(rule, 0);
+    }
+    let mut fragments = Vec::new();
+    for path in source_files(root)? {
+        let src = fs::read_to_string(&path)?;
+        let scan = FileScan::parse(&relative_path(root, &path), &src);
+        report.violations.extend(rules::check_file(&scan));
+        fragments.extend(metrics::extract_fragments(&scan));
+        report.files_scanned += 1;
+    }
+    match fs::read_to_string(root.join(MANIFEST_FILE)) {
+        Ok(raw) => match metrics::Manifest::parse(&raw) {
+            Ok(manifest) => report
+                .violations
+                .extend(metrics::check(&manifest, &fragments)),
+            Err(why) => report.violations.push(Violation::new(
+                MANIFEST_FILE,
+                1,
+                rules::METRIC_NAMES_RULE,
+                why,
+            )),
+        },
+        Err(_) => report.violations.push(Violation::new(
+            MANIFEST_FILE,
+            1,
+            rules::METRIC_NAMES_RULE,
+            "METRICS.json is missing — generate it with `asap metrics-manifest`".into(),
+        )),
+    }
+    for v in &report.violations {
+        *report.counts.entry(v.rule).or_insert(0) += 1;
+    }
+    Ok(report)
+}
+
+/// Loads the committed baseline from `root`.
+///
+/// # Errors
+///
+/// Returns a message when the file is missing or malformed.
+pub fn load_baseline(root: &Path) -> Result<Baseline, String> {
+    let path = root.join(BASELINE_FILE);
+    let raw = fs::read_to_string(&path)
+        .map_err(|e| format!("{BASELINE_FILE}: {e} — run --update-baseline to create it"))?;
+    Baseline::parse(&raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_is_two_up() {
+        // The binary resolves the workspace root from its own manifest
+        // dir; keep that assumption pinned here.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates/lint/src/lib.rs").exists());
+    }
+
+    #[test]
+    fn source_walk_finds_this_file_and_skips_vendor() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = source_files(&root).unwrap();
+        let rels: Vec<String> = files.iter().map(|p| relative_path(&root, p)).collect();
+        assert!(
+            rels.iter().any(|p| p == "crates/lint/src/lib.rs"),
+            "{rels:?}"
+        );
+        assert!(rels.iter().all(|p| p.starts_with("crates/")));
+        assert!(rels.iter().all(|p| !p.contains("vendor/")));
+        // Sorted and stable, so diagnostics order is deterministic.
+        let mut sorted = rels.clone();
+        sorted.sort();
+        assert_eq!(rels, sorted);
+    }
+}

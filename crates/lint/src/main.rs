@@ -1,0 +1,86 @@
+//! The `asap-lint` binary: run the rules, gate against the ratchet.
+//!
+//! ```text
+//! cargo run -p asap-lint                      # check, exit 1 on any gate failure
+//! cargo run -p asap-lint -- --update-baseline # rewrite lint-baseline.toml
+//! cargo run -p asap-lint -- --list            # print the rule registry
+//! cargo run -p asap-lint -- --root <dir>      # lint another workspace copy
+//! ```
+//!
+//! Exit codes: 0 clean at baseline, 1 violations or gate failure, 2 usage
+//! or I/O error.
+
+use asap_lint::{load_baseline, rules, run, BASELINE_FILE};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut update_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--update-baseline" => update_baseline = true,
+            "--list" => {
+                for rule in rules::RULE_NAMES {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match run(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("asap-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if update_baseline {
+        let baseline = report.as_baseline();
+        if let Err(e) = std::fs::write(root.join(BASELINE_FILE), baseline.render()) {
+            eprintln!("asap-lint: writing {BASELINE_FILE}: {e}");
+            return ExitCode::from(2);
+        }
+        for (rule, count) in &report.counts {
+            println!("{rule}: baseline set to {count}");
+        }
+        println!("asap-lint: wrote {BASELINE_FILE}");
+        return ExitCode::SUCCESS;
+    }
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    let gate_errors = match load_baseline(&root) {
+        Ok(baseline) => report.gate(&baseline),
+        Err(e) => vec![e],
+    };
+    for e in &gate_errors {
+        eprintln!("asap-lint: {e}");
+    }
+    println!(
+        "asap-lint: {} file(s), {} violation(s), {} gate error(s)",
+        report.files_scanned,
+        report.violations.len(),
+        gate_errors.len()
+    );
+    if gate_errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("asap-lint: {why}");
+    eprintln!("usage: asap-lint [--root <dir>] [--update-baseline] [--list]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,393 @@
+//! The metric-name stability rule: code and `METRICS.json` must agree.
+//!
+//! Every metric in this workspace is named by a string literal of the
+//! shape `"{prefix}walks_total"` inside a `Collect` impl (see
+//! ARCHITECTURE.md's naming scheme); the runtime composes prefixes
+//! (`core{i}_`, `walk_`, `numa_`, …) dynamically. `METRICS.json` commits
+//! the full names observed from live runs of all four backends.
+//!
+//! This module statically extracts the literal *fragments* from the code
+//! and checks them against the manifest in both directions:
+//!
+//! * **manifest → code**: every manifest name (after normalising the
+//!   per-core prefix) must end in some extracted leaf fragment —
+//!   otherwise the manifest carries a name no code can emit any more;
+//! * **code → manifest**: every leaf fragment must terminate at least one
+//!   manifest name, and every sub-prefix fragment (ending in `_`) must
+//!   occur inside at least one name — otherwise the code grew a metric
+//!   the committed manifest has never seen (regenerate with
+//!   `cargo run -p asap-bench --bin asap -- metrics-manifest`).
+//!
+//! Fragments may interpolate (`served_pl{depth}_{name}_total`); each
+//! `{…}` hole matches any run of `[a-z0-9_]` characters, glob-style.
+
+use crate::diag::Violation;
+use crate::rules::METRIC_NAMES_RULE;
+use crate::scan::FileScan;
+
+/// The marker every metric-name literal starts with.
+const PREFIX_HOLE: &str = "{prefix}";
+
+/// One extracted fragment with its provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragment {
+    /// Workspace-relative path of the literal.
+    pub path: String,
+    /// 1-based line of the literal.
+    pub line: usize,
+    /// The fragment text after `{prefix}` (may contain `{…}` holes).
+    pub text: String,
+    /// Whether this is a sub-prefix fragment (ends in `_`) rather than a
+    /// complete metric-name tail.
+    pub is_prefix: bool,
+}
+
+/// Extracts metric-name fragments from one scanned file: every
+/// non-test string literal starting with `{prefix}`.
+#[must_use]
+pub fn extract_fragments(scan: &FileScan) -> Vec<Fragment> {
+    let mut out = Vec::new();
+    for lit in &scan.strings {
+        if scan.in_test(lit.offset) {
+            continue;
+        }
+        let Some(rest) = lit.value.strip_prefix(PREFIX_HOLE) else {
+            continue;
+        };
+        if rest.is_empty() {
+            continue; // a bare "{prefix}" passthrough composes nothing
+        }
+        out.push(Fragment {
+            path: scan.path.clone(),
+            line: scan.line_of(lit.offset),
+            text: rest.to_string(),
+            is_prefix: rest.ends_with('_') && !rest.ends_with("_total"),
+        });
+    }
+    out
+}
+
+/// The committed manifest: the sorted full metric names live runs emit.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// Every name, in file order.
+    pub names: Vec<String>,
+    raw: String,
+}
+
+impl Manifest {
+    /// Parses `METRICS.json` — a JSON array of strings. The reader is a
+    /// hand-rolled subset: it collects every double-quoted string in the
+    /// file (the manifest generator never emits escapes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the file holds no names.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let mut names = Vec::new();
+        let bytes = raw.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'"' {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                names.push(raw[start..j].to_string());
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+        if names.is_empty() {
+            return Err("METRICS.json contains no metric names".into());
+        }
+        Ok(Self {
+            names,
+            raw: raw.to_string(),
+        })
+    }
+
+    /// Renders the canonical manifest for a sorted, deduplicated name set.
+    #[must_use]
+    pub fn render(names: &[String]) -> String {
+        let mut sorted: Vec<&String> = names.iter().collect();
+        sorted.sort();
+        sorted.dedup();
+        let mut out = String::from("[\n");
+        for (i, name) in sorted.iter().enumerate() {
+            out.push_str("  \"");
+            out.push_str(name);
+            out.push('"');
+            if i + 1 != sorted.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// 1-based line of a name inside the raw manifest text (for
+    /// diagnostics that anchor into `METRICS.json`).
+    #[must_use]
+    pub fn line_of(&self, name: &str) -> usize {
+        let needle = format!("\"{name}\"");
+        match self.raw.find(&needle) {
+            Some(at) => self.raw[..at].bytes().filter(|&b| b == b'\n').count() + 1,
+            None => 1,
+        }
+    }
+}
+
+/// Strips a `core<digits>_` per-core prefix, the one composition level the
+/// driver builds outside any `Collect` impl (`observe.rs`).
+#[must_use]
+pub fn normalize(name: &str) -> &str {
+    if let Some(rest) = name.strip_prefix("core") {
+        let digits = rest.bytes().take_while(u8::is_ascii_digit).count();
+        if digits > 0 {
+            if let Some(tail) = rest[digits..].strip_prefix('_') {
+                return tail;
+            }
+        }
+    }
+    name
+}
+
+/// Glob match: `{…}` holes match any (possibly empty) run of
+/// `[a-z0-9_]`; everything else is literal.
+#[must_use]
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let parts = split_holes(pattern);
+    match_parts(&parts, text, true, true)
+}
+
+/// Whether some suffix of `text` glob-matches `pattern`.
+#[must_use]
+pub fn glob_matches_suffix(pattern: &str, text: &str) -> bool {
+    (0..=text.len()).any(|i| text.is_char_boundary(i) && glob_match(pattern, &text[i..]))
+}
+
+/// Whether some substring of `text` glob-matches `pattern`.
+#[must_use]
+pub fn glob_matches_infix(pattern: &str, text: &str) -> bool {
+    let parts = split_holes(pattern);
+    (0..=text.len()).any(|i| match_parts(&parts, &text[i..], true, false))
+}
+
+fn split_holes(pattern: &str) -> Vec<Option<String>> {
+    // None = a `{…}` hole; Some(lit) = a literal segment.
+    let mut parts = Vec::new();
+    let mut rest = pattern;
+    while let Some(open) = rest.find('{') {
+        if open > 0 {
+            parts.push(Some(rest[..open].to_string()));
+        }
+        match rest[open..].find('}') {
+            Some(close) => {
+                parts.push(None);
+                rest = &rest[open + close + 1..];
+            }
+            None => {
+                parts.push(Some(rest[open..].to_string()));
+                rest = "";
+            }
+        }
+    }
+    if !rest.is_empty() {
+        parts.push(Some(rest.to_string()));
+    }
+    parts
+}
+
+fn match_parts(parts: &[Option<String>], text: &str, anchor_start: bool, anchor_end: bool) -> bool {
+    match parts {
+        [] => !anchor_end || text.is_empty(),
+        [Some(lit), rest @ ..] => {
+            if anchor_start {
+                match text.strip_prefix(lit.as_str()) {
+                    Some(tail) => match_parts(rest, tail, true, anchor_end),
+                    None => false,
+                }
+            } else {
+                // After a hole: the hole eats `[a-z0-9_]*`, so try every
+                // split point within that character class.
+                let mut limit = 0;
+                for b in text.bytes() {
+                    if b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' {
+                        limit += 1;
+                    } else {
+                        break;
+                    }
+                }
+                (0..=limit).any(|i| match_parts(parts, &text[i..], true, anchor_end))
+            }
+        }
+        [None, rest @ ..] => match_parts(rest, text, false, anchor_end),
+    }
+}
+
+/// Runs the bidirectional check, producing `metric-names` violations.
+#[must_use]
+pub fn check(manifest: &Manifest, fragments: &[Fragment]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let leaves: Vec<&Fragment> = fragments.iter().filter(|f| !f.is_prefix).collect();
+    let prefixes: Vec<&Fragment> = fragments.iter().filter(|f| f.is_prefix).collect();
+
+    // manifest → code: every name must end in some leaf fragment.
+    for name in &manifest.names {
+        let tail = normalize(name);
+        if !leaves.iter().any(|f| glob_matches_suffix(&f.text, tail)) {
+            out.push(Violation::new(
+                "METRICS.json",
+                manifest.line_of(name),
+                METRIC_NAMES_RULE,
+                format!(
+                    "manifest name `{name}` matches no metric literal in the code — \
+                     regenerate the manifest (asap metrics-manifest)"
+                ),
+            ));
+        }
+    }
+
+    // code → manifest: every leaf must finish a name, every sub-prefix
+    // must occur inside one.
+    for f in &leaves {
+        if !manifest
+            .names
+            .iter()
+            .any(|n| glob_matches_suffix(&f.text, normalize(n)))
+        {
+            out.push(Violation::new(
+                &f.path,
+                f.line,
+                METRIC_NAMES_RULE,
+                format!(
+                    "metric fragment `{{prefix}}{}` appears in no committed manifest name — \
+                     regenerate METRICS.json (asap metrics-manifest)",
+                    f.text
+                ),
+            ));
+        }
+    }
+    for f in &prefixes {
+        if !manifest
+            .names
+            .iter()
+            .any(|n| glob_matches_infix(&f.text, normalize(n)))
+        {
+            out.push(Violation::new(
+                &f.path,
+                f.line,
+                METRIC_NAMES_RULE,
+                format!(
+                    "metric sub-prefix `{{prefix}}{}` occurs in no committed manifest name — \
+                     regenerate METRICS.json (asap metrics-manifest)",
+                    f.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_literals() {
+        assert!(glob_match("walks_total", "walks_total"));
+        assert!(!glob_match("walks_total", "walks_tot"));
+        assert!(!glob_match("walks_total", "xwalks_total"));
+    }
+
+    #[test]
+    fn glob_holes() {
+        assert!(glob_match(
+            "served_pl{depth}_{name}_total",
+            "served_pl4_pwc_total"
+        ));
+        assert!(glob_match(
+            "served_pl{depth}_{name}_total",
+            "served_pl5_dram_row_total"
+        ));
+        assert!(!glob_match("served_pl{depth}_{name}_total", "served_total"));
+    }
+
+    #[test]
+    fn suffix_and_infix() {
+        assert!(glob_matches_suffix("hits_total", "tlb_l2_hits_total"));
+        assert!(!glob_matches_suffix("hits_total", "hits_total_ratio"));
+        assert!(glob_matches_infix("{level}_", "l1_hits_total"));
+        assert!(glob_matches_infix("tlb_l2_", "tlb_l2_fills_total"));
+        assert!(!glob_matches_infix("victima_", "walks_total"));
+    }
+
+    #[test]
+    fn normalize_strips_core_prefix_only() {
+        assert_eq!(normalize("core12_walks_total"), "walks_total");
+        assert_eq!(normalize("core_walks_total"), "core_walks_total");
+        assert_eq!(normalize("walks_total"), "walks_total");
+    }
+
+    #[test]
+    fn manifest_round_trip_and_lines() {
+        let raw = Manifest::render(&["b_total".into(), "a_total".into(), "a_total".into()]);
+        let m = Manifest::parse(&raw).unwrap();
+        assert_eq!(m.names, vec!["a_total", "b_total"]);
+        assert_eq!(m.line_of("a_total"), 2);
+        assert_eq!(m.line_of("b_total"), 3);
+    }
+
+    #[test]
+    fn bidirectional_check() {
+        let m = Manifest::parse("[\"walks_total\", \"ghost_total\"]").unwrap();
+        let frags = vec![
+            Fragment {
+                path: "crates/x/src/a.rs".into(),
+                line: 3,
+                text: "walks_total".into(),
+                is_prefix: false,
+            },
+            Fragment {
+                path: "crates/x/src/a.rs".into(),
+                line: 9,
+                text: "new_metric_total".into(),
+                is_prefix: false,
+            },
+        ];
+        let v = check(&m, &frags);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v
+            .iter()
+            .any(|v| v.path == "METRICS.json" && v.message.contains("ghost_total")));
+        assert!(v
+            .iter()
+            .any(|v| v.line == 9 && v.message.contains("new_metric_total")));
+    }
+
+    #[test]
+    fn extraction_skips_tests_and_bare_prefix() {
+        let src = r##"
+fn collect(prefix: &str) {
+    out.counter(format!("{prefix}walks_total"), "h", 1);
+    inner.collect(&format!("{prefix}walk_"), out);
+    passthrough.collect(&format!("{prefix}"), out);
+}
+#[cfg(test)]
+mod tests {
+    fn t() { assert_eq!(name, format!("{prefix}fake_total")); }
+}
+"##;
+        let scan = FileScan::parse("crates/x/src/a.rs", src);
+        let frags = extract_fragments(&scan);
+        assert_eq!(frags.len(), 2, "{frags:?}");
+        assert_eq!(frags[0].text, "walks_total");
+        assert!(!frags[0].is_prefix);
+        assert_eq!(frags[1].text, "walk_");
+        assert!(frags[1].is_prefix);
+    }
+}

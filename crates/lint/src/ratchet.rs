@@ -1,0 +1,193 @@
+//! The ratchet baseline: per-rule violation budgets that may only go down.
+//!
+//! `lint-baseline.toml` commits one allowed count per rule. The gate
+//! enforces the ratchet in both directions:
+//!
+//! * `actual > allowed` — the PR introduced new violations: **fail**.
+//! * `actual < allowed` — someone fixed violations but left the budget
+//!   slack a later PR could silently spend: **fail** with a "ratchet
+//!   down" message (`--update-baseline` rewrites the file).
+//!
+//! The file is a strict subset of TOML (one `[rules]` table of
+//! `name = integer` lines) parsed by hand, so the lint gate needs no
+//! dependencies.
+
+use std::collections::BTreeMap;
+
+/// The committed per-rule budgets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Rule name → allowed violation count.
+    pub counts: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parses the TOML subset: comments, blank lines, a `[rules]` header,
+    /// and `name = count` entries (names may be bare or double-quoted).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut counts = BTreeMap::new();
+        let mut in_rules = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_rules = line == "[rules]";
+                if !in_rules {
+                    return Err(format!("line {}: unknown table {line}", idx + 1));
+                }
+                continue;
+            }
+            if !in_rules {
+                return Err(format!("line {}: entry outside [rules]: {line}", idx + 1));
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected name = count: {line}", idx + 1))?;
+            let key = key.trim().trim_matches('"').to_string();
+            let value: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: count is not an integer: {line}", idx + 1))?;
+            if counts.insert(key.clone(), value).is_some() {
+                return Err(format!("line {}: duplicate rule {key}", idx + 1));
+            }
+        }
+        Ok(Self { counts })
+    }
+
+    /// Renders the canonical file content for these counts.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# asap-lint ratchet baseline: allowed violations per rule.\n\
+             # Counts may only decrease. After fixing violations, regenerate with:\n\
+             #   cargo run -p asap-lint -- --update-baseline\n\
+             \n[rules]\n",
+        );
+        for (rule, count) in &self.counts {
+            out.push_str(&format!("{rule} = {count}\n"));
+        }
+        out
+    }
+
+    /// Compares actual per-rule counts against the baseline. Returns one
+    /// message per gate failure; empty means the gate passes.
+    ///
+    /// `known_rules` is the registry: baseline entries outside it are
+    /// stale configuration and flagged too.
+    #[must_use]
+    pub fn gate(
+        &self,
+        actual: &BTreeMap<&'static str, usize>,
+        known_rules: &[&str],
+    ) -> Vec<String> {
+        let mut errors = Vec::new();
+        for rule in self.counts.keys() {
+            if !known_rules.contains(&rule.as_str()) {
+                errors.push(format!(
+                    "lint-baseline.toml names unknown rule `{rule}` — remove the stale entry"
+                ));
+            }
+        }
+        for (rule, &count) in actual {
+            let allowed = self.counts.get(*rule).copied();
+            match allowed {
+                None => {
+                    if count > 0 {
+                        errors.push(format!(
+                            "{rule}: {count} violation(s) but no baseline entry — \
+                             fix them or run --update-baseline"
+                        ));
+                    } else {
+                        errors.push(format!(
+                            "{rule}: missing from lint-baseline.toml — run --update-baseline"
+                        ));
+                    }
+                }
+                Some(allowed) if count > allowed => errors.push(format!(
+                    "{rule}: {count} violation(s), baseline allows {allowed} — \
+                     fix the new ones (the ratchet only goes down)"
+                )),
+                Some(allowed) if count < allowed => errors.push(format!(
+                    "{rule}: {count} violation(s), baseline allows {allowed} — \
+                     stale budget; ratchet down with --update-baseline"
+                )),
+                Some(_) => {}
+            }
+        }
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn actual(pairs: &[(&'static str, usize)]) -> BTreeMap<&'static str, usize> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn round_trips() {
+        let mut b = Baseline::default();
+        b.counts.insert("panic-freedom".into(), 12);
+        b.counts.insert("determinism-map".into(), 0);
+        let rendered = b.render();
+        assert_eq!(Baseline::parse(&rendered).unwrap(), b);
+    }
+
+    #[test]
+    fn equal_counts_pass() {
+        let b = Baseline::parse("[rules]\npanic-freedom = 3\n").unwrap();
+        assert!(b
+            .gate(&actual(&[("panic-freedom", 3)]), &["panic-freedom"])
+            .is_empty());
+    }
+
+    #[test]
+    fn increase_fails() {
+        let b = Baseline::parse("[rules]\npanic-freedom = 3\n").unwrap();
+        let errs = b.gate(&actual(&[("panic-freedom", 4)]), &["panic-freedom"]);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("ratchet only goes down"), "{errs:?}");
+    }
+
+    #[test]
+    fn decrease_requires_ratcheting_down() {
+        let b = Baseline::parse("[rules]\npanic-freedom = 3\n").unwrap();
+        let errs = b.gate(&actual(&[("panic-freedom", 1)]), &["panic-freedom"]);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("stale budget"), "{errs:?}");
+    }
+
+    #[test]
+    fn unknown_and_missing_rules_are_flagged() {
+        let b = Baseline::parse("[rules]\nretired-rule = 9\n").unwrap();
+        let errs = b.gate(&actual(&[("panic-freedom", 0)]), &["panic-freedom"]);
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("unknown rule")));
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("missing from lint-baseline.toml")));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("[rules]\nnot a pair\n").is_err());
+        assert!(Baseline::parse("[other]\n").is_err());
+        assert!(Baseline::parse("loose = 1\n").is_err());
+        assert!(Baseline::parse("[rules]\na = 1\na = 2\n").is_err());
+    }
+
+    #[test]
+    fn quoted_keys_parse() {
+        let b = Baseline::parse("[rules]\n\"hot-path-alloc\" = 2\n").unwrap();
+        assert_eq!(b.counts["hot-path-alloc"], 2);
+    }
+}

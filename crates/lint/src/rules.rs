@@ -1,0 +1,224 @@
+//! The rule registry: every per-file invariant the workspace enforces.
+//!
+//! All rules operate on the *masked* code of a [`FileScan`] — comments and
+//! string literals are already blanked — so a banned token in a doc
+//! example or an error message never trips. `#[cfg(test)]` bodies are
+//! exempt from every rule here (tests may allocate, panic and hash
+//! however they like), and any single site can be suppressed with a
+//! `// asap-lint: allow(<rule>)` directive on or above the offending
+//! line.
+
+use crate::diag::Violation;
+use crate::scan::FileScan;
+
+/// Rule: no ambient-randomized `std` hash containers in simulation code.
+pub const DETERMINISM_MAP_RULE: &str = "determinism-map";
+/// Rule: no wall-clock or ambient-entropy sources outside the allowlist.
+pub const DETERMINISM_TIME_RULE: &str = "determinism-time";
+/// Rule: no allocation inside `// asap-lint: hot-path` fenced bodies.
+pub const HOT_PATH_ALLOC_RULE: &str = "hot-path-alloc";
+/// Rule: no `unwrap`/`expect`/`panic!` in non-test library code.
+pub const PANIC_FREEDOM_RULE: &str = "panic-freedom";
+/// Rule: code and `METRICS.json` agree on metric names (see
+/// [`crate::metrics`]).
+pub const METRIC_NAMES_RULE: &str = "metric-names";
+
+/// Every rule the gate knows, in reporting order.
+pub const RULE_NAMES: &[&str] = &[
+    DETERMINISM_MAP_RULE,
+    DETERMINISM_TIME_RULE,
+    HOT_PATH_ALLOC_RULE,
+    PANIC_FREEDOM_RULE,
+    METRIC_NAMES_RULE,
+];
+
+/// Files where wall-clock reads are the *point* (self-profiling and
+/// bench timing), exempt from [`DETERMINISM_TIME_RULE`]. Everything the
+/// simulation result depends on stays banned.
+pub const TIME_ALLOWLIST: &[&str] = &["crates/sim/src/observe.rs", "crates/bench/src/bin/asap.rs"];
+
+/// Tokens banned by [`DETERMINISM_MAP_RULE`]: `RandomState`-seeded
+/// containers whose iteration order varies run to run.
+const MAP_TOKENS: &[&str] = &["HashMap", "HashSet"];
+
+/// Tokens banned by [`DETERMINISM_TIME_RULE`].
+const TIME_TOKENS: &[&str] = &["Instant::now", "SystemTime", "thread_rng", "from_entropy"];
+
+/// Tokens banned inside hot-path fences by [`HOT_PATH_ALLOC_RULE`].
+const ALLOC_TOKENS: &[&str] = &[
+    "Vec::new",
+    "vec![",
+    ".collect()",
+    "Box::new",
+    "format!",
+    "String::from",
+];
+
+/// Tokens banned by [`PANIC_FREEDOM_RULE`].
+const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!"];
+
+/// Runs every per-file rule over one scan.
+#[must_use]
+pub fn check_file(scan: &FileScan) -> Vec<Violation> {
+    let mut out = Vec::new();
+    banned_tokens(
+        scan,
+        DETERMINISM_MAP_RULE,
+        MAP_TOKENS,
+        "nondeterministic std hash container — use asap_types::FastMap / FastSet",
+        &mut out,
+    );
+    if !TIME_ALLOWLIST.contains(&scan.path.as_str()) {
+        banned_tokens(
+            scan,
+            DETERMINISM_TIME_RULE,
+            TIME_TOKENS,
+            "wall-clock/entropy source outside the telemetry allowlist — \
+             simulation results must be a pure function of the seed",
+            &mut out,
+        );
+    }
+    hot_path_rule(scan, &mut out);
+    banned_tokens(
+        scan,
+        PANIC_FREEDOM_RULE,
+        PANIC_TOKENS,
+        "panicking call in library code — return an error or document the invariant",
+        &mut out,
+    );
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+fn banned_tokens(
+    scan: &FileScan,
+    rule: &'static str,
+    tokens: &[&str],
+    why: &str,
+    out: &mut Vec<Violation>,
+) {
+    for token in tokens {
+        for offset in token_hits(&scan.masked, token) {
+            if scan.in_test(offset) || scan.allowed(offset, rule) {
+                continue;
+            }
+            out.push(Violation::new(
+                &scan.path,
+                scan.line_of(offset),
+                rule,
+                format!("`{token}`: {why}"),
+            ));
+        }
+    }
+}
+
+fn hot_path_rule(scan: &FileScan, out: &mut Vec<Violation>) {
+    for region in &scan.hot_path {
+        for token in ALLOC_TOKENS {
+            for offset in token_hits(&scan.masked, token) {
+                if !region.contains(offset)
+                    || scan.in_test(offset)
+                    || scan.allowed(offset, HOT_PATH_ALLOC_RULE)
+                {
+                    continue;
+                }
+                out.push(Violation::new(
+                    &scan.path,
+                    scan.line_of(offset),
+                    HOT_PATH_ALLOC_RULE,
+                    format!("`{token}` allocates inside an `asap-lint: hot-path` fence"),
+                ));
+            }
+        }
+    }
+}
+
+/// Finds `needle` in `haystack` at identifier boundaries: if the needle
+/// starts (or ends) with an identifier character, the byte before (or
+/// after) the hit must not be one — so `HashMap` never matches inside
+/// `FastHashMapLike`, while `std::collections::HashMap` still hits.
+#[must_use]
+pub fn token_hits(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let bytes = haystack.as_bytes();
+    let first_is_ident = needle.as_bytes().first().is_some_and(|b| is_ident(*b));
+    let last_is_ident = needle.as_bytes().last().is_some_and(|b| is_ident(*b));
+    let mut from = 0;
+    while let Some(rel) = haystack[from..].find(needle) {
+        let at = from + rel;
+        from = at + 1;
+        if first_is_ident && at > 0 && is_ident(bytes[at - 1]) {
+            continue;
+        }
+        let end = at + needle.len();
+        if last_is_ident && end < bytes.len() && is_ident(bytes[end]) {
+            continue;
+        }
+        hits.push(at);
+    }
+    hits
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(src: &str) -> Vec<Violation> {
+        check_file(&FileScan::parse("crates/x/src/f.rs", src))
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert_eq!(token_hits("let m = HashMap::new();", "HashMap"), vec![8]);
+        assert!(token_hits("let m = FastHashMapper::new();", "HashMap").is_empty());
+        assert_eq!(token_hits("std::collections::HashMap", "HashMap").len(), 1);
+    }
+
+    #[test]
+    fn map_rule_fires_in_code_not_strings() {
+        let v = violations("let m: HashMap<u64, u64> = HashMap::new();\n");
+        assert_eq!(
+            v.iter().filter(|v| v.rule == DETERMINISM_MAP_RULE).count(),
+            2
+        );
+        let v = violations("let s = \"HashMap\"; // HashMap\n");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn time_rule_respects_allowlist() {
+        let src = "let t = Instant::now();\n";
+        assert_eq!(violations(src).len(), 1);
+        let allowed = FileScan::parse(TIME_ALLOWLIST[0], src);
+        assert!(check_file(&allowed).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_exempts_tests_and_allows() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn g() { y.unwrap(); } }\n";
+        let v = violations(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+        let src =
+            "// asap-lint: allow(panic-freedom) invariant: non-empty\nfn f() { x.unwrap(); }\n";
+        assert!(violations(src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_rule_only_inside_fence() {
+        let src = "\
+fn cold() { let v = Vec::new(); }
+// asap-lint: hot-path
+fn hot() { let v = Vec::new(); let s = format!(\"x\"); }
+";
+        let v = violations(src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v
+            .iter()
+            .all(|v| v.rule == HOT_PATH_ALLOC_RULE && v.line == 3));
+    }
+}

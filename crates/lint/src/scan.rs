@@ -1,0 +1,518 @@
+//! The hand-rolled Rust token scanner behind every lint rule.
+//!
+//! `asap-lint` deliberately does not parse Rust (the offline vendor set has
+//! no `syn`); it *classifies* source bytes instead. A [`FileScan`] splits a
+//! file into:
+//!
+//! * **masked code** — the source with every comment and string/char
+//!   literal blanked to spaces (newlines preserved), so token searches can
+//!   never match inside a doc example, an error message, or a `"HashMap"`
+//!   string;
+//! * **comments** — kept aside with their offsets, because that is where
+//!   the `asap-lint:` directives live;
+//! * **string literals** — kept aside with their offsets, because that is
+//!   where the metric-name manifest rule reads `"{prefix}…"` fragments;
+//! * **regions** — `#[cfg(test)]` item bodies (exempt from most rules) and
+//!   `// asap-lint: hot-path` fenced bodies (subject to the
+//!   allocation-freedom rule).
+//!
+//! The scanner understands line and (nested) block comments, plain/byte
+//! strings with escapes, raw strings with any `#` count, and the
+//! char-literal-versus-lifetime ambiguity well enough for this workspace's
+//! idiomatic Rust. It is a classifier, not a compiler: pathological token
+//! soup can fool it, and the golden fixture tests pin the cases that
+//! matter.
+
+/// A half-open byte range `[start, end)` in a scanned file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First byte of the region.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Region {
+    /// Whether `offset` lies inside the region.
+    #[must_use]
+    pub fn contains(&self, offset: usize) -> bool {
+        self.start <= offset && offset < self.end
+    }
+}
+
+/// A comment with its location (offset of the first `/`) and its text
+/// content (without the `//`, `///`, `/*` markers, trimmed).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Byte offset of the comment opener.
+    pub offset: usize,
+    /// Trimmed comment content.
+    pub text: String,
+}
+
+/// A string literal with the byte offset of its opening quote and its raw
+/// (unescaped) content.
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// Byte offset of the opening quote.
+    pub offset: usize,
+    /// Raw text between the quotes (escape sequences are not processed —
+    /// the metric-name fragments this feeds never contain escapes).
+    pub value: String,
+}
+
+/// One scanned file: classified regions plus the masked code.
+#[derive(Debug)]
+pub struct FileScan {
+    /// Workspace-relative path, as reported in diagnostics.
+    pub path: String,
+    /// Code with comments and literals blanked (newlines preserved), same
+    /// byte length as the source.
+    pub masked: String,
+    /// Every comment, in order.
+    pub comments: Vec<Comment>,
+    /// Every string literal, in order.
+    pub strings: Vec<StrLit>,
+    /// Bodies of `#[cfg(test)]` items.
+    pub cfg_test: Vec<Region>,
+    /// Bodies fenced by a `// asap-lint: hot-path` comment.
+    pub hot_path: Vec<Region>,
+    /// `(line, rule)` suppressions from `// asap-lint: allow(rule)`.
+    pub allows: Vec<(usize, String)>,
+    line_starts: Vec<usize>,
+}
+
+/// The comment that opens a hot-path fence (exact trimmed content).
+pub const HOT_PATH_FENCE: &str = concat!("asap-lint:", " hot-path");
+
+/// The prefix of a line-level suppression directive.
+pub const ALLOW_PREFIX: &str = concat!("asap-lint:", " allow(");
+
+impl FileScan {
+    /// Scans `src`, labelling diagnostics with `path`.
+    #[must_use]
+    pub fn parse(path: &str, src: &str) -> Self {
+        let bytes = src.as_bytes();
+        let mut masked = bytes.to_vec();
+        let mut comments = Vec::new();
+        let mut strings = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    let start = i;
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    let text = src[start..i]
+                        .trim_start_matches('/')
+                        .trim_start_matches('!')
+                        .trim()
+                        .to_string();
+                    comments.push(Comment {
+                        offset: start,
+                        text,
+                    });
+                    blank(&mut masked, start, i);
+                }
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    let start = i;
+                    let mut depth = 1;
+                    i += 2;
+                    while i < bytes.len() && depth > 0 {
+                        if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                            depth += 1;
+                            i += 2;
+                        } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    let inner = src[start..i]
+                        .trim_start_matches('/')
+                        .trim_start_matches('*')
+                        .trim_end_matches('/')
+                        .trim_end_matches('*')
+                        .trim()
+                        .to_string();
+                    comments.push(Comment {
+                        offset: start,
+                        text: inner,
+                    });
+                    blank(&mut masked, start, i);
+                }
+                b'"' => {
+                    i = scan_string(bytes, i, &mut masked, &mut strings, src);
+                }
+                b'r' | b'b' if !ident_before(bytes, i) => {
+                    if let Some(next) = raw_or_byte_string_start(bytes, i) {
+                        i = next(bytes, i, &mut masked, &mut strings, src);
+                    } else {
+                        i += 1;
+                    }
+                }
+                b'\'' => {
+                    // Char literal vs lifetime: `'\…'` and `'x'` are
+                    // literals; anything else (`'a`, `'static`) is a
+                    // lifetime and stays code.
+                    if bytes.get(i + 1) == Some(&b'\\') {
+                        let start = i;
+                        i += 2; // consume the backslash and escape head
+                        while i < bytes.len() && bytes[i] != b'\'' {
+                            i += 1;
+                        }
+                        i = (i + 1).min(bytes.len());
+                        blank_keep_quotes(&mut masked, start, i);
+                    } else if bytes.get(i + 2) == Some(&b'\'') && bytes.get(i + 1) != Some(&b'\'') {
+                        blank_keep_quotes(&mut masked, i, i + 3);
+                        i += 3;
+                    } else {
+                        i += 1;
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+        let masked = String::from_utf8(masked).expect("masking preserves UTF-8");
+        let mut line_starts = vec![0];
+        for (idx, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(idx + 1);
+            }
+        }
+        let cfg_test = find_attr_regions(&masked);
+        let mut scan = Self {
+            path: path.to_string(),
+            masked,
+            comments,
+            strings,
+            cfg_test,
+            hot_path: Vec::new(),
+            allows: Vec::new(),
+            line_starts,
+        };
+        scan.hot_path = scan.find_fenced_regions();
+        scan.allows = scan.find_allows();
+        scan
+    }
+
+    /// 1-based line number of a byte offset.
+    #[must_use]
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Whether `offset` lies in a `#[cfg(test)]` body.
+    #[must_use]
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.cfg_test.iter().any(|r| r.contains(offset))
+    }
+
+    /// Whether `rule` is suppressed on the line containing `offset` (a
+    /// directive suppresses its own line and the line below it, so it
+    /// works both trailing and standalone-above).
+    #[must_use]
+    pub fn allowed(&self, offset: usize, rule: &str) -> bool {
+        let line = self.line_of(offset);
+        self.allows
+            .iter()
+            .any(|(l, r)| r == rule && (*l == line || l + 1 == line))
+    }
+
+    fn find_fenced_regions(&self) -> Vec<Region> {
+        let mut out = Vec::new();
+        for c in &self.comments {
+            if c.text == HOT_PATH_FENCE {
+                if let Some(open) = self.masked[c.offset..].find('{').map(|rel| c.offset + rel) {
+                    let end = match_brace(self.masked.as_bytes(), open);
+                    out.push(Region { start: open, end });
+                }
+            }
+        }
+        out
+    }
+
+    fn find_allows(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        for c in &self.comments {
+            if let Some(rest) = c.text.strip_prefix(ALLOW_PREFIX) {
+                if let Some(rule) = rest.split(')').next() {
+                    out.push((self.line_of(c.offset), rule.trim().to_string()));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn blank(masked: &mut [u8], start: usize, end: usize) {
+    let end = end.min(masked.len());
+    for b in &mut masked[start..end] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+/// Blanks a literal but keeps its first and last byte (the quotes), so the
+/// masked code keeps token boundaries.
+fn blank_keep_quotes(masked: &mut [u8], start: usize, end: usize) {
+    if end > start + 2 {
+        blank(masked, start + 1, end - 1);
+    }
+}
+
+fn ident_before(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+type StringScanner = fn(&[u8], usize, &mut [u8], &mut Vec<StrLit>, &str) -> usize;
+
+/// Dispatches `r"…"`, `r#"…"#`, `b"…"`, `br"…"`, `br#"…"#` openers.
+fn raw_or_byte_string_start(bytes: &[u8], i: usize) -> Option<StringScanner> {
+    let rest = &bytes[i..];
+    match rest {
+        [b'r', b'"', ..] | [b'r', b'#', ..] | [b'b', b'r', b'"', ..] | [b'b', b'r', b'#', ..] => {
+            Some(scan_raw_string)
+        }
+        [b'b', b'"', ..] => Some(scan_byte_string),
+        [b'b', b'\'', ..] => Some(scan_byte_char),
+        _ => None,
+    }
+}
+
+fn scan_string(
+    bytes: &[u8],
+    start: usize,
+    masked: &mut [u8],
+    strings: &mut Vec<StrLit>,
+    src: &str,
+) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    strings.push(StrLit {
+        offset: start,
+        value: src[start + 1..i.saturating_sub(1).max(start + 1)].to_string(),
+    });
+    blank_keep_quotes(masked, start, i);
+    i
+}
+
+fn scan_byte_string(
+    bytes: &[u8],
+    start: usize,
+    masked: &mut [u8],
+    strings: &mut Vec<StrLit>,
+    src: &str,
+) -> usize {
+    scan_string(bytes, start + 1, masked, strings, src)
+}
+
+fn scan_byte_char(
+    bytes: &[u8],
+    start: usize,
+    masked: &mut [u8],
+    _strings: &mut Vec<StrLit>,
+    _src: &str,
+) -> usize {
+    let mut i = start + 2; // past b'
+    if bytes.get(i) == Some(&b'\\') {
+        i += 1;
+    }
+    while i < bytes.len() && bytes[i] != b'\'' {
+        i += 1;
+    }
+    let end = (i + 1).min(bytes.len());
+    blank(masked, start + 1, end);
+    end
+}
+
+fn scan_raw_string(
+    bytes: &[u8],
+    start: usize,
+    masked: &mut [u8],
+    strings: &mut Vec<StrLit>,
+    src: &str,
+) -> usize {
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // past r
+    let mut hashes = 0;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return start + 1; // not a raw string after all
+    }
+    let content_start = i + 1;
+    i = content_start;
+    let closer: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat(b'#').take(hashes))
+        .collect();
+    while i < bytes.len() {
+        if bytes[i..].starts_with(&closer) {
+            strings.push(StrLit {
+                offset: start,
+                value: src[content_start..i].to_string(),
+            });
+            let end = i + closer.len();
+            blank(masked, start + 1, end - 1);
+            return end;
+        }
+        i += 1;
+    }
+    strings.push(StrLit {
+        offset: start,
+        value: src[content_start..].to_string(),
+    });
+    blank(masked, start + 1, bytes.len());
+    bytes.len()
+}
+
+/// Finds the byte offset one past the `}` matching the `{` at `open`.
+/// Operates on masked code, so braces inside strings or comments cannot
+/// unbalance it; an unbalanced file yields the end of the buffer.
+#[must_use]
+pub fn match_brace(masked: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < masked.len() {
+        match masked[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    masked.len()
+}
+
+/// Bodies of items annotated `#[cfg(test)]`: from each attribute, the next
+/// `{`…`}` block — or nothing if a `;` arrives first (e.g. a `cfg`'d
+/// `use`), which ends the item without a body.
+fn find_attr_regions(masked: &str) -> Vec<Region> {
+    let needle = "#[cfg(test)]";
+    let bytes = masked.as_bytes();
+    let mut out: Vec<Region> = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = masked[from..].find(needle) {
+        let at = from + rel;
+        from = at + needle.len();
+        if out.iter().any(|r| r.contains(at)) {
+            continue; // a nested test helper inside an already-masked body
+        }
+        let mut i = at + needle.len();
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => {
+                    out.push(Region {
+                        start: i,
+                        end: match_brace(bytes, i),
+                    });
+                    break;
+                }
+                b';' => break,
+                _ => i += 1,
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let x = \"HashMap\"; // HashMap here\nlet y = 1;\n";
+        let s = FileScan::parse("f.rs", src);
+        assert!(!s.masked.contains("HashMap"));
+        assert_eq!(s.strings.len(), 1);
+        assert_eq!(s.strings[0].value, "HashMap");
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].text, "HashMap here");
+        assert_eq!(s.masked.len(), src.len());
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let src = "a(r#\"no \"quote\" escape\"#); b(\"esc \\\" quote\"); c('x'); d('\\n');";
+        let s = FileScan::parse("f.rs", src);
+        assert_eq!(s.strings.len(), 2);
+        assert_eq!(s.strings[0].value, "no \"quote\" escape");
+        assert_eq!(s.strings[1].value, "esc \\\" quote");
+        assert!(!s.masked.contains("quote"));
+        assert!(!s.masked.contains('x') || !s.masked.contains("'x'"));
+    }
+
+    #[test]
+    fn lifetimes_stay_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let s = FileScan::parse("f.rs", src);
+        assert_eq!(s.masked, src); // nothing to mask
+    }
+
+    #[test]
+    fn cfg_test_region_covers_mod_body() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let s = FileScan::parse("f.rs", src);
+        assert_eq!(s.cfg_test.len(), 1);
+        let unwrap_at = src.find("unwrap").unwrap();
+        assert!(s.in_test(unwrap_at));
+        assert!(!s.in_test(0));
+    }
+
+    #[test]
+    fn fence_covers_next_body_only() {
+        let src =
+            format!("// {HOT_PATH_FENCE}\nfn hot(&self) -> u64 {{ self.x }}\nfn cold() {{ }}\n");
+        let s = FileScan::parse("f.rs", &src);
+        assert_eq!(s.hot_path.len(), 1);
+        let hot = src.find("self.x").unwrap();
+        let cold = src.rfind("fn cold").unwrap();
+        assert!(s.hot_path[0].contains(hot));
+        assert!(!s.hot_path[0].contains(cold));
+    }
+
+    #[test]
+    fn allow_directive_suppresses_same_and_next_line() {
+        let src = format!("// {ALLOW_PREFIX}panic-freedom)\nx.unwrap();\ny.unwrap();\n");
+        let s = FileScan::parse("f.rs", &src);
+        let first = src.find("x.unwrap").unwrap();
+        let second = src.find("y.unwrap").unwrap();
+        assert!(s.allowed(first, "panic-freedom"));
+        assert!(!s.allowed(second, "panic-freedom"));
+        assert!(!s.allowed(first, "determinism-map"));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let s = FileScan::parse("f.rs", "a\nb\nc\n");
+        assert_eq!(s.line_of(0), 1);
+        assert_eq!(s.line_of(2), 2);
+        assert_eq!(s.line_of(4), 3);
+    }
+}

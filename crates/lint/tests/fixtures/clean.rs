@@ -1,0 +1,28 @@
+//! Fixture: a fully clean file — every rule must stay silent, including
+//! on the raw string, char literals and lifetimes below.
+
+use asap_types::FastMap;
+
+pub struct Counter<'a> {
+    counts: FastMap<u64, u64>,
+    label: &'a str,
+}
+
+impl<'a> Counter<'a> {
+    pub fn bump(&mut self, key: u64) -> Result<(), &'static str> {
+        let slot = self.counts.entry(key).or_insert(0);
+        *slot = slot.checked_add(1).ok_or("counter overflow")?;
+        Ok(())
+    }
+
+    pub fn describe(&self) -> String {
+        let marker = '#';
+        let newline = '\n';
+        let raw = r#"a "quoted" HashMap mention, safely in a raw string"#;
+        let mut s = String::from(self.label);
+        s.push(marker);
+        s.push(newline);
+        s.push_str(raw);
+        s
+    }
+}

@@ -1,0 +1,35 @@
+//! Fixture: determinism-map violations — and the false-positive traps
+//! (strings, comments, doc examples, cfg(test)) that must NOT fire.
+//! Never compiled; scanned by tests/golden.rs, which expects exactly one
+//! violation of the named rule on every tagged line.
+
+use std::collections::HashMap; // VIOLATION(determinism-map)
+
+/// Doc comments may say `HashMap` freely:
+///
+/// ```
+/// let m = std::collections::HashMap::new(); // doc example, masked
+/// ```
+pub struct Book {
+    index: HashMap<u64, u64>, // VIOLATION(determinism-map)
+    title: &'static str,
+}
+
+pub fn describe() -> &'static str {
+    // A HashSet would be nondeterministic — this comment must not fire.
+    "uses a HashMap internally" // string literal must not fire
+}
+
+// asap-lint: allow(determinism-map) — justified single-site escape
+pub type Legacy = std::collections::HashSet<u64>;
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn tests_may_hash_freely() {
+        let mut s: HashSet<u64> = HashSet::new();
+        s.insert(1);
+    }
+}

@@ -1,0 +1,33 @@
+//! Fixture: determinism-time violations. Wall clocks and ambient entropy
+//! make simulation results depend on the host, not the seed.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now() // VIOLATION(determinism-time)
+}
+
+pub fn epoch() -> u64 {
+    let t = std::time::SystemTime::now(); // VIOLATION(determinism-time)
+    drop(t);
+    0
+}
+
+pub fn roll() -> u64 {
+    // thread_rng would seed from the OS — this comment must not fire.
+    let mut rng = rand::thread_rng(); // VIOLATION(determinism-time)
+    rng.gen()
+}
+
+pub fn profiled() -> Instant {
+    // asap-lint: allow(determinism-time) — self-profile wall clock
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_freely() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: hot-path allocation-freedom violations. Only fenced bodies
+//! are policed — cold code may allocate freely.
+
+pub fn cold_setup() -> Vec<u64> {
+    let mut v = Vec::new(); // unfenced: must not fire
+    v.push(1);
+    v
+}
+
+// asap-lint: hot-path
+pub fn hot_translate(x: u64) -> u64 {
+    let v = Vec::new(); // VIOLATION(hot-path-alloc)
+    let w = vec![x]; // VIOLATION(hot-path-alloc)
+    let c: Vec<u64> = w.iter().map(|y| y + 1).collect(); // VIOLATION(hot-path-alloc)
+    let b = Box::new(x); // VIOLATION(hot-path-alloc)
+    let s = format!("{x}"); // VIOLATION(hot-path-alloc)
+    let t = String::from("y"); // VIOLATION(hot-path-alloc)
+    drop((v, c, s, t));
+    *b
+}
+
+// The fence covers exactly one block: this next function is cold again.
+pub fn cold_again() -> String {
+    format!("fine out here")
+}

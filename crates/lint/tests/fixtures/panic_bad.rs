@@ -1,0 +1,36 @@
+//! Fixture: panic-freedom violations. Library code returns errors;
+//! only tests may unwrap.
+
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap() // VIOLATION(panic-freedom)
+}
+
+pub fn must(v: Option<u64>) -> u64 {
+    v.expect("present") // VIOLATION(panic-freedom)
+}
+
+pub fn never(flag: bool) {
+    if flag {
+        panic!("boom"); // VIOLATION(panic-freedom)
+    }
+}
+
+pub fn unwrap_or_is_fine(v: Option<u64>) -> u64 {
+    // `.unwrap()` in a comment must not fire, nor the string below.
+    let _ = "call .unwrap() responsibly";
+    v.unwrap_or(0)
+}
+
+pub fn checked(v: &[u64]) -> u64 {
+    // asap-lint: allow(panic-freedom) — invariant: caller checked non-empty
+    *v.last().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Vec<u64> = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

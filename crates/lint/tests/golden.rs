@@ -1,0 +1,86 @@
+//! Golden tests: every fixture under `tests/fixtures/` is scanned and the
+//! violations found must be exactly the lines tagged `VIOLATION(rule)` —
+//! one expected violation per tagged line, zero anywhere else. The
+//! fixtures deliberately bait each rule's false-positive traps (strings,
+//! comments, doc examples, `#[cfg(test)]` bodies, allow directives), so
+//! a scanner regression shows up as either a missing or a spurious line.
+
+use asap_lint::rules::check_file;
+use asap_lint::scan::FileScan;
+use std::path::Path;
+
+/// `(line, rule)` pairs a fixture declares via `VIOLATION(rule)` tags.
+fn expected(src: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        if let Some(at) = line.find("VIOLATION(") {
+            let rest = &line[at + "VIOLATION(".len()..];
+            let rule = rest.split(')').next().unwrap_or("").to_string();
+            out.push((idx + 1, rule));
+        }
+    }
+    out
+}
+
+fn check_fixture(name: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).unwrap();
+    let scan = FileScan::parse(&format!("crates/x/src/{name}"), &src);
+    let got: Vec<(usize, String)> = check_file(&scan)
+        .into_iter()
+        .map(|v| (v.line, v.rule.to_string()))
+        .collect();
+    assert_eq!(
+        got,
+        expected(&src),
+        "fixture {name}: found violations (left) != tagged lines (right)"
+    );
+}
+
+#[test]
+fn determinism_map_fixture() {
+    check_fixture("det_map_bad.rs");
+}
+
+#[test]
+fn determinism_time_fixture() {
+    check_fixture("det_time_bad.rs");
+}
+
+#[test]
+fn hot_path_fixture() {
+    check_fixture("hot_path_bad.rs");
+}
+
+#[test]
+fn panic_freedom_fixture() {
+    check_fixture("panic_bad.rs");
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    check_fixture("clean.rs");
+}
+
+#[test]
+fn every_fixture_is_covered() {
+    // A fixture added without a golden test would silently assert nothing.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    assert_eq!(
+        names,
+        [
+            "clean.rs",
+            "det_map_bad.rs",
+            "det_time_bad.rs",
+            "hot_path_bad.rs",
+            "panic_bad.rs",
+        ]
+    );
+}

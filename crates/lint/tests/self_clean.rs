@@ -1,0 +1,101 @@
+//! The self-test `ci.sh` leans on: the workspace must lint clean at the
+//! committed baseline, the committed artifacts must parse, and the
+//! structural inputs the rules key on (hot-path fences, metric
+//! fragments) must actually exist — a scanner that silently found no
+//! fences would otherwise pass every rule vacuously.
+
+use asap_lint::ratchet::Baseline;
+use asap_lint::scan::FileScan;
+use asap_lint::{load_baseline, metrics, run, scan, source_files, BASELINE_FILE};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_is_clean_at_committed_baseline() {
+    let root = workspace_root();
+    let report = run(&root).unwrap();
+    let baseline = load_baseline(&root).unwrap();
+    let errors = report.gate(&baseline);
+    let details: Vec<String> = report.violations.iter().map(ToString::to_string).collect();
+    assert!(
+        errors.is_empty(),
+        "lint gate failed:\n{}\nviolations:\n{}",
+        errors.join("\n"),
+        details.join("\n")
+    );
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+}
+
+#[test]
+fn committed_baseline_is_canonical() {
+    // Hand-edited budgets must not drift from the renderer's format, or
+    // `--update-baseline` diffs would mix formatting and budget changes.
+    let root = workspace_root();
+    let raw = std::fs::read_to_string(root.join(BASELINE_FILE)).unwrap();
+    let parsed = Baseline::parse(&raw).unwrap();
+    assert_eq!(raw, parsed.render(), "run --update-baseline to normalize");
+}
+
+#[test]
+fn workspace_declares_hot_path_fences() {
+    let root = workspace_root();
+    let mut fences = 0;
+    let mut fenced_files = Vec::new();
+    for path in source_files(&root).unwrap() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let s = FileScan::parse(&path.to_string_lossy(), &src);
+        if !s.hot_path.is_empty() {
+            fences += s.hot_path.len();
+            fenced_files.push(path);
+        }
+    }
+    // The inner translation loop is fenced end to end: the flat-mirror
+    // walk, the MMU engine step, the event-queue scheduler, the driver
+    // step, and the shared memory fabric.
+    assert!(
+        fences >= 7,
+        "expected the hot translation path to stay fenced, found {fences} in {fenced_files:?}"
+    );
+}
+
+#[test]
+fn workspace_metric_fragments_cover_every_namespace() {
+    let root = workspace_root();
+    let mut fragments = Vec::new();
+    for path in source_files(&root).unwrap() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let s = FileScan::parse(&path.to_string_lossy(), &src);
+        fragments.extend(metrics::extract_fragments(&s));
+    }
+    let prefixes: Vec<&str> = fragments
+        .iter()
+        .filter(|f| f.is_prefix)
+        .map(|f| f.text.as_str())
+        .collect();
+    for expected in [
+        "walk_",
+        "tlb_l2_",
+        "host_",
+        "numa_",
+        "victima_",
+        "revelator_",
+    ] {
+        assert!(
+            prefixes.contains(&expected),
+            "metric sub-prefix {expected} no longer extracted (got {prefixes:?})"
+        );
+    }
+    assert!(fragments.iter().any(|f| !f.is_prefix), "no leaf fragments");
+}
+
+#[test]
+fn fence_and_allow_markers_use_the_canonical_spelling() {
+    // The scanner matches directives byte-for-byte; a typo like
+    // `asap-lint:hot-path` (no space) would silently fence nothing.
+    // Guard the canonical spellings the docs advertise.
+    assert_eq!(scan::HOT_PATH_FENCE, "asap-lint: hot-path");
+    assert_eq!(scan::ALLOW_PREFIX, "asap-lint: allow(");
+}

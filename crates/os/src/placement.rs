@@ -3,8 +3,7 @@
 use crate::{PhysMap, VmaId};
 use asap_alloc::{ContiguousReservation, FrameAllocator};
 use asap_pt::PtNodeAllocator;
-use asap_types::{PhysFrameNum, PtLevel, VirtAddr, INDEX_BITS};
-use std::collections::HashMap;
+use asap_types::{FastMap, PhysFrameNum, PtLevel, VirtAddr, INDEX_BITS};
 
 /// OS-side ASAP configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,12 +96,12 @@ pub fn nodes_needed(start: VirtAddr, end: VirtAddr, level: PtLevel) -> u64 {
 /// carves them out of the process' reservation window.
 #[derive(Debug, Clone)]
 pub struct ReservationSet {
-    map: HashMap<(VmaId, PtLevel), ContiguousReservation>,
+    map: FastMap<(VmaId, PtLevel), ContiguousReservation>,
     /// Physical frames set aside for each region (in-place growth headroom).
-    capacity: HashMap<(VmaId, PtLevel), u64>,
+    capacity: FastMap<(VmaId, PtLevel), u64>,
     /// Indices at or beyond this value are holes (failed extension), per
     /// region.
-    failed_beyond: HashMap<(VmaId, PtLevel), u64>,
+    failed_beyond: FastMap<(VmaId, PtLevel), u64>,
     next_frame: u64,
     limit: u64,
     holes_punched: u64,
@@ -114,9 +113,9 @@ impl ReservationSet {
     pub fn new(phys: PhysMap) -> Self {
         let base = phys.reservation_base().raw();
         Self {
-            map: HashMap::new(),
-            capacity: HashMap::new(),
-            failed_beyond: HashMap::new(),
+            map: FastMap::default(),
+            capacity: FastMap::default(),
+            failed_beyond: FastMap::default(),
             next_frame: base,
             limit: base + PhysMap::RESERVATION_WINDOW_FRAMES,
             holes_punched: 0,

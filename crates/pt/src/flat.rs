@@ -17,9 +17,9 @@
 //! every entry address the hardware would touch — is identical by
 //! construction (node physical frames are stored in the arena).
 
-use crate::fast_hash::FastMap;
 use crate::walker::{FixedWalk, WalkOutcome, WalkStep, Walker};
 use crate::{PageTable, Pte, SimPhysMem, Translation};
+use asap_types::FastMap;
 use asap_types::{PageSize, PagingMode, PhysFrameNum, PtLevel, VirtAddr, PTE_SIZE};
 
 /// Anything the timing model can walk: the authoritative radix tables
@@ -479,6 +479,7 @@ impl FlatMirror {
     /// should use [`FlatMirror::is_mapped`] instead — the bitmap probe is
     /// an order of magnitude cheaper than this four-node descent when the
     /// arena is cache-cold.
+    // asap-lint: hot-path
     #[must_use]
     pub fn translate(&self, va: VirtAddr) -> Option<Translation> {
         if !self.mode.contains(va) {

@@ -44,7 +44,6 @@
 mod census;
 mod entry;
 mod error;
-mod fast_hash;
 mod flat;
 mod frame;
 mod phys_mem;
@@ -54,7 +53,10 @@ mod walker;
 pub use census::{ContigStats, PtCensus};
 pub use entry::{Pte, PteFlags};
 pub use error::PtError;
-pub use fast_hash::{FastBuildHasher, FastHasher, FastMap};
+// The deterministic hasher moved to `asap-types` (its shared home, so
+// allocator/OS/contender crates use the same maps); re-exported here for
+// the pre-existing `asap_pt::FastMap` import paths.
+pub use asap_types::{FastBuildHasher, FastHasher, FastMap};
 pub use flat::{FlatMirror, RadixSource, WalkSource};
 pub use frame::PtFrame;
 pub use phys_mem::SimPhysMem;

@@ -1,7 +1,7 @@
 //! Sparse simulated physical memory for page-table pages.
 
-use crate::fast_hash::FastMap;
 use crate::{PtFrame, Pte};
+use asap_types::FastMap;
 use asap_types::{PhysAddr, PhysFrameNum, PTE_SIZE};
 
 /// Simulated machine memory, materializing only the frames that hold

@@ -28,6 +28,8 @@
 //! ```
 
 use crate::driver::DriverError;
+#[cfg(test)]
+use crate::driver::DriverErrorKind;
 use crate::{RunOutput, RunResult};
 use asap_contenders::ContenderKind;
 use asap_core::{AsapHwConfig, NestedAsapConfig};
@@ -441,10 +443,10 @@ impl RunSpec {
     ///
     /// # Errors
     ///
-    /// [`DriverError::IncompatibleSpec`] naming the first offending
+    /// [`IncompatibleSpec`](crate::driver::DriverErrorKind::IncompatibleSpec) naming the first offending
     /// combination.
     pub fn validate(&self) -> Result<(), DriverError> {
-        let err = |reason| Err(DriverError::IncompatibleSpec { reason });
+        let err = |reason| Err(DriverError::incompatible_spec(reason));
         match (&self.engine, &self.machine) {
             (EngineSelect::NestedAsap(_), MachineSelect::Native) => {
                 return err("nested (per-dimension) ASAP needs a virtualized machine; use EngineSelect::Asap for native runs");
@@ -499,7 +501,7 @@ impl RunSpec {
     ///
     /// # Errors
     ///
-    /// [`DriverError::IncompatibleSpec`] for a combination the simulator
+    /// [`IncompatibleSpec`](crate::driver::DriverErrorKind::IncompatibleSpec) for a combination the simulator
     /// does not model, or the driver's error for a misconfigured
     /// workload/machine pairing.
     pub fn run(&self) -> Result<RunResult, DriverError> {
@@ -513,7 +515,7 @@ impl RunSpec {
     ///
     /// # Errors
     ///
-    /// [`DriverError::IncompatibleSpec`] for a combination the simulator
+    /// [`IncompatibleSpec`](crate::driver::DriverErrorKind::IncompatibleSpec) for a combination the simulator
     /// does not model, or the driver's error for a misconfigured
     /// workload/machine pairing.
     pub fn run_split(&self) -> Result<RunOutput, DriverError> {
@@ -628,9 +630,9 @@ mod tests {
         let over = RunSpec::new(w()).with_cores(MAX_CORES + 1).validate();
         assert_eq!(
             over.unwrap_err(),
-            DriverError::IncompatibleSpec {
-                reason: "the physical map's ASID windows support at most 64 cores"
-            }
+            DriverError::incompatible_spec(
+                "the physical map's ASID windows support at most 64 cores"
+            )
         );
         assert!(RunSpec::new(w()).virt().with_cores(2).validate().is_err());
         RunSpec::new(w())
@@ -648,7 +650,10 @@ mod tests {
             RunSpec::new(w()).virt().with_numa_nodes(2),
         ] {
             assert!(
-                matches!(bad.validate(), Err(DriverError::IncompatibleSpec { .. })),
+                matches!(
+                    bad.validate().unwrap_err().kind,
+                    DriverErrorKind::IncompatibleSpec { .. }
+                ),
                 "{bad:?} should be incompatible"
             );
         }
@@ -675,7 +680,7 @@ mod tests {
         for spec in bad {
             let err = spec.validate().unwrap_err();
             assert!(
-                matches!(err, DriverError::IncompatibleSpec { .. }),
+                matches!(err.kind, DriverErrorKind::IncompatibleSpec { .. }),
                 "{spec:?} should be incompatible"
             );
             assert_eq!(spec.run().unwrap_err(), err, "run() must validate first");

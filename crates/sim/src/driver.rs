@@ -34,12 +34,9 @@ use asap_types::VirtAddr;
 use asap_workloads::{AccessStream, CoRunner};
 use std::time::{Duration, Instant};
 
-/// A scenario misconfiguration detected while driving a run. These are
-/// *harness* errors (bad workload/machine pairings), not simulated
-/// architectural events — a correctly registered scenario never produces
-/// one.
+/// What went wrong while driving a run — the payload of a [`DriverError`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DriverError {
+pub enum DriverErrorKind {
     /// The workload stream generated an address outside every VMA of its
     /// machine (a generator/machine mismatch).
     StreamEscapedVma {
@@ -62,16 +59,82 @@ pub enum DriverError {
     },
 }
 
+/// A scenario misconfiguration detected while driving a run. These are
+/// *harness* errors (bad workload/machine pairings), not simulated
+/// architectural events — a correctly registered scenario never produces
+/// one.
+///
+/// Besides the typed [`kind`](DriverErrorKind), every error carries the
+/// **source location that raised it**, captured with `#[track_caller]` at
+/// the construction site. The CLI renders it as a `file:line:` diagnostic
+/// anchor (`crates/sim/src/driver.rs:371`-shaped) so a failed run in a CI
+/// log is clickable straight into the code that rejected it. Equality
+/// deliberately ignores the origin — tests compare errors by kind.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverError {
+    /// What went wrong.
+    pub kind: DriverErrorKind,
+    /// Where the error was raised (file + line in the workspace source).
+    pub origin: &'static core::panic::Location<'static>,
+}
+
+impl DriverError {
+    /// Wraps `kind`, stamping the caller's location as the origin.
+    #[must_use]
+    #[track_caller]
+    pub fn new(kind: DriverErrorKind) -> Self {
+        Self {
+            kind,
+            origin: core::panic::Location::caller(),
+        }
+    }
+
+    /// A [`DriverErrorKind::StreamEscapedVma`] raised here.
+    #[must_use]
+    #[track_caller]
+    pub fn stream_escaped_vma(va: VirtAddr, source: OsError) -> Self {
+        Self::new(DriverErrorKind::StreamEscapedVma { va, source })
+    }
+
+    /// An [`DriverErrorKind::UntranslatablePage`] raised here.
+    #[must_use]
+    #[track_caller]
+    pub fn untranslatable_page(va: VirtAddr) -> Self {
+        Self::new(DriverErrorKind::UntranslatablePage { va })
+    }
+
+    /// An [`DriverErrorKind::IncompatibleSpec`] raised here.
+    #[must_use]
+    #[track_caller]
+    pub fn incompatible_spec(reason: &'static str) -> Self {
+        Self::new(DriverErrorKind::IncompatibleSpec { reason })
+    }
+
+    /// The `file:line` diagnostic anchor of the raising source line.
+    #[must_use]
+    pub fn anchor(&self) -> String {
+        format!("{}:{}", self.origin.file(), self.origin.line())
+    }
+}
+
+impl PartialEq for DriverError {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl Eq for DriverError {}
+
 impl core::fmt::Display for DriverError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            DriverError::StreamEscapedVma { va, source } => {
+        match &self.kind {
+            DriverErrorKind::StreamEscapedVma { va, source } => {
                 write!(f, "workload stream escaped its VMAs at {va}: {source}")
             }
-            DriverError::UntranslatablePage { va } => {
+            DriverErrorKind::UntranslatablePage { va } => {
                 write!(f, "demand-paged address {va} failed to translate")
             }
-            DriverError::IncompatibleSpec { reason } => {
+            DriverErrorKind::IncompatibleSpec { reason } => {
                 write!(f, "incompatible run spec: {reason}")
             }
         }
@@ -80,9 +143,10 @@ impl core::fmt::Display for DriverError {
 
 impl std::error::Error for DriverError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            DriverError::StreamEscapedVma { source, .. } => Some(source),
-            DriverError::UntranslatablePage { .. } | DriverError::IncompatibleSpec { .. } => None,
+        match &self.kind {
+            DriverErrorKind::StreamEscapedVma { source, .. } => Some(source),
+            DriverErrorKind::UntranslatablePage { .. }
+            | DriverErrorKind::IncompatibleSpec { .. } => None,
         }
     }
 }
@@ -156,6 +220,7 @@ impl DriverObserver {
     pub fn new(trace: bool) -> Self {
         Self {
             sched: trace.then(TraceSink::default),
+            // asap-lint: allow(determinism-time) — self-profile wall clock
             started: Instant::now(),
             warmup_ended: None,
         }
@@ -168,6 +233,7 @@ impl DriverObserver {
     }
 
     fn warmup_boundary(&mut self) {
+        // asap-lint: allow(determinism-time) — self-profile wall clock
         self.warmup_ended = Some(Instant::now());
     }
 
@@ -175,6 +241,7 @@ impl DriverObserver {
     /// measure) wall-clock split.
     #[must_use]
     pub fn finish(self) -> (Vec<TraceEvent>, Duration, Duration) {
+        // asap-lint: allow(determinism-time) — self-profile wall clock
         let end = Instant::now();
         let boundary = self.warmup_ended.unwrap_or(self.started);
         let sched = self.sched.map(|s| s.events()).unwrap_or_default();
@@ -230,9 +297,9 @@ pub fn run_cores_observed<E: TranslationEngine>(
     obs: Option<&mut DriverObserver>,
 ) -> Result<Vec<RunResult>, DriverError> {
     if cores.is_empty() {
-        return Err(DriverError::IncompatibleSpec {
-            reason: "a machine needs at least one core",
-        });
+        return Err(DriverError::incompatible_spec(
+            "a machine needs at least one core",
+        ));
     }
     let total = meta.sim.warmup_accesses + meta.sim.measure_accesses;
     let mut accounting = vec![CoreAccounting::default(); cores.len()];
@@ -275,6 +342,7 @@ pub fn run_cores_observed<E: TranslationEngine>(
 /// linear-scan schedule exactly (the `prop_smp_determinism` oracle); with
 /// one core the bound is `None` and the loop degenerates into the classic
 /// run-to-completion single-core driver.
+// asap-lint: hot-path
 fn run_event_queue<E: TranslationEngine>(
     cores: &mut [CoreSlot<'_, E>],
     accounting: &mut [CoreAccounting],
@@ -341,6 +409,7 @@ fn run_lockstep<E: TranslationEngine>(
 
 /// One core's next application reference: warmup-boundary stats reset,
 /// demand paging, translation, the data access, and the co-runner burst.
+// asap-lint: hot-path
 fn step_core<E: TranslationEngine>(
     core: &mut CoreSlot<'_, E>,
     acct: &mut CoreAccounting,
@@ -364,11 +433,11 @@ fn step_core<E: TranslationEngine>(
     // metric covers successful walks).
     core.machine
         .demand_page(va)
-        .map_err(|source| DriverError::StreamEscapedVma { va, source })?;
+        .map_err(|source| DriverError::stream_escaped_vma(va, source))?;
     let pa = if meta.perfect_tlb {
         core.machine
             .reference_translate(va)
-            .ok_or(DriverError::UntranslatablePage { va })?
+            .ok_or(DriverError::untranslatable_page(va))?
     } else {
         let outcome = core.engine.translate_access(core.machine, va);
         if outcome.path == TranslationPath::Walk {
@@ -376,7 +445,7 @@ fn step_core<E: TranslationEngine>(
             acct.prefetches_issued += u64::from(outcome.prefetches_issued);
             acct.prefetches_dropped += u64::from(outcome.prefetches_dropped);
         }
-        outcome.phys.ok_or(DriverError::UntranslatablePage { va })?
+        outcome.phys.ok_or(DriverError::untranslatable_page(va))?
     };
     let _ = core.engine.data_access(pa);
     core.engine.advance(CPU_WORK_CYCLES_PER_ACCESS);
@@ -529,8 +598,8 @@ mod tests {
         let mut process = small().build_process(Asid(1), AsapOsConfig::disabled(), sim.seed);
         let mut mmu = Mmu::new(MmuConfig::default().with_seed(sim.seed));
         let err = run_scenario(&mut mmu, &mut process, &mut WildStream, &meta(sim)).unwrap_err();
-        match err {
-            DriverError::StreamEscapedVma { va, source } => {
+        match err.kind {
+            DriverErrorKind::StreamEscapedVma { va, source } => {
                 assert_eq!(va, VirtAddr::new(0x1234_5678_0000).unwrap());
                 assert_eq!(source, OsError::Segfault(va));
             }
@@ -547,9 +616,14 @@ mod tests {
         let err = run_cores(&mut slots, &meta(SimConfig::smoke_test())).unwrap_err();
         assert_eq!(
             err,
-            DriverError::IncompatibleSpec {
-                reason: "a machine needs at least one core"
-            }
+            DriverError::incompatible_spec("a machine needs at least one core")
+        );
+        // The anchor points into this crate's driver source — the
+        // clickable `file:line:` the CLI prefixes diagnostics with.
+        assert!(
+            err.anchor().contains("driver.rs:"),
+            "unexpected anchor {}",
+            err.anchor()
         );
     }
 

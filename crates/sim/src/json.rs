@@ -749,9 +749,7 @@ mod tests {
         results[0].errors.push(ScenarioRunError {
             workload: "mc80",
             variant: "Baseline+99c".into(),
-            error: DriverError::IncompatibleSpec {
-                reason: "cores exceed MAX_CORES",
-            },
+            error: DriverError::incompatible_spec("cores exceed MAX_CORES"),
         });
         let json = results_to_json(&results, "smoke");
         assert!(json.contains("], \"errors\": [\n"));

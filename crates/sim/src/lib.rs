@@ -58,7 +58,7 @@ pub use config::{EngineSelect, MachineSelect, RunSpec, SimConfig, MAX_CORES, MAX
 pub use cycles::{CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
 pub use driver::{
     run_cores, run_cores_observed, run_scenario, run_scenario_observed, CoreSlot, DriverError,
-    DriverObserver, RunMeta,
+    DriverErrorKind, DriverObserver, RunMeta,
 };
 pub use json::{results_to_json, BenchDoc, BenchError, BenchRun, BenchScenario, JsonParseError};
 pub use parallel::parallel_map;

@@ -413,7 +413,7 @@ impl Scenario {
                 });
             }
         }
-        let mut keys = std::collections::HashSet::new();
+        let mut keys = asap_types::FastSet::default();
         for r in &out {
             assert!(
                 keys.insert((r.workload, r.variant.as_str())),

@@ -62,7 +62,18 @@ impl Hasher for FastHasher {
 pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
 
 /// A `HashMap` keyed with the fast deterministic hasher.
+///
+/// Unlike the `RandomState` default, lookup *and iteration order* are
+/// identical across runs and across processes — the property the
+/// workspace-wide determinism lint (`asap-lint`) enforces by banning the
+/// std default in simulation crates.
+// asap-lint: allow(determinism-map) — this IS the deterministic wrapper
 pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` keyed with the fast deterministic hasher — the companion
+/// to [`FastMap`] for membership-only state.
+// asap-lint: allow(determinism-map) — this IS the deterministic wrapper
+pub type FastSet<T> = std::collections::HashSet<T, FastBuildHasher>;
 
 #[cfg(test)]
 mod tests {

@@ -26,6 +26,7 @@
 
 mod addr;
 mod error;
+mod fast_hash;
 mod level;
 mod line;
 mod page;
@@ -33,6 +34,7 @@ mod size;
 
 pub use addr::{PhysAddr, VirtAddr};
 pub use error::AddrError;
+pub use fast_hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use level::{PagingMode, PtLevel};
 pub use line::CacheLineAddr;
 pub use page::{PhysFrameNum, VirtPageNum};
