@@ -67,18 +67,33 @@ smoke() {
             exit 1
         fi
     fi
+    # The default result-cache directory must stay git-ignored scratch:
+    # cached simulation payloads are host artifacts, and a tracked cache
+    # would let stale results masquerade as a committed baseline.
+    if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+        if ! git check-ignore -q target/asap-cache; then
+            echo "target/asap-cache is not git-ignored; the result cache must stay untracked scratch"
+            exit 1
+        fi
+    fi
     # The registry's smoke scenarios through the real generic driver loop
     # — catches driver regressions unit tests miss. Deterministic: it
     # regenerates BENCH_results.json, and the gate below fails on any
     # drift from the committed copy (the perf-trajectory check). A PR
     # that intentionally changes behaviour commits the regenerated file.
     #
+    # The pass runs against a FRESH result-cache directory, so the drift
+    # gate always exercises the real simulator — a pre-warmed cache must
+    # never be able to mask a behaviour regression.
+    #
     # The run is also a perf smoke: the batched hot path finishes the
     # smoke set in well under a second, so a pass that blows through the
     # (deliberately generous) ceiling means the inner loop regressed by
     # an order of magnitude, not that the machine was busy.
+    cache_tmp="$(mktemp -d -t asap-cache.XXXXXX)"
+    trap 'rm -rf "$cache_tmp"' EXIT
     smoke_t0=$(date +%s)
-    run $ASAP smoke
+    run $ASAP smoke --cache-dir "$cache_tmp" --cache-stats
     smoke_elapsed=$(( $(date +%s) - smoke_t0 ))
     smoke_ceiling="${ASAP_SMOKE_CEILING_S:-30}"
     if (( smoke_elapsed > smoke_ceiling )); then
@@ -86,6 +101,22 @@ smoke() {
         exit 1
     fi
     echo "perf smoke: asap smoke finished in ${smoke_elapsed}s (ceiling ${smoke_ceiling}s)"
+    # Result-cache consistency gate: a second smoke pass over the cache
+    # the first one just populated must serve EVERY run from the store
+    # (100% hit rate, nothing new written) and still reproduce
+    # BENCH_results.json byte-identically — the warm re-run is free AND
+    # indistinguishable from simulating.
+    warm_json="$(mktemp -t asap-warm.XXXXXX.json)"
+    echo
+    echo "==> $ASAP smoke --json $warm_json --cache-dir $cache_tmp --cache-stats (warm)"
+    warm_output="$($ASAP smoke --json "$warm_json" --cache-dir "$cache_tmp" --cache-stats)"
+    echo "$warm_output" | tail -n 1
+    echo "$warm_output" | grep -q " 0 misses (100% hit rate), 0 bytes stored" \
+        || { echo "cache gate FAILED: warm smoke pass was not served 100% from the cache"; exit 1; }
+    cmp -s BENCH_results.json "$warm_json" \
+        || { echo "cache gate FAILED: warm smoke results differ from the cold pass"; exit 1; }
+    rm -f "$warm_json"
+    echo "cache gate: warm smoke pass served 100% from the cache, byte-identical results"
     # Compare against HEAD (not the index) so staged-but-uncommitted drift
     # still fails the gate. `asap smoke` runs with telemetry disabled
     # (the CLI rejects --trace/--metrics/--profile on smoke), so this is
@@ -104,7 +135,7 @@ smoke() {
     # re-emits byte-identically (`asap trace-check`), so the --trace
     # output Perfetto consumes can never silently drift from the parser.
     trace_tmp="$(mktemp -t asap-trace.XXXXXX.json)"
-    trap 'rm -f "$trace_tmp"' EXIT
+    trap 'rm -f "$trace_tmp"; rm -rf "$cache_tmp"' EXIT
     run $ASAP run numa_smoke --trace "$trace_tmp"
     run $ASAP trace-check "$trace_tmp"
     rm -f "$trace_tmp"

@@ -14,7 +14,7 @@ use crate::RunResult;
 use std::fmt::Write as _;
 
 /// Escapes a string for a JSON string literal.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -315,37 +315,37 @@ impl std::error::Error for JsonParseError {}
 
 /// A minimal schema-directed JSON parser (whitespace-tolerant; strings,
 /// unsigned integers and decimal floats — all this schema contains).
-struct Parser<'a> {
+pub(crate) struct Parser<'a> {
     input: &'a str,
     pos: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn new(input: &'a str) -> Self {
+    pub(crate) fn new(input: &'a str) -> Self {
         Self { input, pos: 0 }
     }
 
-    fn err(&self, message: impl Into<String>) -> JsonParseError {
+    pub(crate) fn err(&self, message: impl Into<String>) -> JsonParseError {
         JsonParseError {
             message: message.into(),
             offset: self.pos,
         }
     }
 
-    fn rest(&self) -> &'a str {
+    pub(crate) fn rest(&self) -> &'a str {
         &self.input[self.pos..]
     }
 
-    fn at_end(&self) -> bool {
+    pub(crate) fn at_end(&self) -> bool {
         self.pos >= self.input.len()
     }
 
-    fn skip_ws(&mut self) {
+    pub(crate) fn skip_ws(&mut self) {
         let trimmed = self.rest().trim_start_matches([' ', '\t', '\n', '\r']);
         self.pos = self.input.len() - trimmed.len();
     }
 
-    fn expect(&mut self, token: char) -> Result<(), JsonParseError> {
+    pub(crate) fn expect_char(&mut self, token: char) -> Result<(), JsonParseError> {
         self.skip_ws();
         if self.rest().starts_with(token) {
             self.pos += token.len_utf8();
@@ -355,8 +355,19 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Consumes the literal keyword `word` if present (after whitespace).
+    pub(crate) fn eat_keyword(&mut self, word: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(word) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
     /// Consumes `token` if present (after whitespace).
-    fn eat(&mut self, token: char) -> bool {
+    pub(crate) fn eat(&mut self, token: char) -> bool {
         self.skip_ws();
         if self.rest().starts_with(token) {
             self.pos += token.len_utf8();
@@ -366,8 +377,8 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn string(&mut self) -> Result<String, JsonParseError> {
-        self.expect('"')?;
+    pub(crate) fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect_char('"')?;
         let mut out = String::new();
         let mut chars = self.rest().char_indices();
         while let Some((i, c)) = chars.next() {
@@ -428,7 +439,7 @@ impl<'a> Parser<'a> {
         Ok(&rest[..len])
     }
 
-    fn u64_value(&mut self) -> Result<u64, JsonParseError> {
+    pub(crate) fn u64_value(&mut self) -> Result<u64, JsonParseError> {
         let lexeme = self.number_lexeme()?;
         lexeme
             .parse()
@@ -442,24 +453,24 @@ impl<'a> Parser<'a> {
             .map_err(|_| self.err(format!("expected a number, got {lexeme:?}")))
     }
 
-    fn key(&mut self, expected: &str) -> Result<(), JsonParseError> {
+    pub(crate) fn key(&mut self, expected: &str) -> Result<(), JsonParseError> {
         let k = self.string()?;
         if k != expected {
             return Err(self.err(format!("expected key {expected:?}, got {k:?}")));
         }
-        self.expect(':')
+        self.expect_char(':')
     }
 
     fn document(&mut self) -> Result<BenchDoc, JsonParseError> {
-        self.expect('{')?;
+        self.expect_char('{')?;
         self.key("schema_version")?;
         let schema_version = self.u64_value()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("tier")?;
         let tier = self.string()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("scenarios")?;
-        self.expect('[')?;
+        self.expect_char('[')?;
         let mut scenarios = Vec::new();
         if !self.eat(']') {
             loop {
@@ -468,9 +479,9 @@ impl<'a> Parser<'a> {
                     break;
                 }
             }
-            self.expect(']')?;
+            self.expect_char(']')?;
         }
-        self.expect('}')?;
+        self.expect_char('}')?;
         Ok(BenchDoc {
             schema_version,
             tier,
@@ -479,12 +490,12 @@ impl<'a> Parser<'a> {
     }
 
     fn scenario(&mut self) -> Result<BenchScenario, JsonParseError> {
-        self.expect('{')?;
+        self.expect_char('{')?;
         self.key("scenario")?;
         let scenario = self.string()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("runs")?;
-        self.expect('[')?;
+        self.expect_char('[')?;
         let mut runs = Vec::new();
         if !self.eat(']') {
             loop {
@@ -493,12 +504,12 @@ impl<'a> Parser<'a> {
                     break;
                 }
             }
-            self.expect(']')?;
+            self.expect_char(']')?;
         }
         let mut errors = Vec::new();
         if self.eat(',') {
             self.key("errors")?;
-            self.expect('[')?;
+            self.expect_char('[')?;
             if !self.eat(']') {
                 loop {
                     errors.push(self.error_entry()?);
@@ -506,10 +517,10 @@ impl<'a> Parser<'a> {
                         break;
                     }
                 }
-                self.expect(']')?;
+                self.expect_char(']')?;
             }
         }
-        self.expect('}')?;
+        self.expect_char('}')?;
         Ok(BenchScenario {
             scenario,
             runs,
@@ -518,16 +529,16 @@ impl<'a> Parser<'a> {
     }
 
     fn error_entry(&mut self) -> Result<BenchError, JsonParseError> {
-        self.expect('{')?;
+        self.expect_char('{')?;
         self.key("workload")?;
         let workload = self.string()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("variant")?;
         let variant = self.string()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("error")?;
         let error = self.string()?;
-        self.expect('}')?;
+        self.expect_char('}')?;
         Ok(BenchError {
             workload,
             variant,
@@ -536,52 +547,52 @@ impl<'a> Parser<'a> {
     }
 
     fn run(&mut self) -> Result<BenchRun, JsonParseError> {
-        self.expect('{')?;
+        self.expect_char('{')?;
         self.key("workload")?;
         let workload = self.string()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("variant")?;
         let variant = self.string()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("label")?;
         let label = self.string()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("walks")?;
         let walks = self.u64_value()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("avg_walk_latency")?;
         let avg_walk_latency = self.f64_value()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("walk_cycles")?;
         let walk_cycles = self.u64_value()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("cycles")?;
         let cycles = self.u64_value()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("walk_fraction")?;
         let walk_fraction = self.f64_value()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("mpki")?;
         let mpki = self.f64_value()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("l2_tlb_misses")?;
         let l2_tlb_misses = self.u64_value()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("l2_tlb_accesses")?;
         let l2_tlb_accesses = self.u64_value()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("instructions")?;
         let instructions = self.u64_value()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("prefetches_issued")?;
         let prefetches_issued = self.u64_value()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("prefetches_dropped")?;
         let prefetches_dropped = self.u64_value()?;
-        self.expect(',')?;
+        self.expect_char(',')?;
         self.key("faults")?;
         let faults = self.u64_value()?;
-        self.expect('}')?;
+        self.expect_char('}')?;
         Ok(BenchRun {
             workload,
             variant,

@@ -38,6 +38,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
+mod codec;
 mod config;
 mod contender;
 mod cycles;
@@ -53,7 +55,10 @@ pub mod sched;
 mod smp;
 mod virt;
 
+pub use asap_store::{CacheHandle, CacheKey, CacheStats, CostProfile};
 pub use asap_telemetry::{RunTelemetry, TelemetryConfig};
+pub use cache::{engine_fingerprint, SIM_SEMVER};
+pub use codec::{decode_payload, encode_payload, result_from_json, result_to_json, CODEC_VERSION};
 pub use config::{EngineSelect, MachineSelect, RunSpec, SimConfig, MAX_CORES, MAX_NUMA_NODES};
 pub use cycles::{CPU_WORK_CYCLES_PER_ACCESS, INSTRUCTIONS_PER_ACCESS};
 pub use driver::{
@@ -61,6 +66,6 @@ pub use driver::{
     DriverErrorKind, DriverObserver, RunMeta,
 };
 pub use json::{results_to_json, BenchDoc, BenchError, BenchRun, BenchScenario, JsonParseError};
-pub use parallel::parallel_map;
+pub use parallel::{parallel_map, parallel_map_prioritized};
 pub use report::{fmt_cycles, fmt_pct, fmt_ratio, Table};
 pub use result::{RunOutput, RunResult};

@@ -4,7 +4,7 @@ use asap_core::{ServedByMatrix, WalkLatencyStats};
 use asap_telemetry::RunTelemetry;
 
 /// Everything a paper table/figure needs from one simulated run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// The workload's name ("mcf", "mc80", ...). Owned: per-core rows of a
     /// multi-core run stamp composed names ("mc80@core0") without leaking.

@@ -530,13 +530,69 @@ impl ScenarioResults {
 /// balancing than nesting `parallel_map` per scenario), preserving order.
 #[must_use]
 pub fn run_scenarios(scenarios: &[Scenario], sim: SimConfig) -> Vec<ScenarioResults> {
+    run_scenarios_cached(scenarios, sim, None)
+}
+
+/// [`run_scenarios`] with an optional result cache: each run first probes
+/// the content-addressed store ([`crate::RunSpec::run_split_cached`]),
+/// the fan-out executes longest-expected-first using the cache's
+/// advisory cost profile (unknown costs schedule first — the
+/// conservative choice for stragglers), and observed wall-clocks are
+/// folded back into the profile afterwards. With `cache: None` this is
+/// exactly [`run_scenarios`]. Results are identical either way — the
+/// cache stores byte-exact payloads and the schedule order never
+/// influences any statistic.
+#[must_use]
+pub fn run_scenarios_cached(
+    scenarios: &[Scenario],
+    sim: SimConfig,
+    cache: Option<&asap_store::CacheHandle>,
+) -> Vec<ScenarioResults> {
     let mut flat: Vec<(usize, ScenarioRun)> = Vec::new();
     for (i, s) in scenarios.iter().enumerate() {
         flat.extend(s.runs(sim).into_iter().map(|r| (i, r)));
     }
-    let done = parallel_map(flat, |(i, run)| {
-        (i, run.workload, run.variant, run.spec.run_split())
-    });
+    let done = match cache {
+        None => parallel_map(flat, |(i, run)| {
+            (
+                i,
+                run.workload,
+                run.variant,
+                run.spec.run_split().map(|output| (output, None)),
+            )
+        }),
+        Some(cache) => {
+            let profile = cache.load_costs();
+            let costs: Vec<u64> = flat
+                .iter()
+                .map(|(_, run)| profile.get(&run.spec.cost_label()).unwrap_or(u64::MAX))
+                .collect();
+            let done = crate::parallel_map_prioritized(flat, &costs, |(i, run)| {
+                let label = run.spec.cost_label();
+                (
+                    i,
+                    run.workload,
+                    run.variant,
+                    run.spec
+                        .run_split_cached_timed(cache)
+                        .map(|(output, nanos)| (output, nanos.map(|n| (label, n)))),
+                )
+            });
+            let mut observed = asap_store::CostProfile::new();
+            for (_, _, _, r) in &done {
+                if let Ok((_, Some((label, nanos)))) = r {
+                    observed.record(label, *nanos);
+                }
+            }
+            if !observed.is_empty() {
+                let _ = cache.save_costs(&observed);
+            }
+            done
+        }
+    };
+    let done = done
+        .into_iter()
+        .map(|(i, workload, variant, r)| (i, workload, variant, r.map(|(output, _)| output)));
     let mut out: Vec<ScenarioResults> = scenarios
         .iter()
         .map(|s| ScenarioResults {
